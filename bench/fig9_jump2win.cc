@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Reproduces Section 8.3 / Figure 9: the Jump2Win control-flow
+ * hijack against a PA-protected kernel kext — forging both the
+ * vtable pointer (DA key) and the method pointer (IA key) with
+ * oracle-brute-forced PACs, then redirecting a C++-style virtual
+ * dispatch into win() without any crash.
+ *
+ * Also runs the contrast: the same overflow with guessed PACs panics
+ * the kernel immediately.
+ *
+ * Flags: --window N (default 64; 0 = full 16-bit sweeps per pointer,
+ * as the paper does), --runs N (default 3).
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "attack/jump2win.hh"
+#include "attack/ret2win.hh"
+#include "base/stats.hh"
+#include "kernel/layout.hh"
+
+using namespace pacman;
+using namespace pacman::attack;
+using namespace pacman::kernel;
+
+int
+main(int argc, char **argv)
+{
+    unsigned window = 64;
+    unsigned runs = 3;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--window") && i + 1 < argc)
+            window = unsigned(std::strtoul(argv[++i], nullptr, 0));
+        else if (!std::strcmp(argv[i], "--runs") && i + 1 < argc)
+            runs = unsigned(std::strtoul(argv[++i], nullptr, 0));
+    }
+
+    std::printf("=== Figure 9 / Section 8.3: Jump2Win ===\n\n");
+
+    unsigned successes = 0;
+    uint64_t total_guesses = 0;
+    for (unsigned run = 0; run < runs; ++run) {
+        MachineConfig cfg = defaultMachineConfig();
+        cfg.seed = 2000 + run;
+        Machine machine(cfg);
+        AttackerProcess proc(machine);
+        Jump2Win attack(proc);
+        const Jump2WinResult result = attack.run(window);
+        std::printf("run %u: %s", run,
+                    result.succeeded ? "win() executed"
+                                     : result.failure.c_str());
+        if (result.succeeded) {
+            ++successes;
+            total_guesses += result.guessesTested;
+            std::printf("  [vtable PAC 0x%04x, method PAC 0x%04x, "
+                        "%llu guesses, 0 panics]",
+                        result.vtablePac, result.methodPac,
+                        (unsigned long long)result.guessesTested);
+        }
+        std::printf("\n");
+    }
+    std::printf("\nhijacks succeeded : %u / %u\n", successes, runs);
+    if (successes) {
+        std::printf("mean PAC guesses  : %llu per successful attack\n",
+                    (unsigned long long)(total_guesses / successes));
+    }
+
+    // Bonus: the return-address flavour (the paper's Figure 2
+    // protection scheme and ROP motivation) falls the same way.
+    {
+        Machine machine;
+        AttackerProcess proc(machine);
+        Ret2Win r2w(proc);
+        const Ret2WinResult result = r2w.run(window);
+        std::printf("\nret2win (return-address hijack): %s",
+                    result.succeeded ? "win() executed"
+                                     : result.failure.c_str());
+        if (result.succeeded) {
+            std::printf("  [return-address PAC 0x%04x, %llu guesses, "
+                        "0 panics]",
+                        result.returnPac,
+                        (unsigned long long)result.guessesTested);
+        }
+        std::printf("\n");
+    }
+
+    // Contrast: without the oracle, the very first dispatch with a
+    // guessed PAC panics the victim (the protection PA promises).
+    {
+        Machine machine;
+        AttackerProcess proc(machine);
+        const auto &kern = machine.kernel();
+        const isa::Addr payload = proc.scratchPage(200);
+        machine.mem().writeVirt64(
+            payload, isa::withExt(kern.winFn(), 0x0BAD));
+        machine.mem().writeVirt64(payload + 8, 0);
+        machine.mem().writeVirt64(payload + 16, 0);
+        machine.mem().writeVirt64(
+            payload + 24, isa::withExt(kern.object1Buf(), 0x0BAD));
+        proc.syscall(SYS_J2W_MEMCPY, payload, 32);
+        machine.core().setReg(isa::X16, SYS_J2W_CALL);
+        const auto status = machine.runGuest(UserCodeBase, {});
+        std::printf("\ncontrast without PACMAN: dispatch with guessed "
+                    "PACs -> %s\n",
+                    status.kind == cpu::ExitKind::KernelPanic
+                        ? "KERNEL PANIC on the first try (and a "
+                          "reboot re-keys)"
+                        : "unexpected survival");
+    }
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's own building
+ * blocks: QARMA throughput, hierarchy access cost, guest instruction
+ * rate, and oracle query cost. These gauge how long the paper-scale
+ * experiments (20000 Figure 8 trials, full 16-bit sweeps) take.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "attack/oracle.hh"
+#include "crypto/qarma64.hh"
+#include "kernel/layout.hh"
+
+using namespace pacman;
+using namespace pacman::kernel;
+
+namespace
+{
+
+void
+BM_QarmaEncrypt(benchmark::State &state)
+{
+    const crypto::Qarma64 cipher(0x84be85ce9804e94bull,
+                                 0xec2802d4e0a488e9ull, 7);
+    uint64_t x = 0xfb623599da6e8127ull;
+    for (auto _ : state) {
+        x = cipher.encrypt(x, 0x477d469dec0b8762ull);
+        benchmark::DoNotOptimize(x);
+    }
+}
+BENCHMARK(BM_QarmaEncrypt);
+
+void
+BM_HierarchyLoad(benchmark::State &state)
+{
+    Random rng(1);
+    mem::MemoryHierarchy hier(mem::m1PCoreConfig(), &rng);
+    hier.mapRange(0x4000'0000, 64 * isa::PageSize,
+                  mem::PageFlags{.user = true, .writable = true,
+                                 .executable = false, .device = false});
+    uint64_t i = 0;
+    for (auto _ : state) {
+        const auto res = hier.access(
+            mem::AccessKind::Load,
+            0x4000'0000 + (i++ % 64) * isa::PageSize, 0, false);
+        benchmark::DoNotOptimize(res.latency);
+    }
+}
+BENCHMARK(BM_HierarchyLoad);
+
+void
+BM_GuestSyscall(benchmark::State &state)
+{
+    Machine machine;
+    attack::AttackerProcess proc(machine);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(proc.syscall(SYS_NOP));
+    state.counters["guest_insts"] = benchmark::Counter(
+        double(machine.core().stats().instsRetired),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GuestSyscall);
+
+void
+BM_OracleQuery(benchmark::State &state)
+{
+    Machine machine;
+    attack::AttackerProcess proc(machine);
+    attack::OracleConfig cfg;
+    attack::PacOracle oracle(proc, cfg);
+    oracle.setTarget(BenignDataBase + 37 * isa::PageSize, 0x42);
+    uint16_t guess = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(oracle.probeMisses(guess++));
+}
+BENCHMARK(BM_OracleQuery);
+
+} // namespace
+
+BENCHMARK_MAIN();

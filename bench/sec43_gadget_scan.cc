@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Reproduces Section 4.3's gadget census. The paper scans XNU 12.2.1
+ * with a Ghidra script and finds 55159 potential PACMAN gadgets
+ * (13867 data, 41292 instruction; mean distance 8.1 instructions).
+ * We scan (1) our own kernel image and (2) a synthetic kernel-scale
+ * PA-hardened binary with XNU-like code patterns.
+ *
+ * Flags: --functions N (default 20000), --window W (default 32).
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "analysis/scanner.hh"
+#include "analysis/synth.hh"
+#include "base/stats.hh"
+#include "kernel/machine.hh"
+
+using namespace pacman;
+using namespace pacman::analysis;
+
+namespace
+{
+
+void
+report(const char *name, const ScanReport &r)
+{
+    TextTable table;
+    table.header({"Metric", "Value"});
+    table.row({"instructions scanned",
+               strprintf("%llu", (unsigned long long)r.instsScanned)});
+    table.row({"conditional branches",
+               strprintf("%llu", (unsigned long long)r.condBranches)});
+    table.row({"total PACMAN gadgets",
+               strprintf("%llu", (unsigned long long)r.total())});
+    table.row({"  data gadgets",
+               strprintf("%llu", (unsigned long long)r.dataCount())});
+    table.row({"  instruction gadgets",
+               strprintf("%llu", (unsigned long long)r.instCount())});
+    table.row({"mean branch-to-transmit distance",
+               strprintf("%.1f insts", r.meanDistance())});
+    table.row({"gadgets per 1k instructions",
+               strprintf("%.1f", r.instsScanned
+                                     ? 1000.0 * double(r.total()) /
+                                           double(r.instsScanned)
+                                     : 0.0)});
+    std::printf("--- %s ---\n%s\n", name, table.render().c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned functions = 9500;
+    unsigned window = 32;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--functions") && i + 1 < argc)
+            functions = unsigned(std::strtoul(argv[++i], nullptr, 0));
+        else if (!std::strcmp(argv[i], "--window") && i + 1 < argc)
+            window = unsigned(std::strtoul(argv[++i], nullptr, 0));
+    }
+
+    std::printf("=== Section 4.3: PACMAN gadget census "
+                "(window = %u instructions) ===\n\n", window);
+    GadgetScanner scanner(window);
+
+    kernel::Machine machine;
+    report("this repository's kernel image",
+           scanner.scan(machine.kernel().image()));
+
+    SynthConfig cfg;
+    cfg.numFunctions = functions;
+    const auto synth = generateSyntheticKernel(cfg, 0x10000);
+    report(strprintf("synthetic PA-hardened kernel (%u functions)",
+                     functions).c_str(),
+           scanner.scan(synth));
+
+    std::printf("Paper (real XNU 12.2.1): 55159 gadgets = 13867 data "
+                "+ 41292 instruction; mean distance 8.1.\n"
+                "Reproduction target is the *shape*: gadgets "
+                "plentiful, instruction-heavy mix (PA epilogues),\n"
+                "and short branch-to-transmit distances.\n");
+    return 0;
+}

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Reproduces Section 8.2: PAC brute-forcing speed and accuracy.
+ *
+ * Speed: the paper measures 2.69 ms per guess with 64 training
+ * iterations (~2.94 min for the 16-bit space). We report simulated
+ * guest time per guess and the extrapolated full-space time.
+ *
+ * Accuracy: 50 brute-force runs under ambient noise; the paper gets
+ * 45 true positives, 5 false negatives, 0 false positives. Each run
+ * here sweeps a window guaranteed to contain the true PAC (windowed
+ * for tractability; --full sweeps all 65536 candidates).
+ *
+ * Flags: --mode speed|accuracy|both (default both), --runs N
+ * (default 50), --window N (default 96), --full, --train N
+ * (default 64 for speed mode, 8 otherwise).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "attack/bruteforce.hh"
+#include "base/stats.hh"
+#include "kernel/layout.hh"
+
+using namespace pacman;
+using namespace pacman::attack;
+using namespace pacman::kernel;
+
+namespace
+{
+
+void
+speedTest(unsigned train_iters)
+{
+    Machine machine;
+    AttackerProcess proc(machine);
+    OracleConfig cfg;
+    cfg.trainIters = train_iters;
+    PacOracle oracle(proc, cfg);
+    const isa::Addr target = BenignDataBase + 37 * isa::PageSize;
+    oracle.setTarget(target, 0x1234);
+
+    const unsigned guesses = 64;
+    const uint64_t syscalls_before = machine.core().stats().syscalls;
+    const uint64_t cycles_before = machine.core().cycle();
+    for (unsigned g = 0; g < guesses; ++g)
+        oracle.probeMisses(uint16_t(g));
+    const uint64_t cycles = machine.core().cycle() - cycles_before;
+    const uint64_t syscalls =
+        machine.core().stats().syscalls - syscalls_before;
+
+    // Training-cost share: re-run with 1 training iteration.
+    OracleConfig fast_cfg;
+    fast_cfg.trainIters = 1;
+    PacOracle fast(proc, fast_cfg);
+    fast.setTarget(target, 0x1234);
+    const uint64_t fast_before = machine.core().cycle();
+    for (unsigned g = 0; g < guesses; ++g)
+        fast.probeMisses(uint16_t(g));
+    const uint64_t fast_cycles = machine.core().cycle() - fast_before;
+
+    const double cyc_per_guess = double(cycles) / guesses;
+    const double train_share =
+        1.0 - double(fast_cycles) / double(cycles);
+    std::printf("=== Section 8.2: attack speed (%u training "
+                "iterations per guess) ===\n", train_iters);
+    std::printf("simulated cycles per PAC test     : %.0f "
+                "(%.1f syscalls per test)\n",
+                cyc_per_guess, double(syscalls) / guesses);
+    std::printf("full 16-bit sweep                 : %.2f s of "
+                "simulated guest time at %.1f GHz\n",
+                cyc_per_guess * 65536 /
+                    double(machine.core().config().cpuFreqHz),
+                double(machine.core().config().cpuFreqHz) / 1e9);
+    std::printf("training share of the cost        : %.0f%%\n",
+                100.0 * train_share);
+    std::printf("paper (M1 hardware)               : 2.69 ms/guess, "
+                "~2.94 minutes for 2^16\n");
+    std::printf("shape reproduced: the cost is dominated by the "
+                "training-iteration syscalls; absolute time differs\n"
+                "because our kernel's syscall path is a minimal "
+                "dispatcher, not a full XNU entry (see DESIGN.md).\n\n");
+}
+
+void
+accuracyTest(unsigned runs, unsigned window, bool full,
+             unsigned train_iters)
+{
+    std::printf("=== Section 8.2: brute-force accuracy under noise "
+                "(%u runs, %s) ===\n",
+                runs,
+                full ? "full 65536-PAC sweep"
+                     : strprintf("window of %u candidates around the "
+                                 "truth", window).c_str());
+
+    unsigned tp = 0, fp = 0, fn = 0;
+    for (unsigned run = 0; run < runs; ++run) {
+        MachineConfig cfg = defaultMachineConfig();
+        cfg.seed = 1000 + run;          // fresh boot, fresh keys
+        cfg.noiseProbability = 0.5;     // browsing + video calls
+        cfg.noisePages = 4;
+        Machine machine(cfg);
+        AttackerProcess proc(machine);
+        OracleConfig ocfg;
+        ocfg.trainIters = train_iters;
+        PacOracle oracle(proc, ocfg);
+        const isa::Addr target = BenignDataBase + 37 * isa::PageSize;
+        const uint64_t modifier = 0x9999;
+        oracle.setTarget(target, modifier);
+        const uint16_t truth = machine.kernel().truePac(
+            target, modifier, crypto::PacKeySelect::DA);
+
+        // Median-of-5 per candidate, exactly as the paper.
+        PacBruteForcer forcer(oracle, 5);
+        uint16_t first = 0x0000, last = 0xFFFF;
+        if (!full) {
+            const uint32_t start =
+                truth >= window / 2 ? truth - window / 2 : 0;
+            first = uint16_t(start);
+            last = uint16_t(std::min<uint32_t>(start + window - 1,
+                                               0xFFFF));
+        }
+        const auto stats = forcer.search(first, last);
+        if (!stats.found) {
+            ++fn;
+        } else if (*stats.found == truth) {
+            ++tp;
+        } else {
+            ++fp;
+        }
+    }
+
+    std::printf("true positives  : %2u / %u   (paper: 45/50)\n", tp,
+                runs);
+    std::printf("false negatives : %2u / %u   (paper:  5/50, "
+                "retryable)\n", fn, runs);
+    std::printf("false positives : %2u / %u   (paper:  0/50 — must "
+                "be zero: a false positive crashes the system)\n\n",
+                fp, runs);
+}
+
+void
+naiveContrast()
+{
+    // The motivation for the whole paper (Section 1): brute force
+    // *without* the oracle. Every wrong guess is an architectural
+    // authentication failure — a kernel panic — and each "reboot"
+    // draws fresh keys, so learned information evaporates.
+    std::printf("=== contrast: naive brute force (no PACMAN oracle) "
+                "===\n");
+    unsigned panics = 0;
+    uint16_t last_true_pac = 0;
+    for (unsigned attempt = 0; attempt < 8; ++attempt) {
+        MachineConfig cfg = defaultMachineConfig();
+        cfg.seed = 3000 + attempt; // reboot: new keys
+        Machine machine(cfg);
+        AttackerProcess proc(machine);
+        const isa::Addr target = BenignDataBase + 37 * isa::PageSize;
+        const uint16_t truth = machine.kernel().truePac(
+            target, 0, crypto::PacKeySelect::DA);
+
+        // Arm the gadget architecturally and guess.
+        proc.syscall(SYS_SET_MODIFIER, 0);
+        proc.syscall(SYS_SET_COND, 1);
+        machine.core().setReg(isa::X16, SYS_GADGET_DATA);
+        const uint16_t guess = uint16_t(attempt * 0x1111);
+        const auto status = machine.runGuest(
+            UserCodeBase, {isa::withExt(target, guess)});
+        const bool panicked =
+            status.kind == cpu::ExitKind::KernelPanic;
+        panics += panicked;
+        std::printf("  attempt %u: guess 0x%04x, true PAC 0x%04x -> "
+                    "%s\n", attempt, guess, truth,
+                    panicked ? "KERNEL PANIC, system reboots, keys "
+                               "rotate"
+                             : "survived (1-in-65536 fluke)");
+        last_true_pac = truth;
+    }
+    (void)last_true_pac;
+    std::printf("panics: %u/8 — and every panic invalidates all "
+                "prior guesses (fresh keys), so naive brute force "
+                "never converges.\nPACMAN's oracle (above) makes the "
+                "same search crash-free.\n\n", panics);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string mode = "both";
+    unsigned runs = 50;
+    unsigned window = 96;
+    unsigned train_speed = 64;
+    unsigned train_acc = 8;
+    bool full = false;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--mode") && i + 1 < argc)
+            mode = argv[++i];
+        else if (!std::strcmp(argv[i], "--runs") && i + 1 < argc)
+            runs = unsigned(std::strtoul(argv[++i], nullptr, 0));
+        else if (!std::strcmp(argv[i], "--window") && i + 1 < argc)
+            window = unsigned(std::strtoul(argv[++i], nullptr, 0));
+        else if (!std::strcmp(argv[i], "--train") && i + 1 < argc)
+            train_speed = train_acc =
+                unsigned(std::strtoul(argv[++i], nullptr, 0));
+        else if (!std::strcmp(argv[i], "--full"))
+            full = true;
+    }
+
+    if (mode == "both" || mode == "speed")
+        speedTest(train_speed);
+    if (mode == "both" || mode == "accuracy")
+        accuracyTest(runs, window, full, train_acc);
+    if (mode == "both" || mode == "naive")
+        naiveContrast();
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reproduces Table 1: the timer inventory on the modelled M1 —
+ * which counters exist, which are EL0-accessible (by default and
+ * after the kext grant), and their effective resolution.
+ */
+
+#include <cstdio>
+
+#include "attack/runtime.hh"
+#include "base/stats.hh"
+#include "kernel/layout.hh"
+
+using namespace pacman;
+using namespace pacman::kernel;
+
+int
+main()
+{
+    Machine machine;
+    attack::AttackerProcess proc(machine);
+
+    std::printf("=== Table 1: Summary of timers on M1 ===\n\n");
+    TextTable table;
+    table.header({"Timer", "MSR", "EL0 enabled?", "Notes"});
+
+    // System counter: EL0-readable, 24 MHz.
+    const uint64_t cnt1 = proc.readCntpct();
+    // Busy the core a little, then read again.
+    for (int i = 0; i < 50; ++i)
+        proc.syscall(SYS_NOP);
+    const uint64_t cnt2 = proc.readCntpct();
+    table.row({"System Counter (24 MHz)", "CNTPCT_EL0", "Yes",
+               strprintf("advanced %llu ticks over 50 syscalls",
+                         (unsigned long long)(cnt2 - cnt1))});
+
+    // ARM PMU cycle counter: absent on M1 (not modelled at all).
+    table.row({"ARM Cycle Count Register", "PMCCNTR_EL0", "No*",
+               "*register does not exist on M1"});
+
+    // Apple PMC0: traps at EL0 until the kext grants access.
+    uint64_t pmc = 0;
+    auto status = proc.tryReadPmc0(&pmc);
+    const bool before = status.kind == cpu::ExitKind::Halted;
+    proc.syscall(SYS_ENABLE_PMC_EL0);
+    status = proc.tryReadPmc0(&pmc);
+    const bool after = status.kind == cpu::ExitKind::Halted;
+    table.row({"Apple Performance Counter", "PMC0",
+               before ? "Yes (unexpected)" : "No",
+               strprintf("EL0 read %s after kext sets PMCR0",
+                         after ? "works" : "still traps")});
+
+    // Multi-thread counter: always available to EL0.
+    proc.timedLoad(proc.scratchPage(9)); // warm the target
+    const uint64_t d = proc.timedLoad(proc.scratchPage(9));
+    table.row({"Multi-thread Counter", "(shared memory)", "Yes",
+               strprintf("L1-hit measurement reads %llu counts",
+                         (unsigned long long)d)});
+
+    std::printf("%s\n", table.render().c_str());
+
+    // Resolution comparison: CNTPCT ticks per PMC0 cycle.
+    std::printf("Resolution: CNTFRQ_EL0 reports %llu Hz; at a "
+                "%.1f GHz core that is one tick per ~%llu cycles —\n"
+                "too coarse for micro-architectural probes, hence the "
+                "custom timers (Section 6.1).\n",
+                (unsigned long long)machine.core().sysreg(
+                    isa::SysReg::CNTFRQ_EL0),
+                double(machine.core().config().cpuFreqHz) / 1e9,
+                (unsigned long long)(machine.core().config().cpuFreqHz /
+                                     machine.core().config().cntFreqHz));
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Reproduces Table 2: cache configurations on M1 obtained via
+ * reading system registers — from a kext, exactly as the paper does
+ * (SYS_READ_CACHE_CFG drives MSR CSSELR / MRS CCSIDR at EL1).
+ * Both core types are instantiated.
+ */
+
+#include <cstdio>
+
+#include "attack/runtime.hh"
+#include "base/stats.hh"
+#include "kernel/layout.hh"
+
+using namespace pacman;
+using namespace pacman::kernel;
+
+namespace
+{
+
+struct Geometry
+{
+    unsigned ways, sets, line;
+};
+
+Geometry
+decodeCcsidr(uint64_t ccsidr)
+{
+    return {unsigned((ccsidr >> 3) & 0x3FF) + 1,
+            unsigned((ccsidr >> 13) & 0x7FFF) + 1,
+            1u << ((ccsidr & 7) + 4)};
+}
+
+void
+reportCore(const char *name, const mem::HierarchyConfig &hier)
+{
+    MachineConfig cfg = defaultMachineConfig();
+    cfg.hier = hier;
+    Machine machine(cfg);
+    attack::AttackerProcess proc(machine);
+
+    std::printf("--- %s (register-visible geometry) ---\n", name);
+    TextTable table;
+    table.header({"Level", "Ways", "Sets", "Line Size", "Total Size"});
+
+    struct Sel
+    {
+        const char *level;
+        uint64_t csselr;
+    };
+    static const Sel sels[] = {
+        {"L1I", 0b001}, {"L1D", 0b000}, {"L2", 0b010},
+    };
+    for (const Sel &sel : sels) {
+        const Geometry g = decodeCcsidr(
+            proc.syscall(SYS_READ_CACHE_CFG, sel.csselr));
+        const uint64_t total = uint64_t(g.ways) * g.sets * g.line;
+        table.row({sel.level, strprintf("%u", g.ways),
+                   strprintf("%u", g.sets), strprintf("%u B", g.line),
+                   total >= 1024 * 1024
+                       ? strprintf("%llu MB", (unsigned long long)
+                                                  (total >> 20))
+                       : strprintf("%llu KB", (unsigned long long)
+                                                  (total >> 10))});
+    }
+    std::printf("%s\n", table.render().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Table 2: Cache configurations on M1 via system "
+                "registers ===\n\n");
+    reportCore("p-core", mem::m1PCoreConfig());
+    reportCore("e-core", mem::m1ECoreConfig());
+
+    std::printf("Note (paper footnote 5): the registers report L1D "
+                "as 8-way, but conflict behaviour shows an effective\n"
+                "associativity of 4 — reproduced by "
+                "bench/fig5_tlb_reveng part (b).\n");
+    return 0;
+}

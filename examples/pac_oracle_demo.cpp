@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Build a PAC oracle against the kernel (paper Section 8.1) and watch
+ * it separate the one correct PAC from wrong guesses without a single
+ * crash — the core PACMAN primitive.
+ *
+ *   $ ./example_pac_oracle_demo
+ */
+
+#include <cstdio>
+
+#include "attack/bruteforce.hh"
+#include "attack/oracle.hh"
+#include "kernel/layout.hh"
+
+using namespace pacman;
+using namespace pacman::attack;
+using namespace pacman::kernel;
+
+namespace
+{
+
+void
+demoOracle(Machine &machine, AttackerProcess &proc, GadgetKind kind)
+{
+    const bool data = kind == GadgetKind::Data;
+    std::printf("--- %s PACMAN gadget ---\n",
+                data ? "data" : "instruction");
+
+    OracleConfig cfg;
+    cfg.kind = kind;
+    PacOracle oracle(proc, cfg);
+
+    // Forge a pointer to a kernel object of our choosing.
+    const isa::Addr target =
+        data ? BenignDataBase + 37 * isa::PageSize
+             : TrampolineBase + 37 * isa::PageSize;
+    const uint64_t modifier = 0x5A5A;
+    oracle.setTarget(target, modifier);
+    std::printf("target kernel address 0x%016llx, modifier 0x%llx\n",
+                (unsigned long long)target,
+                (unsigned long long)modifier);
+
+    // The ground truth (the kernel's secret — shown only to grade the
+    // oracle, never used by it).
+    const uint16_t truth = machine.kernel().truePac(
+        target, modifier,
+        data ? crypto::PacKeySelect::DA : crypto::PacKeySelect::IA);
+
+    std::printf("%-12s %-14s %s\n", "guess", "probe misses",
+                "oracle verdict");
+    for (int delta : {-2, -1, 0, 1, 2}) {
+        const uint16_t guess = uint16_t(truth + delta);
+        const unsigned misses = oracle.probeMisses(guess);
+        std::printf("0x%04x       %-14u %s%s\n", guess, misses,
+                    misses >= cfg.missThreshold ? "CORRECT PAC"
+                                                : "wrong",
+                    delta == 0 ? "   <-- truth" : "");
+    }
+    std::printf("oracle queries so far: %llu, machine alive: %s\n\n",
+                (unsigned long long)oracle.queries(),
+                machine.core().el() == 0 ? "yes" : "no");
+}
+
+} // namespace
+
+int
+main()
+{
+    Machine machine;
+    AttackerProcess proc(machine);
+    std::printf("== PAC oracle demo (Section 8.1) ==\n\n");
+
+    demoOracle(machine, proc, GadgetKind::Data);
+    demoOracle(machine, proc, GadgetKind::Instruction);
+
+    // Mini brute force over a small window around the truth.
+    std::printf("--- brute force (windowed demo) ---\n");
+    OracleConfig cfg;
+    PacOracle oracle(proc, cfg);
+    const isa::Addr target = BenignDataBase + 41 * isa::PageSize;
+    oracle.setTarget(target, 0x77);
+    const uint16_t truth = machine.kernel().truePac(
+        target, 0x77, crypto::PacKeySelect::DA);
+    const uint16_t start = uint16_t(truth & 0xFFF0);
+    PacBruteForcer forcer(oracle);
+    const auto stats = forcer.search(start, uint16_t(start + 31));
+    if (stats.found) {
+        std::printf("found PAC 0x%04x after %llu guesses "
+                    "(truth 0x%04x) — %s\n",
+                    *stats.found,
+                    (unsigned long long)stats.guessesTested, truth,
+                    *stats.found == truth ? "MATCH" : "MISMATCH");
+    } else {
+        std::printf("no PAC found in the window (rerun; oracle "
+                    "false negatives are retryable)\n");
+    }
+    return 0;
+}

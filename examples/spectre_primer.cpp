@@ -1,0 +1,101 @@
+/**
+ * @file
+ * A classic Spectre-v1 primer on the same substrate: leak the *value*
+ * of a kernel secret (not just a PAC verdict) through the shared-dTLB
+ * channel. Demonstrates the paper's framing — PACMAN extends exactly
+ * this speculative-leak machinery to Pointer Authentication — and the
+ * generality claim of Section 4.1 ("our attack is general enough to
+ * work with a wide range of micro-architectural side channels").
+ *
+ * Victim gadget (added here as a little kext-style syscall is not
+ * needed — we reuse the data gadget creatively): the kernel's data
+ * PACMAN gadget dereferences any attacker-chosen *validly signed*
+ * pointer under speculation. By asking the oracle machinery to test
+ * target pages one dTLB set at a time, we can also leak which page a
+ * kernel pointer refers to. Here we do the textbook version instead:
+ * plant a secret-dependent speculative access and recover the secret
+ * nibble by probing all 16 candidate sets.
+ *
+ *   $ ./example_spectre_primer
+ */
+
+#include <cstdio>
+
+#include "attack/eviction.hh"
+#include "attack/runtime.hh"
+#include "kernel/layout.hh"
+
+using namespace pacman;
+using namespace pacman::attack;
+using namespace pacman::kernel;
+
+int
+main()
+{
+    Machine machine;
+    AttackerProcess proc(machine);
+    EvictionSets evsets(machine);
+
+    // The "secret": a nibble in kernel memory the attacker wants.
+    const uint8_t secret = 0xB;
+    machine.mem().writeVirt64(KernelDataBase + 0x200, secret);
+
+    // Victim pattern: the kernel's SYS_TOUCH_DATA loads
+    // BenignDataBase + x0. An attacker-reachable secret-dependent
+    // speculative access is modelled by the gadget's verified-pointer
+    // dereference; for the primer we simply have the kernel touch
+    // page (16 + secret) so the access pattern depends on the secret,
+    // then recover it from the dTLB alone.
+    //
+    // Real Spectre would reach this via a mispredicted bounds check;
+    // the PACMAN machinery above demonstrates the speculative arm in
+    // depth, so the primer focuses on the channel decoding step.
+
+    std::printf("== Spectre-style secret recovery over the shared "
+                "dTLB ==\n\n");
+    std::printf("kernel secret nibble (hidden from EL0): 0x%X\n\n",
+                secret);
+
+    // For each candidate nibble value v: prime the dTLB set of
+    // benign page (16 + v), have the kernel perform its secret-
+    // dependent access, probe, and count misses.
+    std::printf("candidate  probe misses\n");
+    int recovered = -1;
+    for (unsigned v = 0; v < 16; ++v) {
+        const isa::Addr page =
+            BenignDataBase + (16 + uint64_t(v)) * isa::PageSize;
+        const uint64_t set = evsets.dtlbSetOf(page);
+        proc.placeArrays(unsigned((set + 100) % 256),
+                         unsigned((set + 101) % 256));
+        const auto prime = evsets.dtlbSet(set, evsets.dtlbWays());
+        proc.loadAll(prime);
+
+        // The kernel's secret-dependent access.
+        const uint64_t secret_now =
+            machine.mem().readVirt64(KernelDataBase + 0x200);
+        proc.syscall(SYS_TOUCH_DATA,
+                     (16 + secret_now) * isa::PageSize);
+
+        unsigned misses = 0;
+        for (uint64_t c : proc.probeAll(prime))
+            misses += c > 30;
+        std::printf("   0x%X       %u%s\n", v, misses,
+                    misses >= 3 ? "   <-- signal" : "");
+        if (misses >= 3)
+            recovered = int(v);
+    }
+
+    std::printf("\nrecovered secret: %s", recovered >= 0
+                                              ? "0x" : "(none)");
+    if (recovered >= 0)
+        std::printf("%X — %s\n", unsigned(recovered),
+                    unsigned(recovered) == secret ? "CORRECT"
+                                                  : "wrong");
+    else
+        std::printf("\n");
+
+    std::printf("\nThe PACMAN attack (example_pac_oracle_demo) plugs "
+                "pointer *authentication results* into this same\n"
+                "channel, where classic Spectre leaks loaded data.\n");
+    return recovered == int(secret) ? 0 : 1;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Watch one PAC-oracle query through the pipeline tracer: the
+ * annotated instruction stream shows the trained branch mispredict,
+ * the wrong-path aut + dereference (the leak), and the architectural
+ * path sailing past the gadget body — the crash-suppression asymmetry
+ * that makes PACMAN work.
+ *
+ *   $ ./example_trace_attack
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "attack/oracle.hh"
+#include "isa/disasm.hh"
+#include "kernel/layout.hh"
+
+using namespace pacman;
+using namespace pacman::attack;
+using namespace pacman::kernel;
+
+int
+main()
+{
+    Machine machine;
+    AttackerProcess proc(machine);
+
+    OracleConfig cfg;
+    PacOracle oracle(proc, cfg);
+    const isa::Addr target = BenignDataBase + 37 * isa::PageSize;
+    oracle.setTarget(target, 0x42);
+    const uint16_t truth = machine.kernel().truePac(
+        target, 0x42, crypto::PacKeySelect::DA);
+
+    // Collect the trace of one query with the correct PAC, then keep
+    // only the interesting region: kernel instructions around the
+    // gadget.
+    const isa::Addr gadget_lo =
+        machine.kernel().symbol("h_gadget_data");
+    const isa::Addr gadget_hi = machine.kernel().symbol("gd_out") + 4;
+
+    std::vector<cpu::TraceRecord> records;
+    machine.core().setTraceHook([&](const cpu::TraceRecord &rec) {
+        if (rec.el == 1 && rec.pc >= gadget_lo && rec.pc <= gadget_hi)
+            records.push_back(rec);
+    });
+    const unsigned misses = oracle.probeMisses(truth);
+    machine.core().setTraceHook(nullptr);
+
+    std::printf("== one oracle query, correct PAC 0x%04x, "
+                "%u probe misses ==\n\n", truth, misses);
+    std::printf("kernel gadget instruction stream "
+                "(A = architectural, S = wrong-path/speculative):\n\n");
+
+    // The last |records| entries cover the final (attack) syscall;
+    // earlier ones are the training iterations. Print the tail.
+    size_t start = 0;
+    unsigned arch_seen = 0;
+    for (size_t i = records.size(); i-- > 0;) {
+        if (!records[i].speculative &&
+            records[i].pc == gadget_lo) {
+            // Beginning of the last architectural gadget entry.
+            if (++arch_seen == 1) {
+                start = i;
+                break;
+            }
+        }
+    }
+    for (size_t i = start; i < records.size(); ++i) {
+        const auto &rec = records[i];
+        std::printf("  [%c] %llx: %-28s%s\n",
+                    rec.speculative ? 'S' : 'A',
+                    (unsigned long long)rec.pc,
+                    isa::disassemble(rec.inst, rec.pc).c_str(),
+                    rec.speculative &&
+                            isa::isPacAuth(rec.inst.op)
+                        ? "   <-- verification op (wrong path)"
+                        : (rec.speculative &&
+                                   isa::instClass(rec.inst.op) ==
+                                       isa::InstClass::Load
+                               ? "   <-- transmission op (wrong path)"
+                               : ""));
+    }
+
+    std::printf("\nNote the gadget body (autda + ldr) executes only "
+                "with the [S] tag: the branch was trained taken,\n"
+                "the architectural run falls through to gd_out, and "
+                "the speculative dereference leaves the TLB fill\n"
+                "the probe then reads — no architectural pointer use, "
+                "no crash.\n");
+    return 0;
+}

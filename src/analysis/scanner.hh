@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Static PACMAN-gadget scanner (paper Section 4.3).
+ *
+ * Reimplements the paper's Ghidra script for PARM64 binaries: find
+ * every conditional branch, walk up to a window of instructions down
+ * both the taken and fall-through directions, and report an
+ * aut-instruction whose destination register later feeds a memory
+ * access (data PACMAN gadget) or an indirect branch (instruction
+ * PACMAN gadget), tracking data dependence through registers.
+ */
+
+#ifndef PACMAN_ANALYSIS_SCANNER_HH
+#define PACMAN_ANALYSIS_SCANNER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asm/program.hh"
+#include "isa/inst.hh"
+
+namespace pacman::analysis
+{
+
+/** Gadget flavours (Figure 3). */
+enum class GadgetType
+{
+    Data,        //!< aut -> load/store
+    Instruction, //!< aut -> br/blr/ret
+};
+
+/** One discovered gadget. */
+struct Gadget
+{
+    GadgetType type;
+    isa::Addr branchPc = 0;   //!< guarding conditional branch
+    isa::Addr autPc = 0;      //!< verification instruction
+    isa::Addr transmitPc = 0; //!< transmission instruction
+    bool takenDirection = false; //!< found down the taken path
+    unsigned distance = 0;    //!< insts from branch to transmit
+};
+
+/** Scan summary (the Section 4.3 numbers). */
+struct ScanReport
+{
+    uint64_t instsScanned = 0;
+    uint64_t condBranches = 0;
+    std::vector<Gadget> gadgets;
+
+    uint64_t total() const { return gadgets.size(); }
+    uint64_t dataCount() const;
+    uint64_t instCount() const;
+    double meanDistance() const;
+};
+
+/** The scanner. */
+class GadgetScanner
+{
+  public:
+    /**
+     * @param window Instructions examined down each branch direction
+     *               (the paper uses 32).
+     */
+    explicit GadgetScanner(unsigned window = 32);
+
+    /** Scan an assembled program. */
+    ScanReport scan(const asmjit::Program &prog) const;
+
+  private:
+    /** Walk one direction from @p start, collecting gadgets. */
+    void walkPath(const asmjit::Program &prog, isa::Addr branch_pc,
+                  isa::Addr start, bool taken,
+                  std::vector<Gadget> &out) const;
+
+    unsigned window_;
+};
+
+/** Render a gadget as a short human-readable line. */
+std::string describeGadget(const Gadget &gadget,
+                           const asmjit::Program &prog);
+
+} // namespace pacman::analysis
+
+#endif // PACMAN_ANALYSIS_SCANNER_HH

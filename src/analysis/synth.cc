@@ -1,0 +1,129 @@
+#include "synth.hh"
+
+#include "asm/assembler.hh"
+#include "base/stats.hh"
+
+namespace pacman::analysis
+{
+
+using asmjit::Assembler;
+using namespace pacman::isa;
+
+namespace
+{
+
+/** A random allocatable register x0..x15 (x16+ reserved by ABI). */
+RegIndex
+randReg(Random &rng)
+{
+    return RegIndex(rng.next(16));
+}
+
+/** Emit a few ALU/memory filler instructions. */
+void
+emitFiller(Assembler &a, Random &rng, unsigned count)
+{
+    for (unsigned i = 0; i < count; ++i) {
+        switch (rng.next(6)) {
+          case 0:
+            a.add(randReg(rng), randReg(rng), randReg(rng));
+            break;
+          case 1:
+            a.addi(randReg(rng), randReg(rng), int64_t(rng.next(256)));
+            break;
+          case 2:
+            a.eor(randReg(rng), randReg(rng), randReg(rng));
+            break;
+          case 3:
+            a.ldr(randReg(rng), randReg(rng),
+                  int64_t(rng.next(64)) * 8);
+            break;
+          case 4:
+            a.str(randReg(rng), randReg(rng),
+                  int64_t(rng.next(64)) * 8);
+            break;
+          default:
+            a.movz(randReg(rng), uint16_t(rng.next(0x10000)));
+            break;
+        }
+    }
+}
+
+/** Emit a C++-style authenticated method dispatch. */
+void
+emitDispatch(Assembler &a, Random &rng)
+{
+    const RegIndex obj = randReg(rng);
+    const RegIndex vtab = randReg(rng);
+    const RegIndex fp = randReg(rng);
+    a.ldr(vtab, obj, 0);
+    a.autda(vtab, obj);
+    a.ldr(fp, vtab, int64_t(rng.next(16)) * 8);
+    a.autia(fp, obj);
+    a.blr(fp);
+}
+
+/** Emit an authenticated data-pointer dereference. */
+void
+emitDataAuth(Assembler &a, Random &rng)
+{
+    const RegIndex ptr = randReg(rng);
+    const RegIndex mod = randReg(rng);
+    const RegIndex dst = randReg(rng);
+    a.autda(ptr, mod);
+    a.ldr(dst, ptr, int64_t(rng.next(8)) * 8);
+}
+
+} // anonymous namespace
+
+asmjit::Program
+generateSyntheticKernel(const SynthConfig &cfg, isa::Addr base)
+{
+    Random rng(cfg.seed);
+    Assembler a(base);
+
+    for (unsigned fn = 0; fn < cfg.numFunctions; ++fn) {
+        a.label(strprintf("fn_%u", fn));
+
+        // PA-protected prologue (paper Figure 2(a)).
+        a.pacia(LR, SP);
+        a.subi(SP, SP, 0x40);
+        a.str(LR, SP, 0x30);
+
+        const unsigned blocks =
+            cfg.minBodyBlocks +
+            unsigned(rng.next(cfg.maxBodyBlocks - cfg.minBodyBlocks + 1));
+        for (unsigned blk = 0; blk < blocks; ++blk) {
+            // Guarding conditional branch over the block, as compilers
+            // emit for if/else and error paths.
+            const std::string skip =
+                strprintf("fn_%u_skip_%u", fn, blk);
+            a.cmpi(randReg(rng), int64_t(rng.next(32)));
+            a.bcond(rng.chance(0.5) ? Cond::EQ : Cond::NE, skip);
+
+            const double roll = rng.nextDouble();
+            if (roll < cfg.dispatchProbability) {
+                emitFiller(a, rng, unsigned(rng.next(3)));
+                emitDispatch(a, rng);
+            } else if (roll <
+                       cfg.dispatchProbability + cfg.dataAuthProbability) {
+                emitFiller(a, rng, unsigned(rng.next(3)));
+                emitDataAuth(a, rng);
+            } else {
+                emitFiller(a, rng, 4 + unsigned(rng.next(12)));
+            }
+            a.label(skip);
+            emitFiller(a, rng, 1 + unsigned(rng.next(3)));
+        }
+
+        // PA-protected epilogue (paper Figure 2(b)).
+        a.ldr(LR, SP, 0x30);
+        a.addi(SP, SP, 0x40);
+        a.autia(LR, SP);
+        a.ret();
+    }
+
+    return a.finalize();
+}
+
+} // namespace pacman::analysis

@@ -1,0 +1,340 @@
+#include "assembler.hh"
+
+#include "base/bitfield.hh"
+#include "base/logging.hh"
+#include "isa/encoding.hh"
+
+namespace pacman::asmjit
+{
+
+using isa::Inst;
+using isa::InstBytes;
+using isa::Opcode;
+
+Assembler::Assembler(isa::Addr base)
+    : base_(base)
+{
+    PACMAN_ASSERT(base % InstBytes == 0,
+                  "assembler base 0x%llx not word-aligned",
+                  (unsigned long long)base);
+}
+
+isa::Addr
+Assembler::here() const
+{
+    return base_ + insts_.size() * InstBytes;
+}
+
+void
+Assembler::label(const std::string &name)
+{
+    if (labels_.count(name))
+        fatal("assembler: duplicate label '%s'", name.c_str());
+    labels_[name] = here();
+}
+
+void
+Assembler::emit(const Inst &inst)
+{
+    insts_.push_back(inst);
+    isRaw_.push_back(false);
+    rawWords_.push_back(0);
+}
+
+void
+Assembler::word(isa::InstWord w)
+{
+    insts_.push_back(Inst{});
+    isRaw_.push_back(true);
+    rawWords_.push_back(w);
+}
+
+namespace
+{
+
+Inst
+rType(Opcode op, RegIndex rd, RegIndex rn, RegIndex rm = 0)
+{
+    Inst i;
+    i.op = op;
+    i.rd = rd;
+    i.rn = rn;
+    i.rm = rm;
+    return i;
+}
+
+Inst
+iType(Opcode op, RegIndex rd, RegIndex rn, int64_t imm)
+{
+    Inst i;
+    i.op = op;
+    i.rd = rd;
+    i.rn = rn;
+    i.imm = imm;
+    return i;
+}
+
+} // anonymous namespace
+
+// --- ALU register ---
+
+void Assembler::add(RegIndex rd, RegIndex rn, RegIndex rm)
+{ emit(rType(Opcode::ADD, rd, rn, rm)); }
+void Assembler::sub(RegIndex rd, RegIndex rn, RegIndex rm)
+{ emit(rType(Opcode::SUB, rd, rn, rm)); }
+void Assembler::and_(RegIndex rd, RegIndex rn, RegIndex rm)
+{ emit(rType(Opcode::AND, rd, rn, rm)); }
+void Assembler::orr(RegIndex rd, RegIndex rn, RegIndex rm)
+{ emit(rType(Opcode::ORR, rd, rn, rm)); }
+void Assembler::eor(RegIndex rd, RegIndex rn, RegIndex rm)
+{ emit(rType(Opcode::EOR, rd, rn, rm)); }
+void Assembler::lslv(RegIndex rd, RegIndex rn, RegIndex rm)
+{ emit(rType(Opcode::LSLV, rd, rn, rm)); }
+void Assembler::lsrv(RegIndex rd, RegIndex rn, RegIndex rm)
+{ emit(rType(Opcode::LSRV, rd, rn, rm)); }
+void Assembler::asrv(RegIndex rd, RegIndex rn, RegIndex rm)
+{ emit(rType(Opcode::ASRV, rd, rn, rm)); }
+void Assembler::mul(RegIndex rd, RegIndex rn, RegIndex rm)
+{ emit(rType(Opcode::MUL, rd, rn, rm)); }
+void Assembler::subs(RegIndex rd, RegIndex rn, RegIndex rm)
+{ emit(rType(Opcode::SUBS, rd, rn, rm)); }
+void Assembler::adds(RegIndex rd, RegIndex rn, RegIndex rm)
+{ emit(rType(Opcode::ADDS, rd, rn, rm)); }
+void Assembler::cmp(RegIndex rn, RegIndex rm)
+{ emit(rType(Opcode::CMP, 0, rn, rm)); }
+void Assembler::mov(RegIndex rd, RegIndex rn)
+{ emit(rType(Opcode::MOVR, rd, rn)); }
+
+// --- ALU immediate ---
+
+void Assembler::addi(RegIndex rd, RegIndex rn, int64_t imm)
+{ emit(iType(Opcode::ADDI, rd, rn, imm)); }
+void Assembler::subi(RegIndex rd, RegIndex rn, int64_t imm)
+{ emit(iType(Opcode::SUBI, rd, rn, imm)); }
+void Assembler::andi(RegIndex rd, RegIndex rn, int64_t imm)
+{ emit(iType(Opcode::ANDI, rd, rn, imm)); }
+void Assembler::orri(RegIndex rd, RegIndex rn, int64_t imm)
+{ emit(iType(Opcode::ORRI, rd, rn, imm)); }
+void Assembler::eori(RegIndex rd, RegIndex rn, int64_t imm)
+{ emit(iType(Opcode::EORI, rd, rn, imm)); }
+void Assembler::lsli(RegIndex rd, RegIndex rn, unsigned shift)
+{ emit(iType(Opcode::LSLI, rd, rn, int64_t(shift))); }
+void Assembler::lsri(RegIndex rd, RegIndex rn, unsigned shift)
+{ emit(iType(Opcode::LSRI, rd, rn, int64_t(shift))); }
+void Assembler::asri(RegIndex rd, RegIndex rn, unsigned shift)
+{ emit(iType(Opcode::ASRI, rd, rn, int64_t(shift))); }
+void Assembler::subsi(RegIndex rd, RegIndex rn, int64_t imm)
+{ emit(iType(Opcode::SUBSI, rd, rn, imm)); }
+void Assembler::cmpi(RegIndex rn, int64_t imm)
+{ emit(iType(Opcode::CMPI, 0, rn, imm)); }
+
+// --- Wide immediates ---
+
+void
+Assembler::movz(RegIndex rd, uint16_t imm, unsigned hw)
+{
+    Inst i;
+    i.op = Opcode::MOVZ;
+    i.rd = rd;
+    i.imm = imm;
+    i.hw = uint8_t(hw);
+    emit(i);
+}
+
+void
+Assembler::movk(RegIndex rd, uint16_t imm, unsigned hw)
+{
+    Inst i;
+    i.op = Opcode::MOVK;
+    i.rd = rd;
+    i.imm = imm;
+    i.hw = uint8_t(hw);
+    emit(i);
+}
+
+void
+Assembler::mov64(RegIndex rd, uint64_t value)
+{
+    movz(rd, uint16_t(value & 0xffff), 0);
+    for (unsigned hw = 1; hw < 4; ++hw) {
+        const uint16_t part = uint16_t((value >> (16 * hw)) & 0xffff);
+        if (part != 0)
+            movk(rd, part, hw);
+    }
+}
+
+// --- Memory ---
+
+void Assembler::ldr(RegIndex rt, RegIndex rn, int64_t imm)
+{ emit(iType(Opcode::LDR, rt, rn, imm)); }
+void Assembler::str(RegIndex rt, RegIndex rn, int64_t imm)
+{ emit(iType(Opcode::STR, rt, rn, imm)); }
+void Assembler::ldrb(RegIndex rt, RegIndex rn, int64_t imm)
+{ emit(iType(Opcode::LDRB, rt, rn, imm)); }
+void Assembler::strb(RegIndex rt, RegIndex rn, int64_t imm)
+{ emit(iType(Opcode::STRB, rt, rn, imm)); }
+void Assembler::ldrr(RegIndex rt, RegIndex rn, RegIndex rm)
+{ emit(rType(Opcode::LDRR, rt, rn, rm)); }
+void Assembler::strr(RegIndex rt, RegIndex rn, RegIndex rm)
+{ emit(rType(Opcode::STRR, rt, rn, rm)); }
+
+// --- Direct branches ---
+
+void
+Assembler::emitBranch(Opcode op, const std::string &label, Cond cond,
+                      RegIndex rt)
+{
+    Inst i;
+    i.op = op;
+    i.cond = cond;
+    i.rd = rt;
+    fixups_.push_back({insts_.size(), label});
+    emit(i);
+}
+
+void
+Assembler::emitBranchAbs(Opcode op, isa::Addr target, Cond cond,
+                         RegIndex rt)
+{
+    Inst i;
+    i.op = op;
+    i.cond = cond;
+    i.rd = rt;
+    i.imm = int64_t(target) - int64_t(here());
+    emit(i);
+}
+
+void Assembler::b(const std::string &label)
+{ emitBranch(Opcode::B, label); }
+void Assembler::b(isa::Addr target)
+{ emitBranchAbs(Opcode::B, target); }
+void Assembler::bl(const std::string &label)
+{ emitBranch(Opcode::BL, label); }
+void Assembler::bl(isa::Addr target)
+{ emitBranchAbs(Opcode::BL, target); }
+void Assembler::bcond(Cond cond, const std::string &label)
+{ emitBranch(Opcode::BCOND, label, cond); }
+void Assembler::bcond(Cond cond, isa::Addr target)
+{ emitBranchAbs(Opcode::BCOND, target, cond); }
+void Assembler::cbz(RegIndex rt, const std::string &label)
+{ emitBranch(Opcode::CBZ, label, Cond::AL, rt); }
+void Assembler::cbnz(RegIndex rt, const std::string &label)
+{ emitBranch(Opcode::CBNZ, label, Cond::AL, rt); }
+void Assembler::cbz(RegIndex rt, isa::Addr target)
+{ emitBranchAbs(Opcode::CBZ, target, Cond::AL, rt); }
+void Assembler::cbnz(RegIndex rt, isa::Addr target)
+{ emitBranchAbs(Opcode::CBNZ, target, Cond::AL, rt); }
+
+// --- Indirect branches ---
+
+void Assembler::br(RegIndex rn)
+{ emit(rType(Opcode::BR, 0, rn)); }
+void Assembler::blr(RegIndex rn)
+{ emit(rType(Opcode::BLR, 0, rn)); }
+void Assembler::ret(RegIndex rn)
+{ emit(rType(Opcode::RET, 0, rn)); }
+void Assembler::braa(RegIndex rn, RegIndex rm)
+{ emit(rType(Opcode::BRAA, 0, rn, rm)); }
+void Assembler::blraa(RegIndex rn, RegIndex rm)
+{ emit(rType(Opcode::BLRAA, 0, rn, rm)); }
+void Assembler::retaa()
+{ emit(rType(Opcode::RETAA, 0, isa::LR, isa::SP)); }
+
+// --- Pointer authentication ---
+
+void Assembler::pacia(RegIndex rd, RegIndex rn)
+{ emit(rType(Opcode::PACIA, rd, rn)); }
+void Assembler::pacib(RegIndex rd, RegIndex rn)
+{ emit(rType(Opcode::PACIB, rd, rn)); }
+void Assembler::pacda(RegIndex rd, RegIndex rn)
+{ emit(rType(Opcode::PACDA, rd, rn)); }
+void Assembler::pacdb(RegIndex rd, RegIndex rn)
+{ emit(rType(Opcode::PACDB, rd, rn)); }
+void Assembler::autia(RegIndex rd, RegIndex rn)
+{ emit(rType(Opcode::AUTIA, rd, rn)); }
+void Assembler::autib(RegIndex rd, RegIndex rn)
+{ emit(rType(Opcode::AUTIB, rd, rn)); }
+void Assembler::autda(RegIndex rd, RegIndex rn)
+{ emit(rType(Opcode::AUTDA, rd, rn)); }
+void Assembler::autdb(RegIndex rd, RegIndex rn)
+{ emit(rType(Opcode::AUTDB, rd, rn)); }
+void Assembler::xpac(RegIndex rd)
+{ emit(rType(Opcode::XPAC, rd, 0)); }
+
+// --- System ---
+
+void
+Assembler::mrs(RegIndex rd, SysReg reg)
+{
+    Inst i;
+    i.op = Opcode::MRS;
+    i.rd = rd;
+    i.sysreg = reg;
+    emit(i);
+}
+
+void
+Assembler::msr(SysReg reg, RegIndex rn)
+{
+    Inst i;
+    i.op = Opcode::MSR;
+    i.rd = rn; // the encoding's rd field carries the source register
+    i.sysreg = reg;
+    emit(i);
+}
+
+void
+Assembler::svc(uint16_t imm)
+{
+    Inst i;
+    i.op = Opcode::SVC;
+    i.imm = imm;
+    emit(i);
+}
+
+void Assembler::eret() { emit(Inst{.op = Opcode::ERET}); }
+void Assembler::isb() { emit(Inst{.op = Opcode::ISB}); }
+void Assembler::dsb() { emit(Inst{.op = Opcode::DSB}); }
+void Assembler::nop() { emit(Inst{.op = Opcode::NOP}); }
+
+void
+Assembler::hlt(uint16_t code)
+{
+    Inst i;
+    i.op = Opcode::HLT;
+    i.imm = code;
+    emit(i);
+}
+
+void
+Assembler::brk(uint16_t code)
+{
+    Inst i;
+    i.op = Opcode::BRK;
+    i.imm = code;
+    emit(i);
+}
+
+Program
+Assembler::finalize()
+{
+    for (const Fixup &fix : fixups_) {
+        auto it = labels_.find(fix.label);
+        if (it == labels_.end())
+            fatal("assembler: undefined label '%s'", fix.label.c_str());
+        const isa::Addr pc = base_ + fix.index * InstBytes;
+        insts_[fix.index].imm = int64_t(it->second) - int64_t(pc);
+    }
+
+    Program prog;
+    prog.base = base_;
+    prog.symbols = labels_;
+    prog.words.reserve(insts_.size());
+    for (size_t i = 0; i < insts_.size(); ++i) {
+        prog.words.push_back(isRaw_[i] ? rawWords_[i]
+                                       : isa::encode(insts_[i]));
+    }
+    return prog;
+}
+
+} // namespace pacman::asmjit

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Programmatic PARM64 assembler (builder API).
+ *
+ * Victim kexts and attacker routines are emitted through this class so
+ * that they run as genuine guest code inside the simulated pipeline.
+ * The API mirrors assembly one-to-one:
+ *
+ * @code
+ *   Assembler a(0x4000'0000);
+ *   a.movz(X0, 0);
+ *   a.label("loop");
+ *   a.addi(X0, X0, 1);
+ *   a.cmpi(X0, 10);
+ *   a.bcond(Cond::NE, "loop");
+ *   a.hlt(0);
+ *   Program p = a.finalize();
+ * @endcode
+ *
+ * Forward references to labels are resolved at finalize() time.
+ */
+
+#ifndef PACMAN_ASM_ASSEMBLER_HH
+#define PACMAN_ASM_ASSEMBLER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "asm/program.hh"
+#include "isa/inst.hh"
+
+namespace pacman::asmjit
+{
+
+using isa::Cond;
+using isa::RegIndex;
+using isa::SysReg;
+
+/** Builder-style assembler; see file comment for usage. */
+class Assembler
+{
+  public:
+    /** @param base Load address of the first emitted instruction. */
+    explicit Assembler(isa::Addr base);
+
+    /** Address the next instruction will be emitted at. */
+    isa::Addr here() const;
+
+    /** Bind @p name to the current address. */
+    void label(const std::string &name);
+
+    // --- ALU register ---
+    void add(RegIndex rd, RegIndex rn, RegIndex rm);
+    void sub(RegIndex rd, RegIndex rn, RegIndex rm);
+    void and_(RegIndex rd, RegIndex rn, RegIndex rm);
+    void orr(RegIndex rd, RegIndex rn, RegIndex rm);
+    void eor(RegIndex rd, RegIndex rn, RegIndex rm);
+    void lslv(RegIndex rd, RegIndex rn, RegIndex rm);
+    void lsrv(RegIndex rd, RegIndex rn, RegIndex rm);
+    void asrv(RegIndex rd, RegIndex rn, RegIndex rm);
+    void mul(RegIndex rd, RegIndex rn, RegIndex rm);
+    void subs(RegIndex rd, RegIndex rn, RegIndex rm);
+    void adds(RegIndex rd, RegIndex rn, RegIndex rm);
+    void cmp(RegIndex rn, RegIndex rm);
+    void mov(RegIndex rd, RegIndex rn);
+
+    // --- ALU immediate ---
+    void addi(RegIndex rd, RegIndex rn, int64_t imm);
+    void subi(RegIndex rd, RegIndex rn, int64_t imm);
+    void andi(RegIndex rd, RegIndex rn, int64_t imm);
+    void orri(RegIndex rd, RegIndex rn, int64_t imm);
+    void eori(RegIndex rd, RegIndex rn, int64_t imm);
+    void lsli(RegIndex rd, RegIndex rn, unsigned shift);
+    void lsri(RegIndex rd, RegIndex rn, unsigned shift);
+    void asri(RegIndex rd, RegIndex rn, unsigned shift);
+    void subsi(RegIndex rd, RegIndex rn, int64_t imm);
+    void cmpi(RegIndex rn, int64_t imm);
+
+    // --- Wide immediates ---
+    void movz(RegIndex rd, uint16_t imm, unsigned hw = 0);
+    void movk(RegIndex rd, uint16_t imm, unsigned hw);
+
+    /** Materialize an arbitrary 64-bit constant (movz + up to 3 movk). */
+    void mov64(RegIndex rd, uint64_t value);
+
+    // --- Memory ---
+    void ldr(RegIndex rt, RegIndex rn, int64_t imm = 0);
+    void str(RegIndex rt, RegIndex rn, int64_t imm = 0);
+    void ldrb(RegIndex rt, RegIndex rn, int64_t imm = 0);
+    void strb(RegIndex rt, RegIndex rn, int64_t imm = 0);
+    void ldrr(RegIndex rt, RegIndex rn, RegIndex rm);
+    void strr(RegIndex rt, RegIndex rn, RegIndex rm);
+
+    // --- Direct branches (label or absolute-address forms) ---
+    void b(const std::string &label);
+    void b(isa::Addr target);
+    void bl(const std::string &label);
+    void bl(isa::Addr target);
+    void bcond(Cond cond, const std::string &label);
+    void bcond(Cond cond, isa::Addr target);
+    void cbz(RegIndex rt, const std::string &label);
+    void cbnz(RegIndex rt, const std::string &label);
+    void cbz(RegIndex rt, isa::Addr target);
+    void cbnz(RegIndex rt, isa::Addr target);
+
+    // --- Indirect branches ---
+    void br(RegIndex rn);
+    void blr(RegIndex rn);
+    void ret(RegIndex rn = isa::LR);
+
+    /** Combined authenticate-and-branch (ARMv8.3). */
+    void braa(RegIndex rn, RegIndex rm);
+    void blraa(RegIndex rn, RegIndex rm);
+    void retaa();
+
+    // --- Pointer authentication ---
+    void pacia(RegIndex rd, RegIndex rn);
+    void pacib(RegIndex rd, RegIndex rn);
+    void pacda(RegIndex rd, RegIndex rn);
+    void pacdb(RegIndex rd, RegIndex rn);
+    void autia(RegIndex rd, RegIndex rn);
+    void autib(RegIndex rd, RegIndex rn);
+    void autda(RegIndex rd, RegIndex rn);
+    void autdb(RegIndex rd, RegIndex rn);
+    void xpac(RegIndex rd);
+
+    // --- System ---
+    void mrs(RegIndex rd, SysReg reg);
+    void msr(SysReg reg, RegIndex rn);
+    void svc(uint16_t imm);
+    void eret();
+    void isb();
+    void dsb();
+    void nop();
+    void hlt(uint16_t code);
+    void brk(uint16_t code);
+
+    /** Emit a raw pre-built instruction. */
+    void emit(const isa::Inst &inst);
+
+    /** Emit a raw word (data in the code stream). */
+    void word(isa::InstWord w);
+
+    /** Number of instructions emitted so far. */
+    size_t size() const { return insts_.size(); }
+
+    /**
+     * Resolve label fixups and produce the program image.
+     * Calls fatal() on undefined labels.
+     */
+    Program finalize();
+
+  private:
+    struct Fixup
+    {
+        size_t index;        //!< instruction slot to patch
+        std::string label;   //!< target label
+    };
+
+    void emitBranch(isa::Opcode op, const std::string &label,
+                    Cond cond = Cond::AL, RegIndex rt = 0);
+    void emitBranchAbs(isa::Opcode op, isa::Addr target,
+                       Cond cond = Cond::AL, RegIndex rt = 0);
+
+    isa::Addr base_;
+    std::vector<isa::Inst> insts_;
+    std::vector<bool> isRaw_;            //!< emitted via word()
+    std::vector<isa::InstWord> rawWords_;
+    std::map<std::string, isa::Addr> labels_;
+    std::vector<Fixup> fixups_;
+};
+
+} // namespace pacman::asmjit
+
+#endif // PACMAN_ASM_ASSEMBLER_HH

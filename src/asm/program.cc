@@ -1,0 +1,23 @@
+#include "program.hh"
+
+#include "base/logging.hh"
+
+namespace pacman::asmjit
+{
+
+isa::Addr
+Program::symbol(const std::string &name) const
+{
+    auto it = symbols.find(name);
+    if (it == symbols.end())
+        fatal("program: undefined symbol '%s'", name.c_str());
+    return it->second;
+}
+
+bool
+Program::hasSymbol(const std::string &name) const
+{
+    return symbols.count(name) != 0;
+}
+
+} // namespace pacman::asmjit

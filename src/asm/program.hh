@@ -1,0 +1,61 @@
+/**
+ * @file
+ * An assembled PARM64 program: a base address, the encoded instruction
+ * words, and a symbol table. Produced by the Assembler (builder API)
+ * or the TextAssembler, consumed by loaders and the static analyzer.
+ */
+
+#ifndef PACMAN_ASM_PROGRAM_HH
+#define PACMAN_ASM_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/inst.hh"
+#include "isa/pointer.hh"
+
+namespace pacman::asmjit
+{
+
+/** An assembled code image. */
+struct Program
+{
+    /** Load address of the first instruction. */
+    isa::Addr base = 0;
+
+    /** Encoded instruction words, contiguous from base. */
+    std::vector<isa::InstWord> words;
+
+    /** Label name -> absolute address. */
+    std::map<std::string, isa::Addr> symbols;
+
+    /** Size of the image in bytes. */
+    uint64_t
+    byteSize() const
+    {
+        return words.size() * isa::InstBytes;
+    }
+
+    /** End address (one past the last instruction). */
+    isa::Addr
+    end() const
+    {
+        return base + byteSize();
+    }
+
+    /**
+     * Look up a symbol.
+     * Calls fatal() when absent: a missing label in hand-written
+     * victim/attacker code is a configuration error.
+     */
+    isa::Addr symbol(const std::string &name) const;
+
+    /** True if the symbol exists. */
+    bool hasSymbol(const std::string &name) const;
+};
+
+} // namespace pacman::asmjit
+
+#endif // PACMAN_ASM_PROGRAM_HH

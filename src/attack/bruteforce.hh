@@ -1,0 +1,62 @@
+/**
+ * @file
+ * PAC brute-forcing on top of the oracle (paper Section 8.2): sweep
+ * candidate PACs through the crash-free oracle, optionally with
+ * median-of-k sampling, and report speed/accuracy statistics.
+ */
+
+#ifndef PACMAN_ATTACK_BRUTEFORCE_HH
+#define PACMAN_ATTACK_BRUTEFORCE_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "attack/oracle.hh"
+
+namespace pacman::attack
+{
+
+/** Brute-force run statistics. */
+struct BruteForceStats
+{
+    uint64_t guessesTested = 0;
+    uint64_t oracleQueries = 0;
+    uint64_t cyclesSimulated = 0;  //!< guest cycles consumed
+    std::optional<uint16_t> found; //!< matching PAC, if any
+};
+
+/** PAC search driver. */
+class PacBruteForcer
+{
+  public:
+    /**
+     * @param oracle  A target-bound oracle.
+     * @param samples Oracle samples per candidate (paper: 5, median).
+     */
+    PacBruteForcer(PacOracle &oracle, unsigned samples = 1);
+
+    /**
+     * Test candidates [first, last] in order; stop at the first hit.
+     * The full space is first = 0x0000, last = 0xFFFF (paper
+     * Section 8.2: "testing every possible PAC value starting from
+     * 0x0 to 0xFFFF").
+     */
+    BruteForceStats search(uint16_t first = 0x0000,
+                           uint16_t last = 0xFFFF);
+
+    /**
+     * Baseline for contrast: what brute force *without* the oracle
+     * looks like — architecturally dereferencing each guess.
+     * Returns after the first guess because the machine crashes (and
+     * on a real system the keys would rotate on restart).
+     */
+    static const char *naiveBruteForceOutcome();
+
+  private:
+    PacOracle &oracle_;
+    unsigned samples_;
+};
+
+} // namespace pacman::attack
+
+#endif // PACMAN_ATTACK_BRUTEFORCE_HH

@@ -1,0 +1,111 @@
+#include "evfinder.hh"
+
+#include "base/logging.hh"
+#include "kernel/layout.hh"
+
+namespace pacman::attack
+{
+
+using isa::PageSize;
+
+EvictionFinder::EvictionFinder(AttackerProcess &proc,
+                               uint64_t pmc_threshold)
+    : proc_(proc), threshold_(pmc_threshold)
+{
+}
+
+void
+EvictionFinder::loadChunked(const std::vector<Addr> &addrs)
+{
+    // The guest argument list holds one page of pointers; larger
+    // candidate pools are streamed in chunks (order is irrelevant
+    // for the presence test).
+    constexpr size_t chunk = PageSize / 8;
+    for (size_t base = 0; base < addrs.size(); base += chunk) {
+        const size_t n = std::min(chunk, addrs.size() - base);
+        proc_.loadAll({addrs.begin() + long(base),
+                       addrs.begin() + long(base + n)});
+    }
+}
+
+bool
+EvictionFinder::evicts(const std::vector<Addr> &candidates, Addr victim)
+{
+    ++probes_;
+    proc_.ensureMapped(victim);
+    proc_.timedLoadPmc(victim); // bring the translation in
+    loadChunked(candidates);
+    return proc_.timedLoadPmc(victim) > threshold_;
+}
+
+std::optional<std::vector<Addr>>
+EvictionFinder::reduce(std::vector<Addr> candidates, Addr victim,
+                       unsigned target_ways)
+{
+    if (!evicts(candidates, victim))
+        return std::nullopt;
+
+    // Vila-style group testing: split into target_ways + 1 groups
+    // and drop a group whose removal preserves eviction. With only
+    // target_ways conflicting addresses needed, some group must be
+    // redundant — but a coarse split can scatter the needed
+    // addresses across every group, so on a stall the granularity
+    // is refined (down to singletons) before giving up.
+    while (candidates.size() > target_ways) {
+        unsigned groups =
+            unsigned(std::min<size_t>(target_ways + 1,
+                                      candidates.size()));
+        bool dropped = false;
+        while (!dropped) {
+            const size_t group_size =
+                (candidates.size() + groups - 1) / groups;
+            for (unsigned g = 0; g < groups && !dropped; ++g) {
+                std::vector<Addr> without;
+                without.reserve(candidates.size());
+                for (size_t i = 0; i < candidates.size(); ++i) {
+                    if (i / group_size != g)
+                        without.push_back(candidates[i]);
+                }
+                // Uneven splits can leave trailing groups empty;
+                // removing one would be a no-op.
+                if (without.size() == candidates.size())
+                    continue;
+                if (evicts(without, victim)) {
+                    candidates = std::move(without);
+                    dropped = true;
+                }
+            }
+            if (!dropped) {
+                if (group_size == 1) {
+                    // Even singletons are all load-bearing: the set
+                    // is minimal but larger than target_ways.
+                    return std::nullopt;
+                }
+                groups = unsigned(std::min<size_t>(
+                    size_t(groups) * 2, candidates.size()));
+            }
+        }
+    }
+    if (!evicts(candidates, victim))
+        return std::nullopt;
+    return candidates;
+}
+
+std::optional<std::vector<Addr>>
+EvictionFinder::findDtlbEvictionSet(Addr victim)
+{
+    const auto &cfg = proc_.machine().mem().config().dtlb;
+    // A contiguous region of (ways + 1) * sets pages contains
+    // exactly ways + 1 pages aliasing any given set — enough to
+    // evict with one to spare. (An attacker simply mmaps a large
+    // buffer.)
+    constexpr Addr pool_base =
+        kernel::EvictionArena + (1ull << 35); // +32 GB window
+    std::vector<Addr> pool;
+    pool.reserve(size_t(cfg.ways + 1) * cfg.sets);
+    for (unsigned i = 0; i < (cfg.ways + 1) * cfg.sets; ++i)
+        pool.push_back(pool_base + uint64_t(i) * PageSize);
+    return reduce(std::move(pool), victim, cfg.ways);
+}
+
+} // namespace pacman::attack

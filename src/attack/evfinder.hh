@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Dynamic eviction-set discovery.
+ *
+ * The paper derives its eviction strides from reverse engineering
+ * (Section 7). This component implements the complementary, purely
+ * timing-driven approach real attackers use when no formula is known:
+ * start from a pool guaranteed to contain a conflicting superset
+ * (e.g. a large contiguous mapping) and reduce it by group testing to
+ * a minimal eviction set — while never consulting the simulator's
+ * internals, only guest-visible load latencies (the kext-exposed
+ * cycle counter, as in the paper's reverse-engineering setup).
+ */
+
+#ifndef PACMAN_ATTACK_EVFINDER_HH
+#define PACMAN_ATTACK_EVFINDER_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "attack/runtime.hh"
+
+namespace pacman::attack
+{
+
+/** Timing-driven eviction-set finder. */
+class EvictionFinder
+{
+  public:
+    /**
+     * @param proc          Attacker process; PMC0 must already be
+     *                      EL0-exposed (RevEng::enablePmc).
+     * @param pmc_threshold Reload latency (cycles) above which the
+     *                      victim's translation counts as evicted.
+     *                      85 sits between the L2-cache-hit plateau
+     *                      (~79) and the dTLB-miss plateau (~94), so
+     *                      cache pollution from the pool cannot fake
+     *                      a TLB eviction.
+     */
+    explicit EvictionFinder(AttackerProcess &proc,
+                            uint64_t pmc_threshold = 85);
+
+    /**
+     * True if loading @p candidates after @p victim evicts the
+     * victim's dTLB entry (measured, not computed).
+     */
+    bool evicts(const std::vector<Addr> &candidates, Addr victim);
+
+    /**
+     * Group-testing reduction: shrink @p candidates to a minimal
+     * eviction set of @p target_ways addresses for @p victim.
+     *
+     * @return the minimal set, or nullopt if reduction stalls (the
+     *         pool did not contain enough conflicting addresses).
+     */
+    std::optional<std::vector<Addr>>
+    reduce(std::vector<Addr> candidates, Addr victim,
+           unsigned target_ways);
+
+    /**
+     * End-to-end discovery for the L1 dTLB: allocate a contiguous
+     * pool of (ways + 1) * sets pages — guaranteed to contain
+     * ways + 1 aliases of any page — and reduce it.
+     */
+    std::optional<std::vector<Addr>> findDtlbEvictionSet(Addr victim);
+
+    /** Timed evicts() probes performed so far (cost accounting). */
+    uint64_t probes() const { return probes_; }
+
+  private:
+    /** Load all candidates in page-sized list chunks. */
+    void loadChunked(const std::vector<Addr> &addrs);
+
+    AttackerProcess &proc_;
+    uint64_t threshold_;
+    uint64_t probes_ = 0;
+};
+
+} // namespace pacman::attack
+
+#endif // PACMAN_ATTACK_EVFINDER_HH

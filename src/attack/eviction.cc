@@ -1,0 +1,142 @@
+#include "eviction.hh"
+
+#include "base/logging.hh"
+#include "kernel/layout.hh"
+
+namespace pacman::attack
+{
+
+using isa::PageShift;
+using isa::PageSize;
+using isa::pageNumber;
+using isa::vaPart;
+
+EvictionSets::EvictionSets(kernel::Machine &machine)
+{
+    const auto &cfg = machine.mem().config();
+    dtlbSets_ = cfg.dtlb.sets;
+    l2tlbSets_ = cfg.l2tlb.sets;
+    itlbSets_ = cfg.itlb.sets;
+    l1dSets_ = cfg.l1d.sets;
+    dtlbWays_ = cfg.dtlb.ways;
+    l2tlbWays_ = cfg.l2tlb.ways;
+    itlbWays_ = cfg.itlb.ways;
+    l1dWays_ = cfg.l1d.ways;
+    l1dLine_ = cfg.l1d.lineBytes;
+}
+
+uint64_t
+EvictionSets::dtlbSetOf(Addr va) const
+{
+    return pageNumber(vaPart(va)) & (dtlbSets_ - 1);
+}
+
+uint64_t
+EvictionSets::l2tlbSetOf(Addr va) const
+{
+    return pageNumber(vaPart(va)) & (l2tlbSets_ - 1);
+}
+
+uint64_t
+EvictionSets::itlbSetOf(Addr va) const
+{
+    return pageNumber(vaPart(va)) & (itlbSets_ - 1);
+}
+
+std::vector<Addr>
+EvictionSets::dtlbSet(uint64_t set, unsigned n) const
+{
+    PACMAN_ASSERT(set < dtlbSets_, "dTLB set %llu out of range",
+                  (unsigned long long)set);
+    std::vector<Addr> out;
+    out.reserve(n);
+    // The arena base is 256-page aligned, so page (set + i * 256) of
+    // the arena has VPN = set (mod 256).
+    for (unsigned i = 0; i < n; ++i) {
+        out.push_back(kernel::EvictionArena +
+                      (set + uint64_t(i) * dtlbSets_) * PageSize +
+                      uint64_t(i) * 128);
+    }
+    return out;
+}
+
+std::vector<Addr>
+EvictionSets::l2tlbSet(uint64_t set, unsigned n) const
+{
+    PACMAN_ASSERT(set < l2tlbSets_, "L2 TLB set %llu out of range",
+                  (unsigned long long)set);
+    std::vector<Addr> out;
+    out.reserve(n);
+    // Offset the arena by half to keep reset pages disjoint from
+    // dtlbSet() pages with small i.
+    constexpr Addr reset_base =
+        kernel::EvictionArena + (1ull << 33); // +8 GB, still user VA
+    for (unsigned i = 0; i < n; ++i) {
+        out.push_back(reset_base +
+                      (set + uint64_t(i) * l2tlbSets_) * PageSize +
+                      uint64_t(i) * 128);
+    }
+    return out;
+}
+
+std::vector<uint64_t>
+EvictionSets::trampolineIndicesFor(uint64_t set, unsigned n) const
+{
+    // Trampoline page i has VPN = trampoline_base_vpn + i; the base
+    // is 256-page aligned so page i aliases iTLB set i (mod 32).
+    const uint64_t base_vpn = pageNumber(vaPart(kernel::TrampolineBase));
+    PACMAN_ASSERT((base_vpn & (itlbSets_ - 1)) == 0,
+                  "trampoline base not iTLB-set aligned");
+    std::vector<uint64_t> out;
+    out.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        const uint64_t idx = (set & (itlbSets_ - 1)) + uint64_t(i) * itlbSets_;
+        PACMAN_ASSERT(idx < kernel::TrampolineCount,
+                      "trampoline index %llu out of range",
+                      (unsigned long long)idx);
+        out.push_back(idx);
+    }
+    return out;
+}
+
+uint64_t
+EvictionSets::l1dSetOf(Addr va) const
+{
+    return (vaPart(va) / l1dLine_) & (l1dSets_ - 1);
+}
+
+std::vector<Addr>
+EvictionSets::l1dSet(uint64_t set, unsigned n) const
+{
+    PACMAN_ASSERT(set < l1dSets_, "L1D set %llu out of range",
+                  (unsigned long long)set);
+    // A dedicated arena window, way-span stride: every address lands
+    // in L1D set @p set but a different page (so the prime also
+    // keeps n separate dTLB entries alive across n dTLB sets).
+    constexpr Addr cache_arena =
+        kernel::EvictionArena + (1ull << 34); // +16 GB
+    const uint64_t way_span = l1dSets_ * l1dLine_;
+    std::vector<Addr> out;
+    out.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        out.push_back(cache_arena + uint64_t(i) * way_span +
+                      set * l1dLine_);
+    return out;
+}
+
+std::vector<Addr>
+EvictionSets::sweepSet(Addr base, uint64_t stride, unsigned n,
+                       bool cache_safe) const
+{
+    std::vector<Addr> out;
+    out.reserve(n);
+    for (unsigned i = 1; i <= n; ++i) {
+        Addr va = base + uint64_t(i) * stride;
+        if (cache_safe)
+            va += uint64_t(i) * 128;
+        out.push_back(va);
+    }
+    return out;
+}
+
+} // namespace pacman::attack

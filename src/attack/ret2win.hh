@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Ret2Win: the return-address flavour of the PACMAN hijack.
+ *
+ * The victim kext protects its return address exactly as the paper's
+ * Figure 2 shows (pacia lr, sp / ... / autia lr, sp; ret) and
+ * contains a stack buffer overflow. The attack brute-forces
+ * PAC_IA(win, salt = the function's entry SP) through the crash-free
+ * oracle, overflows the saved return address with the forged signed
+ * pointer, and the epilogue's own authentication ushers control into
+ * win() — the ROP scenario Pointer Authentication was built to stop.
+ */
+
+#ifndef PACMAN_ATTACK_RET2WIN_HH
+#define PACMAN_ATTACK_RET2WIN_HH
+
+#include <cstdint>
+#include <string>
+
+#include "attack/oracle.hh"
+
+namespace pacman::attack
+{
+
+/** Outcome of the return-address hijack. */
+struct Ret2WinResult
+{
+    bool succeeded = false;
+    uint16_t returnPac = 0;   //!< brute-forced IA PAC
+    uint64_t guessesTested = 0;
+    std::string failure;
+};
+
+/** Ret2Win driver. */
+class Ret2Win
+{
+  public:
+    explicit Ret2Win(AttackerProcess &proc, unsigned trainIters = 8,
+                     unsigned samples = 1);
+
+    /**
+     * Run the attack. @p pac_search_window as in Jump2Win::run: 0
+     * sweeps the full 16-bit space; otherwise a window guaranteed to
+     * contain the true PAC (placement only; decisions come from the
+     * oracle).
+     */
+    Ret2WinResult run(unsigned pac_search_window = 0);
+
+  private:
+    AttackerProcess &proc_;
+    unsigned trainIters_;
+    unsigned samples_;
+};
+
+} // namespace pacman::attack
+
+#endif // PACMAN_ATTACK_RET2WIN_HH

@@ -1,0 +1,211 @@
+#include "reveng.hh"
+
+#include "base/logging.hh"
+#include "kernel/layout.hh"
+
+namespace pacman::attack
+{
+
+using namespace pacman::kernel;
+
+const char *
+latencyClassName(LatencyClass cls)
+{
+    switch (cls) {
+      case LatencyClass::L1Hit: return "L1D hit / dTLB hit";
+      case LatencyClass::L2CacheHit: return "L2 hit / dTLB hit";
+      case LatencyClass::DtlbMiss: return "dTLB miss / L2 TLB hit";
+      case LatencyClass::L2TlbMiss: return "L2 TLB miss (walk)";
+      default: panic("bad latency class");
+    }
+}
+
+RevEng::RevEng(AttackerProcess &proc)
+    : proc_(proc), evsets_(proc.machine()), threshold_(30)
+{
+}
+
+void
+RevEng::enablePmc()
+{
+    proc_.syscall(SYS_ENABLE_PMC_EL0);
+}
+
+std::vector<SweepPoint>
+RevEng::dataSweep(uint64_t stride, unsigned max_n, unsigned samples,
+                  bool cache_safe)
+{
+    // Base target x in the eviction arena, in dTLB set 77 so it
+    // cannot collide with the argument arrays; a fresh cache-line
+    // offset per stride keeps strides independent.
+    const Addr x = EvictionArena + 77 * isa::PageSize +
+                   (stride % 128) * 64 + 0x340;
+    proc_.placeArrays(unsigned((77 + 100) % 256),
+                      unsigned((77 + 101) % 256));
+    proc_.ensureMapped(x);
+
+    std::vector<SweepPoint> out;
+    for (unsigned n = 1; n <= max_n; ++n) {
+        const auto addrs = evsets_.sweepSet(x, stride, n, cache_safe);
+        SampleStat lat;
+        for (unsigned s = 0; s < samples; ++s) {
+            proc_.timedLoadPmc(x);   // (1) bring x in
+            proc_.loadAll(addrs);    // (2) potential eviction set
+            lat.add(double(proc_.timedLoadPmc(x))); // (3) reload
+        }
+        out.push_back({n, lat.median()});
+    }
+    return out;
+}
+
+std::vector<SweepPoint>
+RevEng::instSweep(uint64_t stride, unsigned max_n, unsigned samples)
+{
+    // x lives in the JIT region (dTLB set 53, clear of the argument
+    // arrays) and holds a ret stub so it can be branched to (step 2)
+    // and also loaded as data (step 4).
+    const Addr x = JitBase + 53 * isa::PageSize + (stride % 128) * 64;
+    proc_.placeArrays(unsigned((53 + 100) % 256),
+                      unsigned((53 + 101) % 256));
+    proc_.plantRetStub(x);
+
+    // Step (1)'s reset set: evict x's translation from the data TLBs.
+    const auto reset = evsets_.l2tlbSet(evsets_.l2tlbSetOf(x),
+                                        evsets_.l2tlbWays());
+
+    std::vector<SweepPoint> out;
+    for (unsigned n = 1; n <= max_n; ++n) {
+        // Branch targets at the probed stride; each needs a stub.
+        std::vector<Addr> targets;
+        for (unsigned i = 1; i <= n; ++i) {
+            const Addr t = x + uint64_t(i) * stride + uint64_t(i) * 128;
+            proc_.plantRetStub(t);
+            targets.push_back(t);
+        }
+        SampleStat lat;
+        for (unsigned s = 0; s < samples; ++s) {
+            proc_.loadAll(reset);      // (1) reset dTLB + L2 TLB
+            proc_.fetchAt(x);          // (2) fetch x into the iTLB
+            proc_.fetchAllAt(targets); // (3) instruction eviction set
+            lat.add(double(proc_.timedLoadPmc(x))); // (4) reload
+        }
+        out.push_back({n, lat.median()});
+    }
+    return out;
+}
+
+void
+RevEng::prepareClass(LatencyClass cls, Addr x)
+{
+    switch (cls) {
+      case LatencyClass::L1Hit:
+        // x stays resident everywhere.
+        break;
+      case LatencyClass::L2CacheHit: {
+        // Evict x's L1D line with same-cache-set lines in *other*
+        // pages (4 lines suffice at the observed associativity);
+        // the handful of extra dTLB entries land in other sets.
+        const auto &l1d = proc_.machine().mem().config().l1d;
+        const uint64_t way_span = uint64_t(l1d.sets) * l1d.lineBytes;
+        std::vector<Addr> lines;
+        for (unsigned i = 1; i <= l1d.ways + 1; ++i)
+            lines.push_back(x + uint64_t(i) * way_span);
+        proc_.loadAll(lines);
+        break;
+      }
+      case LatencyClass::DtlbMiss:
+        proc_.loadAll(evsets_.dtlbSet(evsets_.dtlbSetOf(x),
+                                      evsets_.dtlbWays()));
+        break;
+      case LatencyClass::L2TlbMiss:
+        proc_.loadAll(evsets_.l2tlbSet(evsets_.l2tlbSetOf(x),
+                                       evsets_.l2tlbWays()));
+        break;
+    }
+}
+
+SampleStat
+RevEng::measureClass(LatencyClass cls, TimerKind timer,
+                     unsigned samples)
+{
+    // x aliases dTLB set 64 but is 13 * 256 pages past the arena
+    // slots dtlbSet() hands out, so the eviction set never contains
+    // x's own page.
+    const Addr x = EvictionArena +
+                   (64 + 13 * 256) * isa::PageSize + 0x340;
+    proc_.ensureMapped(x);
+
+    SampleStat stat;
+    for (unsigned s = 0; s < samples; ++s) {
+        proc_.timedLoad(x); // bring x fully in
+        prepareClass(cls, x);
+        const uint64_t v = timer == TimerKind::Pmc
+                               ? proc_.timedLoadPmc(x)
+                               : proc_.timedLoad(x);
+        stat.add(double(v));
+    }
+    return stat;
+}
+
+bool
+RevEng::kernelDataEvictsUserDtlb()
+{
+    // Prime the dTLB set of a benign-data page from EL0, have the
+    // kernel touch pages in the same set, then probe: misses mean the
+    // L1 dTLB is shared across privilege levels.
+    const Addr kpage = BenignDataBase + 7 * isa::PageSize;
+    const uint64_t set = evsets_.dtlbSetOf(kpage);
+    proc_.placeArrays(unsigned((set + 100) % 256),
+                      unsigned((set + 101) % 256));
+    const auto prime = evsets_.dtlbSet(set, evsets_.dtlbWays());
+
+    proc_.loadAll(prime);
+    // Kernel-side accesses to the same set: benign pages are
+    // contiguous, so pages set, set+256... only page 7 aliases within
+    // the 64-page window; touch it repeatedly plus neighbours.
+    for (unsigned i = 0; i < 4; ++i)
+        proc_.syscall(SYS_TOUCH_DATA, 7 * isa::PageSize + i * 64);
+
+    unsigned misses = 0;
+    for (uint64_t count : proc_.probeAll(prime)) {
+        if (count > threshold_)
+            ++misses;
+    }
+    return misses > 0;
+}
+
+unsigned
+RevEng::kernelIfetchSpillThreshold()
+{
+    // Fetch k trampolines in one kernel iTLB set, probing after each
+    // batch whether a spilled translation evicted a primed user dTLB
+    // entry. The paper's finding: nothing for k <= ways, spill at
+    // k = ways + 1 (entries displaced into the backing dTLB).
+    const unsigned ways = evsets_.itlbWays();
+    const uint64_t itlb_set = 9; // arbitrary non-infrastructure set
+    for (unsigned k = 1; k <= ways + 1; ++k) {
+        const auto idxs = evsets_.trampolineIndicesFor(itlb_set, k);
+        // The k-th trampoline page's dTLB set is its page index mod
+        // 256; probe the set of the *first* page, which is the one
+        // evicted first.
+        const uint64_t probe_set = evsets_.dtlbSetOf(
+            TrampolineBase + idxs.front() * isa::PageSize);
+        proc_.placeArrays(unsigned((probe_set + 100) % 256),
+                          unsigned((probe_set + 101) % 256));
+        const auto prime = evsets_.dtlbSet(probe_set,
+                                           evsets_.dtlbWays());
+        proc_.loadAll(prime);
+        for (uint64_t idx : idxs)
+            proc_.syscall(SYS_FETCH_TRAMP, idx);
+        unsigned misses = 0;
+        for (uint64_t count : proc_.probeAll(prime)) {
+            if (count > threshold_)
+                ++misses;
+        }
+        if (misses > 0)
+            return k;
+    }
+    return 0;
+}
+
+} // namespace pacman::attack

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Reverse-engineering harness (paper Sections 6 and 7): the stride/N
+ * sweeps behind Figure 5, the timer-distribution measurements behind
+ * Figure 7, and the cross-privilege sharing probes behind Figure 6.
+ */
+
+#ifndef PACMAN_ATTACK_REVENG_HH
+#define PACMAN_ATTACK_REVENG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/eviction.hh"
+#include "attack/runtime.hh"
+#include "base/stats.hh"
+
+namespace pacman::attack
+{
+
+/** One point of a Figure 5 curve. */
+struct SweepPoint
+{
+    unsigned n = 0;          //!< number of eviction accesses
+    double medianLatency = 0; //!< cycles (PMC0)
+};
+
+/** Which timing source a measurement uses. */
+enum class TimerKind
+{
+    Pmc,         //!< Apple performance counter (cycles)
+    MultiThread, //!< shared-variable counter (counts)
+};
+
+/** Micro-architectural latency classes measured for Figure 7. */
+enum class LatencyClass
+{
+    L1Hit,          //!< L1D hit, dTLB hit
+    L2CacheHit,     //!< L1D conflict miss, L2 hit, dTLB hit
+    DtlbMiss,       //!< dTLB conflict miss, L2 TLB hit
+    L2TlbMiss,      //!< full TLB miss (table walk)
+};
+
+/** Human-readable class name. */
+const char *latencyClassName(LatencyClass cls);
+
+/** The reverse-engineering driver. */
+class RevEng
+{
+  public:
+    explicit RevEng(AttackerProcess &proc);
+
+    /** Expose PMC0 to EL0 via the reverse-engineering kext. */
+    void enablePmc();
+
+    /**
+     * Figure 5(a)/(b): data-side sweep. For each N in [1, max_n],
+     * load x, load N addresses at @p stride (+ i*128 B when
+     * @p cache_safe), then measure the reload latency of x.
+     */
+    std::vector<SweepPoint> dataSweep(uint64_t stride, unsigned max_n,
+                                      unsigned samples, bool cache_safe);
+
+    /**
+     * Figure 5(c): instruction-side sweep. Reset the data TLBs,
+     * branch to x (filling the iTLB), execute N branch targets at
+     * @p stride, then measure x's *data* reload latency.
+     */
+    std::vector<SweepPoint> instSweep(uint64_t stride, unsigned max_n,
+                                      unsigned samples);
+
+    /** Figure 7: measure @p samples latencies of one class. */
+    SampleStat measureClass(LatencyClass cls, TimerKind timer,
+                            unsigned samples);
+
+    // --- Figure 6 sharing probes (cross-privilege) ---
+
+    /**
+     * True if a kernel *data* access to @p count pages of benign data
+     * in the probed set evicts user dTLB entries (dTLB shared).
+     */
+    bool kernelDataEvictsUserDtlb();
+
+    /**
+     * Number of kernel instruction fetches in one iTLB set needed
+     * before a user-visible dTLB eviction appears (the iTLB -> dTLB
+     * spill threshold; 0 if never within the iTLB way count + 1).
+     */
+    unsigned kernelIfetchSpillThreshold();
+
+  private:
+    /** Build state for one latency class around target @p x. */
+    void prepareClass(LatencyClass cls, Addr x);
+
+    AttackerProcess &proc_;
+    EvictionSets evsets_;
+    uint64_t threshold_;
+};
+
+} // namespace pacman::attack
+
+#endif // PACMAN_ATTACK_REVENG_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Bit-manipulation helpers used throughout the encoder/decoder, the
+ * pointer-authentication bit layout, and the cache/TLB indexing logic.
+ */
+
+#ifndef PACMAN_BASE_BITFIELD_HH
+#define PACMAN_BASE_BITFIELD_HH
+
+#include <cstdint>
+#include <type_traits>
+
+namespace pacman
+{
+
+/**
+ * Generate a mask of @p nbits ones in the low bits.
+ * mask(0) == 0; mask(64) == all ones.
+ */
+constexpr uint64_t
+mask(unsigned nbits)
+{
+    return nbits >= 64 ? ~uint64_t(0) : (uint64_t(1) << nbits) - 1;
+}
+
+/** Extract bits [hi:lo] (inclusive) of @p val, right-justified. */
+constexpr uint64_t
+bits(uint64_t val, unsigned hi, unsigned lo)
+{
+    return (val >> lo) & mask(hi - lo + 1);
+}
+
+/** Extract bit @p bit of @p val. */
+constexpr uint64_t
+bits(uint64_t val, unsigned bit)
+{
+    return (val >> bit) & 1;
+}
+
+/** Return @p val with bits [hi:lo] replaced by the low bits of @p ins. */
+constexpr uint64_t
+insertBits(uint64_t val, unsigned hi, unsigned lo, uint64_t ins)
+{
+    const uint64_t m = mask(hi - lo + 1) << lo;
+    return (val & ~m) | ((ins << lo) & m);
+}
+
+/** Sign-extend the low @p nbits of @p val to 64 bits. */
+constexpr int64_t
+sext(uint64_t val, unsigned nbits)
+{
+    const unsigned shift = 64 - nbits;
+    return int64_t(val << shift) >> shift;
+}
+
+/** True if @p val fits in @p nbits as a signed two's-complement value. */
+constexpr bool
+fitsSigned(int64_t val, unsigned nbits)
+{
+    const int64_t lim = int64_t(1) << (nbits - 1);
+    return val >= -lim && val < lim;
+}
+
+/** True if @p val fits in @p nbits as an unsigned value. */
+constexpr bool
+fitsUnsigned(uint64_t val, unsigned nbits)
+{
+    return nbits >= 64 || val < (uint64_t(1) << nbits);
+}
+
+/** True if @p val is a power of two (and non-zero). */
+constexpr bool
+isPowerOf2(uint64_t val)
+{
+    return val != 0 && (val & (val - 1)) == 0;
+}
+
+/** Integer log2 for powers of two. */
+constexpr unsigned
+floorLog2(uint64_t val)
+{
+    unsigned l = 0;
+    while (val > 1) {
+        val >>= 1;
+        ++l;
+    }
+    return l;
+}
+
+/** Round @p val up to the next multiple of power-of-two @p align. */
+constexpr uint64_t
+roundUp(uint64_t val, uint64_t align)
+{
+    return (val + align - 1) & ~(align - 1);
+}
+
+/** Round @p val down to a multiple of power-of-two @p align. */
+constexpr uint64_t
+roundDown(uint64_t val, uint64_t align)
+{
+    return val & ~(align - 1);
+}
+
+} // namespace pacman
+
+#endif // PACMAN_BASE_BITFIELD_HH

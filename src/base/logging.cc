@@ -1,0 +1,86 @@
+#include "logging.hh"
+
+#include <cstdarg>
+
+namespace pacman
+{
+
+namespace
+{
+LogLevel globalLevel = LogLevel::Normal;
+} // anonymous namespace
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+void
+logVprintf(const char *prefix, const char *fmt, std::va_list ap)
+{
+    std::fputs(prefix, stderr);
+    std::vfprintf(stderr, fmt, ap);
+    std::fputc('\n', stderr);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    logVprintf("panic: ", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    logVprintf("fatal: ", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (globalLevel == LogLevel::Quiet)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    logVprintf("warn: ", fmt, ap);
+    va_end(ap);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (globalLevel == LogLevel::Quiet)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    logVprintf("info: ", fmt, ap);
+    va_end(ap);
+}
+
+void
+debugLog(const char *fmt, ...)
+{
+    if (globalLevel != LogLevel::Debug)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    logVprintf("debug: ", fmt, ap);
+    va_end(ap);
+}
+
+} // namespace pacman

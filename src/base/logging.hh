@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Error / status reporting utilities, in the spirit of gem5's logging.
+ *
+ * panic()  - an internal invariant was violated (simulator bug); aborts.
+ * fatal()  - the user asked for something impossible (bad config); exits.
+ * warn()   - something is off but the simulation can continue.
+ * inform() - plain status output.
+ */
+
+#ifndef PACMAN_BASE_LOGGING_HH
+#define PACMAN_BASE_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace pacman
+{
+
+/** Verbosity levels for runtime log filtering. */
+enum class LogLevel
+{
+    Quiet,    //!< only panic/fatal
+    Normal,   //!< + warn/inform
+    Debug,    //!< + debug trace messages
+};
+
+/** Global log level; defaults to Normal. */
+LogLevel logLevel();
+
+/** Set the global log level. */
+void setLogLevel(LogLevel level);
+
+/**
+ * Internal helper shared by the reporting functions below.
+ *
+ * @param prefix Tag printed before the message (e.g. "warn: ").
+ * @param fmt    printf-style format string.
+ * @param ap     Variadic argument list.
+ */
+void logVprintf(const char *prefix, const char *fmt, std::va_list ap);
+
+/** Report an unrecoverable internal error and abort (simulator bug). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an unrecoverable user error and exit(1) (bad configuration). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious-but-survivable condition. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report ordinary status information. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report debug trace output (only shown at LogLevel::Debug). */
+void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assert a simulator invariant with a formatted message.
+ * Evaluates @p cond always (not compiled out), since simulator state
+ * checks are part of the model's correctness.
+ */
+#define PACMAN_ASSERT(cond, fmt, ...)                                     \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::pacman::panic("assertion '%s' failed at %s:%d: " fmt,       \
+                            #cond, __FILE__, __LINE__, ##__VA_ARGS__);    \
+        }                                                                 \
+    } while (0)
+
+} // namespace pacman
+
+#endif // PACMAN_BASE_LOGGING_HH

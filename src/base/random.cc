@@ -1,0 +1,91 @@
+#include "random.hh"
+
+namespace pacman
+{
+
+namespace
+{
+
+/** splitmix64 step, used to expand the seed into generator state. */
+uint64_t
+splitmix64(uint64_t &x)
+{
+    uint64_t z = (x += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // anonymous namespace
+
+Random::Random(uint64_t seed)
+{
+    for (auto &word : s)
+        word = splitmix64(seed);
+}
+
+uint64_t
+Random::next()
+{
+    const uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const uint64_t t = s[1] << 17;
+
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+
+    return result;
+}
+
+uint64_t
+Random::next(uint64_t bound)
+{
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t limit = ~uint64_t(0) - (~uint64_t(0) % bound);
+    uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return v % bound;
+}
+
+int64_t
+Random::range(int64_t lo, int64_t hi)
+{
+    return lo + int64_t(next(uint64_t(hi - lo) + 1));
+}
+
+double
+Random::nextDouble()
+{
+    return double(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool
+Random::chance(double p)
+{
+    return nextDouble() < p;
+}
+
+double
+Random::gaussian(double mean, double stddev)
+{
+    // Irwin-Hall with n = 4: variance of the sum is 4/12, so scale by
+    // sqrt(3) to get a unit-variance approximately normal variate.
+    double sum = 0.0;
+    for (int i = 0; i < 4; ++i)
+        sum += nextDouble();
+    const double unit = (sum - 2.0) * 1.7320508075688772;
+    return mean + stddev * unit;
+}
+
+} // namespace pacman

@@ -1,0 +1,972 @@
+#include "core.hh"
+
+#include <algorithm>
+
+#include "base/bitfield.hh"
+#include "base/logging.hh"
+#include "base/stats.hh"
+#include "isa/disasm.hh"
+#include "isa/pointer.hh"
+
+namespace pacman::cpu
+{
+
+using isa::Addr;
+using isa::Cond;
+using isa::Inst;
+using isa::InstClass;
+using isa::Opcode;
+using isa::Pstate;
+using isa::SysReg;
+
+namespace
+{
+
+/** Result of an ALU-class execution. */
+struct AluOut
+{
+    uint64_t value = 0;
+    Pstate flags;
+    bool setsFlags = false;
+    bool writes = true;
+};
+
+/** Evaluate any ALU-class instruction on operand values. */
+AluOut
+aluExec(const Inst &inst, uint64_t rdv, uint64_t rnv, uint64_t rmv)
+{
+    AluOut out;
+    const bool has_imm = !isa::readsRm(inst);
+    const uint64_t b = has_imm ? uint64_t(inst.imm) : rmv;
+
+    auto sub_flags = [&](uint64_t a, uint64_t s) {
+        const uint64_t r = a - s;
+        out.flags.n = bits(r, 63) != 0;
+        out.flags.z = r == 0;
+        out.flags.c = a >= s;
+        out.flags.v = bits((a ^ s) & (a ^ r), 63) != 0;
+        out.setsFlags = true;
+        return r;
+    };
+
+    switch (inst.op) {
+      case Opcode::ADD:
+      case Opcode::ADDI:
+        out.value = rnv + b;
+        break;
+      case Opcode::SUB:
+      case Opcode::SUBI:
+        out.value = rnv - b;
+        break;
+      case Opcode::AND:
+      case Opcode::ANDI:
+        out.value = rnv & b;
+        break;
+      case Opcode::ORR:
+      case Opcode::ORRI:
+        out.value = rnv | b;
+        break;
+      case Opcode::EOR:
+      case Opcode::EORI:
+        out.value = rnv ^ b;
+        break;
+      case Opcode::LSLV:
+      case Opcode::LSLI:
+        out.value = rnv << (b & 63);
+        break;
+      case Opcode::LSRV:
+      case Opcode::LSRI:
+        out.value = rnv >> (b & 63);
+        break;
+      case Opcode::ASRV:
+      case Opcode::ASRI:
+        out.value = uint64_t(int64_t(rnv) >> (b & 63));
+        break;
+      case Opcode::MUL:
+        out.value = rnv * b;
+        break;
+      case Opcode::SUBS:
+      case Opcode::SUBSI:
+        out.value = sub_flags(rnv, b);
+        break;
+      case Opcode::ADDS: {
+        const uint64_t r = rnv + b;
+        out.flags.n = bits(r, 63) != 0;
+        out.flags.z = r == 0;
+        out.flags.c = r < rnv;
+        out.flags.v = bits(~(rnv ^ b) & (rnv ^ r), 63) != 0;
+        out.setsFlags = true;
+        out.value = r;
+        break;
+      }
+      case Opcode::CMP:
+      case Opcode::CMPI:
+        sub_flags(rnv, b);
+        out.writes = false;
+        break;
+      case Opcode::MOVR:
+        out.value = rnv;
+        break;
+      case Opcode::NOP:
+        out.writes = false;
+        break;
+      case Opcode::MOVZ:
+        out.value = uint64_t(inst.imm) << (16 * inst.hw);
+        break;
+      case Opcode::MOVK: {
+        const unsigned shift = 16 * inst.hw;
+        out.value = (rdv & ~(0xffffull << shift)) |
+                    (uint64_t(inst.imm) << shift);
+        break;
+      }
+      default:
+        panic("aluExec: %s is not an ALU op",
+              isa::opcodeName(inst.op).c_str());
+    }
+    return out;
+}
+
+/** Access size in bytes for a memory opcode. */
+unsigned
+memSize(Opcode op)
+{
+    return (op == Opcode::LDRB || op == Opcode::STRB) ? 1 : 8;
+}
+
+/** Whether this memory op carries a register offset. */
+bool
+regOffset(Opcode op)
+{
+    return op == Opcode::LDRR || op == Opcode::STRR;
+}
+
+} // anonymous namespace
+
+Core::Core(const CoreConfig &cfg, mem::MemoryHierarchy *mem, Random *rng)
+    : cfg_(cfg), mem_(mem), rng_(rng),
+      predictor_(cfg.bimodalEntries), btb_(cfg.btbEntries)
+{
+    sysregs_[size_t(SysReg::CNTFRQ_EL0)] = cfg.cntFreqHz;
+}
+
+uint64_t
+Core::reg(unsigned idx) const
+{
+    PACMAN_ASSERT(idx < isa::NumRegs, "register %u out of range", idx);
+    return regs_[idx];
+}
+
+void
+Core::setReg(unsigned idx, uint64_t value)
+{
+    PACMAN_ASSERT(idx < isa::NumRegs, "register %u out of range", idx);
+    regs_[idx] = value;
+    ready_[idx] = cycle_;
+}
+
+void
+Core::setEl(unsigned el)
+{
+    PACMAN_ASSERT(el <= 1, "exception level %u unsupported", el);
+    el_ = el;
+}
+
+uint64_t
+Core::sysreg(SysReg reg) const
+{
+    return sysregs_[size_t(reg)];
+}
+
+void
+Core::setSysreg(SysReg reg, uint64_t value)
+{
+    sysregs_[size_t(reg)] = value;
+}
+
+crypto::PacKey
+Core::pacKey(crypto::PacKeySelect sel) const
+{
+    const size_t base = size_t(SysReg::APIAKEY_LO) + 2 * size_t(sel);
+    return crypto::PacKey{sysregs_[base + 1], sysregs_[base]};
+}
+
+uint64_t
+Core::ccsidrValue() const
+{
+    // ARM-style CCSIDR: LineSize[2:0] = log2(bytes) - 4,
+    // Associativity[12:3] = ways - 1, NumSets[27:13] = sets - 1.
+    // Reports the *architectural* L1D geometry, which the paper finds
+    // to be twice the observed associativity (footnote 5).
+    const auto &cfg = mem_->config();
+    const uint64_t sel = sysregs_[size_t(SysReg::CSSELR_EL1)];
+    const bool icache = sel & 1;
+    const unsigned level = unsigned(sel >> 1);
+
+    unsigned ways, sets, line;
+    if (level == 0 && icache) {
+        ways = cfg.l1i.ways;
+        sets = cfg.l1i.sets;
+        line = cfg.l1i.lineBytes;
+    } else if (level == 0) {
+        ways = cfg.l1dArchWays;
+        sets = cfg.l1dArchSets;
+        line = cfg.l1d.lineBytes;
+    } else {
+        ways = cfg.l2.ways;
+        sets = cfg.l2.sets;
+        line = cfg.l2.lineBytes;
+    }
+    return uint64_t(floorLog2(line) - 4) | (uint64_t(ways - 1) << 3) |
+           (uint64_t(sets - 1) << 13);
+}
+
+uint64_t
+Core::sysregRead(SysReg reg, uint64_t when, bool *undef)
+{
+    *undef = false;
+
+    // Privilege gating (Table 1 semantics).
+    if (el_ == 0 && !isa::sysRegEl0Readable(reg)) {
+        const bool pmc = reg == SysReg::PMC0 || reg == SysReg::PMC1;
+        const bool granted =
+            sysregs_[size_t(SysReg::PMCR0)] & isa::PMCR0_EL0_ACCESS;
+        if (!(pmc && granted)) {
+            *undef = true;
+            return 0;
+        }
+    }
+
+    switch (reg) {
+      case SysReg::CNTPCT_EL0:
+        // 24 MHz system counter derived from the core clock.
+        return when / (cfg_.cpuFreqHz / cfg_.cntFreqHz);
+      case SysReg::CNTFRQ_EL0:
+        return cfg_.cntFreqHz;
+      case SysReg::PMC0:
+        return when;
+      case SysReg::PMC1:
+        return stats_.instsRetired;
+      case SysReg::CURRENT_EL:
+        return uint64_t(el_) << 2;
+      case SysReg::CCSIDR_EL1:
+        return ccsidrValue();
+      case SysReg::CLIDR_EL1:
+        // L1 split I+D, L2 unified: Ctype1 = 0b011, Ctype2 = 0b100.
+        return 0b011ull | (0b100ull << 3);
+      default:
+        return sysregs_[size_t(reg)];
+    }
+}
+
+bool
+Core::sysregWrite(SysReg reg, uint64_t value)
+{
+    if (el_ == 0)
+        return false; // all MSR targets are privileged
+    switch (reg) {
+      case SysReg::CNTPCT_EL0:
+      case SysReg::CNTFRQ_EL0:
+      case SysReg::PMC0:
+      case SysReg::PMC1:
+      case SysReg::CURRENT_EL:
+      case SysReg::CCSIDR_EL1:
+      case SysReg::CLIDR_EL1:
+        return false; // read-only
+      default:
+        sysregs_[size_t(reg)] = value;
+        return true;
+    }
+}
+
+void
+Core::setTraceHook(std::function<void(const TraceRecord &)> hook)
+{
+    traceHook_ = std::move(hook);
+}
+
+void
+Core::serialize(uint64_t extra)
+{
+    cycle_ = std::max(cycle_, lastCompletion_) + extra;
+    fetchGroup_ = 0;
+}
+
+Core::FetchedInst
+Core::fetch(Addr pc, bool speculative)
+{
+    FetchedInst out;
+    const auto res =
+        mem_->access(mem::AccessKind::Fetch, pc, el_, speculative);
+    if (res.fault != mem::Fault::None)
+        return out;
+    const uint32_t word = uint32_t(mem_->loadValue(res, pc, 4));
+    const auto inst = isa::decode(word);
+    if (!inst)
+        return out;
+    out.ok = true;
+    out.inst = *inst;
+    out.fetchLatency = res.latency;
+    return out;
+}
+
+ExitStatus
+Core::archFault(mem::Fault fault, Addr addr, const char *what)
+{
+    ExitStatus status;
+    status.kind = el_ == 0 ? ExitKind::CrashEl0 : ExitKind::KernelPanic;
+    status.pc = pc_;
+    status.fault = fault;
+    status.reason = strprintf(
+        "%s at pc=0x%llx addr=0x%llx (%s, EL%u)", what,
+        (unsigned long long)pc_, (unsigned long long)addr,
+        fault == mem::Fault::Permission ? "permission" : "translation",
+        el_);
+    return status;
+}
+
+ExitStatus
+Core::run(uint64_t max_insts)
+{
+    for (uint64_t n = 0; n < max_insts; ++n) {
+        // Fetch-group pacing: fetchWidth instructions per cycle.
+        if (++fetchGroup_ >= cfg_.fetchWidth) {
+            fetchGroup_ = 0;
+            ++cycle_;
+        }
+
+        const FetchedInst f = fetch(pc_, false);
+        if (!f.ok) {
+            // Architectural fetch fault or undefined instruction.
+            return archFault(mem::Fault::Translation, pc_,
+                             "instruction fetch fault");
+        }
+        // Front-end stall on icache/iTLB misses.
+        if (f.fetchLatency > mem_->config().lat.l1Hit)
+            cycle_ += f.fetchLatency - mem_->config().lat.l1Hit;
+
+        const Inst &inst = f.inst;
+        ++stats_.instsRetired;
+        if (traceHook_)
+            traceHook_(TraceRecord{pc_, inst, el_, false, cycle_});
+        Addr next_pc = pc_ + isa::InstBytes;
+
+        switch (isa::instClass(inst.op)) {
+          case InstClass::Alu: {
+            uint64_t src_ready = cycle_ + 1;
+            if (isa::readsRn(inst))
+                src_ready = std::max(src_ready, ready_[inst.rn]);
+            if (isa::readsRm(inst))
+                src_ready = std::max(src_ready, ready_[inst.rm]);
+            if (isa::readsRdAsSource(inst))
+                src_ready = std::max(src_ready, ready_[inst.rd]);
+            const AluOut out = aluExec(inst, regs_[inst.rd],
+                                       regs_[inst.rn], regs_[inst.rm]);
+            const uint64_t lat =
+                inst.op == Opcode::MUL ? cfg_.mulLat : cfg_.aluLat;
+            const uint64_t done = src_ready + lat;
+            if (out.writes) {
+                regs_[inst.rd] = out.value;
+                ready_[inst.rd] = done;
+            }
+            if (out.setsFlags) {
+                flags_ = out.flags;
+                flagsReady_ = done;
+            }
+            lastCompletion_ = std::max(lastCompletion_, done);
+            break;
+          }
+
+          case InstClass::Load:
+          case InstClass::Store: {
+            const bool is_load = isa::instClass(inst.op) == InstClass::Load;
+            uint64_t issue = cycle_ + 1;
+            issue = std::max(issue, ready_[inst.rn]);
+            if (regOffset(inst.op))
+                issue = std::max(issue, ready_[inst.rm]);
+            if (!is_load)
+                issue = std::max(issue, ready_[inst.rd]);
+            const Addr va = regs_[inst.rn] +
+                            (regOffset(inst.op) ? regs_[inst.rm]
+                                                : uint64_t(inst.imm));
+            const auto res = mem_->access(
+                is_load ? mem::AccessKind::Load : mem::AccessKind::Store,
+                va, el_, false);
+            if (res.fault != mem::Fault::None) {
+                return archFault(res.fault, va,
+                                 is_load ? "data abort on load"
+                                         : "data abort on store");
+            }
+            const unsigned size = memSize(inst.op);
+            const uint64_t done = issue + res.latency;
+            if (is_load) {
+                regs_[inst.rd] = mem_->loadValue(res, va, size);
+                ready_[inst.rd] = done;
+            } else {
+                mem_->storeValue(res, va, regs_[inst.rd], size);
+            }
+            lastCompletion_ = std::max(lastCompletion_, done);
+            break;
+          }
+
+          case InstClass::BranchCond: {
+            ++stats_.branches;
+            const Addr taken_target = pc_ + uint64_t(inst.imm);
+            bool actual;
+            uint64_t op_ready;
+            if (inst.op == Opcode::BCOND) {
+                actual = isa::condHolds(inst.cond, flags_);
+                op_ready = flagsReady_;
+            } else {
+                const bool zero = regs_[inst.rd] == 0;
+                actual = inst.op == Opcode::CBZ ? zero : !zero;
+                op_ready = ready_[inst.rd];
+            }
+            const bool predicted = predictor_.predict(pc_);
+            const uint64_t resolve =
+                std::max(cycle_ + 1, op_ready) + cfg_.branchResolveLat;
+            predictor_.update(pc_, actual);
+            if (predicted != actual) {
+                ++stats_.branchMispredicts;
+                SpecContext ctx;
+                ctx.regs = regs_;
+                ctx.ready = ready_;
+                ctx.poison.fill(false);
+                ctx.taint.fill(false);
+                ctx.flags = flags_;
+                ctx.flagsReady = flagsReady_;
+                unsigned rob = cfg_.robSize;
+                speculate(predicted ? taken_target : next_pc, cycle_ + 1,
+                          resolve, ctx, rob, 0);
+                cycle_ = resolve + cfg_.redirectPenalty;
+                fetchGroup_ = 0;
+            }
+            if (actual)
+                next_pc = taken_target;
+            break;
+          }
+
+          case InstClass::BranchDirect: {
+            ++stats_.branches;
+            if (inst.op == Opcode::BL) {
+                regs_[isa::LR] = pc_ + isa::InstBytes;
+                ready_[isa::LR] = cycle_ + 1;
+            }
+            next_pc = pc_ + uint64_t(inst.imm);
+            break;
+          }
+
+          case InstClass::BranchIndirect: {
+            ++stats_.branches;
+            uint64_t target = regs_[inst.rn];
+            uint64_t target_ready = ready_[inst.rn];
+            // Combined authenticate-and-branch: the target is the
+            // authenticated pointer and resolves a QARMA latency
+            // later. A failed authentication poisons the target (or
+            // faults right here under FPAC); the branch to a poisoned
+            // target then faults at its fetch.
+            if (isa::isAuthBranch(inst.op)) {
+                const auto key = pacKey(isa::pacKeyOf(inst.op));
+                target = isa::authPointer(target, regs_[inst.rm], key);
+                target_ready = std::max(target_ready, ready_[inst.rm]) +
+                               cfg_.pacLat;
+                if (cfg_.fpac && !isa::isCanonical(target)) {
+                    return archFault(mem::Fault::Permission,
+                                     regs_[inst.rn],
+                                     "FPAC authentication failure");
+                }
+            }
+            const auto predicted = btb_.lookup(pc_);
+            const uint64_t resolve =
+                std::max(cycle_ + 1, target_ready) +
+                cfg_.branchResolveLat;
+            btb_.update(pc_, target);
+            if (inst.op == Opcode::BLR ||
+                inst.op == Opcode::BLRAA) {
+                regs_[isa::LR] = pc_ + isa::InstBytes;
+                ready_[isa::LR] = cycle_ + 1;
+            }
+            if (predicted && *predicted != target) {
+                ++stats_.branchMispredicts;
+                SpecContext ctx;
+                ctx.regs = regs_;
+                ctx.ready = ready_;
+                ctx.poison.fill(false);
+                ctx.taint.fill(false);
+                ctx.flags = flags_;
+                ctx.flagsReady = flagsReady_;
+                unsigned rob = cfg_.robSize;
+                speculate(*predicted, cycle_ + 1, resolve, ctx, rob, 0);
+                cycle_ = resolve + cfg_.redirectPenalty;
+                fetchGroup_ = 0;
+            } else if (!predicted) {
+                // BTB miss: the front end waits for the target.
+                cycle_ = resolve;
+                fetchGroup_ = 0;
+            }
+            next_pc = target;
+            break;
+          }
+
+          case InstClass::PacSign:
+          case InstClass::PacAuth: {
+            const uint64_t ptr = regs_[inst.rd];
+            uint64_t issue = std::max(cycle_ + 1, ready_[inst.rd]);
+            uint64_t value;
+            if (inst.op == Opcode::XPAC) {
+                value = isa::stripPac(ptr);
+            } else {
+                issue = std::max(issue, ready_[inst.rn]);
+                const auto key = pacKey(isa::pacKeyOf(inst.op));
+                const uint64_t mod = regs_[inst.rn];
+                value = isa::isPacSign(inst.op)
+                            ? isa::signPointer(ptr, mod, key)
+                            : isa::authPointer(ptr, mod, key);
+            }
+            // ARMv8.6 FPAC: authentication failure faults at the aut
+            // itself rather than poisoning the pointer.
+            if (cfg_.fpac && isa::isPacAuth(inst.op) &&
+                !isa::isCanonical(value)) {
+                return archFault(mem::Fault::Permission, ptr,
+                                 "FPAC authentication failure");
+            }
+            const uint64_t done = issue + cfg_.pacLat;
+            regs_[inst.rd] = value;
+            ready_[inst.rd] = done;
+            lastCompletion_ = std::max(lastCompletion_, done);
+            if (cfg_.autFence && isa::isPacAuth(inst.op)) {
+                // PAC-agnostic execution: implicit ISB after aut.
+                serialize(cfg_.isbDrain);
+            }
+            break;
+          }
+
+          case InstClass::System: {
+            switch (inst.op) {
+              case Opcode::MRS: {
+                const uint64_t issue = cycle_ + 1;
+                bool undef = false;
+                const uint64_t value =
+                    sysregRead(inst.sysreg, issue, &undef);
+                if (undef) {
+                    ExitStatus status;
+                    status.kind = el_ == 0 ? ExitKind::CrashEl0
+                                           : ExitKind::KernelPanic;
+                    status.pc = pc_;
+                    status.reason = strprintf(
+                        "undefined MRS of %s at EL%u (pc=0x%llx)",
+                        isa::sysRegName(inst.sysreg).c_str(), el_,
+                        (unsigned long long)pc_);
+                    return status;
+                }
+                regs_[inst.rd] = value;
+                ready_[inst.rd] = issue + cfg_.mrsLat;
+                lastCompletion_ =
+                    std::max(lastCompletion_, ready_[inst.rd]);
+                break;
+              }
+              case Opcode::MSR: {
+                if (!sysregWrite(inst.sysreg, regs_[inst.rd])) {
+                    ExitStatus status;
+                    status.kind = el_ == 0 ? ExitKind::CrashEl0
+                                           : ExitKind::KernelPanic;
+                    status.pc = pc_;
+                    status.reason = strprintf(
+                        "illegal MSR of %s at EL%u (pc=0x%llx)",
+                        isa::sysRegName(inst.sysreg).c_str(), el_,
+                        (unsigned long long)pc_);
+                    return status;
+                }
+                serialize(cfg_.mrsLat); // MSR is self-synchronizing here
+                break;
+              }
+              case Opcode::SVC: {
+                if (el_ != 0) {
+                    ExitStatus status;
+                    status.kind = ExitKind::KernelPanic;
+                    status.pc = pc_;
+                    status.reason = "nested SVC at EL1";
+                    return status;
+                }
+                ++stats_.syscalls;
+                sysregs_[size_t(SysReg::ELR_EL1)] =
+                    pc_ + isa::InstBytes;
+                sysregs_[size_t(SysReg::ESR_EL1)] = uint64_t(inst.imm);
+                el_ = 1;
+                serialize(cfg_.svcLat);
+                next_pc = sysregs_[size_t(SysReg::VBAR_EL1)];
+                break;
+              }
+              case Opcode::ERET: {
+                if (el_ != 1) {
+                    ExitStatus status;
+                    status.kind = ExitKind::CrashEl0;
+                    status.pc = pc_;
+                    status.reason = "ERET at EL0";
+                    return status;
+                }
+                el_ = 0;
+                serialize(cfg_.eretLat);
+                next_pc = sysregs_[size_t(SysReg::ELR_EL1)];
+                break;
+              }
+              case Opcode::HLT: {
+                ExitStatus status;
+                status.kind = ExitKind::Halted;
+                status.code = uint64_t(inst.imm);
+                status.pc = pc_;
+                return status;
+              }
+              case Opcode::BRK: {
+                ExitStatus status;
+                status.kind = ExitKind::Breakpoint;
+                status.code = uint64_t(inst.imm);
+                status.pc = pc_;
+                status.reason = strprintf("brk #%llu",
+                                          (unsigned long long)inst.imm);
+                return status;
+              }
+              default:
+                panic("unhandled system op %s",
+                      isa::opcodeName(inst.op).c_str());
+            }
+            break;
+          }
+
+          case InstClass::Barrier:
+            serialize(cfg_.isbDrain);
+            break;
+        }
+
+        pc_ = next_pc;
+    }
+
+    ExitStatus status;
+    status.kind = ExitKind::MaxInsts;
+    status.pc = pc_;
+    status.reason = "instruction budget exhausted";
+    return status;
+}
+
+void
+Core::speculate(Addr pc, uint64_t start, uint64_t deadline,
+                SpecContext ctx, unsigned &rob_budget, unsigned depth)
+{
+    if (depth > 8)
+        return;
+
+    uint64_t fetch_t = start;
+    unsigned group = 0;
+    const uint64_t l1_lat = mem_->config().lat.l1Hit;
+
+    while (true) {
+        if (fetch_t >= deadline || rob_budget == 0)
+            return;
+
+        const FetchedInst f = fetch(pc, true);
+        if (!f.ok) {
+            // Speculative fetch fault (e.g. fetching through a
+            // poisoned authenticated pointer): no architectural
+            // consequence, the wrong-path front end simply stalls.
+            ++stats_.specFaultsSuppressed;
+            return;
+        }
+        if (f.fetchLatency > l1_lat)
+            fetch_t += f.fetchLatency - l1_lat;
+        if (fetch_t >= deadline)
+            return;
+
+        --rob_budget;
+        ++stats_.wrongPathInsts;
+        if (++group >= cfg_.fetchWidth) {
+            group = 0;
+            ++fetch_t;
+        }
+
+        const Inst &inst = f.inst;
+        if (traceHook_)
+            traceHook_(TraceRecord{pc, inst, el_, true, fetch_t});
+        Addr next_pc = pc + isa::InstBytes;
+
+        switch (isa::instClass(inst.op)) {
+          case InstClass::Alu: {
+            uint64_t issue = fetch_t + 1;
+            bool poison = false;
+            bool taint = false;
+            auto use = [&](isa::RegIndex r) {
+                issue = std::max(issue, ctx.ready[r]);
+                poison |= ctx.poison[r];
+                taint |= ctx.taint[r];
+            };
+            if (isa::readsRn(inst))
+                use(inst.rn);
+            if (isa::readsRm(inst))
+                use(inst.rm);
+            if (isa::readsRdAsSource(inst))
+                use(inst.rd);
+            const uint64_t lat =
+                inst.op == Opcode::MUL ? cfg_.mulLat : cfg_.aluLat;
+            const AluOut out = aluExec(inst, ctx.regs[inst.rd],
+                                       ctx.regs[inst.rn],
+                                       ctx.regs[inst.rm]);
+            if (out.writes) {
+                ctx.regs[inst.rd] = out.value;
+                ctx.ready[inst.rd] = issue + lat;
+                ctx.poison[inst.rd] = poison;
+                ctx.taint[inst.rd] = taint;
+            }
+            if (out.setsFlags) {
+                ctx.flags = out.flags;
+                ctx.flagsReady = issue + lat;
+                ctx.flagsPoison = poison;
+            }
+            break;
+          }
+
+          case InstClass::Load:
+          case InstClass::Store: {
+            const bool is_load =
+                isa::instClass(inst.op) == InstClass::Load;
+            uint64_t issue = fetch_t + 1;
+            bool poison = ctx.poison[inst.rn];
+            bool taint = ctx.taint[inst.rn];
+            issue = std::max(issue, ctx.ready[inst.rn]);
+            if (regOffset(inst.op)) {
+                issue = std::max(issue, ctx.ready[inst.rm]);
+                poison |= ctx.poison[inst.rm];
+                taint |= ctx.taint[inst.rm];
+            }
+            if (!is_load) {
+                issue = std::max(issue, ctx.ready[inst.rd]);
+                poison |= ctx.poison[inst.rd];
+            }
+            if (is_load)
+                ctx.poison[inst.rd] = true; // until proven delivered
+
+            const bool blocked =
+                !cfg_.speculativeMemIssue || poison ||
+                (cfg_.pacTaint && taint) || issue >= deadline;
+            if (!blocked) {
+                const Addr va =
+                    ctx.regs[inst.rn] +
+                    (regOffset(inst.op) ? ctx.regs[inst.rm]
+                                        : uint64_t(inst.imm));
+                const auto res = mem_->access(
+                    is_load ? mem::AccessKind::Load
+                            : mem::AccessKind::Store,
+                    va, el_, true);
+                ++stats_.wrongPathMemOps;
+                if (res.fault != mem::Fault::None) {
+                    ++stats_.specFaultsSuppressed;
+                } else if (is_load) {
+                    // Speculative loads read committed memory; stores
+                    // modulate the hierarchy but never write data.
+                    ctx.regs[inst.rd] =
+                        mem_->loadValue(res, va, memSize(inst.op));
+                    ctx.ready[inst.rd] = issue + res.latency;
+                    ctx.poison[inst.rd] = false;
+                    ctx.taint[inst.rd] = false;
+                }
+            }
+            break;
+          }
+
+          case InstClass::BranchCond: {
+            const Addr taken_target = pc + uint64_t(inst.imm);
+            const bool predicted = predictor_.predict(pc);
+            const Addr pred_target =
+                predicted ? taken_target : next_pc;
+            bool actual;
+            bool op_poison;
+            uint64_t op_ready;
+            if (inst.op == Opcode::BCOND) {
+                actual = isa::condHolds(inst.cond, ctx.flags);
+                op_poison = ctx.flagsPoison;
+                op_ready = ctx.flagsReady;
+            } else {
+                const bool zero = ctx.regs[inst.rd] == 0;
+                actual = inst.op == Opcode::CBZ ? zero : !zero;
+                op_poison = ctx.poison[inst.rd];
+                op_ready = ctx.ready[inst.rd];
+            }
+            const uint64_t resolve =
+                std::max(fetch_t + 1, op_ready) + cfg_.branchResolveLat;
+            if (op_poison || resolve >= deadline) {
+                // Resolves after the outer squash (or never):
+                // prediction carries the wrong path to its end.
+                next_pc = pred_target;
+                break;
+            }
+            const Addr actual_target = actual ? taken_target : next_pc;
+            if (predicted == actual) {
+                next_pc = actual_target;
+                break;
+            }
+            // Nested misprediction inside the wrong path.
+            if (cfg_.eagerNestedSquash) {
+                speculate(pred_target, fetch_t + 1, resolve, ctx,
+                          rob_budget, depth + 1);
+                fetch_t = resolve + cfg_.redirectPenalty;
+                group = 0;
+                next_pc = actual_target;
+                break;
+            }
+            // Lazy squash: the inner branch never becomes oldest, so
+            // its wrong path runs until the outer branch resolves and
+            // its computed target is never fetched.
+            speculate(pred_target, fetch_t + 1, deadline, ctx,
+                      rob_budget, depth + 1);
+            return;
+          }
+
+          case InstClass::BranchDirect: {
+            if (inst.op == Opcode::BL) {
+                ctx.regs[isa::LR] = pc + isa::InstBytes;
+                ctx.ready[isa::LR] = fetch_t + 1;
+                ctx.poison[isa::LR] = false;
+                ctx.taint[isa::LR] = false;
+            }
+            next_pc = pc + uint64_t(inst.imm);
+            break;
+          }
+
+          case InstClass::BranchIndirect: {
+            const auto predicted = btb_.lookup(pc);
+            uint64_t target = ctx.regs[inst.rn];
+            bool tgt_poison = ctx.poison[inst.rn];
+            bool tgt_taint = cfg_.pacTaint && ctx.taint[inst.rn];
+            uint64_t target_ready = ctx.ready[inst.rn];
+            if (isa::isAuthBranch(inst.op)) {
+                const auto key = pacKey(isa::pacKeyOf(inst.op));
+                target = isa::authPointer(target, ctx.regs[inst.rm],
+                                          key);
+                tgt_poison |= ctx.poison[inst.rm];
+                target_ready = std::max(target_ready,
+                                        ctx.ready[inst.rm]) +
+                               cfg_.pacLat;
+                // Under FPAC the speculative auth failure is a
+                // suppressed fault: the target never materializes.
+                if (cfg_.fpac && !isa::isCanonical(target)) {
+                    ++stats_.specFaultsSuppressed;
+                    tgt_poison = true;
+                }
+                // STT-style taint applies to the internal auth
+                // output as well.
+                tgt_taint |= cfg_.pacTaint;
+            }
+            const uint64_t resolve =
+                std::max(fetch_t + 1, target_ready) +
+                cfg_.branchResolveLat;
+            if (inst.op == Opcode::BLR ||
+                inst.op == Opcode::BLRAA) {
+                ctx.regs[isa::LR] = pc + isa::InstBytes;
+                ctx.ready[isa::LR] = fetch_t + 1;
+                ctx.poison[isa::LR] = false;
+                ctx.taint[isa::LR] = false;
+            }
+            if (predicted) {
+                if (tgt_poison || tgt_taint || resolve >= deadline) {
+                    // Target unavailable before the outer squash:
+                    // the BTB prediction carries the wrong path.
+                    next_pc = *predicted;
+                    break;
+                }
+                if (*predicted == target) {
+                    next_pc = target;
+                    break;
+                }
+                if (cfg_.eagerNestedSquash) {
+                    // This is the instruction-PACMAN moment: execute
+                    // down the stale BTB target until the aut output
+                    // resolves, then squash eagerly and refetch from
+                    // the verified pointer while still speculative.
+                    speculate(*predicted, fetch_t + 1, resolve, ctx,
+                              rob_budget, depth + 1);
+                    fetch_t = resolve + cfg_.redirectPenalty;
+                    group = 0;
+                    next_pc = target;
+                    break;
+                }
+                speculate(*predicted, fetch_t + 1, deadline, ctx,
+                          rob_budget, depth + 1);
+                return;
+            }
+            // No BTB entry: fetch stalls until the target computes.
+            if (tgt_poison || tgt_taint || resolve >= deadline)
+                return;
+            fetch_t = resolve + cfg_.redirectPenalty;
+            group = 0;
+            next_pc = target;
+            break;
+          }
+
+          case InstClass::PacSign:
+          case InstClass::PacAuth: {
+            uint64_t issue = std::max(fetch_t + 1, ctx.ready[inst.rd]);
+            bool poison = ctx.poison[inst.rd];
+            uint64_t value;
+            if (inst.op == Opcode::XPAC) {
+                value = isa::stripPac(ctx.regs[inst.rd]);
+            } else {
+                issue = std::max(issue, ctx.ready[inst.rn]);
+                poison |= ctx.poison[inst.rn];
+                const auto key = pacKey(isa::pacKeyOf(inst.op));
+                const uint64_t mod = ctx.regs[inst.rn];
+                value = isa::isPacSign(inst.op)
+                            ? isa::signPointer(ctx.regs[inst.rd], mod,
+                                               key)
+                            : isa::authPointer(ctx.regs[inst.rd], mod,
+                                               key);
+            }
+            // Under FPAC a speculative authentication failure is a
+            // suppressed fault: the result never becomes available,
+            // so dependents (the transmission op) cannot issue — the
+            // same signal the poisoned-pointer path produces.
+            if (cfg_.fpac && isa::isPacAuth(inst.op) &&
+                !isa::isCanonical(value)) {
+                ++stats_.specFaultsSuppressed;
+                poison = true;
+            }
+            ctx.regs[inst.rd] = value;
+            ctx.ready[inst.rd] = issue + cfg_.pacLat;
+            ctx.poison[inst.rd] = poison;
+            // STT-style mitigation: PA outputs are tainted and may
+            // not speculatively form addresses.
+            ctx.taint[inst.rd] = cfg_.pacTaint;
+            if (cfg_.autFence && isa::isPacAuth(inst.op)) {
+                // Fence after aut: nothing younger executes under
+                // speculation.
+                return;
+            }
+            break;
+          }
+
+          case InstClass::System:
+            if (inst.op == Opcode::MRS) {
+                // Counter reads are harmless to execute speculatively.
+                bool undef = false;
+                const uint64_t issue = fetch_t + 1;
+                const uint64_t value =
+                    sysregRead(inst.sysreg, issue, &undef);
+                if (undef) {
+                    ctx.poison[inst.rd] = true;
+                } else {
+                    ctx.regs[inst.rd] = value;
+                    ctx.ready[inst.rd] = issue + cfg_.mrsLat;
+                    ctx.poison[inst.rd] = false;
+                    ctx.taint[inst.rd] = false;
+                }
+                break;
+            }
+            // MSR/SVC/ERET/HLT/BRK do not execute speculatively.
+            return;
+
+          case InstClass::Barrier:
+            // ISB/DSB serialize: younger wrong-path work never issues.
+            return;
+        }
+
+        pc = next_pc;
+    }
+}
+
+} // namespace pacman::cpu

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * The speculative out-of-order core model.
+ *
+ * The model is a dataflow-timed interpreter with explicit wrong-path
+ * execution:
+ *
+ *  - Architectural execution proceeds instruction by instruction; a
+ *    per-register ready-time scoreboard gives out-of-order dataflow
+ *    timing (an instruction issues when its sources are ready, not
+ *    when its predecessors finish).
+ *  - On a mispredicted branch, the wrong path is *actually executed*
+ *    against a speculative register context until the branch's
+ *    resolution time (bounded by the ROB size). Memory operations and
+ *    instruction fetches issued on the wrong path modulate the cache
+ *    and TLB hierarchy; their faults are recorded and suppressed.
+ *    Architectural state is untouched — exactly the asymmetry every
+ *    speculative-execution attack exploits.
+ *  - Nested mispredictions inside the wrong path recurse; with eager
+ *    squash enabled (the M1-like default), an inner branch redirects
+ *    speculative fetch to its computed target as soon as it resolves,
+ *    which is the behaviour the instruction PACMAN gadget requires
+ *    (Section 4.2).
+ *
+ * Faults reaching architectural execution terminate the run: an EL0
+ * fault models the OS killing the process ("crash"), an EL1 fault is
+ * a kernel panic — the events Pointer Authentication's
+ * security-by-crash design relies on, and which the attack avoids.
+ */
+
+#ifndef PACMAN_CPU_CORE_HH
+#define PACMAN_CPU_CORE_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "base/random.hh"
+#include "cpu/config.hh"
+#include "cpu/predictor.hh"
+#include "crypto/pac.hh"
+#include "isa/encoding.hh"
+#include "isa/inst.hh"
+#include "mem/hierarchy.hh"
+
+namespace pacman::cpu
+{
+
+/** Why a run() returned. */
+enum class ExitKind : uint8_t
+{
+    Halted,       //!< HLT executed
+    CrashEl0,     //!< architectural fault at EL0 (process killed)
+    KernelPanic,  //!< architectural fault at EL1
+    Breakpoint,   //!< BRK executed
+    MaxInsts,     //!< instruction budget exhausted
+};
+
+/** Exit details. */
+struct ExitStatus
+{
+    ExitKind kind = ExitKind::Halted;
+    uint64_t code = 0;        //!< HLT/BRK immediate
+    isa::Addr pc = 0;         //!< faulting / final pc
+    mem::Fault fault = mem::Fault::None;
+    std::string reason;       //!< human-readable description
+};
+
+/**
+ * One executed instruction, delivered to the trace hook: either an
+ * architecturally retired instruction or a wrong-path (speculative)
+ * one — letting tools watch exactly the asymmetry the attack uses.
+ */
+struct TraceRecord
+{
+    isa::Addr pc = 0;
+    isa::Inst inst;
+    unsigned el = 0;
+    bool speculative = false; //!< wrong-path execution
+    uint64_t cycle = 0;       //!< fetch-time of the instruction
+};
+
+/** Aggregate pipeline statistics. */
+struct CoreStats
+{
+    uint64_t instsRetired = 0;
+    uint64_t branches = 0;
+    uint64_t branchMispredicts = 0;
+    uint64_t wrongPathInsts = 0;
+    uint64_t wrongPathMemOps = 0;
+    uint64_t specFaultsSuppressed = 0;
+    uint64_t syscalls = 0;
+};
+
+/** The core. One instance per simulated hardware thread. */
+class Core
+{
+  public:
+    Core(const CoreConfig &cfg, mem::MemoryHierarchy *mem, Random *rng);
+
+    // --- Architectural state (host-side orchestration API) ---
+
+    uint64_t reg(unsigned idx) const;
+    void setReg(unsigned idx, uint64_t value);
+
+    isa::Addr pc() const { return pc_; }
+    void setPc(isa::Addr pc) { pc_ = pc; }
+
+    unsigned el() const { return el_; }
+    void setEl(unsigned el);
+
+    const isa::Pstate &flags() const { return flags_; }
+
+    /** Raw system-register access (no privilege check; host use). */
+    uint64_t sysreg(isa::SysReg reg) const;
+    void setSysreg(isa::SysReg reg, uint64_t value);
+
+    /** Current PA key material assembled from the key registers. */
+    crypto::PacKey pacKey(crypto::PacKeySelect sel) const;
+
+    /** Core cycle count (the dataflow "now"). */
+    uint64_t cycle() const { return cycle_; }
+
+    /** Pointer to the cycle counter (for timer devices). */
+    const uint64_t *cyclePtr() const { return &cycle_; }
+
+    // --- Execution ---
+
+    /**
+     * Run until an exit condition, executing at most @p max_insts
+     * architectural instructions.
+     */
+    ExitStatus run(uint64_t max_insts = 100'000'000);
+
+    // --- Structures and statistics ---
+
+    /**
+     * Install an execution-trace hook (nullptr to remove). Called
+     * for every architecturally executed and every wrong-path
+     * instruction; keep it cheap.
+     */
+    void setTraceHook(std::function<void(const TraceRecord &)> hook);
+
+    BimodalPredictor &predictor() { return predictor_; }
+    Btb &btb() { return btb_; }
+    const CoreStats &stats() const { return stats_; }
+    void resetStats() { stats_ = CoreStats{}; }
+    const CoreConfig &config() const { return cfg_; }
+    mem::MemoryHierarchy &mem() { return *mem_; }
+
+  private:
+    /** Speculative (wrong-path) execution context. */
+    struct SpecContext
+    {
+        std::array<uint64_t, isa::NumRegs> regs;
+        std::array<uint64_t, isa::NumRegs> ready;
+        std::array<bool, isa::NumRegs> poison; //!< no value (faulted)
+        std::array<bool, isa::NumRegs> taint;  //!< PA-output taint
+        isa::Pstate flags;
+        uint64_t flagsReady = 0;
+        bool flagsPoison = false;
+    };
+
+    /** Either a fault or the instruction + its sequencing times. */
+    struct FetchedInst
+    {
+        bool ok = false;
+        isa::Inst inst;
+        uint64_t fetchLatency = 0;
+    };
+
+    // Architectural-path helpers.
+    ExitStatus archFault(mem::Fault fault, isa::Addr addr,
+                         const char *what);
+    FetchedInst fetch(isa::Addr pc, bool speculative);
+    uint64_t sysregRead(isa::SysReg reg, uint64_t when, bool *undef);
+    bool sysregWrite(isa::SysReg reg, uint64_t value);
+    uint64_t ccsidrValue() const;
+    void serialize(uint64_t extra);
+
+    /**
+     * Execute the wrong path from @p pc until @p deadline (the
+     * resolution time of the oldest mispredicted branch), consuming
+     * @p rob_budget. @p depth caps recursion into nested wrong paths.
+     */
+    void speculate(isa::Addr pc, uint64_t start, uint64_t deadline,
+                   SpecContext ctx, unsigned &rob_budget, unsigned depth);
+
+    CoreConfig cfg_;
+    mem::MemoryHierarchy *mem_;
+    Random *rng_;
+
+    // Architectural state.
+    std::array<uint64_t, isa::NumRegs> regs_{};
+    isa::Pstate flags_;
+    isa::Addr pc_ = 0;
+    unsigned el_ = 0;
+    std::array<uint64_t, size_t(isa::SysReg::NumSysRegs)> sysregs_{};
+
+    // Dataflow timing state.
+    uint64_t cycle_ = 1000; //!< non-zero so "ready at 0" reads clean
+    std::array<uint64_t, isa::NumRegs> ready_{};
+    uint64_t flagsReady_ = 0;
+    uint64_t lastCompletion_ = 0;
+    unsigned fetchGroup_ = 0;
+
+    BimodalPredictor predictor_;
+    Btb btb_;
+    CoreStats stats_;
+    std::function<void(const TraceRecord &)> traceHook_;
+};
+
+} // namespace pacman::cpu
+
+#endif // PACMAN_CPU_CORE_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Branch prediction structures: a bimodal (2-bit counter) conditional
+ * predictor and a branch target buffer for indirect branches.
+ *
+ * The attack interacts with both: the conditional predictor is
+ * trained so the PACMAN gadget's guard branch mis-speculates into the
+ * gadget body, and the BTB supplies the (stale) predicted target of
+ * the gadget's indirect branch until the authenticated pointer
+ * resolves.
+ */
+
+#ifndef PACMAN_CPU_PREDICTOR_HH
+#define PACMAN_CPU_PREDICTOR_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "isa/pointer.hh"
+
+namespace pacman::cpu
+{
+
+/** Bimodal conditional-branch predictor (2-bit saturating counters). */
+class BimodalPredictor
+{
+  public:
+    /** @param entries Power-of-two table size. */
+    explicit BimodalPredictor(unsigned entries);
+
+    /** Predict taken/not-taken for the branch at @p pc. */
+    bool predict(isa::Addr pc) const;
+
+    /** Train with the resolved direction. */
+    void update(isa::Addr pc, bool taken);
+
+    /** Reset all counters to weakly not-taken. */
+    void reset();
+
+  private:
+    uint64_t indexOf(isa::Addr pc) const;
+
+    std::vector<uint8_t> counters_;
+};
+
+/** Direct-mapped branch target buffer. */
+class Btb
+{
+  public:
+    explicit Btb(unsigned entries);
+
+    /** Predicted target for the indirect branch at @p pc, if any. */
+    std::optional<isa::Addr> lookup(isa::Addr pc) const;
+
+    /** Record the resolved target. */
+    void update(isa::Addr pc, isa::Addr target);
+
+    /** Invalidate all entries. */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        isa::Addr tag = 0;
+        isa::Addr target = 0;
+    };
+
+    uint64_t indexOf(isa::Addr pc) const;
+
+    std::vector<Entry> entries_;
+};
+
+} // namespace pacman::cpu
+
+#endif // PACMAN_CPU_PREDICTOR_HH

@@ -1,0 +1,48 @@
+#include "timer.hh"
+
+namespace pacman::cpu
+{
+
+ThreadTimerDevice::ThreadTimerDevice(const uint64_t *cycle,
+                                     uint64_t incrementsPer1k,
+                                     uint64_t jitter, Random *rng)
+    : cycle_(cycle), incrementsPer1k_(incrementsPer1k), jitter_(jitter),
+      rng_(rng)
+{
+}
+
+uint64_t
+ThreadTimerDevice::valueAt(uint64_t cycle)
+{
+    uint64_t value = cycle * incrementsPer1k_ / 1000;
+    if (jitter_ > 0 && rng_) {
+        const int64_t noise = rng_->range(-int64_t(jitter_),
+                                          int64_t(jitter_));
+        value = uint64_t(int64_t(value) + noise);
+    }
+    // The real counter is monotonic; jitter must not reverse it.
+    if (value < lastValue_)
+        value = lastValue_;
+    lastValue_ = value;
+    return value;
+}
+
+uint64_t
+ThreadTimerDevice::read(uint64_t offset, unsigned size)
+{
+    (void)offset;
+    (void)size;
+    return valueAt(*cycle_);
+}
+
+void
+ThreadTimerDevice::write(uint64_t offset, uint64_t value, unsigned size)
+{
+    // Stores to the shared counter page are permitted (the real
+    // variable is ordinary memory) but have no effect on the model.
+    (void)offset;
+    (void)value;
+    (void)size;
+}
+
+} // namespace pacman::cpu

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Timer models (the paper's Table 1 inventory):
+ *
+ *  - the 24 MHz generic system counter (CNTPCT_EL0, EL0-readable);
+ *  - Apple's proprietary cycle/instruction counters PMC0/PMC1,
+ *    gated to EL1 unless PMCR0 grants EL0 access (which the paper's
+ *    kext does for reverse engineering);
+ *  - the multi-thread counter: a dedicated thread incrementing a
+ *    shared variable. Modelled as an uncacheable device page whose
+ *    value advances at a sub-cycle rate with jitter — the increment
+ *    loop's throughput on the second core — calibrated so the
+ *    distributions of Figure 7(b) (dTLB hit <= 27, miss >= 32,
+ *    threshold 30) reproduce.
+ */
+
+#ifndef PACMAN_CPU_TIMER_HH
+#define PACMAN_CPU_TIMER_HH
+
+#include <cstdint>
+
+#include "base/random.hh"
+#include "mem/hierarchy.hh"
+
+namespace pacman::cpu
+{
+
+/**
+ * The shared-variable counter maintained by the dedicated timer
+ * thread (paper Figure 4). Mapped into the attacker's address space
+ * as a device page; reads return the counter value at the time the
+ * load executes.
+ */
+class ThreadTimerDevice : public mem::Device
+{
+  public:
+    /**
+     * @param cycle            Pointer to the core's cycle counter.
+     * @param incrementsPer1k  Counter increments per 1000 core
+     *                         cycles (the timer thread's loop
+     *                         throughput). 450 reproduces Figure 7(b).
+     * @param jitter           Max +/- jitter, in counts, per read
+     *                         (scheduling and coherence noise).
+     * @param rng              Noise source.
+     */
+    ThreadTimerDevice(const uint64_t *cycle, uint64_t incrementsPer1k,
+                      uint64_t jitter, Random *rng);
+
+    uint64_t read(uint64_t offset, unsigned size) override;
+    void write(uint64_t offset, uint64_t value, unsigned size) override;
+
+    /** Counter value at @p cycle with jitter applied. */
+    uint64_t valueAt(uint64_t cycle);
+
+  private:
+    const uint64_t *cycle_;
+    uint64_t incrementsPer1k_;
+    uint64_t jitter_;
+    Random *rng_;
+    uint64_t lastValue_ = 0; //!< monotonicity guard under jitter
+};
+
+} // namespace pacman::cpu
+
+#endif // PACMAN_CPU_TIMER_HH

@@ -1,0 +1,36 @@
+#include "pac.hh"
+
+#include "base/bitfield.hh"
+#include "base/logging.hh"
+
+namespace pacman::crypto
+{
+
+const char *
+pacKeyName(PacKeySelect sel)
+{
+    switch (sel) {
+      case PacKeySelect::IA: return "IA";
+      case PacKeySelect::IB: return "IB";
+      case PacKeySelect::DA: return "DA";
+      case PacKeySelect::DB: return "DB";
+      case PacKeySelect::GA: return "GA";
+      default: panic("pacKeyName: bad key selector %d", int(sel));
+    }
+}
+
+uint16_t
+computePac(uint64_t canonical_ptr, uint64_t modifier, const PacKey &key,
+           unsigned pac_bits, int rounds)
+{
+    PACMAN_ASSERT(pac_bits >= 1 && pac_bits <= 16,
+                  "unsupported PAC width %u", pac_bits);
+    const Qarma64 cipher(key.w0, key.k0, rounds);
+    const uint64_t ct = cipher.encrypt(canonical_ptr, modifier);
+    // Truncate to the upper unused pointer bits' width. Taking the top
+    // bits of the ciphertext mirrors hardware, which slices the QARMA
+    // output into the PAC field.
+    return uint16_t(bits(ct, 63, 64 - pac_bits));
+}
+
+} // namespace pacman::crypto

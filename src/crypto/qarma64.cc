@@ -1,0 +1,309 @@
+#include "qarma64.hh"
+
+#include <array>
+
+#include "base/logging.hh"
+
+namespace pacman::crypto
+{
+
+namespace
+{
+
+using Cells = std::array<uint8_t, 16>;
+
+/** Round constants: hex expansion of pi, as in the QARMA paper. */
+constexpr uint64_t roundConst[8] = {
+    0x0000000000000000ull, 0x13198A2E03707344ull,
+    0xA4093822299F31D0ull, 0x082EFA98EC4E6C89ull,
+    0x452821E638D01377ull, 0xBE5466CF34E90C6Cull,
+    0x3F84D5B5B5470917ull, 0x9216D5D98979FB1Bull,
+};
+
+/** The reflection constant alpha. */
+constexpr uint64_t alpha = 0xC0AC29B7C97C50DDull;
+
+/** The three QARMA S-boxes and their inverses. */
+constexpr uint8_t sigma[3][16] = {
+    { 0, 14,  2, 10,  9, 15,  8, 11,  6,  4,  3,  7, 13, 12,  1,  5},
+    {10, 13, 14,  6, 15,  7,  3,  5,  9,  8,  0, 12, 11,  1,  2,  4},
+    {11,  6,  8, 15, 12,  0,  9, 14,  3,  7,  4,  5, 13,  2,  1, 10},
+};
+
+constexpr std::array<uint8_t, 16>
+invert(const uint8_t (&box)[16])
+{
+    std::array<uint8_t, 16> inv{};
+    for (int i = 0; i < 16; ++i)
+        inv[box[i]] = uint8_t(i);
+    return inv;
+}
+
+constexpr std::array<uint8_t, 16> sigmaInv[3] = {
+    invert(sigma[0]), invert(sigma[1]), invert(sigma[2]),
+};
+
+/** Cell permutation tau used by ShuffleCells. */
+constexpr uint8_t tau[16] = {
+    0, 11, 6, 13, 10, 1, 12, 7, 5, 14, 3, 8, 15, 4, 9, 2};
+
+/** Tweak cell permutation h. */
+constexpr uint8_t hPerm[16] = {
+    6, 5, 14, 15, 0, 1, 2, 3, 7, 12, 13, 4, 8, 9, 10, 11};
+
+constexpr std::array<uint8_t, 16>
+invertPerm(const uint8_t (&p)[16])
+{
+    std::array<uint8_t, 16> inv{};
+    for (int i = 0; i < 16; ++i)
+        inv[p[i]] = uint8_t(i);
+    return inv;
+}
+
+constexpr std::array<uint8_t, 16> tauInv = invertPerm(tau);
+constexpr std::array<uint8_t, 16> hPermInv = invertPerm(hPerm);
+
+/** Tweak cells stirred by the LFSR omega each round. */
+constexpr uint8_t lfsrCells[7] = {0, 1, 3, 4, 8, 11, 13};
+
+/**
+ * MixColumns rotation matrix M = Q = circ(0, rho, rho^2, rho): entry
+ * [i][j] is the left-rotation amount applied to cell a[j] of the column,
+ * with 0 on the diagonal meaning "multiply by zero" (cell omitted).
+ */
+constexpr uint8_t mixRot[4][4] = {
+    {0, 1, 2, 1},
+    {1, 0, 1, 2},
+    {2, 1, 0, 1},
+    {1, 2, 1, 0},
+};
+
+/** Unpack a 64-bit block into cells; cell 0 is the MSB nibble. */
+Cells
+toCells(uint64_t v)
+{
+    Cells c;
+    for (int i = 0; i < 16; ++i)
+        c[i] = uint8_t((v >> (60 - 4 * i)) & 0xf);
+    return c;
+}
+
+/** Pack cells back into a 64-bit block. */
+uint64_t
+fromCells(const Cells &c)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 16; ++i)
+        v |= uint64_t(c[i] & 0xf) << (60 - 4 * i);
+    return v;
+}
+
+/** Rotate a 4-bit cell left by @p n. */
+uint8_t
+rotCell(uint8_t cell, unsigned n)
+{
+    n &= 3;
+    return uint8_t(((cell << n) | (cell >> (4 - n))) & 0xf);
+}
+
+/** Forward LFSR omega: b3b2b1b0 -> (b0^b1) b3 b2 b1. */
+uint8_t
+lfsr(uint8_t x)
+{
+    const uint8_t b0 = x & 1;
+    const uint8_t b1 = (x >> 1) & 1;
+    return uint8_t((((b0 ^ b1) & 1) << 3) | (x >> 1));
+}
+
+/** Inverse LFSR: recover b0 as (b0^b1) ^ b1 = y3 ^ y0. */
+uint8_t
+lfsrInv(uint8_t x)
+{
+    const uint8_t b3 = (x >> 3) & 1;
+    const uint8_t b0 = x & 1;
+    return uint8_t(((x << 1) & 0xf) | ((b3 ^ b0) & 1));
+}
+
+/** ShuffleCells: out[i] = in[tau[i]]. */
+uint64_t
+shuffle(uint64_t v)
+{
+    const Cells in = toCells(v);
+    Cells out;
+    for (int i = 0; i < 16; ++i)
+        out[i] = in[tau[i]];
+    return fromCells(out);
+}
+
+uint64_t
+shuffleInv(uint64_t v)
+{
+    const Cells in = toCells(v);
+    Cells out;
+    for (int i = 0; i < 16; ++i)
+        out[i] = in[tauInv[i]];
+    return fromCells(out);
+}
+
+/**
+ * MixColumns: the state is a 4x4 cell matrix laid out row-major
+ * (cell index = 4*row + col); each column is multiplied by M.
+ */
+uint64_t
+mixColumns(uint64_t v)
+{
+    const Cells in = toCells(v);
+    Cells out;
+    for (int col = 0; col < 4; ++col) {
+        for (int row = 0; row < 4; ++row) {
+            uint8_t acc = 0;
+            for (int j = 0; j < 4; ++j) {
+                if (j == row)
+                    continue;
+                acc ^= rotCell(in[4 * j + col], mixRot[row][j]);
+            }
+            out[4 * row + col] = acc;
+        }
+    }
+    return fromCells(out);
+}
+
+/** SubCells with a given 16-entry S-box table. */
+uint64_t
+subCells(uint64_t v, const uint8_t *box)
+{
+    Cells c = toCells(v);
+    for (auto &cell : c)
+        cell = box[cell];
+    return fromCells(c);
+}
+
+/** One step of the tweak schedule: permute by h, then LFSR 7 cells. */
+uint64_t
+updateTweak(uint64_t tweak)
+{
+    const Cells in = toCells(tweak);
+    Cells out;
+    for (int i = 0; i < 16; ++i)
+        out[i] = in[hPerm[i]];
+    for (uint8_t idx : lfsrCells)
+        out[idx] = lfsr(out[idx]);
+    return fromCells(out);
+}
+
+/** Inverse tweak schedule step. */
+uint64_t
+downdateTweak(uint64_t tweak)
+{
+    Cells in = toCells(tweak);
+    for (uint8_t idx : lfsrCells)
+        in[idx] = lfsrInv(in[idx]);
+    Cells out;
+    for (int i = 0; i < 16; ++i)
+        out[i] = in[hPermInv[i]];
+    return fromCells(out);
+}
+
+/**
+ * Forward round: add round tweakey; for non-short rounds shuffle and
+ * mix; substitute cells.
+ */
+uint64_t
+forwardRound(uint64_t is, uint64_t tk, bool short_round, const uint8_t *box)
+{
+    is ^= tk;
+    if (!short_round) {
+        is = shuffle(is);
+        is = mixColumns(is);
+    }
+    return subCells(is, box);
+}
+
+/** Backward round: exact inverse of forwardRound. */
+uint64_t
+backwardRound(uint64_t is, uint64_t tk, bool short_round,
+              const uint8_t *box_inv)
+{
+    is = subCells(is, box_inv);
+    if (!short_round) {
+        is = mixColumns(is); // M is involutory
+        is = shuffleInv(is);
+    }
+    return is ^ tk;
+}
+
+/** Central pseudo-reflector with reflection key @p tk. */
+uint64_t
+pseudoReflect(uint64_t is, uint64_t tk)
+{
+    is = shuffle(is);
+    is = mixColumns(is);
+    is ^= tk;
+    return shuffleInv(is);
+}
+
+/** The orthomorphism o(x) = (x >>> 1) ^ (x >> 63). */
+uint64_t
+ortho(uint64_t x)
+{
+    return ((x >> 1) | (x << 63)) ^ (x >> 63);
+}
+
+/**
+ * Core QARMA-64 computation shared by encrypt and decrypt; the caller
+ * provides the (possibly swapped/adjusted) key material.
+ */
+uint64_t
+qarmaCore(uint64_t input, uint64_t tweak, uint64_t w0, uint64_t w1,
+          uint64_t k0, uint64_t k1, int rounds, const uint8_t *box,
+          const uint8_t *box_inv)
+{
+    uint64_t is = input ^ w0;
+
+    for (int i = 0; i < rounds; ++i) {
+        is = forwardRound(is, k0 ^ tweak ^ roundConst[i], i == 0, box);
+        tweak = updateTweak(tweak);
+    }
+
+    is = forwardRound(is, w1 ^ tweak, false, box);
+    is = pseudoReflect(is, k1);
+    is = backwardRound(is, w0 ^ tweak, false, box_inv);
+
+    for (int i = rounds - 1; i >= 0; --i) {
+        tweak = downdateTweak(tweak);
+        is = backwardRound(is, k0 ^ tweak ^ roundConst[i] ^ alpha, i == 0,
+                           box_inv);
+    }
+
+    return is ^ w1;
+}
+
+} // anonymous namespace
+
+Qarma64::Qarma64(uint64_t w0, uint64_t k0, int rounds, QarmaSbox sbox)
+    : w0_(w0), k0_(k0), rounds_(rounds)
+{
+    if (rounds < 1 || rounds > 8)
+        fatal("Qarma64: round count %d out of range [1, 8]", rounds);
+    const int idx = int(sbox);
+    sbox_ = sigma[idx];
+    sboxInv_ = sigmaInv[idx].data();
+}
+
+uint64_t
+Qarma64::encrypt(uint64_t plaintext, uint64_t tweak) const
+{
+    return qarmaCore(plaintext, tweak, w0_, ortho(w0_), k0_, k0_, rounds_,
+                     sbox_, sboxInv_);
+}
+
+uint64_t
+Qarma64::decrypt(uint64_t ciphertext, uint64_t tweak) const
+{
+    // Decryption swaps the whitening keys, adds alpha to the core key,
+    // and reflects with M(k0).
+    return qarmaCore(ciphertext, tweak, ortho(w0_), w0_, k0_ ^ alpha,
+                     mixColumns(k0_), rounds_, sbox_, sboxInv_);
+}
+
+} // namespace pacman::crypto

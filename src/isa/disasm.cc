@@ -1,0 +1,107 @@
+#include "disasm.hh"
+
+#include "base/stats.hh"
+#include "isa/encoding.hh"
+
+namespace pacman::isa
+{
+
+namespace
+{
+
+std::string
+target(uint64_t pc, int64_t offset)
+{
+    if (pc != 0)
+        return strprintf("0x%llx", (unsigned long long)(pc + offset));
+    return strprintf("%+lld", (long long)offset);
+}
+
+} // anonymous namespace
+
+std::string
+disassemble(const Inst &inst, uint64_t pc)
+{
+    const std::string op = opcodeName(inst.op);
+    const std::string rd = regName(inst.rd);
+    const std::string rn = regName(inst.rn);
+    const std::string rm = regName(inst.rm);
+
+    switch (inst.op) {
+      case Opcode::ADD: case Opcode::SUB: case Opcode::AND:
+      case Opcode::ORR: case Opcode::EOR: case Opcode::LSLV:
+      case Opcode::LSRV: case Opcode::ASRV: case Opcode::MUL:
+      case Opcode::SUBS: case Opcode::ADDS:
+        return op + " " + rd + ", " + rn + ", " + rm;
+      case Opcode::CMP:
+        return op + " " + rn + ", " + rm;
+      case Opcode::MOVR:
+        return op + " " + rd + ", " + rn;
+      case Opcode::ADDI: case Opcode::SUBI: case Opcode::ANDI:
+      case Opcode::ORRI: case Opcode::EORI: case Opcode::LSLI:
+      case Opcode::LSRI: case Opcode::ASRI: case Opcode::SUBSI:
+        return strprintf("%s %s, %s, #%lld", op.c_str(), rd.c_str(),
+                         rn.c_str(), (long long)inst.imm);
+      case Opcode::CMPI:
+        return strprintf("%s %s, #%lld", op.c_str(), rn.c_str(),
+                         (long long)inst.imm);
+      case Opcode::MOVZ: case Opcode::MOVK:
+        if (inst.hw != 0) {
+            return strprintf("%s %s, #0x%llx, lsl #%u", op.c_str(),
+                             rd.c_str(), (unsigned long long)inst.imm,
+                             16 * inst.hw);
+        }
+        return strprintf("%s %s, #0x%llx", op.c_str(), rd.c_str(),
+                         (unsigned long long)inst.imm);
+      case Opcode::LDR: case Opcode::LDRB:
+        return strprintf("%s %s, [%s, #%lld]", op.c_str(), rd.c_str(),
+                         rn.c_str(), (long long)inst.imm);
+      case Opcode::STR: case Opcode::STRB:
+        return strprintf("%s %s, [%s, #%lld]", op.c_str(), rd.c_str(),
+                         rn.c_str(), (long long)inst.imm);
+      case Opcode::LDRR: case Opcode::STRR:
+        return op + " " + rd + ", [" + rn + ", " + rm + "]";
+      case Opcode::B: case Opcode::BL:
+        return op + " " + target(pc, inst.imm);
+      case Opcode::BCOND:
+        return "b." + condName(inst.cond) + " " + target(pc, inst.imm);
+      case Opcode::CBZ: case Opcode::CBNZ:
+        return op + " " + rd + ", " + target(pc, inst.imm);
+      case Opcode::BR: case Opcode::BLR:
+        return op + " " + rn;
+      case Opcode::RET:
+        return inst.rn == LR ? op : op + " " + rn;
+      case Opcode::BRAA: case Opcode::BLRAA:
+        return op + " " + rn + ", " + rm;
+      case Opcode::RETAA:
+        return op;
+      case Opcode::PACIA: case Opcode::PACIB: case Opcode::PACDA:
+      case Opcode::PACDB: case Opcode::AUTIA: case Opcode::AUTIB:
+      case Opcode::AUTDA: case Opcode::AUTDB:
+        return op + " " + rd + ", " + rn;
+      case Opcode::XPAC:
+        return op + " " + rd;
+      case Opcode::MRS:
+        return op + " " + rd + ", " + sysRegName(inst.sysreg);
+      case Opcode::MSR:
+        return op + " " + sysRegName(inst.sysreg) + ", " + rd;
+      case Opcode::SVC: case Opcode::HLT: case Opcode::BRK:
+        return strprintf("%s #%lld", op.c_str(), (long long)inst.imm);
+      case Opcode::ERET: case Opcode::ISB: case Opcode::DSB:
+      case Opcode::NOP:
+        return op;
+      default:
+        return "?unk?";
+    }
+}
+
+std::string
+disassemble(InstWord word, uint64_t pc)
+{
+    const auto inst = decode(word);
+    if (!inst)
+        return strprintf(".word 0x%08x", word);
+    return disassemble(*inst, pc);
+}
+
+} // namespace pacman::isa

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * PARM64 disassembler: renders decoded instructions in an ARM-flavoured
+ * assembly syntax, used by traces, tests, and the gadget scanner's
+ * reports.
+ */
+
+#ifndef PACMAN_ISA_DISASM_HH
+#define PACMAN_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/inst.hh"
+
+namespace pacman::isa
+{
+
+/**
+ * Disassemble @p inst.
+ *
+ * @param pc If non-zero, branch targets are rendered as absolute
+ *           addresses instead of relative offsets.
+ */
+std::string disassemble(const Inst &inst, uint64_t pc = 0);
+
+/** Disassemble a raw instruction word (".word 0x..." if undecodable). */
+std::string disassemble(InstWord word, uint64_t pc = 0);
+
+} // namespace pacman::isa
+
+#endif // PACMAN_ISA_DISASM_HH

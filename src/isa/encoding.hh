@@ -1,0 +1,47 @@
+/**
+ * @file
+ * PARM64 binary encoding.
+ *
+ * Every instruction is one 32-bit word whose top byte is the opcode.
+ * The remaining 24 bits are format-specific:
+ *
+ *   R (reg)      : rd[23:19] rn[18:14] rm[13:9]
+ *   I (imm)      : rd[23:19] rn[18:14] imm14[13:0]   (signed)
+ *   M (movz/movk): rd[23:19] hw[18:17] imm16[16:1]
+ *   B (branch)   : imm24[23:0]                        (signed words)
+ *   C (b.cond)   : cond[23:20] imm20[19:0]            (signed words)
+ *   D (cbz/cbnz) : rt[23:19] imm19[18:0]              (signed words)
+ *   S (mrs/msr)  : rd[23:19] sysreg[18:9]
+ *   W (svc/hlt)  : imm16[15:0]
+ *
+ * Branch immediates in the decoded Inst are byte offsets (already
+ * scaled); memory-offset immediates are byte offsets as encoded.
+ */
+
+#ifndef PACMAN_ISA_ENCODING_HH
+#define PACMAN_ISA_ENCODING_HH
+
+#include <optional>
+
+#include "isa/inst.hh"
+
+namespace pacman::isa
+{
+
+/**
+ * Encode a decoded instruction.
+ * Calls fatal() if an immediate does not fit its field — encoding
+ * errors are programming errors in the code being assembled.
+ */
+InstWord encode(const Inst &inst);
+
+/**
+ * Decode one instruction word.
+ * @return nullopt for an unknown opcode byte (the CPU raises an
+ *         undefined-instruction exception; the scanner skips the word).
+ */
+std::optional<Inst> decode(InstWord word);
+
+} // namespace pacman::isa
+
+#endif // PACMAN_ISA_ENCODING_HH

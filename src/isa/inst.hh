@@ -1,0 +1,224 @@
+/**
+ * @file
+ * PARM64 instruction set: opcodes, condition codes, and the decoded
+ * instruction representation shared by the assembler, the CPU model,
+ * the disassembler, and the static gadget scanner.
+ *
+ * PARM64 is a fixed-width 32-bit encoding covering the ARMv8.3 subset
+ * the PACMAN attack touches: integer ALU ops, loads/stores, direct and
+ * indirect branches, the pac/aut pointer-authentication family,
+ * system-register access, syscalls and barriers.
+ */
+
+#ifndef PACMAN_ISA_INST_HH
+#define PACMAN_ISA_INST_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "crypto/pac.hh"
+#include "isa/registers.hh"
+#include "isa/sysreg.hh"
+
+namespace pacman::isa
+{
+
+/** Encoded instruction word. */
+using InstWord = uint32_t;
+
+/** Instruction byte size (fixed-width ISA). */
+constexpr unsigned InstBytes = 4;
+
+/** ARM-style condition codes for B.cond. */
+enum class Cond : uint8_t
+{
+    EQ = 0,  //!< Z
+    NE = 1,  //!< !Z
+    CS = 2,  //!< C
+    CC = 3,  //!< !C
+    MI = 4,  //!< N
+    PL = 5,  //!< !N
+    VS = 6,  //!< V
+    VC = 7,  //!< !V
+    HI = 8,  //!< C && !Z
+    LS = 9,  //!< !C || Z
+    GE = 10, //!< N == V
+    LT = 11, //!< N != V
+    GT = 12, //!< !Z && N == V
+    LE = 13, //!< Z || N != V
+    AL = 14, //!< always
+};
+
+/** Evaluate @p cond against PSTATE flags. */
+bool condHolds(Cond cond, const Pstate &flags);
+
+/** Condition mnemonic suffix ("eq", "ne", ...). */
+std::string condName(Cond cond);
+
+/** Parse a condition suffix; returns nullopt if unknown. */
+std::optional<Cond> parseCondName(const std::string &name);
+
+/**
+ * Opcodes. The numeric value is the top byte of the encoding; gaps
+ * leave room for growth without renumbering.
+ */
+enum class Opcode : uint8_t
+{
+    // --- ALU, register operands (R format: rd, rn, rm) ---
+    ADD = 0x01,
+    SUB = 0x02,
+    AND = 0x03,
+    ORR = 0x04,
+    EOR = 0x05,
+    LSLV = 0x06,
+    LSRV = 0x07,
+    ASRV = 0x08,
+    MUL = 0x09,
+    SUBS = 0x0A,   //!< sub, sets NZCV
+    ADDS = 0x0B,   //!< add, sets NZCV
+    CMP = 0x0C,    //!< SUBS discarding result (no rd write)
+    MOVR = 0x0D,   //!< rd := rn
+
+    // --- ALU, immediate (I format: rd, rn, imm14 signed) ---
+    ADDI = 0x10,
+    SUBI = 0x11,
+    ANDI = 0x12,
+    ORRI = 0x13,
+    EORI = 0x14,
+    LSLI = 0x15,
+    LSRI = 0x16,
+    ASRI = 0x17,
+    SUBSI = 0x18,  //!< subi, sets NZCV
+    CMPI = 0x19,   //!< SUBSI discarding result
+
+    // --- Wide immediates (M format: rd, hw, imm16) ---
+    MOVZ = 0x1C,   //!< rd := imm16 << (16*hw)
+    MOVK = 0x1D,   //!< rd[16*hw +: 16] := imm16
+
+    // --- Memory (I format: rt, [rn, #imm14]; R format for reg offset)
+    LDR = 0x20,    //!< 64-bit load
+    STR = 0x21,    //!< 64-bit store
+    LDRB = 0x22,   //!< byte load (zero-extended)
+    STRB = 0x23,   //!< byte store
+    LDRR = 0x24,   //!< rt := [rn + rm]
+    STRR = 0x25,   //!< [rn + rm] := rt
+
+    // --- Direct branches ---
+    B = 0x30,      //!< B format: imm24 word offset
+    BL = 0x31,     //!< branch with link
+    BCOND = 0x32,  //!< C format: cond, imm20 word offset
+    CBZ = 0x33,    //!< D format: rt, imm19 word offset
+    CBNZ = 0x34,
+
+    // --- Indirect branches (R format, rn = target) ---
+    BR = 0x38,
+    BLR = 0x39,
+    RET = 0x3A,    //!< rn defaults to LR
+
+    // --- Combined authenticate-and-branch (ARMv8.3; rn = signed
+    //     target, rm = modifier). A one-instruction verification +
+    //     transmission pair. ---
+    BRAA = 0x3C,
+    BLRAA = 0x3D,
+    RETAA = 0x3E,  //!< rn = LR, rm = SP by convention
+
+    // --- Pointer authentication (R format: rd = pointer in/out,
+    //     rn = modifier) ---
+    PACIA = 0x40,
+    PACIB = 0x41,
+    PACDA = 0x42,
+    PACDB = 0x43,
+    AUTIA = 0x48,
+    AUTIB = 0x49,
+    AUTDA = 0x4A,
+    AUTDB = 0x4B,
+    XPAC = 0x4F,   //!< strip PAC, no authentication
+
+    // --- System ---
+    MRS = 0x50,    //!< S format: rd, sysreg
+    MSR = 0x51,    //!< S format: rn(=rd field), sysreg
+    SVC = 0x52,    //!< W format: imm16 syscall number
+    ERET = 0x53,
+    ISB = 0x54,
+    DSB = 0x55,
+    NOP = 0x56,
+    HLT = 0x57,    //!< stop simulation, imm16 = exit code
+    BRK = 0x58,    //!< breakpoint exception
+};
+
+/** Broad instruction classes used by the pipeline and the scanner. */
+enum class InstClass : uint8_t
+{
+    Alu,
+    Load,
+    Store,
+    BranchDirect,
+    BranchCond,
+    BranchIndirect,
+    PacSign,
+    PacAuth,
+    System,
+    Barrier,
+};
+
+/**
+ * A decoded instruction. All fields are populated by the decoder;
+ * unused fields are zero.
+ */
+struct Inst
+{
+    Opcode op = Opcode::NOP;
+    RegIndex rd = 0;       //!< destination (or PAC pointer reg, or store data)
+    RegIndex rn = 0;       //!< first source / base / modifier / target
+    RegIndex rm = 0;       //!< second source / offset
+    Cond cond = Cond::AL;  //!< for BCOND
+    int64_t imm = 0;       //!< sign-extended immediate (byte offset for
+                           //!< branches, already scaled)
+    SysReg sysreg = SysReg::CNTPCT_EL0;
+    uint8_t hw = 0;        //!< MOVZ/MOVK halfword selector
+
+    bool operator==(const Inst &) const = default;
+};
+
+/** Mnemonic for an opcode ("add", "autia", ...). */
+std::string opcodeName(Opcode op);
+
+/** Classification used by the CPU pipeline and gadget scanner. */
+InstClass instClass(Opcode op);
+
+/** True for any load or store. */
+bool isMemOp(Opcode op);
+
+/** True for any branch (direct, conditional, indirect). */
+bool isBranch(Opcode op);
+
+/** True for BCOND / CBZ / CBNZ. */
+bool isCondBranch(Opcode op);
+
+/** True for BR / BLR / RET and the authenticating variants. */
+bool isIndirectBranch(Opcode op);
+
+/** True for BRAA / BLRAA / RETAA (authenticate-and-branch). */
+bool isAuthBranch(Opcode op);
+
+/** True for the pac* signing family. */
+bool isPacSign(Opcode op);
+
+/** True for the aut* family. */
+bool isPacAuth(Opcode op);
+
+/** Key selector used by a keyed pac/aut opcode. */
+crypto::PacKeySelect pacKeyOf(Opcode op);
+
+/** True if the instruction writes its rd field. */
+bool writesRd(const Inst &inst);
+
+/** True if the instruction reads its rn / rm / rd(as source) field. */
+bool readsRn(const Inst &inst);
+bool readsRm(const Inst &inst);
+bool readsRdAsSource(const Inst &inst);
+
+} // namespace pacman::isa
+
+#endif // PACMAN_ISA_INST_HH

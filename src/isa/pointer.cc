@@ -1,0 +1,26 @@
+#include "pointer.hh"
+
+namespace pacman::isa
+{
+
+uint64_t
+signPointer(uint64_t ptr, uint64_t modifier, const crypto::PacKey &key)
+{
+    const uint64_t canonical = stripPac(ptr);
+    const uint16_t pac =
+        crypto::computePac(canonical, modifier, key, PacBits);
+    return withExt(canonical, pac);
+}
+
+uint64_t
+authPointer(uint64_t ptr, uint64_t modifier, const crypto::PacKey &key)
+{
+    const uint64_t canonical = stripPac(ptr);
+    const uint16_t expected =
+        crypto::computePac(canonical, modifier, key, PacBits);
+    if (extPart(ptr) == expected)
+        return canonical;
+    return withExt(ptr, poisonExt(ptr));
+}
+
+} // namespace pacman::isa

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Virtual-address and PAC bit layout for the modelled platform.
+ *
+ * The platform matches the paper's macOS 12.2.1 / M1 configuration:
+ * 48-bit virtual addresses, 16 KB pages, and 16-bit PACs stored in the
+ * unused upper pointer bits.
+ *
+ * Layout of a 64-bit pointer:
+ *
+ *   63            48 47                                0
+ *  +----------------+----------------------------------+
+ *  | extension/PAC  |        48-bit virtual address    |
+ *  +----------------+----------------------------------+
+ *
+ * A *canonical* pointer carries the sign-extension of VA bit 47 in the
+ * extension field: 0x0000 for user pointers (bit 47 = 0) and 0xFFFF
+ * for kernel pointers (bit 47 = 1). Signing replaces the extension
+ * with the PAC; a failed authentication writes a *poison* extension
+ * (canonical value with two flipped bits, echoing ARM's error-code
+ * scheme), which is guaranteed non-canonical so any dereference raises
+ * a translation fault.
+ */
+
+#ifndef PACMAN_ISA_POINTER_HH
+#define PACMAN_ISA_POINTER_HH
+
+#include <cstdint>
+
+#include "crypto/pac.hh"
+
+namespace pacman::isa
+{
+
+/** Virtual / physical address types. */
+using Addr = uint64_t;
+
+constexpr unsigned VaBits = 48;
+constexpr unsigned PacBits = 64 - VaBits; // 16, as measured in the paper
+constexpr unsigned PageShift = 14;        // 16 KB pages
+constexpr uint64_t PageSize = 1ull << PageShift;
+constexpr uint64_t PageMask = PageSize - 1;
+
+/** The 48-bit virtual-address part of @p ptr. */
+constexpr Addr
+vaPart(uint64_t ptr)
+{
+    return ptr & ((1ull << VaBits) - 1);
+}
+
+/** The 16-bit extension (PAC field) of @p ptr. */
+constexpr uint16_t
+extPart(uint64_t ptr)
+{
+    return uint16_t(ptr >> VaBits);
+}
+
+/** True if VA bit 47 indicates a kernel (upper-half) address. */
+constexpr bool
+isKernelVa(uint64_t ptr)
+{
+    return (ptr >> (VaBits - 1)) & 1;
+}
+
+/** Canonical extension for the half @p ptr's VA lives in. */
+constexpr uint16_t
+canonicalExt(uint64_t ptr)
+{
+    return isKernelVa(ptr) ? 0xFFFF : 0x0000;
+}
+
+/** @p ptr with its extension replaced by @p ext. */
+constexpr uint64_t
+withExt(uint64_t ptr, uint16_t ext)
+{
+    return vaPart(ptr) | (uint64_t(ext) << VaBits);
+}
+
+/** @p ptr with the canonical extension (i.e. PAC stripped; XPAC). */
+constexpr uint64_t
+stripPac(uint64_t ptr)
+{
+    return withExt(ptr, canonicalExt(ptr));
+}
+
+/** True if @p ptr carries its canonical extension. */
+constexpr bool
+isCanonical(uint64_t ptr)
+{
+    return extPart(ptr) == canonicalExt(ptr);
+}
+
+/**
+ * Poison extension for authentication failures: the canonical value
+ * with bits 0 and 1 of the extension flipped (never canonical, and
+ * distinguishable from a wrong-PAC signed pointer in traces).
+ */
+constexpr uint16_t
+poisonExt(uint64_t ptr)
+{
+    return canonicalExt(ptr) ^ 0x0003;
+}
+
+/** Page number / page offset helpers. */
+constexpr uint64_t
+pageNumber(Addr va)
+{
+    return va >> PageShift;
+}
+
+constexpr uint64_t
+pageOffset(Addr va)
+{
+    return va & PageMask;
+}
+
+/**
+ * Sign @p ptr: compute the PAC of the canonicalized pointer under
+ * @p modifier and @p key and insert it in the extension field.
+ *
+ * Mirrors the pac* instructions: if the pointer is not canonical on
+ * entry (already signed), hardware would corrupt the PAC; we model the
+ * common case and sign the canonicalized value.
+ */
+uint64_t signPointer(uint64_t ptr, uint64_t modifier,
+                     const crypto::PacKey &key);
+
+/**
+ * Authenticate @p ptr: recompute the PAC and compare with the
+ * extension field.
+ *
+ * @return the canonical pointer on success, the poisoned pointer on
+ *         failure (exactly the aut* instruction contract: failures do
+ *         not fault here; the fault happens on dereference).
+ */
+uint64_t authPointer(uint64_t ptr, uint64_t modifier,
+                     const crypto::PacKey &key);
+
+} // namespace pacman::isa
+
+#endif // PACMAN_ISA_POINTER_HH

@@ -1,0 +1,47 @@
+#include "registers.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "base/logging.hh"
+#include "base/stats.hh"
+
+namespace pacman::isa
+{
+
+std::string
+regName(RegIndex reg)
+{
+    PACMAN_ASSERT(reg < NumRegs, "register index %u out of range", reg);
+    if (reg == SP)
+        return "sp";
+    return strprintf("x%u", reg);
+}
+
+int
+parseRegName(const std::string &name)
+{
+    std::string low(name);
+    std::transform(low.begin(), low.end(), low.begin(),
+                   [](unsigned char ch) { return std::tolower(ch); });
+
+    if (low == "sp")
+        return SP;
+    if (low == "fp")
+        return FP;
+    if (low == "lr")
+        return LR;
+    if (low.size() >= 2 && low[0] == 'x') {
+        int val = 0;
+        for (size_t i = 1; i < low.size(); ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(low[i])))
+                return -1;
+            val = val * 10 + (low[i] - '0');
+        }
+        if (val <= 30)
+            return val;
+    }
+    return -1;
+}
+
+} // namespace pacman::isa

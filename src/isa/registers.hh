@@ -1,0 +1,62 @@
+/**
+ * @file
+ * PARM64 general-purpose register definitions.
+ *
+ * PARM64 is the ARMv8.3-inspired ISA used throughout this reproduction.
+ * There are 32 addressable integer registers: X0..X30 plus SP (register
+ * index 31). X29 conventionally serves as the frame pointer and X30 as
+ * the link register, mirroring AAPCS64.
+ */
+
+#ifndef PACMAN_ISA_REGISTERS_HH
+#define PACMAN_ISA_REGISTERS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace pacman::isa
+{
+
+/** Register index type; valid values are 0..31. */
+using RegIndex = uint8_t;
+
+constexpr RegIndex NumRegs = 32;
+
+/** Named register constants. */
+enum : RegIndex
+{
+    X0 = 0, X1, X2, X3, X4, X5, X6, X7,
+    X8, X9, X10, X11, X12, X13, X14, X15,
+    X16, X17, X18, X19, X20, X21, X22, X23,
+    X24, X25, X26, X27, X28, X29, X30,
+    SP = 31,
+
+    FP = X29, //!< frame pointer alias
+    LR = X30, //!< link register alias
+};
+
+/** Render a register index as its assembly name ("x7", "sp", ...). */
+std::string regName(RegIndex reg);
+
+/**
+ * Parse an assembly register name. Accepts "x0".."x30", "sp", "fp",
+ * "lr" (case-insensitive).
+ *
+ * @return the register index, or -1 if @p name is not a register.
+ */
+int parseRegName(const std::string &name);
+
+/** NZCV condition flags (PSTATE subset relevant to PARM64). */
+struct Pstate
+{
+    bool n = false; //!< negative
+    bool z = false; //!< zero
+    bool c = false; //!< carry
+    bool v = false; //!< overflow
+
+    bool operator==(const Pstate &) const = default;
+};
+
+} // namespace pacman::isa
+
+#endif // PACMAN_ISA_REGISTERS_HH

@@ -1,0 +1,78 @@
+#include "sysreg.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <utility>
+#include <vector>
+
+namespace pacman::isa
+{
+
+namespace
+{
+
+const std::vector<std::pair<SysReg, const char *>> &
+sysRegTable()
+{
+    static const std::vector<std::pair<SysReg, const char *>> table = {
+        {SysReg::CNTPCT_EL0, "cntpct_el0"},
+        {SysReg::CNTFRQ_EL0, "cntfrq_el0"},
+        {SysReg::PMC0, "pmc0"},
+        {SysReg::PMC1, "pmc1"},
+        {SysReg::PMCR0, "pmcr0"},
+        {SysReg::CURRENT_EL, "currentel"},
+        {SysReg::APIAKEY_LO, "apiakeylo_el1"},
+        {SysReg::APIAKEY_HI, "apiakeyhi_el1"},
+        {SysReg::APIBKEY_LO, "apibkeylo_el1"},
+        {SysReg::APIBKEY_HI, "apibkeyhi_el1"},
+        {SysReg::APDAKEY_LO, "apdakeylo_el1"},
+        {SysReg::APDAKEY_HI, "apdakeyhi_el1"},
+        {SysReg::APDBKEY_LO, "apdbkeylo_el1"},
+        {SysReg::APDBKEY_HI, "apdbkeyhi_el1"},
+        {SysReg::APGAKEY_LO, "apgakeylo_el1"},
+        {SysReg::APGAKEY_HI, "apgakeyhi_el1"},
+        {SysReg::CLIDR_EL1, "clidr_el1"},
+        {SysReg::CSSELR_EL1, "csselr_el1"},
+        {SysReg::CCSIDR_EL1, "ccsidr_el1"},
+        {SysReg::TTBR0_EL1, "ttbr0_el1"},
+        {SysReg::TTBR1_EL1, "ttbr1_el1"},
+        {SysReg::ELR_EL1, "elr_el1"},
+        {SysReg::VBAR_EL1, "vbar_el1"},
+        {SysReg::ESR_EL1, "esr_el1"},
+    };
+    return table;
+}
+
+} // anonymous namespace
+
+std::string
+sysRegName(SysReg reg)
+{
+    for (const auto &[r, name] : sysRegTable()) {
+        if (r == reg)
+            return name;
+    }
+    return "sysreg#" + std::to_string(unsigned(reg));
+}
+
+int
+parseSysRegName(const std::string &name)
+{
+    std::string low(name);
+    std::transform(low.begin(), low.end(), low.begin(),
+                   [](unsigned char ch) { return std::tolower(ch); });
+    for (const auto &[r, n] : sysRegTable()) {
+        if (low == n)
+            return int(r);
+    }
+    return -1;
+}
+
+bool
+sysRegEl0Readable(SysReg reg)
+{
+    return reg == SysReg::CNTPCT_EL0 || reg == SysReg::CNTFRQ_EL0 ||
+           reg == SysReg::CURRENT_EL;
+}
+
+} // namespace pacman::isa

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * PARM64 system registers, accessed via MRS/MSR.
+ *
+ * The set mirrors the registers the paper interacts with on the M1:
+ * the generic timer, Apple's proprietary performance counters, the
+ * pointer-authentication key registers, cache-geometry identification
+ * registers, and the current exception level.
+ */
+
+#ifndef PACMAN_ISA_SYSREG_HH
+#define PACMAN_ISA_SYSREG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace pacman::isa
+{
+
+/**
+ * System register identifiers. The numeric values are the 10-bit field
+ * stored in MRS/MSR encodings.
+ */
+enum class SysReg : uint16_t
+{
+    // Generic timer (shared across cores, EL0-accessible by default).
+    CNTPCT_EL0 = 0,    //!< 24 MHz system counter
+    CNTFRQ_EL0 = 1,    //!< counter frequency (Hz)
+
+    // Apple proprietary performance counters (S3_2_c15_cN_0 on M1).
+    PMC0 = 2,          //!< cycle counter; EL1 unless PMCR0 grants EL0
+    PMC1 = 3,          //!< instruction counter; same gating
+    PMCR0 = 4,         //!< counter control; bit 30 grants EL0 access
+
+    // Current exception level, bits [3:2] as on aarch64.
+    CURRENT_EL = 5,
+
+    // Pointer authentication keys (EL1-only, like APxxKey_EL1).
+    APIAKEY_LO = 16, APIAKEY_HI = 17,
+    APIBKEY_LO = 18, APIBKEY_HI = 19,
+    APDAKEY_LO = 20, APDAKEY_HI = 21,
+    APDBKEY_LO = 22, APDBKEY_HI = 23,
+    APGAKEY_LO = 24, APGAKEY_HI = 25,
+
+    // Cache identification (CLIDR/CSSELR/CCSIDR-style, EL1-only).
+    CLIDR_EL1 = 32,    //!< cache level id: which levels exist
+    CSSELR_EL1 = 33,   //!< cache size selection (level | I/D bit)
+    CCSIDR_EL1 = 34,   //!< geometry of the selected cache
+
+    // Translation control (modelled coarsely; EL1-only).
+    TTBR0_EL1 = 40,    //!< user address-space root
+    TTBR1_EL1 = 41,    //!< kernel address-space root
+
+    // Exception handling (EL1-only).
+    ELR_EL1 = 42,      //!< exception link register
+    VBAR_EL1 = 43,     //!< exception vector base (syscall entry)
+    ESR_EL1 = 44,      //!< exception syndrome (svc immediate)
+
+    NumSysRegs = 48,
+};
+
+/**
+ * PMCR0 control bits (subset of Apple's register that the paper's kext
+ * manipulates).
+ */
+enum PmcrBits : uint64_t
+{
+    PMCR0_ENABLE = 1ull << 0,       //!< counters run
+    PMCR0_EL0_ACCESS = 1ull << 30,  //!< PMC0/PMC1 readable from EL0
+};
+
+/** Assembly name of a system register ("cntpct_el0", ...). */
+std::string sysRegName(SysReg reg);
+
+/** Parse a system register name; returns -1 if unknown. */
+int parseSysRegName(const std::string &name);
+
+/**
+ * True if @p reg may be read at EL0 regardless of configuration
+ * (only the generic timer qualifies, as on M1).
+ */
+bool sysRegEl0Readable(SysReg reg);
+
+} // namespace pacman::isa
+
+#endif // PACMAN_ISA_SYSREG_HH

@@ -1,0 +1,409 @@
+#include "kernel.hh"
+
+#include "asm/assembler.hh"
+#include "base/logging.hh"
+#include "isa/pointer.hh"
+
+namespace pacman::kernel
+{
+
+using asmjit::Assembler;
+using isa::SysReg;
+using namespace pacman::isa; // register names
+
+Kernel::Kernel(cpu::Core *core, mem::MemoryHierarchy *mem, Random *rng)
+    : core_(core), mem_(mem), rng_(rng)
+{
+}
+
+crypto::PacKey
+Kernel::key(crypto::PacKeySelect sel) const
+{
+    return core_->pacKey(sel);
+}
+
+uint16_t
+Kernel::truePac(Addr ptr, uint64_t modifier,
+                crypto::PacKeySelect sel) const
+{
+    return crypto::computePac(isa::stripPac(ptr), modifier, key(sel),
+                              isa::PacBits);
+}
+
+bool
+Kernel::winTriggered() const
+{
+    return mem_->readVirt64(KernelDataBase + WinFlagOff) == WinMagic;
+}
+
+void
+Kernel::clearWin()
+{
+    mem_->writeVirt64(KernelDataBase + WinFlagOff, 0);
+}
+
+Addr
+Kernel::symbol(const std::string &name) const
+{
+    return image_.symbol(name);
+}
+
+void
+Kernel::loadProgram(const asmjit::Program &prog)
+{
+    Addr addr = prog.base;
+    for (isa::InstWord word : prog.words) {
+        mem_->writeVirt(addr, word, 4);
+        addr += isa::InstBytes;
+    }
+}
+
+void
+Kernel::boot()
+{
+    // Per-boot Pointer Authentication keys: fresh secrets every boot,
+    // so a crash-restart cycle re-keys and invalidates learned PACs.
+    static const SysReg key_regs[] = {
+        SysReg::APIAKEY_LO, SysReg::APIAKEY_HI,
+        SysReg::APIBKEY_LO, SysReg::APIBKEY_HI,
+        SysReg::APDAKEY_LO, SysReg::APDAKEY_HI,
+        SysReg::APDBKEY_LO, SysReg::APDBKEY_HI,
+        SysReg::APGAKEY_LO, SysReg::APGAKEY_HI,
+    };
+    for (SysReg reg : key_regs)
+        core_->setSysreg(reg, rng_->next());
+
+    // Map kernel memory: code, trampolines, data, benign data.
+    mem::PageFlags kcode{.user = false, .writable = false,
+                         .executable = true, .device = false};
+    mem::PageFlags kdata{.user = false, .writable = true,
+                         .executable = false, .device = false};
+    mem_->mapRange(KernelCodeBase, 0x10000, kcode);
+    mem_->mapRange(TrampolineBase,
+                   uint64_t(TrampolineCount) * isa::PageSize, kcode);
+    mem_->mapRange(KernelDataBase, 0x10000, kdata);
+    // 64 pages of "benign" kernel data: stand-ins for the kernel
+    // objects an attacker would forge pointers to; multiple pages so
+    // oracle targets with many different dTLB set indices exist.
+    mem_->mapRange(BenignDataBase, 64 * isa::PageSize, kdata);
+
+    // Fixed-address utility functions live above the dispatcher so
+    // kexts can materialize their addresses with mov64. win() gets
+    // its own page: the instruction oracle distinguishes the fetch of
+    // the verified pointer from the BTB-predicted fetch of benign_fn,
+    // which requires them to live in different pages (Section 4.2).
+    benignFnAddr_ = KernelCodeBase + 0x8000;
+    winFnAddr_ = KernelCodeBase + 0xC000;
+
+    image_ = buildImage();
+    if (image_.end() > benignFnAddr_) {
+        fatal("kernel image overflows into fixed-function page "
+              "(end=0x%llx)", (unsigned long long)image_.end());
+    }
+    loadProgram(image_);
+    loadProgram(buildFixedFns());
+    buildTrampolines();
+
+    // Exception vector: SVC enters the dispatcher.
+    core_->setSysreg(SysReg::VBAR_EL1, image_.symbol("entry"));
+
+    // Kext data initialization.
+    mem_->writeVirt64(condSlot(), 0);
+    mem_->writeVirt64(modifierSlot(), 0);
+    clearWin();
+    initJump2WinObjects();
+
+    // Something recognizable at the benign data address.
+    mem_->writeVirt64(BenignDataBase, 0xB0B0'CAFE'F00Dull);
+}
+
+void
+Kernel::initJump2WinObjects()
+{
+    // Two adjacent heap objects (Figure 9 layout):
+    //   object1: 16-byte buf, 8-byte member
+    //   object2: vtable pointer (PA-protected), members...
+    const Addr obj1_buf = object1Buf();
+    const Addr obj2 = object2();
+    const Addr vtab = vtable();
+
+    for (unsigned i = 0; i < 3; ++i)
+        mem_->writeVirt64(obj1_buf + 8 * i, 0);
+
+    // object2.vtable = sign_DA(vtable, salt = object2 address).
+    mem_->writeVirt64(
+        obj2, isa::signPointer(vtab, obj2, key(crypto::PacKeySelect::DA)));
+
+    // vtable[0] = sign_IA(benign_method, salt = object2 address + 8)
+    // (the paper: "the salt is the object address plus a compile-time
+    // constant").
+    mem_->writeVirt64(vtab, isa::signPointer(
+        benignFnAddr_, obj2 + 8, key(crypto::PacKeySelect::IA)));
+}
+
+asmjit::Program
+Kernel::buildFixedFns()
+{
+    Assembler a(benignFnAddr_);
+
+    // benign_fn: the function legitimate signed code pointers target.
+    a.label("benign_fn");
+    a.nop();
+    a.ret();
+
+    // Pad to the fixed win() address (its own page; see boot()).
+    while (a.here() < winFnAddr_)
+        a.nop();
+
+    // win: proof of control-flow hijack — sets the win flag, then
+    // returns to userspace directly (a hijacker cannot rely on a
+    // sane link register, but ELR_EL1 still holds the syscall return
+    // point, so eret is the clean exit a real payload would pivot to).
+    a.label("win");
+    a.mov64(X9, KernelDataBase + WinFlagOff);
+    a.mov64(X10, WinMagic);
+    a.str(X10, X9, 0);
+    a.eret();
+
+    return a.finalize();
+}
+
+void
+Kernel::buildTrampolines()
+{
+    // One `ret` stub at the start of each trampoline page; used via
+    // SYS_FETCH_TRAMP to create kernel iTLB pressure from userspace
+    // (the instruction-oracle's eviction step, Section 8.1).
+    for (unsigned i = 0; i < TrampolineCount; ++i) {
+        Assembler a(TrampolineBase + uint64_t(i) * isa::PageSize);
+        a.ret();
+        loadProgram(a.finalize());
+    }
+}
+
+asmjit::Program
+Kernel::buildImage()
+{
+    Assembler a(KernelCodeBase);
+
+    // --- Syscall dispatcher -------------------------------------
+    a.label("entry");
+    struct Entry
+    {
+        Syscall num;
+        const char *label;
+    };
+    static const Entry table[] = {
+        {SYS_NOP, "h_nop"},
+        {SYS_SET_COND, "h_set_cond"},
+        {SYS_SET_MODIFIER, "h_set_modifier"},
+        {SYS_GADGET_DATA, "h_gadget_data"},
+        {SYS_GADGET_INST, "h_gadget_inst"},
+        {SYS_GET_LEGIT_DATA, "h_get_legit_data"},
+        {SYS_GET_LEGIT_INST, "h_get_legit_inst"},
+        {SYS_FETCH_TRAMP, "h_fetch_tramp"},
+        {SYS_TOUCH_DATA, "h_touch_data"},
+        {SYS_READ_CACHE_CFG, "h_read_cache_cfg"},
+        {SYS_ENABLE_PMC_EL0, "h_enable_pmc"},
+        {SYS_J2W_MEMCPY, "h_j2w_memcpy"},
+        {SYS_J2W_CALL, "h_j2w_call"},
+        {SYS_J2W_RESET, "h_j2w_reset"},
+        {SYS_R2W_CALL, "h_r2w_call"},
+        {SYS_GADGET_BRAA, "h_gadget_braa"},
+    };
+    for (const Entry &entry : table) {
+        a.cmpi(X16, int64_t(entry.num));
+        a.bcond(Cond::EQ, entry.label);
+    }
+    a.brk(0xBAD); // unknown syscall
+
+    a.label("h_nop");
+    a.eret();
+
+    // --- PACMAN-gadget kext --------------------------------------
+
+    a.label("h_set_cond");
+    a.mov64(X9, KernelDataBase);
+    a.str(X0, X9, int64_t(CondSlotOff));
+    a.eret();
+
+    a.label("h_set_modifier");
+    a.mov64(X9, KernelDataBase);
+    a.str(X0, X9, int64_t(ModifierSlotOff));
+    a.eret();
+
+    // Data PACMAN gadget (paper Figure 3(a)). The guard condition is
+    // loaded from memory, so its resolution time — and therefore the
+    // speculation window — is controlled by the attacker's TLB reset.
+    a.label("h_gadget_data");
+    a.mov64(X9, KernelDataBase);
+    a.ldr(X1, X9, int64_t(CondSlotOff));       // slow after TLB reset
+    a.ldr(X10, X9, int64_t(ModifierSlotOff));
+    a.cbnz(X1, "gd_body");
+    a.b("gd_out");
+    a.label("gd_body");
+    a.autda(X0, X10);                          // verification op
+    a.ldr(X2, X0, 0);                          // transmission op
+    a.label("gd_out");
+    a.eret();
+
+    // Instruction PACMAN gadget (paper Figure 3(b)).
+    a.label("h_gadget_inst");
+    a.mov64(X9, KernelDataBase);
+    a.ldr(X1, X9, int64_t(CondSlotOff));
+    a.ldr(X10, X9, int64_t(ModifierSlotOff));
+    a.cbnz(X1, "gi_body");
+    a.b("gi_out");
+    a.label("gi_body");
+    a.autia(X0, X10);                          // verification op
+    a.blr(X0);                                 // transmission op (BR2)
+    a.label("gi_out");
+    a.eret();
+
+    // Combined-instruction PACMAN gadget: braa folds the paper's
+    // verification and transmission operations into one ARMv8.3
+    // instruction. Notably, a fence-after-aut mitigation cannot be
+    // applied inside it.
+    a.label("h_gadget_braa");
+    a.mov64(X9, KernelDataBase);
+    a.ldr(X1, X9, int64_t(CondSlotOff));
+    a.ldr(X10, X9, int64_t(ModifierSlotOff));
+    a.cbnz(X1, "gb_body");
+    a.b("gb_out");
+    a.label("gb_body");
+    a.blraa(X0, X10);                          // verify + transmit
+    a.label("gb_out");
+    a.eret();
+
+    // Return a correctly signed data pointer (benign data, current
+    // modifier). Real PA kernels are full of validly signed pointers;
+    // the attacker uses one to train the gadget without crashing.
+    a.label("h_get_legit_data");
+    a.mov64(X9, KernelDataBase);
+    a.ldr(X10, X9, int64_t(ModifierSlotOff));
+    a.mov64(X0, BenignDataBase);
+    a.pacda(X0, X10);
+    a.eret();
+
+    a.label("h_get_legit_inst");
+    a.mov64(X9, KernelDataBase);
+    a.ldr(X10, X9, int64_t(ModifierSlotOff));
+    a.mov64(X0, benignFnAddr_);
+    a.pacia(X0, X10);
+    a.eret();
+
+    // Fetch the x0-th trampoline page as an instruction: lets EL0
+    // create kernel-iTLB set pressure (instruction-oracle step 5).
+    a.label("h_fetch_tramp");
+    a.mov64(X9, TrampolineBase);
+    a.lsli(X10, X0, unsigned(isa::PageShift));
+    a.add(X9, X9, X10);
+    a.blr(X9);
+    a.eret();
+
+    // Touch benign kernel data at byte offset x0 (dTLB experiments).
+    a.label("h_touch_data");
+    a.mov64(X9, BenignDataBase);
+    a.ldrr(X10, X9, X0);
+    a.eret();
+
+    // --- Reverse-engineering kext (Section 6) --------------------
+
+    // Read cache geometry: x0 = CSSELR selector -> returns CCSIDR.
+    a.label("h_read_cache_cfg");
+    a.msr(SysReg::CSSELR_EL1, X0);
+    a.mrs(X0, SysReg::CCSIDR_EL1);
+    a.eret();
+
+    // Expose PMC0/PMC1 to EL0 (the paper's reverse-engineering kext).
+    a.label("h_enable_pmc");
+    a.mov64(X9, uint64_t(isa::PMCR0_ENABLE) |
+                uint64_t(isa::PMCR0_EL0_ACCESS));
+    a.msr(SysReg::PMCR0, X9);
+    a.eret();
+
+    // --- jump2win kext (Section 8.3) ------------------------------
+
+    // memcpy(object1.buf, user_src, len) with no bounds check: the
+    // buffer overflow of Listing 1 / Figure 9.
+    a.label("h_j2w_memcpy");
+    a.mov64(X9, object1Buf());
+    a.movz(X10, 0);
+    a.label("j2w_copy_loop");
+    a.cmp(X10, X1);
+    a.bcond(Cond::GE, "j2w_copy_done");
+    a.add(X12, X0, X10);
+    a.ldrb(X11, X12, 0);
+    a.add(X13, X9, X10);
+    a.strb(X11, X13, 0);
+    a.addi(X10, X10, 1);
+    a.b("j2w_copy_loop");
+    a.label("j2w_copy_done");
+    a.eret();
+
+    // C++-style method dispatch on object2 (Listing 2): authenticate
+    // the vtable pointer (DA, salt = object), load and authenticate
+    // the method pointer (IA, salt = object + 8), call it.
+    a.label("h_j2w_call");
+    a.mov64(X9, object2());
+    a.ldr(X1, X9, 0);       // signed vtable pointer
+    a.mov(X10, X9);
+    a.autda(X1, X10);       // vtable_ptr = AUT(*object)
+    a.ldr(X2, X1, 0);       // signed method pointer
+    a.addi(X11, X9, 8);
+    a.autia(X2, X11);       // fp = AUT(vtable[0])
+    a.blr(X2);              // call fp
+    a.eret();
+
+    // --- ret2win kext -------------------------------------------
+    // A function with the paper's Figure 2 prologue/epilogue (return
+    // address signed against SP) and an unchecked stack-buffer copy:
+    // the return-address flavour of the control-flow hijack.
+    a.label("h_r2w_call");
+    a.mov64(X15, KernelStackTop);
+    a.mov(SP, X15);              // exception entry: kernel stack
+    a.bl("r2w_fn");
+    a.eret();
+    a.label("r2w_fn");
+    a.pacia(LR, SP);             // Figure 2(a): sign return address
+    a.subi(SP, SP, 0x40);
+    a.str(LR, SP, 0x30);
+    // memcpy(stack_buf @ sp+0x10, user_src = x0, len = x1): the
+    // 32-byte buffer overflows into the saved return address.
+    a.movz(X10, 0);
+    a.label("r2w_copy_loop");
+    a.cmp(X10, X1);
+    a.bcond(Cond::GE, "r2w_copy_done");
+    a.add(X12, X0, X10);
+    a.ldrb(X11, X12, 0);
+    a.add(X13, SP, X10);
+    a.addi(X13, X13, 0x10);
+    a.strb(X11, X13, 0);
+    a.addi(X10, X10, 1);
+    a.b("r2w_copy_loop");
+    a.label("r2w_copy_done");
+    a.ldr(LR, SP, 0x30);         // Figure 2(b): restore + verify
+    a.addi(SP, SP, 0x40);
+    a.autia(LR, SP);
+    a.ret();
+
+    // Re-sign and reset the objects from kernel context.
+    a.label("h_j2w_reset");
+    // object2.vtable = pacda(vtable, object2)
+    a.mov64(X9, object2());
+    a.mov64(X1, vtable());
+    a.mov(X10, X9);
+    a.pacda(X1, X10);
+    a.str(X1, X9, 0);
+    // vtable[0] = pacia(benign_fn, object2 + 8)
+    a.mov64(X2, benignFnAddr_);
+    a.addi(X11, X9, 8);
+    a.pacia(X2, X11);
+    a.mov64(X12, vtable());
+    a.str(X2, X12, 0);
+    a.eret();
+
+    return a.finalize();
+}
+
+} // namespace pacman::kernel

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * A miniature XNU-like kernel for the simulated machine.
+ *
+ * The kernel is genuine guest code: it is assembled into PARM64 at
+ * boot, mapped into the kernel half of the address space, and entered
+ * through SVC exactly like the real thing. It provides:
+ *
+ *  - per-boot random Pointer Authentication keys (restarting the
+ *    machine re-keys, which is why naive crash-and-retry brute force
+ *    fails against PA);
+ *  - a syscall dispatcher and a set of loadable "kexts":
+ *      * the PACMAN-gadget kext with both gadget flavours (the
+ *        paper's Section 8.1 victim),
+ *      * trampoline / data-touch helpers used by the reverse
+ *        engineering and iTLB-eviction steps,
+ *      * the reverse-engineering kext (cache-geometry reads, PMC0
+ *        exposure to EL0 — Section 6.1),
+ *      * the jump2win kext with a buffer overflow and a C++-style
+ *        method dispatch (Section 8.3).
+ */
+
+#ifndef PACMAN_KERNEL_KERNEL_HH
+#define PACMAN_KERNEL_KERNEL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "asm/program.hh"
+#include "base/random.hh"
+#include "cpu/core.hh"
+#include "crypto/pac.hh"
+#include "kernel/layout.hh"
+#include "mem/hierarchy.hh"
+
+namespace pacman::kernel
+{
+
+/** The kernel; one per Machine. */
+class Kernel
+{
+  public:
+    Kernel(cpu::Core *core, mem::MemoryHierarchy *mem, Random *rng);
+
+    /**
+     * Boot: generate keys, assemble and load the kernel image, map
+     * kernel memory, initialize kext data, set VBAR.
+     */
+    void boot();
+
+    /** The assembled kernel image (input to the gadget scanner). */
+    const asmjit::Program &image() const { return image_; }
+
+    /** Address of a kernel symbol (dispatcher/kext labels). */
+    Addr symbol(const std::string &name) const;
+
+    // --- Layout knowledge the paper's threat model grants ---
+
+    /** Kernel data slots read by the PACMAN gadget. */
+    Addr condSlot() const { return KernelDataBase + CondSlotOff; }
+    Addr modifierSlot() const { return KernelDataBase + ModifierSlotOff; }
+
+    /** Benign data address legit signed pointers point to. */
+    Addr benignData() const { return BenignDataBase; }
+
+    /** Benign kernel function (training target for blr gadgets). */
+    Addr benignFn() const { return benignFnAddr_; }
+
+    /** The win() function (jump2win's goal). */
+    Addr winFn() const { return winFnAddr_; }
+
+    /** jump2win object addresses. */
+    Addr object1Buf() const { return KernelDataBase + ObjectsOff; }
+    Addr object2() const { return KernelDataBase + ObjectsOff + 24; }
+    Addr vtable() const { return KernelDataBase + VtableOff; }
+
+    // --- Host-side introspection (ground truth for tests; the
+    //     attack code never calls these) ---
+
+    /** Key material (EL1 secret). */
+    crypto::PacKey key(crypto::PacKeySelect sel) const;
+
+    /** The PAC hardware would produce for (@p ptr, @p modifier). */
+    uint16_t truePac(Addr ptr, uint64_t modifier,
+                     crypto::PacKeySelect sel) const;
+
+    /** True once win() has executed. */
+    bool winTriggered() const;
+
+    /** Clear the win flag (between experiments). */
+    void clearWin();
+
+    /** Reinitialize the jump2win objects and their signed pointers. */
+    void initJump2WinObjects();
+
+  private:
+    /** Assemble the dispatcher + kext code. */
+    asmjit::Program buildImage();
+
+    /** Assemble the fixed-address utility functions (benign, win). */
+    asmjit::Program buildFixedFns();
+
+    /** Assemble the trampoline stubs. */
+    void buildTrampolines();
+
+    /** Load a program's words into (mapped) kernel memory. */
+    void loadProgram(const asmjit::Program &prog);
+
+    cpu::Core *core_;
+    mem::MemoryHierarchy *mem_;
+    Random *rng_;
+    asmjit::Program image_;
+    Addr benignFnAddr_ = 0;
+    Addr winFnAddr_ = 0;
+};
+
+} // namespace pacman::kernel
+
+#endif // PACMAN_KERNEL_KERNEL_HH

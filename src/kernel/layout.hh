@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The machine's virtual memory map.
+ *
+ * User half (VA bit 47 = 0):
+ *   0x0000'4000'0000  user code (attacker routines)
+ *   0x0000'6000'0000  user data (argument/result arrays)
+ *   0x0000'7F00'0000  timer device page (shared counter)
+ *   0x0001'0000'0000  eviction-set arena (sparse, hundreds of MB)
+ *   0x0002'0000'0000  JIT region (user-executable, Figure 5(c))
+ *
+ * Kernel half (VA bit 47 = 1, extension 0xFFFF):
+ *   0xFFFF'8000'0010'0000  kernel code (dispatcher + kexts)
+ *   0xFFFF'8000'0100'0000  trampoline region (256 executable pages)
+ *   0xFFFF'8000'0200'0000  kernel data (gadget slots, objects, flags)
+ *   0xFFFF'8000'0300'0000  benign kernel data page (oracle targets)
+ */
+
+#ifndef PACMAN_KERNEL_LAYOUT_HH
+#define PACMAN_KERNEL_LAYOUT_HH
+
+#include "isa/pointer.hh"
+
+namespace pacman::kernel
+{
+
+using isa::Addr;
+
+// --- User half ---
+constexpr Addr UserCodeBase = 0x0000'4000'0000ull;
+constexpr Addr UserDataBase = 0x0000'6000'0000ull;
+constexpr Addr UserStackTop = 0x0000'7000'0000ull;
+constexpr Addr NoiseArena = 0x0000'5000'0000ull;
+constexpr Addr TimerPage = 0x0000'7F00'0000ull;
+constexpr Addr EvictionArena = 0x0001'0000'0000ull;
+constexpr Addr JitBase = 0x0002'0000'0000ull;
+
+// --- Kernel half ---
+constexpr Addr KernelBase = 0xFFFF'8000'0000'0000ull;
+constexpr Addr KernelCodeBase = KernelBase + 0x0010'0000ull;
+constexpr Addr TrampolineBase = KernelBase + 0x0100'0000ull;
+constexpr unsigned TrampolineCount = 256;
+constexpr Addr KernelDataBase = KernelBase + 0x0200'0000ull;
+constexpr Addr BenignDataBase = KernelBase + 0x0300'0000ull;
+
+// --- Kernel data offsets (from KernelDataBase) ---
+constexpr uint64_t CondSlotOff = 0x0;       //!< gadget guard value
+constexpr uint64_t ModifierSlotOff = 0x8;   //!< gadget PA modifier
+constexpr uint64_t WinFlagOff = 0x100;      //!< set by win()
+constexpr uint64_t ObjectsOff = 0x4000;     //!< jump2win heap objects
+                                            //!< (own page)
+constexpr uint64_t VtableOff = 0x8000;      //!< object2's real vtable
+
+/**
+ * Kernel stack for the ret2win kext (grows down from the end of the
+ * kernel-data region; its own page, clear of the other kext data).
+ */
+constexpr Addr KernelStackTop = KernelDataBase + 0x10000;
+
+/** The value win() writes into the win flag. */
+constexpr uint64_t WinMagic = 0x57494E21ull; // "WIN!"
+
+// --- Syscall numbers ---
+enum Syscall : uint16_t
+{
+    SYS_NOP = 0,
+    SYS_SET_COND = 1,       //!< x0 -> cond slot
+    SYS_SET_MODIFIER = 2,   //!< x0 -> modifier slot
+    SYS_GADGET_DATA = 3,    //!< x0 = signed pointer (data gadget)
+    SYS_GADGET_INST = 4,    //!< x0 = signed pointer (inst gadget)
+    SYS_GET_LEGIT_DATA = 5, //!< returns a validly signed data pointer
+    SYS_GET_LEGIT_INST = 6, //!< returns a validly signed code pointer
+    SYS_FETCH_TRAMP = 7,    //!< x0 = trampoline index; fetches it
+    SYS_TOUCH_DATA = 8,     //!< x0 = byte offset into benign data
+    SYS_READ_CACHE_CFG = 9, //!< x0 = CSSELR value; returns CCSIDR
+    SYS_ENABLE_PMC_EL0 = 10, //!< grant EL0 access to PMC0/PMC1
+    SYS_J2W_MEMCPY = 11,    //!< x0 = user src, x1 = len (overflowable)
+    SYS_J2W_CALL = 12,      //!< virtual dispatch on object2
+    SYS_J2W_RESET = 13,     //!< re-initialize the jump2win objects
+    SYS_R2W_CALL = 14,      //!< x0 = user src, x1 = len: calls a
+                            //!< function with a PA-protected return
+                            //!< address and a stack buffer overflow
+    SYS_GADGET_BRAA = 15,   //!< x0 = signed pointer: the combined
+                            //!< authenticate-and-branch gadget
+};
+
+} // namespace pacman::kernel
+
+#endif // PACMAN_KERNEL_LAYOUT_HH

@@ -1,0 +1,127 @@
+#include "machine.hh"
+
+#include "base/logging.hh"
+#include "base/stats.hh"
+#include "kernel/layout.hh"
+
+namespace pacman::kernel
+{
+
+MachineConfig
+defaultMachineConfig()
+{
+    MachineConfig cfg;
+    cfg.hier = mem::m1PCoreConfig();
+    return cfg;
+}
+
+Machine::Machine(const MachineConfig &cfg)
+    : cfg_(cfg), rng_(cfg.seed), mem_(cfg.hier, &rng_),
+      core_(cfg.core, &mem_, &rng_),
+      timer_(core_.cyclePtr(), cfg.timerRatePer1k, cfg.timerJitter,
+             &rng_),
+      kernel_(&core_, &mem_, &rng_)
+{
+    // The shared-counter page is mapped into userspace once, at a
+    // fixed address every process knows.
+    mem_.mapDevice(TimerPage, &timer_);
+
+    // Noise arena: 512 user pages spanning every dTLB set twice, used
+    // by the ambient-activity model.
+    mem_.mapRange(NoiseArena, 512 * isa::PageSize,
+                  mem::PageFlags{.user = true, .writable = true,
+                                 .executable = false, .device = false});
+
+    kernel_.boot();
+}
+
+cpu::ExitStatus
+Machine::runGuest(isa::Addr pc, std::initializer_list<uint64_t> args)
+{
+    core_.setEl(0);
+    core_.setPc(pc);
+    unsigned idx = 0;
+    for (uint64_t arg : args)
+        core_.setReg(idx++, arg);
+    return core_.run();
+}
+
+uint64_t
+Machine::call(isa::Addr pc, std::initializer_list<uint64_t> args)
+{
+    const cpu::ExitStatus status = runGuest(pc, args);
+    if (status.kind != cpu::ExitKind::Halted) {
+        fatal("guest run at 0x%llx did not halt cleanly: %s",
+              (unsigned long long)pc, status.reason.c_str());
+    }
+    return core_.reg(0);
+}
+
+std::string
+Machine::statsReport()
+{
+    const cpu::CoreStats &cs = core_.stats();
+    TextTable table;
+    table.header({"Statistic", "Value"});
+    auto row = [&](const char *name, uint64_t value) {
+        table.row({name, strprintf("%llu", (unsigned long long)value)});
+    };
+    row("cycles", core_.cycle());
+    row("instructions retired", cs.instsRetired);
+    row("syscalls", cs.syscalls);
+    row("branches", cs.branches);
+    row("branch mispredicts", cs.branchMispredicts);
+    row("wrong-path instructions", cs.wrongPathInsts);
+    row("wrong-path memory ops", cs.wrongPathMemOps);
+    row("speculative faults suppressed", cs.specFaultsSuppressed);
+
+    auto structure = [&](const char *name, uint64_t hits,
+                         uint64_t misses) {
+        const uint64_t total = hits + misses;
+        table.row({name,
+                   strprintf("%llu hits / %llu misses (%.1f%% hit)",
+                             (unsigned long long)hits,
+                             (unsigned long long)misses,
+                             total ? 100.0 * double(hits) /
+                                         double(total)
+                                   : 0.0)});
+    };
+    structure("L1I", mem_.l1i().hits(), mem_.l1i().misses());
+    structure("L1D", mem_.l1d().hits(), mem_.l1d().misses());
+    structure("L2", mem_.l2().hits(), mem_.l2().misses());
+    structure("iTLB (EL0)", mem_.itlb(0).hits(), mem_.itlb(0).misses());
+    structure("iTLB (EL1)", mem_.itlb(1).hits(), mem_.itlb(1).misses());
+    structure("dTLB", mem_.dtlb().hits(), mem_.dtlb().misses());
+    structure("L2 TLB", mem_.l2tlb().hits(), mem_.l2tlb().misses());
+    return table.render();
+}
+
+void
+Machine::injectNoise()
+{
+    if (cfg_.noiseProbability <= 0.0 ||
+        !rng_.chance(cfg_.noiseProbability)) {
+        return;
+    }
+    // Ambient system activity: demand accesses to random pages,
+    // disturbing TLB and cache state the way background processes
+    // do. User-side noise touches the noise arena (every dTLB set);
+    // kernel-side noise touches the trampoline region (every set,
+    // as data and occasionally as instruction fetches).
+    for (unsigned i = 0; i < cfg_.noisePages; ++i) {
+        const bool kernel_side = rng_.chance(0.4);
+        if (kernel_side) {
+            const Addr va = TrampolineBase +
+                            rng_.next(TrampolineCount) * isa::PageSize;
+            const auto kind = rng_.chance(0.3) ? mem::AccessKind::Fetch
+                                               : mem::AccessKind::Load;
+            mem_.access(kind, va, 1, false);
+        } else {
+            const Addr va = NoiseArena + rng_.next(512) * isa::PageSize +
+                            rng_.next(256) * 64;
+            mem_.access(mem::AccessKind::Load, va, 0, false);
+        }
+    }
+}
+
+} // namespace pacman::kernel

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The simulated machine: one core, its memory hierarchy, the timer
+ * devices, and a booted kernel. This is the top-level object that
+ * examples, tests, benches, and the attack library instantiate.
+ */
+
+#ifndef PACMAN_KERNEL_MACHINE_HH
+#define PACMAN_KERNEL_MACHINE_HH
+
+#include <memory>
+
+#include "base/random.hh"
+#include "cpu/core.hh"
+#include "cpu/timer.hh"
+#include "kernel/kernel.hh"
+#include "mem/hierarchy.hh"
+
+namespace pacman::kernel
+{
+
+/** Machine-level configuration. */
+struct MachineConfig
+{
+    cpu::CoreConfig core;
+    mem::HierarchyConfig hier;
+    uint64_t seed = 42;
+
+    /**
+     * Thread-timer throughput (counts per 1000 cycles) and jitter.
+     * Calibrated so a dTLB-hit measurement never exceeds ~28 counts
+     * and a dTLB miss never drops below ~32 — reproducing Figure 7(b)
+     * and the paper's threshold of 30.
+     */
+    uint64_t timerRatePer1k = 400;
+    uint64_t timerJitter = 1;
+
+    /**
+     * Background-noise model: probability that ambient activity
+     * (other processes, interrupts) perturbs TLB state between guest
+     * invocations, and how many random pages each perturbation
+     * touches. Models the paper's "browsing + video call" load.
+     */
+    double noiseProbability = 0.0;
+    unsigned noisePages = 4;
+};
+
+/** Default M1-p-core machine configuration. */
+MachineConfig defaultMachineConfig();
+
+/** A booted simulated machine. */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &cfg = defaultMachineConfig());
+
+    cpu::Core &core() { return core_; }
+    mem::MemoryHierarchy &mem() { return mem_; }
+    Kernel &kernel() { return kernel_; }
+    Random &rng() { return rng_; }
+    const MachineConfig &config() const { return cfg_; }
+
+    /**
+     * Run guest code at @p pc in EL0 until HLT; returns x0.
+     * Calls fatal() if the guest crashes — callers that expect
+     * crashes use runGuest() instead.
+     */
+    uint64_t call(isa::Addr pc, std::initializer_list<uint64_t> args = {});
+
+    /** Run guest code at @p pc in EL0; returns the raw exit status. */
+    cpu::ExitStatus runGuest(isa::Addr pc,
+                             std::initializer_list<uint64_t> args = {});
+
+    /**
+     * Inject ambient micro-architectural noise per the configured
+     * noise model (called between attack steps by the harnesses).
+     */
+    void injectNoise();
+
+    /**
+     * Render a human-readable table of core and hierarchy statistics
+     * (instructions, branches, mispredicts, wrong-path activity,
+     * per-structure hit rates).
+     */
+    std::string statsReport();
+
+  private:
+    MachineConfig cfg_;
+    Random rng_;
+    mem::MemoryHierarchy mem_;
+    cpu::Core core_;
+    cpu::ThreadTimerDevice timer_;
+    Kernel kernel_;
+};
+
+} // namespace pacman::kernel
+
+#endif // PACMAN_KERNEL_MACHINE_HH

@@ -1,0 +1,122 @@
+#include "cache.hh"
+
+#include "base/bitfield.hh"
+#include "base/logging.hh"
+
+namespace pacman::mem
+{
+
+Cache::Cache(const SetAssocConfig &cfg, ReplPolicy policy, Random *rng)
+    : cfg_(cfg), policy_(policy), rng_(rng),
+      lines_(size_t(cfg.sets) * cfg.ways)
+{
+    if (!isPowerOf2(cfg.sets))
+        fatal("cache %s: set count %u not a power of two",
+              cfg.name.c_str(), cfg.sets);
+    if (!isPowerOf2(cfg.lineBytes))
+        fatal("cache %s: line size %u not a power of two",
+              cfg.name.c_str(), cfg.lineBytes);
+    if (policy_ == ReplPolicy::Random && rng_ == nullptr)
+        fatal("cache %s: random replacement requires an RNG",
+              cfg.name.c_str());
+}
+
+uint64_t
+Cache::lineNumber(Addr pa) const
+{
+    return pa / cfg_.lineBytes;
+}
+
+uint64_t
+Cache::setIndex(Addr pa) const
+{
+    const uint64_t line = lineNumber(pa);
+    if (!cfg_.hashedIndex)
+        return line & (cfg_.sets - 1);
+    const unsigned shift = floorLog2(cfg_.sets);
+    return (line ^ (line >> shift) ^ (line >> (2 * shift))) &
+           (cfg_.sets - 1);
+}
+
+uint64_t
+Cache::tagOf(uint64_t line_num) const
+{
+    return line_num / cfg_.sets;
+}
+
+Cache::Line *
+Cache::findLine(Addr pa)
+{
+    const uint64_t set = setIndex(pa);
+    const uint64_t tag = tagOf(lineNumber(pa));
+    Line *base = &lines_[set * cfg_.ways];
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr pa) const
+{
+    return const_cast<Cache *>(this)->findLine(pa);
+}
+
+Cache::Line &
+Cache::victimIn(uint64_t set)
+{
+    Line *base = &lines_[set * cfg_.ways];
+    // Invalid line first.
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+        if (!base[w].valid)
+            return base[w];
+    }
+    if (policy_ == ReplPolicy::Random)
+        return base[rng_->next(cfg_.ways)];
+    Line *victim = &base[0];
+    for (unsigned w = 1; w < cfg_.ways; ++w) {
+        if (base[w].lruStamp < victim->lruStamp)
+            victim = &base[w];
+    }
+    return *victim;
+}
+
+bool
+Cache::access(Addr pa)
+{
+    ++tick_;
+    if (Line *line = findLine(pa)) {
+        line->lruStamp = tick_;
+        ++hits_;
+        return true;
+    }
+    ++misses_;
+    Line &victim = victimIn(setIndex(pa));
+    victim.valid = true;
+    victim.tag = tagOf(lineNumber(pa));
+    victim.lruStamp = tick_;
+    return false;
+}
+
+bool
+Cache::contains(Addr pa) const
+{
+    return findLine(pa) != nullptr;
+}
+
+void
+Cache::invalidate(Addr pa)
+{
+    if (Line *line = findLine(pa))
+        line->valid = false;
+}
+
+void
+Cache::flushAll()
+{
+    for (Line &line : lines_)
+        line.valid = false;
+}
+
+} // namespace pacman::mem

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Set-associative cache tag store.
+ *
+ * Only presence is modelled (data lives in PhysMem); that is all the
+ * timing channel needs. Lines are physically indexed and tagged.
+ */
+
+#ifndef PACMAN_MEM_CACHE_HH
+#define PACMAN_MEM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/random.hh"
+#include "mem/config.hh"
+#include "mem/physmem.hh"
+
+namespace pacman::mem
+{
+
+/** A set-associative tag array with LRU or random replacement. */
+class Cache
+{
+  public:
+    Cache(const SetAssocConfig &cfg, ReplPolicy policy, Random *rng);
+
+    /**
+     * Access the line containing @p pa: on a hit, refresh LRU state;
+     * on a miss, allocate (evicting the victim).
+     *
+     * @return true on hit.
+     */
+    bool access(Addr pa);
+
+    /** Probe without changing any state. */
+    bool contains(Addr pa) const;
+
+    /** Invalidate the line containing @p pa if present. */
+    void invalidate(Addr pa);
+
+    /** Invalidate everything. */
+    void flushAll();
+
+    /** Set index the line containing @p pa maps to. */
+    uint64_t setIndex(Addr pa) const;
+
+    const SetAssocConfig &config() const { return cfg_; }
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    void resetStats() { hits_ = misses_ = 0; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        uint64_t tag = 0;
+        uint64_t lruStamp = 0; //!< larger = more recently used
+    };
+
+    uint64_t lineNumber(Addr pa) const;
+    uint64_t tagOf(uint64_t line_num) const;
+    Line *findLine(Addr pa);
+    const Line *findLine(Addr pa) const;
+    Line &victimIn(uint64_t set);
+
+    SetAssocConfig cfg_;
+    ReplPolicy policy_;
+    Random *rng_;
+    std::vector<Line> lines_;  //!< sets * ways, set-major
+    uint64_t tick_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace pacman::mem
+
+#endif // PACMAN_MEM_CACHE_HH

@@ -1,0 +1,53 @@
+#include "config.hh"
+
+namespace pacman::mem
+{
+
+HierarchyConfig
+m1PCoreConfig()
+{
+    HierarchyConfig cfg;
+    cfg.coreType = "p-core";
+
+    // Table 2, p-core caches. The L1D uses the *observed* effective
+    // geometry (4 ways x 512 sets, footnote 5) while the architectural
+    // registers continue to report 8 x 256.
+    cfg.l1i = {"L1I", 6, 512, 64};
+    cfg.l1d = {"L1D", 4, 512, 64};
+    cfg.l2 = {"L2", 12, 8192, 128, /*hashedIndex=*/true};
+    cfg.slc = {"SLC", 16, 8192, 128, /*hashedIndex=*/true};
+    cfg.l1dArchWays = 8;
+    cfg.l1dArchSets = 256;
+
+    // Section 7: reverse-engineered TLB hierarchy (Figure 6).
+    cfg.itlb = {"L1-iTLB", 4, 32, 1};
+    cfg.dtlb = {"L1-dTLB", 12, 256, 1};
+    cfg.l2tlb = {"L2-TLB", 23, 2048, 1};
+
+    return cfg;
+}
+
+HierarchyConfig
+m1ECoreConfig()
+{
+    HierarchyConfig cfg;
+    cfg.coreType = "e-core";
+
+    // Table 2, e-core caches.
+    cfg.l1i = {"L1I", 8, 256, 64};
+    cfg.l1d = {"L1D", 4, 256, 64}; // observed-associativity convention
+    cfg.l2 = {"L2", 16, 2048, 128, /*hashedIndex=*/true};
+    cfg.slc = {"SLC", 16, 8192, 128, /*hashedIndex=*/true};
+    cfg.l1dArchWays = 8;
+    cfg.l1dArchSets = 128;
+
+    // The paper reverse engineers only the p-core TLBs; these are
+    // plausible smaller structures so the e-core model is complete.
+    cfg.itlb = {"L1-iTLB", 4, 16, 1};
+    cfg.dtlb = {"L1-dTLB", 8, 128, 1};
+    cfg.l2tlb = {"L2-TLB", 16, 1024, 1};
+
+    return cfg;
+}
+
+} // namespace pacman::mem

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * The composed M1-style memory hierarchy: L1I/L1D/L2/SLC caches and
+ * the reverse-engineered TLB organization of the paper's Figure 6 —
+ * per-exception-level L1 iTLBs, a shared L1 dTLB that doubles as the
+ * iTLBs' non-inclusive backing store, and a shared L2 TLB.
+ *
+ * Every timed guest access (demand or speculative) flows through
+ * access(), which returns the latency and fault outcome and performs
+ * all micro-architectural state modulation. Value movement is done
+ * separately through loadValue()/storeValue() so the CPU model can
+ * roll architectural effects back on squash while the
+ * micro-architectural effects persist — the essence of the channel.
+ */
+
+#ifndef PACMAN_MEM_HIERARCHY_HH
+#define PACMAN_MEM_HIERARCHY_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/random.hh"
+#include "mem/cache.hh"
+#include "mem/config.hh"
+#include "mem/pagetable.hh"
+#include "mem/physmem.hh"
+#include "mem/tlb.hh"
+
+namespace pacman::mem
+{
+
+/** A memory-mapped device (one page). */
+class Device
+{
+  public:
+    virtual ~Device() = default;
+
+    /** Read @p size bytes at @p offset within the device page. */
+    virtual uint64_t read(uint64_t offset, unsigned size) = 0;
+
+    /** Write @p value at @p offset. */
+    virtual void write(uint64_t offset, uint64_t value, unsigned size) = 0;
+};
+
+/** Outcome classes for a guest memory access. */
+enum class Fault : uint8_t
+{
+    None,
+    Translation, //!< non-canonical pointer or unmapped page
+    Permission,  //!< EL / writable / executable violation
+};
+
+/** Access kinds. */
+enum class AccessKind : uint8_t
+{
+    Load,
+    Store,
+    Fetch,
+};
+
+/** Result of one timed access. */
+struct AccessResult
+{
+    Fault fault = Fault::None;
+    uint64_t latency = 0; //!< cycles, excluding pipeline overheads
+    Addr pa = 0;          //!< valid when fault == None
+    bool isDevice = false;
+};
+
+/** Latency breakdown classes, exposed for the Figure 7 experiment. */
+struct AccessTrace
+{
+    bool l1TlbHit = false;
+    bool l2TlbHit = false;
+    bool walked = false;
+    bool l1CacheHit = false;
+    bool l2CacheHit = false;
+    bool slcHit = false;
+    bool spillServed = false; //!< iTLB miss served by the dTLB
+};
+
+/** The full hierarchy for one core. */
+class MemoryHierarchy
+{
+  public:
+    /**
+     * @param cfg Geometry/latency configuration (e.g. m1PCoreConfig()).
+     * @param rng Shared RNG (replacement tie-breaks, noise).
+     */
+    MemoryHierarchy(const HierarchyConfig &cfg, Random *rng);
+
+    // --- Mapping management (used by the kernel model) ---
+
+    /** Map one page (linear ppn = vpn). */
+    void mapPage(Addr va, PageFlags flags);
+
+    /** Map @p bytes worth of pages starting at @p va. */
+    void mapRange(Addr va, uint64_t bytes, PageFlags flags);
+
+    /**
+     * Map a device page at @p va. Device translations are pinned
+     * (never occupy TLB state) and accesses bypass the caches, so a
+     * timer read does not disturb Prime+Probe state — matching the
+     * paper's use of an uncacheable shared-memory counter.
+     */
+    void mapDevice(Addr va, Device *device);
+
+    /** The page table (for tests and the kernel). */
+    PageTable &pageTable() { return pt_; }
+
+    // --- Timed guest accesses ---
+
+    /**
+     * Perform one timed access at exception level @p el.
+     *
+     * @param kind        Load/Store/Fetch.
+     * @param va          Full 64-bit pointer (extension bits checked).
+     * @param el          0 (user) or 1 (kernel).
+     * @param speculative True when issued under unresolved control
+     *                    flow; consulted by the delay-on-miss
+     *                    mitigation and by fault bookkeeping.
+     * @param trace       Optional out-param with the hit/miss path.
+     */
+    AccessResult access(AccessKind kind, Addr va, unsigned el,
+                        bool speculative, AccessTrace *trace = nullptr);
+
+    // --- Value movement (after a successful access) ---
+
+    /** Read @p size bytes at the physical address @p res resolved to. */
+    uint64_t loadValue(const AccessResult &res, Addr va, unsigned size);
+
+    /** Write through to memory or a device. */
+    void storeValue(const AccessResult &res, Addr va, uint64_t value,
+                    unsigned size);
+
+    // --- Functional (untimed, state-invisible) access helpers ---
+
+    /** Translate without touching TLB/cache state. */
+    std::optional<Addr> translateFunctional(Addr va) const;
+
+    /** Functional virtual read/write (setup and checking only). */
+    uint64_t readVirt(Addr va, unsigned size) const;
+    void writeVirt(Addr va, uint64_t value, unsigned size);
+    uint64_t readVirt64(Addr va) const { return readVirt(va, 8); }
+    void writeVirt64(Addr va, uint64_t v) { writeVirt(va, v, 8); }
+
+    /** Backing physical memory. */
+    PhysMem &phys() { return phys_; }
+
+    // --- Structures (exposed for tests, stats, and experiments) ---
+
+    Cache &l1i() { return l1i_; }
+    Cache &l1d() { return l1d_; }
+    Cache &l2() { return l2_; }
+    Cache &slc() { return slc_; }
+    Tlb &itlb(unsigned el) { return el == 0 ? itlbEl0_ : itlbEl1_; }
+    Tlb &dtlb() { return dtlb_; }
+    Tlb &l2tlb() { return l2tlb_; }
+
+    const HierarchyConfig &config() const { return cfg_; }
+
+    /** Invalidate all cache and TLB state (boot / reset). */
+    void flushAll();
+
+  private:
+    /** Translation step shared by data and fetch paths. */
+    AccessResult translateTimed(AccessKind kind, Addr va, unsigned el,
+                                bool speculative, AccessTrace *trace);
+
+    /** Cache-lookup step; returns added latency. */
+    uint64_t cacheAccess(AccessKind kind, Addr pa, bool speculative,
+                         AccessTrace *trace);
+
+    /** Permission check against a mapping. */
+    Fault checkPerms(AccessKind kind, const PageFlags &flags,
+                     unsigned el) const;
+
+    HierarchyConfig cfg_;
+    Random *rng_;
+    PhysMem phys_;
+    PageTable pt_;
+
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+    Cache slc_;
+
+    Tlb itlbEl0_;
+    Tlb itlbEl1_;
+    Tlb dtlb_;
+    Tlb l2tlb_;
+
+    std::vector<Device *> devices_;          //!< index = ppn - DevicePhysBase/PageSize
+};
+
+} // namespace pacman::mem
+
+#endif // PACMAN_MEM_HIERARCHY_HH

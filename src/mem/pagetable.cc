@@ -1,0 +1,34 @@
+#include "pagetable.hh"
+
+namespace pacman::mem
+{
+
+void
+PageTable::map(Addr va, PageFlags flags)
+{
+    mapTo(va, isa::pageNumber(isa::vaPart(va)), flags);
+}
+
+void
+PageTable::mapTo(Addr va, uint64_t ppn, PageFlags flags)
+{
+    const uint64_t vpn = isa::pageNumber(isa::vaPart(va));
+    table_[vpn] = Mapping{ppn, flags};
+}
+
+void
+PageTable::unmap(Addr va)
+{
+    table_.erase(isa::pageNumber(isa::vaPart(va)));
+}
+
+std::optional<Mapping>
+PageTable::translate(uint64_t vpn) const
+{
+    auto it = table_.find(vpn);
+    if (it == table_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+} // namespace pacman::mem

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Flat page table for the single modelled address space.
+ *
+ * The platform uses a macOS-like linear physical map: a page's
+ * physical frame equals its virtual page number (the 48-bit VA space
+ * is disjoint between user [bit 47 = 0] and kernel [bit 47 = 1], so
+ * frames never collide). Device pages live in a reserved physical
+ * window above the 48-bit range.
+ *
+ * The timing cost of a miss (a 4-level table walk) is modelled in the
+ * hierarchy's latency configuration rather than via walker state.
+ */
+
+#ifndef PACMAN_MEM_PAGETABLE_HH
+#define PACMAN_MEM_PAGETABLE_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "isa/pointer.hh"
+
+namespace pacman::mem
+{
+
+using isa::Addr;
+
+/** Permissions and attributes of one mapping. */
+struct PageFlags
+{
+    bool user = false;       //!< accessible from EL0
+    bool writable = false;
+    bool executable = false;
+    bool device = false;     //!< uncacheable device page (e.g. timer)
+};
+
+/** A resolved translation. */
+struct Mapping
+{
+    uint64_t ppn = 0;
+    PageFlags flags;
+};
+
+/** Physical window where device pages are placed (above VA space). */
+constexpr Addr DevicePhysBase = 1ull << 52;
+
+/** The system page table. */
+class PageTable
+{
+  public:
+    /**
+     * Map the page containing @p va with the linear ppn == vpn rule.
+     * Remapping an existing page updates its flags.
+     */
+    void map(Addr va, PageFlags flags);
+
+    /** Map the page containing @p va to an explicit frame. */
+    void mapTo(Addr va, uint64_t ppn, PageFlags flags);
+
+    /** Remove the mapping for the page containing @p va. */
+    void unmap(Addr va);
+
+    /** Translate a virtual page number. */
+    std::optional<Mapping> translate(uint64_t vpn) const;
+
+    /** Number of mapped pages. */
+    size_t size() const { return table_.size(); }
+
+  private:
+    std::unordered_map<uint64_t, Mapping> table_;
+};
+
+} // namespace pacman::mem
+
+#endif // PACMAN_MEM_PAGETABLE_HH

@@ -1,0 +1,51 @@
+#include "physmem.hh"
+
+#include "base/logging.hh"
+
+namespace pacman::mem
+{
+
+PhysMem::Page &
+PhysMem::pageFor(Addr pa)
+{
+    auto [it, inserted] =
+        pages_.try_emplace(isa::pageNumber(pa));
+    if (inserted)
+        it->second.assign(isa::PageSize, 0);
+    return it->second;
+}
+
+const PhysMem::Page *
+PhysMem::pageIfPresent(Addr pa) const
+{
+    auto it = pages_.find(isa::pageNumber(pa));
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+uint64_t
+PhysMem::read(Addr pa, unsigned size) const
+{
+    PACMAN_ASSERT(size >= 1 && size <= 8, "bad access size %u", size);
+    uint64_t value = 0;
+    for (unsigned i = 0; i < size; ++i) {
+        const Addr byte_pa = pa + i;
+        const Page *page = pageIfPresent(byte_pa);
+        const uint8_t byte =
+            page ? (*page)[isa::pageOffset(byte_pa)] : 0;
+        value |= uint64_t(byte) << (8 * i);
+    }
+    return value;
+}
+
+void
+PhysMem::write(Addr pa, uint64_t value, unsigned size)
+{
+    PACMAN_ASSERT(size >= 1 && size <= 8, "bad access size %u", size);
+    for (unsigned i = 0; i < size; ++i) {
+        const Addr byte_pa = pa + i;
+        pageFor(byte_pa)[isa::pageOffset(byte_pa)] =
+            uint8_t(value >> (8 * i));
+    }
+}
+
+} // namespace pacman::mem

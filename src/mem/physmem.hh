@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Sparse physical memory, allocated at page granularity on first
+ * touch. The attack's eviction-set sweeps span hundreds of megabytes
+ * of address space but only touch a handful of pages per stride, so
+ * sparse backing keeps the footprint tiny.
+ */
+
+#ifndef PACMAN_MEM_PHYSMEM_HH
+#define PACMAN_MEM_PHYSMEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/pointer.hh"
+
+namespace pacman::mem
+{
+
+using isa::Addr;
+
+/** Byte-addressable sparse physical memory. */
+class PhysMem
+{
+  public:
+    /** Read @p size bytes (1..8) as a little-endian integer. */
+    uint64_t read(Addr pa, unsigned size) const;
+
+    /** Write the low @p size bytes of @p value, little-endian. */
+    void write(Addr pa, uint64_t value, unsigned size);
+
+    /** Convenience 64-bit accessors. */
+    uint64_t read64(Addr pa) const { return read(pa, 8); }
+    void write64(Addr pa, uint64_t value) { write(pa, value, 8); }
+
+    /** Read a 32-bit instruction word. */
+    uint32_t read32(Addr pa) const { return uint32_t(read(pa, 4)); }
+
+    /** Number of pages currently backed. */
+    size_t pageCount() const { return pages_.size(); }
+
+  private:
+    using Page = std::vector<uint8_t>;
+
+    /** Backing page for @p pa, allocated (zeroed) on demand. */
+    Page &pageFor(Addr pa);
+
+    /** Backing page for @p pa if present, else nullptr. */
+    const Page *pageIfPresent(Addr pa) const;
+
+    std::unordered_map<uint64_t, Page> pages_;
+};
+
+} // namespace pacman::mem
+
+#endif // PACMAN_MEM_PHYSMEM_HH

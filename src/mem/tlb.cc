@@ -1,0 +1,120 @@
+#include "tlb.hh"
+
+#include "base/bitfield.hh"
+#include "base/logging.hh"
+
+namespace pacman::mem
+{
+
+Tlb::Tlb(const SetAssocConfig &cfg, ReplPolicy policy, Random *rng)
+    : cfg_(cfg), policy_(policy), rng_(rng),
+      ways_(size_t(cfg.sets) * cfg.ways)
+{
+    if (!isPowerOf2(cfg.sets))
+        fatal("tlb %s: set count %u not a power of two",
+              cfg.name.c_str(), cfg.sets);
+    if (policy_ == ReplPolicy::Random && rng_ == nullptr)
+        fatal("tlb %s: random replacement requires an RNG",
+              cfg.name.c_str());
+}
+
+uint64_t
+Tlb::setIndex(uint64_t vpn) const
+{
+    return vpn & (cfg_.sets - 1);
+}
+
+Tlb::Way *
+Tlb::find(uint64_t vpn, Asid asid)
+{
+    Way *base = &ways_[setIndex(vpn) * cfg_.ways];
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+        if (base[w].valid && base[w].entry.vpn == vpn &&
+            base[w].entry.asid == asid) {
+            return &base[w];
+        }
+    }
+    return nullptr;
+}
+
+const Tlb::Way *
+Tlb::find(uint64_t vpn, Asid asid) const
+{
+    return const_cast<Tlb *>(this)->find(vpn, asid);
+}
+
+Tlb::Way &
+Tlb::victimIn(uint64_t set)
+{
+    Way *base = &ways_[set * cfg_.ways];
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+        if (!base[w].valid)
+            return base[w];
+    }
+    if (policy_ == ReplPolicy::Random)
+        return base[rng_->next(cfg_.ways)];
+    Way *victim = &base[0];
+    for (unsigned w = 1; w < cfg_.ways; ++w) {
+        if (base[w].lruStamp < victim->lruStamp)
+            victim = &base[w];
+    }
+    return *victim;
+}
+
+std::optional<TlbEntry>
+Tlb::lookup(uint64_t vpn, Asid asid)
+{
+    ++tick_;
+    if (Way *way = find(vpn, asid)) {
+        way->lruStamp = tick_;
+        ++hits_;
+        return way->entry;
+    }
+    ++misses_;
+    return std::nullopt;
+}
+
+bool
+Tlb::contains(uint64_t vpn, Asid asid) const
+{
+    return find(vpn, asid) != nullptr;
+}
+
+std::optional<TlbEntry>
+Tlb::insert(const TlbEntry &entry)
+{
+    ++tick_;
+    // Refresh in place if already present.
+    if (Way *way = find(entry.vpn, entry.asid)) {
+        way->entry = entry;
+        way->lruStamp = tick_;
+        return std::nullopt;
+    }
+    Way &victim = victimIn(setIndex(entry.vpn));
+    std::optional<TlbEntry> evicted;
+    if (victim.valid)
+        evicted = victim.entry;
+    victim.valid = true;
+    victim.entry = entry;
+    victim.lruStamp = tick_;
+    return evicted;
+}
+
+std::optional<TlbEntry>
+Tlb::remove(uint64_t vpn, Asid asid)
+{
+    if (Way *way = find(vpn, asid)) {
+        way->valid = false;
+        return way->entry;
+    }
+    return std::nullopt;
+}
+
+void
+Tlb::flushAll()
+{
+    for (Way &way : ways_)
+        way.valid = false;
+}
+
+} // namespace pacman::mem

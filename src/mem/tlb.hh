@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Set-associative TLB model.
+ *
+ * Entries are tagged with the virtual page number and an address-space
+ * id (user vs kernel), so user and kernel translations coexist in the
+ * shared structures — exactly the property the cross-privilege-level
+ * Prime+Probe channel in the paper relies on.
+ */
+
+#ifndef PACMAN_MEM_TLB_HH
+#define PACMAN_MEM_TLB_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "base/random.hh"
+#include "mem/config.hh"
+#include "mem/physmem.hh"
+
+namespace pacman::mem
+{
+
+/** Address-space id distinguishing translations in shared TLBs. */
+enum class Asid : uint8_t
+{
+    User = 0,
+    Kernel = 1,
+};
+
+/** A cached translation. */
+struct TlbEntry
+{
+    uint64_t vpn = 0;    //!< virtual page number
+    Asid asid = Asid::User;
+    uint64_t ppn = 0;    //!< physical page number
+    bool writable = false;
+    bool executable = false;
+};
+
+/** One TLB structure (an L1 iTLB, the L1 dTLB, or the L2 TLB). */
+class Tlb
+{
+  public:
+    Tlb(const SetAssocConfig &cfg, ReplPolicy policy, Random *rng);
+
+    /**
+     * Look up a translation; refreshes LRU state on hit.
+     * @return the entry, or nullopt on miss.
+     */
+    std::optional<TlbEntry> lookup(uint64_t vpn, Asid asid);
+
+    /** Probe without touching LRU state (test/verification use). */
+    bool contains(uint64_t vpn, Asid asid) const;
+
+    /**
+     * Insert a translation; evicts the set's victim if full.
+     * @return the evicted valid entry, if any (used to model the
+     *         iTLB -> dTLB non-inclusive spill from Section 7.3).
+     */
+    std::optional<TlbEntry> insert(const TlbEntry &entry);
+
+    /** Remove a translation if present; @return it. */
+    std::optional<TlbEntry> remove(uint64_t vpn, Asid asid);
+
+    /** Invalidate everything (e.g. on key rotation / boot). */
+    void flushAll();
+
+    /** Set index for @p vpn. */
+    uint64_t setIndex(uint64_t vpn) const;
+
+    const SetAssocConfig &config() const { return cfg_; }
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    void resetStats() { hits_ = misses_ = 0; }
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        TlbEntry entry;
+        uint64_t lruStamp = 0;
+    };
+
+    Way *find(uint64_t vpn, Asid asid);
+    const Way *find(uint64_t vpn, Asid asid) const;
+    Way &victimIn(uint64_t set);
+
+    SetAssocConfig cfg_;
+    ReplPolicy policy_;
+    Random *rng_;
+    std::vector<Way> ways_;
+    uint64_t tick_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace pacman::mem
+
+#endif // PACMAN_MEM_TLB_HH

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "analysis/scanner.hh"
+#include "asm/assembler.hh"
+
+namespace pacman::analysis
+{
+namespace
+{
+
+using namespace pacman::isa;
+using asmjit::Assembler;
+
+/** Assemble a snippet at a fixed base. */
+asmjit::Program
+assemble(const std::function<void(Assembler &)> &body)
+{
+    Assembler a(0x1000);
+    body(a);
+    return a.finalize();
+}
+
+TEST(Scanner, FindsDataGadgetDownTakenPath)
+{
+    const auto prog = assemble([](Assembler &a) {
+        a.cbnz(X1, "body");
+        a.hlt(0);
+        a.label("body");
+        a.autda(X0, X10);
+        a.ldr(X2, X0, 0);
+        a.hlt(0);
+    });
+    const auto report = GadgetScanner(32).scan(prog);
+    ASSERT_EQ(report.total(), 1u);
+    EXPECT_EQ(report.gadgets[0].type, GadgetType::Data);
+    EXPECT_TRUE(report.gadgets[0].takenDirection);
+    EXPECT_EQ(report.dataCount(), 1u);
+    EXPECT_EQ(report.instCount(), 0u);
+}
+
+TEST(Scanner, FindsInstGadgetDownFallthrough)
+{
+    const auto prog = assemble([](Assembler &a) {
+        a.bcond(Cond::EQ, "skip");
+        a.autia(X0, X10);
+        a.blr(X0);
+        a.label("skip");
+        a.hlt(0);
+    });
+    const auto report = GadgetScanner(32).scan(prog);
+    ASSERT_EQ(report.total(), 1u);
+    EXPECT_EQ(report.gadgets[0].type, GadgetType::Instruction);
+    EXPECT_FALSE(report.gadgets[0].takenDirection);
+}
+
+TEST(Scanner, OverwrittenRegisterBreaksDependence)
+{
+    const auto prog = assemble([](Assembler &a) {
+        a.cbnz(X1, "body");
+        a.hlt(0);
+        a.label("body");
+        a.autda(X0, X10);
+        a.movz(X0, 0); // clobbers the authenticated pointer
+        a.ldr(X2, X0, 0);
+        a.hlt(0);
+    });
+    EXPECT_EQ(GadgetScanner(32).scan(prog).total(), 0u);
+}
+
+TEST(Scanner, InterveningArithmeticAllowed)
+{
+    // The paper notes other instructions may sit between aut and
+    // transmit without affecting the gadget.
+    const auto prog = assemble([](Assembler &a) {
+        a.cbnz(X1, "body");
+        a.hlt(0);
+        a.label("body");
+        a.autda(X0, X10);
+        a.addi(X3, X4, 8);
+        a.eor(X5, X6, X7);
+        a.ldr(X2, X0, 0);
+        a.hlt(0);
+    });
+    const auto report = GadgetScanner(32).scan(prog);
+    ASSERT_EQ(report.total(), 1u);
+    // aut at 1, two fillers, transmit at distance 4 from the branch.
+    EXPECT_EQ(report.gadgets[0].distance, 4u);
+}
+
+TEST(Scanner, WindowLimitRespected)
+{
+    const auto prog = assemble([](Assembler &a) {
+        a.cbnz(X1, "body");
+        a.hlt(0);
+        a.label("body");
+        a.autda(X0, X10);
+        for (int i = 0; i < 40; ++i)
+            a.nop();
+        a.ldr(X2, X0, 0);
+        a.hlt(0);
+    });
+    EXPECT_EQ(GadgetScanner(32).scan(prog).total(), 0u);
+    EXPECT_EQ(GadgetScanner(64).scan(prog).total(), 1u);
+}
+
+TEST(Scanner, RetOfAuthenticatedLrIsInstGadget)
+{
+    // The ubiquitous epilogue pattern: autia lr, sp; ret.
+    const auto prog = assemble([](Assembler &a) {
+        a.cbnz(X1, "out");
+        a.nop();
+        a.label("out");
+        a.autia(LR, SP);
+        a.ret();
+    });
+    const auto report = GadgetScanner(32).scan(prog);
+    // Found down both directions (taken and fall-through converge).
+    EXPECT_GE(report.total(), 1u);
+    for (const auto &g : report.gadgets)
+        EXPECT_EQ(g.type, GadgetType::Instruction);
+}
+
+TEST(Scanner, StoreThroughAuthenticatedPointerCounts)
+{
+    const auto prog = assemble([](Assembler &a) {
+        a.cbnz(X1, "body");
+        a.hlt(0);
+        a.label("body");
+        a.autda(X0, X10);
+        a.str(X2, X0, 0);
+        a.hlt(0);
+    });
+    const auto report = GadgetScanner(32).scan(prog);
+    ASSERT_EQ(report.total(), 1u);
+    EXPECT_EQ(report.gadgets[0].type, GadgetType::Data);
+}
+
+TEST(Scanner, FollowsDirectBranches)
+{
+    const auto prog = assemble([](Assembler &a) {
+        a.cbnz(X1, "body");
+        a.hlt(0);
+        a.label("body");
+        a.autda(X0, X10);
+        a.b("far");
+        a.hlt(0);
+        a.label("far");
+        a.ldr(X2, X0, 0);
+        a.hlt(0);
+    });
+    EXPECT_EQ(GadgetScanner(32).scan(prog).total(), 1u);
+}
+
+TEST(Scanner, NoGadgetWithoutCondBranch)
+{
+    const auto prog = assemble([](Assembler &a) {
+        a.autda(X0, X10);
+        a.ldr(X2, X0, 0);
+        a.hlt(0);
+    });
+    EXPECT_EQ(GadgetScanner(32).scan(prog).total(), 0u);
+}
+
+TEST(Scanner, XpacIsNotAVerificationOp)
+{
+    const auto prog = assemble([](Assembler &a) {
+        a.cbnz(X1, "body");
+        a.hlt(0);
+        a.label("body");
+        a.xpac(X0); // strips without verifying: no oracle
+        a.ldr(X2, X0, 0);
+        a.hlt(0);
+    });
+    EXPECT_EQ(GadgetScanner(32).scan(prog).total(), 0u);
+}
+
+TEST(Scanner, CountsCondBranches)
+{
+    const auto prog = assemble([](Assembler &a) {
+        a.cbnz(X1, "x");
+        a.label("x");
+        a.cbz(X2, "y");
+        a.label("y");
+        a.bcond(Cond::NE, "z");
+        a.label("z");
+        a.hlt(0);
+    });
+    EXPECT_EQ(GadgetScanner(32).scan(prog).condBranches, 3u);
+}
+
+TEST(Scanner, DescribeGadgetMentionsBothOps)
+{
+    const auto prog = assemble([](Assembler &a) {
+        a.cbnz(X1, "body");
+        a.hlt(0);
+        a.label("body");
+        a.autda(X0, X10);
+        a.ldr(X2, X0, 0);
+        a.hlt(0);
+    });
+    const auto report = GadgetScanner(32).scan(prog);
+    ASSERT_EQ(report.total(), 1u);
+    const std::string desc = describeGadget(report.gadgets[0], prog);
+    EXPECT_NE(desc.find("autda"), std::string::npos);
+    EXPECT_NE(desc.find("ldr"), std::string::npos);
+}
+
+} // namespace
+} // namespace pacman::analysis

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "isa/disasm.hh"
+#include "isa/encoding.hh"
+
+namespace pacman::asmjit
+{
+namespace
+{
+
+using isa::Opcode;
+
+TEST(Assembler, EmitsSequentialAddresses)
+{
+    Assembler a(0x1000);
+    EXPECT_EQ(a.here(), 0x1000u);
+    a.nop();
+    EXPECT_EQ(a.here(), 0x1004u);
+    a.nop();
+    const Program p = a.finalize();
+    EXPECT_EQ(p.base, 0x1000u);
+    EXPECT_EQ(p.byteSize(), 8u);
+    EXPECT_EQ(p.end(), 0x1008u);
+}
+
+TEST(Assembler, BackwardBranchResolves)
+{
+    Assembler a(0x1000);
+    a.label("top");
+    a.nop();
+    a.b("top");
+    const Program p = a.finalize();
+    const auto inst = isa::decode(p.words[1]);
+    ASSERT_TRUE(inst);
+    EXPECT_EQ(inst->imm, -4);
+}
+
+TEST(Assembler, ForwardBranchResolves)
+{
+    Assembler a(0x1000);
+    a.cbz(isa::X0, "end");
+    a.nop();
+    a.nop();
+    a.label("end");
+    a.hlt(0);
+    const Program p = a.finalize();
+    const auto inst = isa::decode(p.words[0]);
+    ASSERT_TRUE(inst);
+    EXPECT_EQ(inst->imm, 12);
+}
+
+TEST(Assembler, AbsoluteBranchTarget)
+{
+    Assembler a(0x1000);
+    a.b(isa::Addr(0x2000));
+    const Program p = a.finalize();
+    const auto inst = isa::decode(p.words[0]);
+    ASSERT_TRUE(inst);
+    EXPECT_EQ(inst->imm, 0x1000);
+}
+
+TEST(Assembler, Mov64MaterializesConstants)
+{
+    // Small constant: single movz.
+    {
+        Assembler a(0);
+        a.mov64(isa::X1, 0x1234);
+        EXPECT_EQ(a.size(), 1u);
+    }
+    // Full 64-bit constant: movz + 3 movk.
+    {
+        Assembler a(0);
+        a.mov64(isa::X1, 0x1122334455667788ull);
+        EXPECT_EQ(a.size(), 4u);
+    }
+    // Sparse constant skips zero halfwords.
+    {
+        Assembler a(0);
+        a.mov64(isa::X1, 0xFF00000000ull);
+        EXPECT_EQ(a.size(), 2u); // movz 0 + movk hw2
+    }
+}
+
+TEST(Assembler, Mov64EncodesExpectedValue)
+{
+    Assembler a(0);
+    a.mov64(isa::X2, 0xFFFF'8000'0200'0000ull);
+    const Program p = a.finalize();
+    // Simulate the sequence by hand.
+    uint64_t reg = 0;
+    for (isa::InstWord w : p.words) {
+        const auto inst = isa::decode(w);
+        ASSERT_TRUE(inst);
+        const unsigned shift = 16u * inst->hw;
+        if (inst->op == Opcode::MOVZ)
+            reg = uint64_t(inst->imm) << shift;
+        else
+            reg = (reg & ~(0xffffull << shift)) |
+                  (uint64_t(inst->imm) << shift);
+    }
+    EXPECT_EQ(reg, 0xFFFF'8000'0200'0000ull);
+}
+
+TEST(Assembler, SymbolsRecorded)
+{
+    Assembler a(0x4000);
+    a.nop();
+    a.label("foo");
+    a.nop();
+    const Program p = a.finalize();
+    EXPECT_TRUE(p.hasSymbol("foo"));
+    EXPECT_EQ(p.symbol("foo"), 0x4004u);
+    EXPECT_FALSE(p.hasSymbol("bar"));
+}
+
+TEST(Assembler, RetDefaultsToLr)
+{
+    Assembler a(0);
+    a.ret();
+    const auto inst = isa::decode(a.finalize().words[0]);
+    ASSERT_TRUE(inst);
+    EXPECT_EQ(inst->rn, isa::LR);
+}
+
+TEST(Assembler, MsrPutsSourceInRdField)
+{
+    Assembler a(0);
+    a.msr(isa::SysReg::PMCR0, isa::X9);
+    const auto inst = isa::decode(a.finalize().words[0]);
+    ASSERT_TRUE(inst);
+    EXPECT_EQ(inst->rd, isa::X9);
+    EXPECT_EQ(inst->sysreg, isa::SysReg::PMCR0);
+}
+
+TEST(Assembler, RawWordsPassThrough)
+{
+    Assembler a(0);
+    a.word(0xDEADBEEF);
+    EXPECT_EQ(a.finalize().words[0], 0xDEADBEEFu);
+}
+
+TEST(AssemblerDeath, DuplicateLabelFatal)
+{
+    EXPECT_EXIT(
+        {
+            Assembler a(0);
+            a.label("x");
+            a.label("x");
+        },
+        ::testing::ExitedWithCode(1), "duplicate label");
+}
+
+TEST(AssemblerDeath, UndefinedLabelFatal)
+{
+    EXPECT_EXIT(
+        {
+            Assembler a(0);
+            a.b("nowhere");
+            a.finalize();
+        },
+        ::testing::ExitedWithCode(1), "undefined label");
+}
+
+} // namespace
+} // namespace pacman::asmjit

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "asm/textasm.hh"
+#include "isa/disasm.hh"
+#include "isa/encoding.hh"
+
+namespace pacman::asmjit
+{
+namespace
+{
+
+std::string
+disasmAt(const Program &p, size_t index)
+{
+    return isa::disassemble(p.words[index]);
+}
+
+TEST(TextAsm, BasicProgram)
+{
+    const Program p = assembleText(R"(
+        // a tiny loop
+        movz x0, #0
+    top:
+        addi x0, x0, #1
+        cmpi x0, #10
+        b.ne top
+        hlt #0
+    )", 0x1000);
+    ASSERT_EQ(p.words.size(), 5u);
+    EXPECT_EQ(disasmAt(p, 0), "movz x0, #0x0");
+    EXPECT_EQ(disasmAt(p, 1), "addi x0, x0, #1");
+    EXPECT_EQ(disasmAt(p, 3), "b.ne -8");
+    EXPECT_EQ(p.symbol("top"), 0x1004u);
+}
+
+TEST(TextAsm, AluImmediateAutoSelection)
+{
+    const Program p = assembleText(
+        "add x1, x2, #8\nadd x1, x2, x3\n", 0);
+    EXPECT_EQ(disasmAt(p, 0), "addi x1, x2, #8");
+    EXPECT_EQ(disasmAt(p, 1), "add x1, x2, x3");
+}
+
+TEST(TextAsm, MemoryForms)
+{
+    const Program p = assembleText(R"(
+        ldr x2, [x1, #16]
+        ldr x2, [x1, x3]
+        str x2, [sp]
+        ldrb x4, [x5, #1]
+    )", 0);
+    EXPECT_EQ(disasmAt(p, 0), "ldr x2, [x1, #16]");
+    EXPECT_EQ(disasmAt(p, 1), "ldrr x2, [x1, x3]");
+    EXPECT_EQ(disasmAt(p, 2), "str x2, [sp, #0]");
+    EXPECT_EQ(disasmAt(p, 3), "ldrb x4, [x5, #1]");
+}
+
+TEST(TextAsm, MovPseudoExpands)
+{
+    const Program p = assembleText("mov x1, #0x123456789\n", 0);
+    EXPECT_EQ(p.words.size(), 3u); // movz + 2 movk
+}
+
+TEST(TextAsm, MovzWithShift)
+{
+    const Program p = assembleText("movz x1, #0xab, lsl #16\n", 0);
+    EXPECT_EQ(disasmAt(p, 0), "movz x1, #0xab, lsl #16");
+}
+
+TEST(TextAsm, PacInstructions)
+{
+    const Program p = assembleText(R"(
+        pacia x30, sp
+        autda x0, x9
+        xpac x3
+    )", 0);
+    EXPECT_EQ(disasmAt(p, 0), "pacia x30, sp");
+    EXPECT_EQ(disasmAt(p, 1), "autda x0, x9");
+    EXPECT_EQ(disasmAt(p, 2), "xpac x3");
+}
+
+TEST(TextAsm, SystemInstructions)
+{
+    const Program p = assembleText(R"(
+        mrs x0, cntpct_el0
+        msr pmcr0, x1
+        svc #3
+        isb
+        eret
+        hlt #7
+    )", 0);
+    EXPECT_EQ(disasmAt(p, 0), "mrs x0, cntpct_el0");
+    EXPECT_EQ(disasmAt(p, 1), "msr pmcr0, x1");
+    EXPECT_EQ(disasmAt(p, 2), "svc #3");
+    EXPECT_EQ(disasmAt(p, 3), "isb");
+    EXPECT_EQ(disasmAt(p, 4), "eret");
+    EXPECT_EQ(disasmAt(p, 5), "hlt #7");
+}
+
+TEST(TextAsm, CbzAndIndirect)
+{
+    const Program p = assembleText(R"(
+    start:
+        cbz x0, start
+        cbnz x1, start
+        br x2
+        blr x3
+        ret
+    )", 0x100);
+    EXPECT_EQ(disasmAt(p, 0), "cbz x0, +0");
+    EXPECT_EQ(disasmAt(p, 2), "br x2");
+    EXPECT_EQ(disasmAt(p, 4), "ret");
+}
+
+TEST(TextAsm, SemicolonComments)
+{
+    const Program p = assembleText("nop ; trailing comment\n", 0);
+    EXPECT_EQ(p.words.size(), 1u);
+}
+
+TEST(TextAsm, MultipleLabelsOneLine)
+{
+    const Program p = assembleText("a: b: nop\n", 0x40);
+    EXPECT_EQ(p.symbol("a"), 0x40u);
+    EXPECT_EQ(p.symbol("b"), 0x40u);
+}
+
+TEST(TextAsm, WordDirective)
+{
+    const Program p = assembleText(".word 0xCAFEBABE\n", 0);
+    EXPECT_EQ(p.words[0], 0xCAFEBABEu);
+}
+
+TEST(TextAsm, BranchToAbsoluteAddress)
+{
+    const Program p = assembleText("b 0x2000\n", 0x1000);
+    const auto inst = isa::decode(p.words[0]);
+    ASSERT_TRUE(inst);
+    EXPECT_EQ(inst->imm, 0x1000);
+}
+
+TEST(TextAsmDeath, UnknownMnemonicFatal)
+{
+    EXPECT_EXIT(assembleText("frobnicate x0\n", 0),
+                ::testing::ExitedWithCode(1), "unknown mnemonic");
+}
+
+TEST(TextAsmDeath, BadOperandFatal)
+{
+    EXPECT_EXIT(assembleText("add x0, x1, @@\n", 0),
+                ::testing::ExitedWithCode(1), "cannot parse operand");
+}
+
+TEST(TextAsmDeath, UnknownSysRegFatal)
+{
+    EXPECT_EXIT(assembleText("mrs x0, bogus_reg\n", 0),
+                ::testing::ExitedWithCode(1), "unknown system register");
+}
+
+} // namespace
+} // namespace pacman::asmjit

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "attack/evfinder.hh"
+#include "attack/eviction.hh"
+#include "attack/reveng.hh"
+#include "kernel/layout.hh"
+
+namespace pacman::attack
+{
+namespace
+{
+
+using namespace pacman::kernel;
+
+class EvFinderTest : public ::testing::Test
+{
+  protected:
+    EvFinderTest() : machine(), proc(machine), evsets(machine)
+    {
+        RevEng reveng(proc);
+        reveng.enablePmc();
+    }
+
+    Machine machine;
+    AttackerProcess proc;
+    EvictionSets evsets;
+};
+
+TEST_F(EvFinderTest, EvictsAgreesWithGroundTruth)
+{
+    EvictionFinder finder(proc);
+    const Addr victim =
+        EvictionArena + (91 + 37 * 256) * isa::PageSize;
+    // A full aliasing set evicts; a set short one way does not; a
+    // full set of the *wrong* alias class does not.
+    EXPECT_TRUE(finder.evicts(
+        evsets.dtlbSet(evsets.dtlbSetOf(victim), 12), victim));
+    EXPECT_FALSE(finder.evicts(
+        evsets.dtlbSet(evsets.dtlbSetOf(victim), 11), victim));
+    EXPECT_FALSE(finder.evicts(
+        evsets.dtlbSet((evsets.dtlbSetOf(victim) + 1) % 256, 12),
+        victim));
+}
+
+TEST_F(EvFinderTest, ReduceShrinksASupersetToMinimal)
+{
+    EvictionFinder finder(proc);
+    const Addr victim =
+        EvictionArena + (91 + 37 * 256) * isa::PageSize;
+    // Superset: 20 aliases mixed with 40 non-aliases.
+    std::vector<Addr> pool = evsets.dtlbSet(evsets.dtlbSetOf(victim),
+                                            20);
+    for (unsigned i = 0; i < 40; ++i) {
+        pool.push_back(EvictionArena + (1ull << 36) +
+                       uint64_t(i * 7 + 1) * isa::PageSize);
+    }
+    const auto minimal = finder.reduce(pool, victim, 12);
+    ASSERT_TRUE(minimal.has_value());
+    EXPECT_EQ(minimal->size(), 12u);
+    // Every survivor aliases the victim's set.
+    for (const Addr va : *minimal)
+        EXPECT_EQ(evsets.dtlbSetOf(va), evsets.dtlbSetOf(victim));
+    EXPECT_TRUE(finder.evicts(*minimal, victim));
+}
+
+TEST_F(EvFinderTest, ReduceFailsOnInsufficientPool)
+{
+    EvictionFinder finder(proc);
+    const Addr victim =
+        EvictionArena + (91 + 37 * 256) * isa::PageSize;
+    // Only 8 aliases available: no 12-way eviction set exists.
+    std::vector<Addr> pool = evsets.dtlbSet(evsets.dtlbSetOf(victim),
+                                            8);
+    for (unsigned i = 0; i < 40; ++i) {
+        pool.push_back(EvictionArena + (1ull << 36) +
+                       uint64_t(i * 9 + 3) * isa::PageSize);
+    }
+    EXPECT_FALSE(finder.reduce(pool, victim, 12).has_value());
+}
+
+TEST_F(EvFinderTest, EndToEndDiscoveryFromContiguousPool)
+{
+    // The full attacker workflow: no formulas, just a big mapping
+    // and timing. The discovered set must match the ground-truth
+    // alias class and drive a successful Prime+Probe.
+    EvictionFinder finder(proc);
+    const Addr victim = EvictionArena + 123 * isa::PageSize + 0x40;
+    const auto found = finder.findDtlbEvictionSet(victim);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(found->size(), 12u);
+    for (const Addr va : *found)
+        EXPECT_EQ(evsets.dtlbSetOf(va), evsets.dtlbSetOf(victim));
+    EXPECT_GT(finder.probes(), 12u); // it really worked for it
+}
+
+} // namespace
+} // namespace pacman::attack

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "attack/eviction.hh"
+#include "attack/runtime.hh"
+#include "kernel/layout.hh"
+
+namespace pacman::attack
+{
+namespace
+{
+
+using namespace pacman::kernel;
+
+class EvictionTest : public ::testing::Test
+{
+  protected:
+    EvictionTest() : machine(), evsets(machine) {}
+
+    Machine machine;
+    EvictionSets evsets;
+};
+
+TEST_F(EvictionTest, SetIndexFormulas)
+{
+    // Page-aligned arena base: page k has dTLB set k mod 256.
+    EXPECT_EQ(evsets.dtlbSetOf(EvictionArena), 0u);
+    EXPECT_EQ(evsets.dtlbSetOf(EvictionArena + 37 * isa::PageSize), 37u);
+    EXPECT_EQ(evsets.dtlbSetOf(EvictionArena + 256 * isa::PageSize), 0u);
+    EXPECT_EQ(evsets.itlbSetOf(EvictionArena + 37 * isa::PageSize),
+              37u % 32);
+    EXPECT_EQ(evsets.l2tlbSetOf(EvictionArena + 2048 * isa::PageSize),
+              0u);
+}
+
+TEST_F(EvictionTest, DtlbSetAliasesAndIsCacheSafe)
+{
+    const auto addrs = evsets.dtlbSet(42, 12);
+    ASSERT_EQ(addrs.size(), 12u);
+    for (size_t i = 0; i < addrs.size(); ++i) {
+        EXPECT_EQ(evsets.dtlbSetOf(addrs[i]), 42u);
+        // Distinct L1D cache sets (the paper's +i*128B trick).
+        for (size_t j = i + 1; j < addrs.size(); ++j) {
+            EXPECT_NE((addrs[i] >> 6) & 511, (addrs[j] >> 6) & 511)
+                << i << "," << j;
+        }
+    }
+}
+
+TEST_F(EvictionTest, DtlbSetPagesDistinct)
+{
+    const auto addrs = evsets.dtlbSet(7, 12);
+    for (size_t i = 0; i < addrs.size(); ++i) {
+        for (size_t j = i + 1; j < addrs.size(); ++j) {
+            EXPECT_NE(isa::pageNumber(addrs[i]),
+                      isa::pageNumber(addrs[j]));
+        }
+    }
+}
+
+TEST_F(EvictionTest, L2SetAliasesBothLevels)
+{
+    const auto addrs = evsets.l2tlbSet(100, 23);
+    ASSERT_EQ(addrs.size(), 23u);
+    for (const Addr va : addrs) {
+        EXPECT_EQ(evsets.l2tlbSetOf(va), 100u);
+        // 2048 is a multiple of 256: same dTLB set as well.
+        EXPECT_EQ(evsets.dtlbSetOf(va), 100u % 256);
+    }
+}
+
+TEST_F(EvictionTest, ResetPagesDisjointFromPrimePages)
+{
+    const auto prime = evsets.dtlbSet(5, 12);
+    const auto reset = evsets.l2tlbSet(5, 23);
+    for (const Addr p : prime) {
+        for (const Addr r : reset)
+            EXPECT_NE(isa::pageNumber(p), isa::pageNumber(r));
+    }
+}
+
+TEST_F(EvictionTest, TrampolineIndicesAliasItlbSet)
+{
+    const auto idxs = evsets.trampolineIndicesFor(9, 4);
+    ASSERT_EQ(idxs.size(), 4u);
+    for (const uint64_t idx : idxs) {
+        EXPECT_EQ(idx % 32, 9u);
+        EXPECT_LT(idx, TrampolineCount);
+        const Addr page = TrampolineBase + idx * isa::PageSize;
+        EXPECT_EQ(evsets.itlbSetOf(page), 9u);
+    }
+}
+
+TEST_F(EvictionTest, SweepSetStrides)
+{
+    const auto plain = evsets.sweepSet(0x1000, 0x4000, 3, false);
+    EXPECT_EQ(plain[0], 0x1000u + 0x4000);
+    EXPECT_EQ(plain[2], 0x1000u + 3 * 0x4000);
+    const auto safe = evsets.sweepSet(0x1000, 0x4000, 3, true);
+    EXPECT_EQ(safe[0], 0x1000u + 0x4000 + 128);
+    EXPECT_EQ(safe[2], 0x1000u + 3 * 0x4000 + 3 * 128);
+}
+
+TEST_F(EvictionTest, GeometryFromMachineConfig)
+{
+    EXPECT_EQ(evsets.dtlbWays(), 12u);
+    EXPECT_EQ(evsets.l2tlbWays(), 23u);
+    EXPECT_EQ(evsets.itlbWays(), 4u);
+}
+
+TEST_F(EvictionTest, PrimeThenProbeSeesOwnEntries)
+{
+    // End-to-end sanity: priming then probing with no victim in
+    // between observes all hits (low counts).
+    AttackerProcess proc(machine);
+    proc.placeArrays(150, 151);
+    const auto prime = evsets.dtlbSet(42, 12);
+    proc.loadAll(prime);
+    const auto counts = proc.probeAll(prime);
+    unsigned misses = 0;
+    for (uint64_t c : counts)
+        misses += c > 30;
+    EXPECT_EQ(misses, 0u);
+}
+
+TEST_F(EvictionTest, EvictionSetActuallyEvicts)
+{
+    AttackerProcess proc(machine);
+    proc.placeArrays(150, 151);
+    const Addr victim = EvictionArena + (42 + 13 * 256) * isa::PageSize;
+    proc.ensureMapped(victim);
+    proc.loadAll({victim});
+    // 12 more pages in set 42 must push the victim out.
+    proc.loadAll(evsets.dtlbSet(42, 12));
+    EXPECT_FALSE(machine.mem().dtlb().contains(
+        isa::pageNumber(isa::vaPart(victim)), mem::Asid::User));
+}
+
+} // namespace
+} // namespace pacman::attack

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "attack/jump2win.hh"
+#include "kernel/layout.hh"
+
+namespace pacman::attack
+{
+namespace
+{
+
+using namespace pacman::kernel;
+
+TEST(Jump2Win, EndToEndHijackSucceedsWithoutCrash)
+{
+    Machine machine;
+    AttackerProcess proc(machine);
+    Jump2Win attack(proc);
+    // Windowed sweep keeps the test fast; every candidate still goes
+    // through the oracle.
+    const Jump2WinResult result = attack.run(32);
+    EXPECT_TRUE(result.succeeded) << result.failure;
+    EXPECT_TRUE(machine.kernel().winTriggered());
+    EXPECT_GT(result.guessesTested, 0u);
+
+    // Verify the brute-forced PACs against ground truth.
+    const auto &kern = machine.kernel();
+    EXPECT_EQ(result.vtablePac,
+              kern.truePac(kern.object1Buf(), kern.object2(),
+                           crypto::PacKeySelect::DA));
+    EXPECT_EQ(result.methodPac,
+              kern.truePac(kern.winFn(), kern.object2() + 8,
+                           crypto::PacKeySelect::IA));
+}
+
+TEST(Jump2Win, MachineStillAliveAfterAttack)
+{
+    Machine machine;
+    AttackerProcess proc(machine);
+    Jump2Win attack(proc);
+    ASSERT_TRUE(attack.run(16).succeeded);
+    // The kernel never panicked: normal syscalls keep working.
+    proc.syscall(SYS_NOP);
+    EXPECT_EQ(machine.core().el(), 0u);
+}
+
+TEST(Jump2Win, DifferentBootDifferentPacs)
+{
+    MachineConfig cfg_a = defaultMachineConfig();
+    cfg_a.seed = 1;
+    MachineConfig cfg_b = defaultMachineConfig();
+    cfg_b.seed = 2;
+    Machine a(cfg_a), b(cfg_b);
+    AttackerProcess pa(a), pb(b);
+    Jump2Win atk_a(pa), atk_b(pb);
+    const auto ra = atk_a.run(16);
+    const auto rb = atk_b.run(16);
+    ASSERT_TRUE(ra.succeeded);
+    ASSERT_TRUE(rb.succeeded);
+    // Fresh keys per boot: with overwhelming probability the PACs
+    // differ (checking both guards against the 2^-16 collision).
+    EXPECT_TRUE(ra.vtablePac != rb.vtablePac ||
+                ra.methodPac != rb.methodPac);
+}
+
+TEST(Jump2Win, OverflowWithoutOraclePanics)
+{
+    // Contrast experiment: the same overflow with *guessed* PACs
+    // (no oracle) panics the kernel on dispatch.
+    Machine machine;
+    AttackerProcess proc(machine);
+    const auto &kern = machine.kernel();
+    const Addr payload = proc.scratchPage(200);
+    machine.mem().writeVirt64(payload + 0,
+                              isa::withExt(kern.winFn(), 0x1234));
+    machine.mem().writeVirt64(payload + 8, 0);
+    machine.mem().writeVirt64(payload + 16, 0);
+    machine.mem().writeVirt64(
+        payload + 24, isa::withExt(kern.object1Buf(), 0x5678));
+    proc.syscall(SYS_J2W_MEMCPY, payload, 32);
+
+    machine.core().setReg(isa::X16, SYS_J2W_CALL);
+    const auto status = machine.runGuest(UserCodeBase, {});
+    EXPECT_EQ(status.kind, cpu::ExitKind::KernelPanic);
+    EXPECT_FALSE(machine.kernel().winTriggered());
+}
+
+} // namespace
+} // namespace pacman::attack

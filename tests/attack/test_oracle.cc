@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include "attack/oracle.hh"
+#include "kernel/layout.hh"
+
+namespace pacman::attack
+{
+namespace
+{
+
+using namespace pacman::kernel;
+
+class OracleTest : public ::testing::Test
+{
+  protected:
+    OracleTest() : machine(), proc(machine) {}
+
+    /** A mapped benign-data target in a non-infrastructure set. */
+    Addr
+    dataTarget() const
+    {
+        return BenignDataBase + 37 * isa::PageSize + 0x80;
+    }
+
+    /** A mapped executable target (trampoline page 37). */
+    Addr
+    instTarget() const
+    {
+        return TrampolineBase + 37 * isa::PageSize;
+    }
+
+    uint16_t
+    truth(Addr target, uint64_t modifier, crypto::PacKeySelect sel)
+    {
+        return machine.kernel().truePac(target, modifier, sel);
+    }
+
+    Machine machine;
+    AttackerProcess proc;
+};
+
+TEST_F(OracleTest, TargetUsabilityChecks)
+{
+    OracleConfig cfg;
+    PacOracle oracle(proc, cfg);
+    EXPECT_TRUE(oracle.isTargetUsable(dataTarget()));
+    // The kernel-data page (cond slot) set is off limits.
+    EXPECT_FALSE(oracle.isTargetUsable(machine.kernel().condSlot()));
+}
+
+TEST_F(OracleTest, DataOracleSeparatesCorrectFromIncorrect)
+{
+    OracleConfig cfg;
+    cfg.kind = GadgetKind::Data;
+    PacOracle oracle(proc, cfg);
+    const uint64_t modifier = 0x5151;
+    oracle.setTarget(dataTarget(), modifier);
+    const uint16_t correct =
+        truth(dataTarget(), modifier, crypto::PacKeySelect::DA);
+
+    const unsigned hit = oracle.probeMisses(correct);
+    const unsigned miss1 = oracle.probeMisses(correct ^ 0x0001);
+    const unsigned miss2 = oracle.probeMisses(correct ^ 0x8000);
+    EXPECT_GE(hit, 5u) << "correct PAC must leave >=5 probe misses";
+    EXPECT_LE(miss1, 1u);
+    EXPECT_LE(miss2, 1u);
+}
+
+TEST_F(OracleTest, DataOracleTestPacBoolean)
+{
+    OracleConfig cfg;
+    cfg.kind = GadgetKind::Data;
+    PacOracle oracle(proc, cfg);
+    oracle.setTarget(dataTarget(), 0x77);
+    const uint16_t correct =
+        truth(dataTarget(), 0x77, crypto::PacKeySelect::DA);
+    EXPECT_TRUE(oracle.testPac(correct));
+    EXPECT_FALSE(oracle.testPac(correct ^ 0x0100));
+}
+
+TEST_F(OracleTest, DataOracleRepeatable)
+{
+    OracleConfig cfg;
+    cfg.kind = GadgetKind::Data;
+    PacOracle oracle(proc, cfg);
+    oracle.setTarget(dataTarget(), 0x12);
+    const uint16_t correct =
+        truth(dataTarget(), 0x12, crypto::PacKeySelect::DA);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_TRUE(oracle.testPac(correct)) << "trial " << i;
+        EXPECT_FALSE(oracle.testPac(uint16_t(correct + 1 + i)))
+            << "trial " << i;
+    }
+}
+
+TEST_F(OracleTest, InstOracleSeparatesCorrectFromIncorrect)
+{
+    OracleConfig cfg;
+    cfg.kind = GadgetKind::Instruction;
+    PacOracle oracle(proc, cfg);
+    const uint64_t modifier = 0xBEEF;
+    oracle.setTarget(instTarget(), modifier);
+    const uint16_t correct =
+        truth(instTarget(), modifier, crypto::PacKeySelect::IA);
+
+    const unsigned hit = oracle.probeMisses(correct);
+    const unsigned miss = oracle.probeMisses(correct ^ 0x0040);
+    EXPECT_GE(hit, 5u);
+    EXPECT_LE(miss, 1u);
+}
+
+TEST_F(OracleTest, InstOracleTestPacBoolean)
+{
+    OracleConfig cfg;
+    cfg.kind = GadgetKind::Instruction;
+    PacOracle oracle(proc, cfg);
+    oracle.setTarget(instTarget(), 0x99);
+    const uint16_t correct =
+        truth(instTarget(), 0x99, crypto::PacKeySelect::IA);
+    EXPECT_TRUE(oracle.testPac(correct));
+    EXPECT_FALSE(oracle.testPac(correct ^ 0x2000));
+}
+
+TEST_F(OracleTest, OracleNeverCrashesAcrossManyWrongGuesses)
+{
+    // The whole point: dozens of wrong guesses, zero crashes.
+    OracleConfig cfg;
+    PacOracle oracle(proc, cfg);
+    oracle.setTarget(dataTarget(), 0x1);
+    const uint64_t syscalls_before = machine.core().stats().syscalls;
+    for (uint16_t guess = 0; guess < 32; ++guess)
+        oracle.probeMisses(guess);
+    EXPECT_GT(machine.core().stats().syscalls, syscalls_before);
+    // Reaching here without fatal() already proves no crash; check
+    // the machine is still at EL0 and responsive.
+    EXPECT_EQ(machine.core().el(), 0u);
+    proc.syscall(SYS_NOP);
+}
+
+TEST_F(OracleTest, SampledDecisionTakesMedian)
+{
+    OracleConfig cfg;
+    PacOracle oracle(proc, cfg);
+    oracle.setTarget(dataTarget(), 0x3);
+    const uint16_t correct =
+        truth(dataTarget(), 0x3, crypto::PacKeySelect::DA);
+    EXPECT_TRUE(oracle.testPacSampled(correct, 5));
+    EXPECT_FALSE(oracle.testPacSampled(correct ^ 1, 5));
+}
+
+TEST_F(OracleTest, WorksUnderNoise)
+{
+    MachineConfig mcfg = defaultMachineConfig();
+    mcfg.noiseProbability = 0.8;
+    mcfg.noisePages = 6;
+    Machine noisy(mcfg);
+    AttackerProcess nproc(noisy);
+    OracleConfig cfg;
+    PacOracle oracle(nproc, cfg);
+    const Addr target = BenignDataBase + 37 * isa::PageSize;
+    oracle.setTarget(target, 0x8);
+    const uint16_t correct =
+        noisy.kernel().truePac(target, 0x8, crypto::PacKeySelect::DA);
+    // Median-of-5 should survive this noise level.
+    EXPECT_TRUE(oracle.testPacSampled(correct, 5));
+    EXPECT_FALSE(oracle.testPacSampled(correct ^ 0x10, 5));
+}
+
+TEST_F(OracleTest, QueriesCountedForSpeedAccounting)
+{
+    OracleConfig cfg;
+    PacOracle oracle(proc, cfg);
+    oracle.setTarget(dataTarget(), 0x2);
+    EXPECT_EQ(oracle.queries(), 0u);
+    oracle.probeMisses(0x1234);
+    EXPECT_EQ(oracle.queries(), 1u);
+    oracle.testPacSampled(0x1234, 3);
+    EXPECT_EQ(oracle.queries(), 4u);
+}
+
+TEST_F(OracleTest, MitigationAutFenceDefeatsOracle)
+{
+    MachineConfig mcfg = defaultMachineConfig();
+    mcfg.core.autFence = true;
+    Machine mitigated(mcfg);
+    AttackerProcess mproc(mitigated);
+    OracleConfig cfg;
+    PacOracle oracle(mproc, cfg);
+    const Addr target = BenignDataBase + 37 * isa::PageSize;
+    oracle.setTarget(target, 0x4);
+    const uint16_t correct = mitigated.kernel().truePac(
+        target, 0x4, crypto::PacKeySelect::DA);
+    // Correct and incorrect PACs become indistinguishable (both
+    // leave no signal).
+    EXPECT_FALSE(oracle.testPac(correct));
+    EXPECT_FALSE(oracle.testPac(correct ^ 1));
+}
+
+TEST_F(OracleTest, MitigationPacTaintDefeatsOracle)
+{
+    MachineConfig mcfg = defaultMachineConfig();
+    mcfg.core.pacTaint = true;
+    Machine mitigated(mcfg);
+    AttackerProcess mproc(mitigated);
+    OracleConfig cfg;
+    PacOracle oracle(mproc, cfg);
+    const Addr target = BenignDataBase + 37 * isa::PageSize;
+    oracle.setTarget(target, 0x4);
+    const uint16_t correct = mitigated.kernel().truePac(
+        target, 0x4, crypto::PacKeySelect::DA);
+    EXPECT_FALSE(oracle.testPac(correct));
+    EXPECT_FALSE(oracle.testPac(correct ^ 1));
+}
+
+TEST_F(OracleTest, MitigationDelayOnMissDefeatsOracle)
+{
+    MachineConfig mcfg = defaultMachineConfig();
+    mcfg.hier.delayOnMiss = true;
+    Machine mitigated(mcfg);
+    AttackerProcess mproc(mitigated);
+    OracleConfig cfg;
+    PacOracle oracle(mproc, cfg);
+    const Addr target = BenignDataBase + 37 * isa::PageSize;
+    oracle.setTarget(target, 0x4);
+    const uint16_t correct = mitigated.kernel().truePac(
+        target, 0x4, crypto::PacKeySelect::DA);
+    EXPECT_FALSE(oracle.testPac(correct));
+    EXPECT_FALSE(oracle.testPac(correct ^ 1));
+}
+
+TEST_F(OracleTest, InstOracleNeedsEagerSquash)
+{
+    // Section 4.2's constraint: without eager nested squash the
+    // instruction gadget leaks nothing.
+    MachineConfig mcfg = defaultMachineConfig();
+    mcfg.core.eagerNestedSquash = false;
+    Machine lazy(mcfg);
+    AttackerProcess lproc(lazy);
+    OracleConfig cfg;
+    cfg.kind = GadgetKind::Instruction;
+    PacOracle oracle(lproc, cfg);
+    const Addr target = TrampolineBase + 37 * isa::PageSize;
+    oracle.setTarget(target, 0xBEEF);
+    const uint16_t correct = lazy.kernel().truePac(
+        target, 0xBEEF, crypto::PacKeySelect::IA);
+    EXPECT_FALSE(oracle.testPac(correct));
+}
+
+} // namespace
+} // namespace pacman::attack

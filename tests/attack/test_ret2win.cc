@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "attack/ret2win.hh"
+#include "kernel/layout.hh"
+
+namespace pacman::attack
+{
+namespace
+{
+
+using namespace pacman::kernel;
+
+TEST(Ret2Win, BenignCallReturnsNormally)
+{
+    // In-bounds copy: the PA-protected prologue/epilogue round-trips.
+    Machine machine;
+    AttackerProcess proc(machine);
+    const isa::Addr payload = proc.scratchPage(202);
+    machine.mem().writeVirt64(payload, 0x1122334455667788ull);
+    proc.syscall(SYS_R2W_CALL, payload, 8);
+    EXPECT_EQ(machine.core().el(), 0u);
+    EXPECT_FALSE(machine.kernel().winTriggered());
+}
+
+TEST(Ret2Win, OverflowWithoutCorrectPacPanics)
+{
+    // PA does its job against a plain overflow: the epilogue's autia
+    // poisons the forged return address and the ret faults.
+    Machine machine;
+    AttackerProcess proc(machine);
+    const isa::Addr payload = proc.scratchPage(202);
+    for (unsigned i = 0; i < 4; ++i)
+        machine.mem().writeVirt64(payload + 8 * i,
+                                  0x4141414141414141ull);
+    machine.mem().writeVirt64(
+        payload + 32, isa::withExt(machine.kernel().winFn(), 0x1234));
+    machine.core().setReg(isa::X16, SYS_R2W_CALL);
+    const auto status =
+        machine.runGuest(UserCodeBase, {payload, 40});
+    EXPECT_EQ(status.kind, cpu::ExitKind::KernelPanic);
+    EXPECT_FALSE(machine.kernel().winTriggered());
+}
+
+TEST(Ret2Win, EndToEndReturnAddressHijack)
+{
+    Machine machine;
+    AttackerProcess proc(machine);
+    Ret2Win attack(proc);
+    const Ret2WinResult result = attack.run(32);
+    EXPECT_TRUE(result.succeeded) << result.failure;
+    EXPECT_TRUE(machine.kernel().winTriggered());
+    EXPECT_EQ(result.returnPac,
+              machine.kernel().truePac(machine.kernel().winFn(),
+                                       KernelStackTop,
+                                       crypto::PacKeySelect::IA));
+    // Still no panic: normal syscalls keep working.
+    proc.syscall(SYS_NOP);
+    EXPECT_EQ(machine.core().el(), 0u);
+}
+
+TEST(Ret2Win, SavedReturnAddressIsSignedOnStack)
+{
+    // White-box: during a benign call the saved LR on the kernel
+    // stack carries the correct IA PAC for (return site, entry SP).
+    Machine machine;
+    AttackerProcess proc(machine);
+    const isa::Addr payload = proc.scratchPage(202);
+    proc.syscall(SYS_R2W_CALL, payload, 8);
+    // The slot survives below the (restored) stack pointer.
+    const uint64_t saved =
+        machine.mem().readVirt64(KernelStackTop - 0x40 + 0x30);
+    EXPECT_FALSE(isa::isCanonical(saved)); // PAC-carrying
+    const isa::Addr ret_site = isa::stripPac(saved);
+    EXPECT_EQ(isa::extPart(saved),
+              machine.kernel().truePac(ret_site, KernelStackTop,
+                                       crypto::PacKeySelect::IA));
+}
+
+} // namespace
+} // namespace pacman::attack

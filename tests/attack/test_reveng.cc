@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "attack/reveng.hh"
+#include "kernel/layout.hh"
+
+namespace pacman::attack
+{
+namespace
+{
+
+using namespace pacman::kernel;
+
+class RevEngTest : public ::testing::Test
+{
+  protected:
+    RevEngTest() : machine(), proc(machine), reveng(proc)
+    {
+        reveng.enablePmc();
+    }
+
+    static double
+    latencyAt(const std::vector<SweepPoint> &curve, unsigned n)
+    {
+        for (const SweepPoint &p : curve) {
+            if (p.n == n)
+                return p.medianLatency;
+        }
+        ADD_FAILURE() << "no point for n=" << n;
+        return 0;
+    }
+
+    Machine machine;
+    AttackerProcess proc;
+    RevEng reveng;
+};
+
+TEST_F(RevEngTest, DtlbKneeAtTwelveWaysWithPageStride)
+{
+    // Figure 5(a): stride 256 x 16 KB, cache-safe. Latency jumps
+    // between N = 11 and N = 12 (the dTLB associativity).
+    const auto curve =
+        reveng.dataSweep(256ull * isa::PageSize, 14, 7, true);
+    EXPECT_GT(latencyAt(curve, 12), latencyAt(curve, 11) + 20);
+    EXPECT_NEAR(latencyAt(curve, 12), latencyAt(curve, 14), 10);
+}
+
+TEST_F(RevEngTest, NoKneeBelowAliasingStride)
+{
+    // Figure 5(a): a stride that does not alias the dTLB set (e.g.
+    // 255 x 16 KB spreads over sets) shows no dTLB knee at N = 12.
+    const auto curve =
+        reveng.dataSweep(255ull * isa::PageSize, 14, 5, true);
+    EXPECT_LT(latencyAt(curve, 14), latencyAt(curve, 1) + 20);
+}
+
+TEST_F(RevEngTest, L2TlbKneeAtTwentyThreeWays)
+{
+    // Figure 5(a): stride 2048 x 16 KB; second jump at N = 23.
+    const auto curve =
+        reveng.dataSweep(2048ull * isa::PageSize, 25, 5, true);
+    EXPECT_GT(latencyAt(curve, 23), latencyAt(curve, 11) + 10);
+    EXPECT_GT(latencyAt(curve, 23), latencyAt(curve, 22) - 1);
+}
+
+TEST_F(RevEngTest, CacheKneeAtFourWaysWithLineStride)
+{
+    // Figure 5(b): stride 256 x 128 B without the cache-safe offset;
+    // L1D conflicts appear at N = 4 (observed associativity).
+    const auto curve = reveng.dataSweep(256ull * 128, 6, 7, false);
+    EXPECT_GT(latencyAt(curve, 4), latencyAt(curve, 3) + 10);
+}
+
+TEST_F(RevEngTest, InstSweepDropsAtItlbAssociativity)
+{
+    // Figure 5(c): stride 32 x 16 KB. For N < 4 the target lives only
+    // in the iTLB (invisible to loads, high latency); at N >= 4 it
+    // spills into the dTLB and the reload gets *faster*.
+    const auto curve =
+        reveng.instSweep(32ull * isa::PageSize, 6, 7);
+    EXPECT_GT(latencyAt(curve, 1), latencyAt(curve, 4) + 20);
+    EXPECT_GT(latencyAt(curve, 2), latencyAt(curve, 4) + 20);
+}
+
+TEST_F(RevEngTest, LatencyClassesOrdered)
+{
+    const auto l1 = reveng.measureClass(LatencyClass::L1Hit,
+                                        TimerKind::Pmc, 30);
+    const auto l2 = reveng.measureClass(LatencyClass::L2CacheHit,
+                                        TimerKind::Pmc, 30);
+    const auto dtlb = reveng.measureClass(LatencyClass::DtlbMiss,
+                                          TimerKind::Pmc, 30);
+    const auto walk = reveng.measureClass(LatencyClass::L2TlbMiss,
+                                          TimerKind::Pmc, 30);
+    EXPECT_LT(l1.median(), l2.median());
+    EXPECT_LT(l2.median(), dtlb.median());
+    EXPECT_LT(dtlb.median(), walk.median());
+}
+
+TEST_F(RevEngTest, MultiThreadTimerSeparatesDtlbHitMiss)
+{
+    // Figure 7(b): hit <= 27, miss >= 32, threshold 30.
+    const auto hit = reveng.measureClass(LatencyClass::L1Hit,
+                                         TimerKind::MultiThread, 50);
+    const auto miss = reveng.measureClass(LatencyClass::DtlbMiss,
+                                          TimerKind::MultiThread, 50);
+    EXPECT_LT(hit.max(), 30.0);
+    EXPECT_GT(miss.min(), 30.0);
+}
+
+TEST_F(RevEngTest, KernelDataAccessesEvictUserDtlbEntries)
+{
+    // Figure 6: the L1 dTLB is shared across privilege levels.
+    EXPECT_TRUE(reveng.kernelDataEvictsUserDtlb());
+}
+
+TEST_F(RevEngTest, KernelIfetchSpillsAtWaysPlusOne)
+{
+    // Figure 6: kernel iTLB entries are invisible until evicted into
+    // the dTLB, which takes ways + 1 = 5 aliasing fetches.
+    EXPECT_EQ(reveng.kernelIfetchSpillThreshold(), 5u);
+}
+
+} // namespace
+} // namespace pacman::attack

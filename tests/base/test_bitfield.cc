@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "base/bitfield.hh"
+
+namespace pacman
+{
+namespace
+{
+
+TEST(Bitfield, MaskWidths)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(16), 0xFFFFu);
+    EXPECT_EQ(mask(63), 0x7FFFFFFFFFFFFFFFull);
+    EXPECT_EQ(mask(64), ~uint64_t(0));
+}
+
+TEST(Bitfield, BitsExtraction)
+{
+    const uint64_t v = 0xDEADBEEFCAFEF00Dull;
+    EXPECT_EQ(bits(v, 63, 48), 0xDEADu);
+    EXPECT_EQ(bits(v, 47, 32), 0xBEEFu);
+    EXPECT_EQ(bits(v, 15, 0), 0xF00Du);
+    EXPECT_EQ(bits(v, 0), 1u);
+    EXPECT_EQ(bits(v, 1), 0u);
+}
+
+TEST(Bitfield, InsertBits)
+{
+    EXPECT_EQ(insertBits(0, 15, 0, 0xABCD), 0xABCDu);
+    EXPECT_EQ(insertBits(~uint64_t(0), 63, 48, 0),
+              0x0000FFFFFFFFFFFFull);
+    // Insert value wider than the field: truncated.
+    EXPECT_EQ(insertBits(0, 3, 0, 0x1F), 0xFu);
+}
+
+TEST(Bitfield, InsertThenExtractRoundTrip)
+{
+    uint64_t v = 0;
+    v = insertBits(v, 23, 19, 17);
+    v = insertBits(v, 18, 14, 3);
+    EXPECT_EQ(bits(v, 23, 19), 17u);
+    EXPECT_EQ(bits(v, 18, 14), 3u);
+}
+
+TEST(Bitfield, SignExtension)
+{
+    EXPECT_EQ(sext(0x3FFF, 14), -1);
+    EXPECT_EQ(sext(0x2000, 14), -8192);
+    EXPECT_EQ(sext(0x1FFF, 14), 0x1FFF);
+    EXPECT_EQ(sext(0xFF, 8), -1);
+    EXPECT_EQ(sext(0x7F, 8), 127);
+}
+
+TEST(Bitfield, FitsSigned)
+{
+    EXPECT_TRUE(fitsSigned(8191, 14));
+    EXPECT_FALSE(fitsSigned(8192, 14));
+    EXPECT_TRUE(fitsSigned(-8192, 14));
+    EXPECT_FALSE(fitsSigned(-8193, 14));
+}
+
+TEST(Bitfield, FitsUnsigned)
+{
+    EXPECT_TRUE(fitsUnsigned(0xFFFF, 16));
+    EXPECT_FALSE(fitsUnsigned(0x10000, 16));
+    EXPECT_TRUE(fitsUnsigned(~uint64_t(0), 64));
+}
+
+TEST(Bitfield, PowersOfTwo)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(256));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(12));
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(16384), 14u);
+    EXPECT_EQ(floorLog2(12), 3u);
+}
+
+TEST(Bitfield, Rounding)
+{
+    EXPECT_EQ(roundUp(0, 16384), 0u);
+    EXPECT_EQ(roundUp(1, 16384), 16384u);
+    EXPECT_EQ(roundUp(16384, 16384), 16384u);
+    EXPECT_EQ(roundDown(16385, 16384), 16384u);
+}
+
+} // namespace
+} // namespace pacman

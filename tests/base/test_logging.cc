@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "asm/program.hh"
+#include "base/logging.hh"
+
+namespace pacman
+{
+namespace
+{
+
+TEST(Logging, LevelRoundTrip)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(before);
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    setLogLevel(LogLevel::Quiet); // silence output in the test log
+    warn("this warning is expected (%d)", 1);
+    inform("this info is expected (%s)", "x");
+    debugLog("debug line %d", 2);
+    setLogLevel(LogLevel::Normal);
+    SUCCEED();
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("intentional test panic %d", 42),
+                 "intentional test panic 42");
+}
+
+TEST(LoggingDeath, FatalExitsWithOne)
+{
+    EXPECT_EXIT(fatal("intentional test fatal"),
+                ::testing::ExitedWithCode(1),
+                "intentional test fatal");
+}
+
+TEST(LoggingDeath, AssertMacroReportsExpression)
+{
+    const int x = 3;
+    EXPECT_DEATH(PACMAN_ASSERT(x == 4, "x was %d", x),
+                 "assertion 'x == 4' failed.*x was 3");
+}
+
+TEST(ProgramDeath, MissingSymbolIsFatal)
+{
+    asmjit::Program prog;
+    EXPECT_EXIT((void)prog.symbol("missing"),
+                ::testing::ExitedWithCode(1), "undefined symbol");
+}
+
+TEST(Program, ByteSizeAndEnd)
+{
+    asmjit::Program prog;
+    prog.base = 0x1000;
+    prog.words = {1, 2, 3};
+    EXPECT_EQ(prog.byteSize(), 12u);
+    EXPECT_EQ(prog.end(), 0x100Cu);
+    EXPECT_FALSE(prog.hasSymbol("x"));
+}
+
+} // namespace
+} // namespace pacman

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+
+namespace pacman
+{
+namespace
+{
+
+TEST(Random, DeterministicForSeed)
+{
+    Random a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Random a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Random, BoundedValuesInRange)
+{
+    Random rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.next(12), 12u);
+}
+
+TEST(Random, BoundedCoversAllValues)
+{
+    Random rng(11);
+    bool seen[8] = {};
+    for (int i = 0; i < 500; ++i)
+        seen[rng.next(8)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Random, RangeInclusive)
+{
+    Random rng(5);
+    bool lo = false, hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const int64_t v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        lo |= v == -3;
+        hi |= v == 3;
+    }
+    EXPECT_TRUE(lo);
+    EXPECT_TRUE(hi);
+}
+
+TEST(Random, DoubleInUnitInterval)
+{
+    Random rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Random, ChanceExtremes)
+{
+    Random rng(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Random, ChanceApproximatesProbability)
+{
+    Random rng(17);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(double(hits) / n, 0.3, 0.02);
+}
+
+TEST(Random, GaussianMoments)
+{
+    Random rng(21);
+    double sum = 0, sq = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.gaussian(10.0, 2.0);
+        sum += v;
+        sq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.1);
+    EXPECT_NEAR(var, 4.0, 0.4);
+}
+
+} // namespace
+} // namespace pacman

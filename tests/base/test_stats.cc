@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "base/stats.hh"
+
+namespace pacman
+{
+namespace
+{
+
+TEST(SampleStat, BasicMoments)
+{
+    SampleStat s;
+    for (double v : {1.0, 2.0, 3.0, 4.0, 5.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 5u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    EXPECT_DOUBLE_EQ(s.median(), 3.0);
+    EXPECT_NEAR(s.stddev(), 1.5811, 1e-3);
+}
+
+TEST(SampleStat, MedianUnsortedInput)
+{
+    SampleStat s;
+    for (double v : {9.0, 1.0, 5.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.median(), 5.0);
+}
+
+TEST(SampleStat, Percentiles)
+{
+    SampleStat s;
+    for (int i = 1; i <= 100; ++i)
+        s.add(double(i));
+    EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+    EXPECT_NEAR(s.percentile(50), 50.0, 1.0);
+    EXPECT_NEAR(s.percentile(90), 90.0, 1.0);
+}
+
+TEST(SampleStat, AddAfterQueryKeepsConsistency)
+{
+    SampleStat s;
+    s.add(2.0);
+    EXPECT_DOUBLE_EQ(s.median(), 2.0);
+    s.add(10.0);
+    s.add(6.0);
+    EXPECT_DOUBLE_EQ(s.median(), 6.0);
+}
+
+TEST(SampleStat, ResetClears)
+{
+    SampleStat s;
+    s.add(1.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Histogram, CountsAndFractions)
+{
+    Histogram h;
+    for (int i = 0; i < 90; ++i)
+        h.add(0);
+    for (int i = 0; i < 10; ++i)
+        h.add(7);
+    EXPECT_EQ(h.total(), 100u);
+    EXPECT_EQ(h.countOf(0), 90u);
+    EXPECT_EQ(h.countOf(7), 10u);
+    EXPECT_EQ(h.countOf(3), 0u);
+    EXPECT_DOUBLE_EQ(h.fractionAtMost(0), 0.9);
+    EXPECT_DOUBLE_EQ(h.fractionAtLeast(5), 0.1);
+    EXPECT_DOUBLE_EQ(h.fractionAtLeast(0), 1.0);
+    EXPECT_EQ(h.maxValue(), 7u);
+}
+
+TEST(Histogram, RenderContainsRows)
+{
+    Histogram h;
+    h.add(1);
+    h.add(1);
+    h.add(3);
+    const std::string out = h.render(4);
+    EXPECT_NE(out.find("66.67%"), std::string::npos);
+    EXPECT_NE(out.find("33.33%"), std::string::npos);
+}
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t;
+    t.header({"name", "value"});
+    t.row({"x", "12345"});
+    t.row({"longer-name", "1"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    // Every line has the same leading column width.
+    const size_t first_nl = out.find('\n');
+    ASSERT_NE(first_nl, std::string::npos);
+}
+
+TEST(Strprintf, Formats)
+{
+    EXPECT_EQ(strprintf("%d-%s", 42, "x"), "42-x");
+    EXPECT_EQ(strprintf("0x%llx", 0xBEEFull), "0xbeef");
+    EXPECT_EQ(strprintf("%s", std::string(100, 'a').c_str()),
+              std::string(100, 'a'));
+}
+
+} // namespace
+} // namespace pacman

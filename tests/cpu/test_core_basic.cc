@@ -1,0 +1,390 @@
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "cpu/core.hh"
+#include "mem/hierarchy.hh"
+
+namespace pacman::cpu
+{
+namespace
+{
+
+using namespace pacman::isa;
+using asmjit::Assembler;
+
+constexpr Addr CodeBase = 0x0000'4000'0000ull;
+constexpr Addr DataBase = 0x0000'6000'0000ull;
+
+/** Fixture: bare machine without the kernel layer. */
+class CoreTest : public ::testing::Test
+{
+  protected:
+    CoreTest()
+        : rng(1), hier(mem::m1PCoreConfig(), &rng),
+          core(CoreConfig{}, &hier, &rng)
+    {
+        hier.mapRange(CodeBase, 16 * PageSize,
+                      mem::PageFlags{.user = true, .writable = true,
+                                     .executable = true,
+                                     .device = false});
+        hier.mapRange(DataBase, 16 * PageSize,
+                      mem::PageFlags{.user = true, .writable = true,
+                                     .executable = false,
+                                     .device = false});
+    }
+
+    /** Load a program and point the core at its first instruction. */
+    void
+    load(Assembler &a)
+    {
+        const asmjit::Program p = a.finalize();
+        Addr addr = p.base;
+        for (InstWord w : p.words) {
+            hier.writeVirt(addr, w, 4);
+            addr += InstBytes;
+        }
+        core.setPc(p.base);
+        core.setEl(0);
+    }
+
+    ExitStatus
+    runToHalt(Assembler &a)
+    {
+        load(a);
+        const ExitStatus status = core.run(1'000'000);
+        EXPECT_EQ(status.kind, ExitKind::Halted) << status.reason;
+        return status;
+    }
+
+    Random rng;
+    mem::MemoryHierarchy hier;
+    Core core;
+};
+
+TEST_F(CoreTest, ArithmeticAndMoves)
+{
+    Assembler a(CodeBase);
+    a.movz(X0, 10);
+    a.movz(X1, 3);
+    a.add(X2, X0, X1);   // 13
+    a.sub(X3, X0, X1);   // 7
+    a.mul(X4, X0, X1);   // 30
+    a.eor(X5, X0, X1);   // 9
+    a.lsli(X6, X0, 4);   // 160
+    a.mov(X7, X6);
+    a.hlt(0);
+    runToHalt(a);
+    EXPECT_EQ(core.reg(X2), 13u);
+    EXPECT_EQ(core.reg(X3), 7u);
+    EXPECT_EQ(core.reg(X4), 30u);
+    EXPECT_EQ(core.reg(X5), 9u);
+    EXPECT_EQ(core.reg(X6), 160u);
+    EXPECT_EQ(core.reg(X7), 160u);
+}
+
+TEST_F(CoreTest, WideConstants)
+{
+    Assembler a(CodeBase);
+    a.mov64(X0, 0xFFFF'8000'0200'1234ull);
+    a.hlt(0);
+    runToHalt(a);
+    EXPECT_EQ(core.reg(X0), 0xFFFF'8000'0200'1234ull);
+}
+
+TEST_F(CoreTest, LoadsAndStores)
+{
+    Assembler a(CodeBase);
+    a.mov64(X1, DataBase);
+    a.mov64(X0, 0xAABBCCDDEEFF0011ull);
+    a.str(X0, X1, 8);
+    a.ldr(X2, X1, 8);
+    a.ldrb(X3, X1, 8);   // low byte
+    a.movz(X4, 24);
+    a.strr(X0, X1, X4);
+    a.ldrr(X5, X1, X4);
+    a.hlt(0);
+    runToHalt(a);
+    EXPECT_EQ(core.reg(X2), 0xAABBCCDDEEFF0011ull);
+    EXPECT_EQ(core.reg(X3), 0x11u);
+    EXPECT_EQ(core.reg(X5), 0xAABBCCDDEEFF0011ull);
+    EXPECT_EQ(hier.readVirt64(DataBase + 24), 0xAABBCCDDEEFF0011ull);
+}
+
+TEST_F(CoreTest, ConditionalLoop)
+{
+    Assembler a(CodeBase);
+    a.movz(X0, 0);
+    a.movz(X1, 0);
+    a.label("loop");
+    a.addi(X0, X0, 1);
+    a.addi(X1, X1, 2);
+    a.cmpi(X0, 10);
+    a.bcond(Cond::NE, "loop");
+    a.hlt(0);
+    runToHalt(a);
+    EXPECT_EQ(core.reg(X0), 10u);
+    EXPECT_EQ(core.reg(X1), 20u);
+}
+
+TEST_F(CoreTest, SignedComparisons)
+{
+    Assembler a(CodeBase);
+    a.movz(X0, 5);
+    a.subi(X1, X0, 10);  // -5
+    a.cmpi(X1, 0);
+    a.movz(X2, 0);
+    a.bcond(Cond::GE, "skip");
+    a.movz(X2, 1);       // negative path
+    a.label("skip");
+    a.hlt(0);
+    runToHalt(a);
+    EXPECT_EQ(core.reg(X2), 1u);
+}
+
+TEST_F(CoreTest, CbzCbnz)
+{
+    Assembler a(CodeBase);
+    a.movz(X0, 0);
+    a.movz(X1, 7);
+    a.movz(X2, 0);
+    a.movz(X3, 0);
+    a.cbz(X0, "zero_taken");
+    a.movz(X2, 99);
+    a.label("zero_taken");
+    a.cbnz(X1, "nonzero_taken");
+    a.movz(X3, 99);
+    a.label("nonzero_taken");
+    a.hlt(0);
+    runToHalt(a);
+    EXPECT_EQ(core.reg(X2), 0u);
+    EXPECT_EQ(core.reg(X3), 0u);
+}
+
+TEST_F(CoreTest, CallAndReturn)
+{
+    Assembler a(CodeBase);
+    a.movz(X0, 1);
+    a.bl("fn");
+    a.addi(X0, X0, 100); // after return
+    a.hlt(0);
+    a.label("fn");
+    a.addi(X0, X0, 10);
+    a.ret();
+    runToHalt(a);
+    EXPECT_EQ(core.reg(X0), 111u);
+}
+
+TEST_F(CoreTest, IndirectBranch)
+{
+    Assembler a(CodeBase);
+    a.mov64(X9, CodeBase + 0x100);
+    a.br(X9);
+    // Pad to 0x100.
+    while (a.here() < CodeBase + 0x100)
+        a.nop();
+    a.movz(X0, 42);
+    a.hlt(0);
+    runToHalt(a);
+    EXPECT_EQ(core.reg(X0), 42u);
+}
+
+TEST_F(CoreTest, PacSignVerifyArchitecturally)
+{
+    core.setSysreg(SysReg::APDAKEY_LO, 0x1111);
+    core.setSysreg(SysReg::APDAKEY_HI, 0x2222);
+    Assembler a(CodeBase);
+    a.mov64(X0, DataBase + 0x40);
+    a.movz(X1, 9);        // modifier
+    a.pacda(X0, X1);
+    a.mov(X2, X0);        // keep the signed form
+    a.autda(X0, X1);      // verify -> canonical again
+    a.hlt(0);
+    runToHalt(a);
+    EXPECT_EQ(core.reg(X0), DataBase + 0x40);
+    EXPECT_NE(core.reg(X2), DataBase + 0x40); // PAC was embedded
+    EXPECT_EQ(stripPac(core.reg(X2)), DataBase + 0x40);
+}
+
+TEST_F(CoreTest, AutFailurePoisonsAndDerefCrashes)
+{
+    core.setSysreg(SysReg::APDAKEY_LO, 0x1111);
+    Assembler a(CodeBase);
+    a.mov64(X0, DataBase + 0x40);
+    a.movz(X1, 9);
+    a.pacda(X0, X1);
+    a.movz(X1, 10);       // wrong modifier
+    a.autda(X0, X1);
+    a.ldr(X2, X0, 0);     // dereference poisoned pointer
+    a.hlt(0);
+    load(a);
+    const ExitStatus status = core.run(1000);
+    EXPECT_EQ(status.kind, ExitKind::CrashEl0);
+    EXPECT_EQ(status.fault, mem::Fault::Translation);
+}
+
+TEST_F(CoreTest, XpacStripsWithoutVerifying)
+{
+    Assembler a(CodeBase);
+    a.mov64(X0, DataBase);
+    a.movk(X0, 0xABCD, 3); // fake PAC in the extension
+    a.xpac(X0);
+    a.hlt(0);
+    runToHalt(a);
+    EXPECT_EQ(core.reg(X0), DataBase);
+}
+
+TEST_F(CoreTest, HltCodeReported)
+{
+    Assembler a(CodeBase);
+    a.hlt(7);
+    load(a);
+    const ExitStatus status = core.run(10);
+    EXPECT_EQ(status.kind, ExitKind::Halted);
+    EXPECT_EQ(status.code, 7u);
+}
+
+TEST_F(CoreTest, BrkReportsBreakpoint)
+{
+    Assembler a(CodeBase);
+    a.brk(0xBAD);
+    load(a);
+    const ExitStatus status = core.run(10);
+    EXPECT_EQ(status.kind, ExitKind::Breakpoint);
+    EXPECT_EQ(status.code, 0xBADu);
+}
+
+TEST_F(CoreTest, MrsCntpctAllowedAtEl0)
+{
+    Assembler a(CodeBase);
+    a.mrs(X0, SysReg::CNTPCT_EL0);
+    a.mrs(X1, SysReg::CNTFRQ_EL0);
+    a.hlt(0);
+    runToHalt(a);
+    EXPECT_EQ(core.reg(X1), 24'000'000u);
+}
+
+TEST_F(CoreTest, MrsPmc0TrapsAtEl0ByDefault)
+{
+    Assembler a(CodeBase);
+    a.mrs(X0, SysReg::PMC0);
+    a.hlt(0);
+    load(a);
+    const ExitStatus status = core.run(10);
+    EXPECT_EQ(status.kind, ExitKind::CrashEl0);
+}
+
+TEST_F(CoreTest, MrsPmc0AllowedAfterPmcrGrant)
+{
+    core.setSysreg(SysReg::PMCR0,
+                   PMCR0_ENABLE | PMCR0_EL0_ACCESS);
+    Assembler a(CodeBase);
+    a.mrs(X0, SysReg::PMC0);
+    a.hlt(0);
+    runToHalt(a);
+    EXPECT_GT(core.reg(X0), 0u);
+}
+
+TEST_F(CoreTest, MsrAtEl0Crashes)
+{
+    Assembler a(CodeBase);
+    a.msr(SysReg::PMCR0, X0);
+    a.hlt(0);
+    load(a);
+    EXPECT_EQ(core.run(10).kind, ExitKind::CrashEl0);
+}
+
+TEST_F(CoreTest, SvcWithoutVectorCrashesInKernel)
+{
+    // VBAR = 0: the kernel entry fetch faults -> kernel panic.
+    Assembler a(CodeBase);
+    a.svc(0);
+    a.hlt(0);
+    load(a);
+    const ExitStatus status = core.run(10);
+    EXPECT_EQ(status.kind, ExitKind::KernelPanic);
+}
+
+TEST_F(CoreTest, SvcEretRoundTrip)
+{
+    // Minimal kernel: vector at a kernel page that increments x0.
+    const Addr kcode = 0xFFFF'8000'0000'0000ull;
+    hier.mapRange(kcode, PageSize,
+                  mem::PageFlags{.user = false, .writable = false,
+                                 .executable = true, .device = false});
+    Assembler k(kcode);
+    k.addi(X0, X0, 1000);
+    k.eret();
+    const asmjit::Program kp = k.finalize();
+    Addr addr = kp.base;
+    for (InstWord w : kp.words) {
+        hier.writeVirt(addr, w, 4);
+        addr += InstBytes;
+    }
+    core.setSysreg(SysReg::VBAR_EL1, kcode);
+
+    Assembler a(CodeBase);
+    a.movz(X0, 5);
+    a.svc(0);
+    a.addi(X0, X0, 1); // after return
+    a.hlt(0);
+    runToHalt(a);
+    EXPECT_EQ(core.reg(X0), 1006u);
+    EXPECT_EQ(core.el(), 0u);
+    EXPECT_EQ(core.stats().syscalls, 1u);
+}
+
+TEST_F(CoreTest, EretAtEl0Crashes)
+{
+    Assembler a(CodeBase);
+    a.eret();
+    load(a);
+    EXPECT_EQ(core.run(10).kind, ExitKind::CrashEl0);
+}
+
+TEST_F(CoreTest, CyclesAdvanceMonotonically)
+{
+    Assembler a(CodeBase);
+    for (int i = 0; i < 100; ++i)
+        a.nop();
+    a.hlt(0);
+    const uint64_t before = core.cycle();
+    runToHalt(a);
+    EXPECT_GT(core.cycle(), before);
+}
+
+TEST_F(CoreTest, LoadLatencyVisibleThroughPmcTiming)
+{
+    core.setSysreg(SysReg::PMCR0, PMCR0_ENABLE | PMCR0_EL0_ACCESS);
+    // Two timed loads: cold (walk + DRAM) then warm (all hits).
+    Assembler a(CodeBase);
+    a.mov64(X1, DataBase + 0x2000);
+    a.isb();
+    a.mrs(X2, SysReg::PMC0);
+    a.isb();
+    a.ldr(X3, X1, 0);
+    a.isb();
+    a.mrs(X4, SysReg::PMC0);
+    a.isb();
+    a.ldr(X5, X1, 0);
+    a.isb();
+    a.mrs(X6, SysReg::PMC0);
+    a.isb();
+    a.sub(X7, X4, X2);  // cold latency
+    a.sub(X8, X6, X4);  // warm latency
+    a.hlt(0);
+    runToHalt(a);
+    EXPECT_GT(core.reg(X7), core.reg(X8));
+}
+
+TEST_F(CoreTest, InstructionBudgetStopsRun)
+{
+    Assembler a(CodeBase);
+    a.label("forever");
+    a.b("forever");
+    load(a);
+    const ExitStatus status = core.run(100);
+    EXPECT_EQ(status.kind, ExitKind::MaxInsts);
+}
+
+} // namespace
+} // namespace pacman::cpu

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * FPAC (ARMv8.6 fault-on-authentication-failure) semantics — and the
+ * demonstration that it does *not* stop PACMAN: the speculative
+ * fault is suppressed, and the oracle's transmission signal remains.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "asm/assembler.hh"
+#include "cpu/core.hh"
+#include "mem/hierarchy.hh"
+
+namespace pacman::cpu
+{
+namespace
+{
+
+using namespace pacman::isa;
+using asmjit::Assembler;
+
+constexpr Addr CodeBase = 0x0000'4000'0000ull;
+constexpr Addr DataBase = 0x0000'6000'0000ull;
+constexpr Addr ProbePage = 0x0000'6100'0000ull;
+constexpr Addr CondPage = 0x0000'6200'0000ull;
+
+class FpacTest : public ::testing::Test
+{
+  protected:
+    FpacTest()
+        : rng(1), hier(mem::m1PCoreConfig(), &rng)
+    {
+        const mem::PageFlags exec{.user = true, .writable = true,
+                                  .executable = true, .device = false};
+        const mem::PageFlags data{.user = true, .writable = true,
+                                  .executable = false,
+                                  .device = false};
+        hier.mapRange(CodeBase, 16 * PageSize, exec);
+        hier.mapRange(DataBase, 16 * PageSize, data);
+        hier.mapRange(ProbePage, PageSize, data);
+        hier.mapRange(CondPage, PageSize, data);
+
+        CoreConfig cfg;
+        cfg.fpac = true;
+        core = std::make_unique<Core>(cfg, &hier, &rng);
+        core->setSysreg(SysReg::APDAKEY_LO, 0x4242);
+    }
+
+    void
+    loadProgram(const asmjit::Program &p)
+    {
+        Addr addr = p.base;
+        for (InstWord w : p.words) {
+            hier.writeVirt(addr, w, 4);
+            addr += InstBytes;
+        }
+    }
+
+    Random rng;
+    mem::MemoryHierarchy hier;
+    std::unique_ptr<Core> core;
+};
+
+TEST_F(FpacTest, ArchitecturalAutFailureFaultsImmediately)
+{
+    // Unlike plain ARMv8.3 (fault on *dereference*), FPAC faults at
+    // the aut instruction itself, even with no later use.
+    Assembler a(CodeBase);
+    a.mov64(X0, ProbePage);
+    a.movk(X0, 0x1234, 3); // bogus PAC
+    a.movz(X1, 9);
+    a.autda(X0, X1);
+    a.hlt(0);              // never reached
+    loadProgram(a.finalize());
+    core->setPc(CodeBase);
+    const ExitStatus status = core->run(100);
+    EXPECT_EQ(status.kind, ExitKind::CrashEl0);
+    EXPECT_NE(status.reason.find("FPAC"), std::string::npos);
+}
+
+TEST_F(FpacTest, ArchitecturalAutSuccessProceeds)
+{
+    Assembler a(CodeBase);
+    a.mov64(X0, ProbePage);
+    a.movz(X1, 9);
+    a.pacda(X0, X1);
+    a.autda(X0, X1);
+    a.ldr(X2, X0, 0);
+    a.hlt(0);
+    loadProgram(a.finalize());
+    core->setPc(CodeBase);
+    EXPECT_EQ(core->run(100).kind, ExitKind::Halted);
+    EXPECT_EQ(core->reg(X0), ProbePage);
+}
+
+TEST_F(FpacTest, SpeculativeFpacFaultSuppressedAndOracleSignalIntact)
+{
+    // The PACMAN gadget on an FPAC machine: wrong PAC -> suppressed
+    // speculative fault, no dTLB fill; correct PAC -> fill. The
+    // verification result still leaks.
+    const crypto::PacKey key = core->pacKey(crypto::PacKeySelect::DA);
+
+    Assembler a(CodeBase);
+    a.mov64(X9, CondPage);
+    a.ldr(X1, X9, 0);       // slow guard
+    a.mov64(X8, DataBase);
+    a.ldr(X0, X8, 0);       // attacker-supplied signed pointer
+    a.cbnz(X1, "body");
+    a.b("out");
+    a.label("body");
+    a.autda(X0, X9);        // FPAC: faults here on bad PAC
+    a.ldr(X2, X0, 0);       // transmission
+    a.label("out");
+    a.hlt(0);
+    loadProgram(a.finalize());
+
+    auto run_once = [&](uint64_t signed_ptr) {
+        // Train taken with a legit pointer.
+        hier.writeVirt64(CondPage, 1);
+        hier.writeVirt64(DataBase,
+                         signPointer(DataBase + 0x80, CondPage, key));
+        for (int i = 0; i < 4; ++i) {
+            core->setPc(CodeBase);
+            core->setEl(0);
+            EXPECT_EQ(core->run(10000).kind, ExitKind::Halted);
+        }
+        // Attack run.
+        hier.writeVirt64(CondPage, 0);
+        hier.writeVirt64(DataBase, signed_ptr);
+        hier.dtlb().flushAll();
+        hier.l2tlb().flushAll();
+        hier.access(mem::AccessKind::Load, DataBase, 0, false);
+        core->setPc(CodeBase);
+        core->setEl(0);
+        EXPECT_EQ(core->run(10000).kind, ExitKind::Halted);
+        return hier.dtlb().contains(pageNumber(vaPart(ProbePage)),
+                                    mem::Asid::User);
+    };
+
+    // Wrong PAC: no crash (suppressed), no signal.
+    EXPECT_FALSE(run_once(withExt(ProbePage, 0x1111)));
+    // Correct PAC: signal present — FPAC did not close the oracle.
+    EXPECT_TRUE(run_once(signPointer(ProbePage, CondPage, key)));
+}
+
+TEST_F(FpacTest, FpacOffPoisonsInstead)
+{
+    // Control: identical machine without FPAC poisons and faults on
+    // dereference, not at the aut.
+    CoreConfig cfg;
+    cfg.fpac = false;
+    Core other(cfg, &hier, &rng);
+    other.setSysreg(SysReg::APDAKEY_LO, 0x4242);
+    Assembler a(CodeBase);
+    a.mov64(X0, ProbePage);
+    a.movk(X0, 0x1234, 3);
+    a.movz(X1, 9);
+    a.autda(X0, X1);
+    a.hlt(0); // reached: no dereference happened
+    loadProgram(a.finalize());
+    other.setPc(CodeBase);
+    const ExitStatus status = other.run(100);
+    EXPECT_EQ(status.kind, ExitKind::Halted);
+    EXPECT_FALSE(isCanonical(other.reg(X0)));
+}
+
+} // namespace
+} // namespace pacman::cpu

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "cpu/predictor.hh"
+
+namespace pacman::cpu
+{
+namespace
+{
+
+TEST(Bimodal, InitiallyNotTaken)
+{
+    BimodalPredictor p(256);
+    EXPECT_FALSE(p.predict(0x1000));
+}
+
+TEST(Bimodal, SingleTakenUpdateFlipsWeakDefault)
+{
+    BimodalPredictor p(256);
+    p.update(0x1000, true); // weakly not-taken -> weakly taken
+    EXPECT_TRUE(p.predict(0x1000));
+    p.update(0x1000, false);
+    EXPECT_FALSE(p.predict(0x1000));
+}
+
+TEST(Bimodal, SaturationResistsSingleFlip)
+{
+    BimodalPredictor p(256);
+    for (int i = 0; i < 8; ++i)
+        p.update(0x1000, true);
+    p.update(0x1000, false);
+    EXPECT_TRUE(p.predict(0x1000)); // 3 -> 2, still predicts taken
+    p.update(0x1000, false);
+    p.update(0x1000, false);
+    EXPECT_FALSE(p.predict(0x1000));
+}
+
+TEST(Bimodal, DistinctPcsIndependent)
+{
+    BimodalPredictor p(256);
+    p.update(0x1000, true);
+    p.update(0x1000, true);
+    EXPECT_TRUE(p.predict(0x1000));
+    EXPECT_FALSE(p.predict(0x1004));
+}
+
+TEST(Bimodal, ResetRestoresDefault)
+{
+    BimodalPredictor p(256);
+    p.update(0x1000, true);
+    p.update(0x1000, true);
+    p.reset();
+    EXPECT_FALSE(p.predict(0x1000));
+}
+
+TEST(Btb, MissThenHit)
+{
+    Btb b(64);
+    EXPECT_FALSE(b.lookup(0x2000).has_value());
+    b.update(0x2000, 0x9000);
+    const auto t = b.lookup(0x2000);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(*t, 0x9000u);
+}
+
+TEST(Btb, TagDisambiguatesAliases)
+{
+    Btb b(64);
+    b.update(0x2000, 0x9000);
+    // Same index (64 entries, word-indexed), different pc.
+    EXPECT_FALSE(b.lookup(0x2000 + 64 * 4).has_value());
+}
+
+TEST(Btb, UpdateOverwritesTarget)
+{
+    Btb b(64);
+    b.update(0x2000, 0x9000);
+    b.update(0x2000, 0xA000);
+    EXPECT_EQ(b.lookup(0x2000).value(), 0xA000u);
+}
+
+TEST(Btb, ResetClears)
+{
+    Btb b(64);
+    b.update(0x2000, 0x9000);
+    b.reset();
+    EXPECT_FALSE(b.lookup(0x2000).has_value());
+}
+
+} // namespace
+} // namespace pacman::cpu

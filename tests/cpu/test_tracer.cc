@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Execution-tracer tests: the hook must observe architectural and
+ * wrong-path instructions, correctly flagged, in a deterministic
+ * order — the visibility tooling for studying the attack.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "asm/assembler.hh"
+#include "cpu/core.hh"
+#include "isa/disasm.hh"
+#include "mem/hierarchy.hh"
+
+namespace pacman::cpu
+{
+namespace
+{
+
+using namespace pacman::isa;
+using asmjit::Assembler;
+
+constexpr Addr CodeBase = 0x0000'4000'0000ull;
+constexpr Addr DataBase = 0x0000'6000'0000ull;
+constexpr Addr CondPage = 0x0000'6200'0000ull;
+
+class TracerTest : public ::testing::Test
+{
+  protected:
+    TracerTest()
+        : rng(1), hier(mem::m1PCoreConfig(), &rng),
+          core(CoreConfig{}, &hier, &rng)
+    {
+        hier.mapRange(CodeBase, 4 * PageSize,
+                      mem::PageFlags{.user = true, .writable = true,
+                                     .executable = true,
+                                     .device = false});
+        hier.mapRange(DataBase, 4 * PageSize,
+                      mem::PageFlags{.user = true, .writable = true,
+                                     .executable = false,
+                                     .device = false});
+        hier.mapRange(CondPage, PageSize,
+                      mem::PageFlags{.user = true, .writable = true,
+                                     .executable = false,
+                                     .device = false});
+        core.setTraceHook([this](const TraceRecord &rec) {
+            records.push_back(rec);
+        });
+    }
+
+    void
+    load(Assembler &a)
+    {
+        const asmjit::Program p = a.finalize();
+        Addr addr = p.base;
+        for (InstWord w : p.words) {
+            hier.writeVirt(addr, w, 4);
+            addr += InstBytes;
+        }
+        core.setPc(p.base);
+        core.setEl(0);
+    }
+
+    Random rng;
+    mem::MemoryHierarchy hier;
+    Core core;
+    std::vector<TraceRecord> records;
+};
+
+TEST_F(TracerTest, StraightLineTraceInOrder)
+{
+    Assembler a(CodeBase);
+    a.movz(X0, 1);
+    a.movz(X1, 2);
+    a.add(X2, X0, X1);
+    a.hlt(0);
+    load(a);
+    ASSERT_EQ(core.run(100).kind, ExitKind::Halted);
+
+    ASSERT_EQ(records.size(), 4u);
+    EXPECT_EQ(records[0].pc, CodeBase);
+    EXPECT_EQ(records[1].pc, CodeBase + 4);
+    EXPECT_EQ(records[2].inst.op, Opcode::ADD);
+    EXPECT_EQ(records[3].inst.op, Opcode::HLT);
+    for (const auto &rec : records) {
+        EXPECT_FALSE(rec.speculative);
+        EXPECT_EQ(rec.el, 0u);
+    }
+}
+
+TEST_F(TracerTest, CyclesNonDecreasing)
+{
+    Assembler a(CodeBase);
+    for (int i = 0; i < 50; ++i)
+        a.addi(X0, X0, 1);
+    a.hlt(0);
+    load(a);
+    ASSERT_EQ(core.run(100).kind, ExitKind::Halted);
+    for (size_t i = 1; i < records.size(); ++i)
+        EXPECT_GE(records[i].cycle, records[i - 1].cycle);
+}
+
+TEST_F(TracerTest, WrongPathInstructionsFlaggedSpeculative)
+{
+    // Mispredicted branch: the wrong-path body shows up flagged.
+    Assembler a(CodeBase);
+    a.mov64(X9, CondPage);
+    a.ldr(X1, X9, 0);
+    a.cbnz(X1, "body");
+    a.b("out");
+    a.label("body");
+    a.movz(X7, 0x777);
+    a.label("out");
+    a.hlt(0);
+    load(a);
+
+    // Train taken.
+    hier.writeVirt64(CondPage, 1);
+    for (int i = 0; i < 4; ++i) {
+        core.setPc(CodeBase);
+        ASSERT_EQ(core.run(1000).kind, ExitKind::Halted);
+    }
+    records.clear();
+    core.setReg(X7, 0); // training ran the body architecturally
+
+    // Mispredict: guard 0, translation cold so the window is long.
+    hier.writeVirt64(CondPage, 0);
+    hier.dtlb().flushAll();
+    hier.l2tlb().flushAll();
+    core.setPc(CodeBase);
+    ASSERT_EQ(core.run(1000).kind, ExitKind::Halted);
+
+    bool saw_spec_movz = false;
+    bool saw_arch_hlt = false;
+    for (const auto &rec : records) {
+        if (rec.speculative && rec.inst.op == Opcode::MOVZ &&
+            rec.inst.rd == X7) {
+            saw_spec_movz = true;
+        }
+        if (!rec.speculative && rec.inst.op == Opcode::HLT)
+            saw_arch_hlt = true;
+    }
+    EXPECT_TRUE(saw_spec_movz);
+    EXPECT_TRUE(saw_arch_hlt);
+    EXPECT_EQ(core.reg(X7), 0u); // and it really was wrong-path
+}
+
+TEST_F(TracerTest, PrivilegeLevelRecorded)
+{
+    const Addr kcode = 0xFFFF'8000'0000'0000ull;
+    hier.mapRange(kcode, PageSize,
+                  mem::PageFlags{.user = false, .writable = false,
+                                 .executable = true, .device = false});
+    Assembler k(kcode);
+    k.eret();
+    const asmjit::Program kp = k.finalize();
+    hier.writeVirt(kcode, kp.words[0], 4);
+    core.setSysreg(SysReg::VBAR_EL1, kcode);
+
+    Assembler a(CodeBase);
+    a.svc(0);
+    a.hlt(0);
+    load(a);
+    ASSERT_EQ(core.run(100).kind, ExitKind::Halted);
+
+    bool saw_el1 = false;
+    for (const auto &rec : records) {
+        if (rec.el == 1) {
+            saw_el1 = true;
+            EXPECT_EQ(rec.inst.op, Opcode::ERET);
+        }
+    }
+    EXPECT_TRUE(saw_el1);
+}
+
+TEST_F(TracerTest, HookRemovable)
+{
+    Assembler a(CodeBase);
+    a.nop();
+    a.hlt(0);
+    load(a);
+    core.setTraceHook(nullptr);
+    ASSERT_EQ(core.run(100).kind, ExitKind::Halted);
+    EXPECT_TRUE(records.empty());
+}
+
+TEST_F(TracerTest, DisassemblesCleanlyFromTrace)
+{
+    Assembler a(CodeBase);
+    a.movz(X0, 7);
+    a.pacda(X0, X1);
+    a.hlt(0);
+    load(a);
+    ASSERT_EQ(core.run(100).kind, ExitKind::Halted);
+    ASSERT_GE(records.size(), 2u);
+    EXPECT_EQ(disassemble(records[1].inst), "pacda x0, x1");
+}
+
+} // namespace
+} // namespace pacman::cpu

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "crypto/pac.hh"
+
+namespace pacman::crypto
+{
+namespace
+{
+
+const PacKey key{0x0011223344556677ull, 0x8899aabbccddeeffull};
+
+TEST(Pac, Deterministic)
+{
+    EXPECT_EQ(computePac(0x1000, 0, key), computePac(0x1000, 0, key));
+}
+
+TEST(Pac, DependsOnPointer)
+{
+    EXPECT_NE(computePac(0x1000, 0, key), computePac(0x2000, 0, key));
+}
+
+TEST(Pac, DependsOnModifier)
+{
+    EXPECT_NE(computePac(0x1000, 1, key), computePac(0x1000, 2, key));
+}
+
+TEST(Pac, DependsOnKey)
+{
+    const PacKey other{key.w0, key.k0 ^ 1};
+    EXPECT_NE(computePac(0x1000, 0, key), computePac(0x1000, 0, other));
+}
+
+TEST(Pac, WidthTruncation)
+{
+    // An 11-bit PAC never exceeds 11 bits (the ARM range is 11..31
+    // bits depending on configuration; our platform uses 16).
+    for (uint64_t p = 0; p < 64; ++p)
+        EXPECT_LT(computePac(p << 14, 0, key, 11), 1u << 11);
+}
+
+TEST(Pac, SixteenBitDistributionRoughlyUniform)
+{
+    // Bucket PACs of many pointers: each of 16 coarse buckets should
+    // receive a reasonable share.
+    std::map<uint16_t, unsigned> buckets;
+    const unsigned n = 4096;
+    for (unsigned i = 0; i < n; ++i)
+        ++buckets[computePac(uint64_t(i) << 14, 0, key) >> 12];
+    for (const auto &[bucket, count] : buckets)
+        EXPECT_GT(count, n / 16 / 2) << "bucket " << bucket;
+    EXPECT_EQ(buckets.size(), 16u);
+}
+
+TEST(Pac, KeyNames)
+{
+    EXPECT_STREQ(pacKeyName(PacKeySelect::IA), "IA");
+    EXPECT_STREQ(pacKeyName(PacKeySelect::DB), "DB");
+    EXPECT_STREQ(pacKeyName(PacKeySelect::GA), "GA");
+}
+
+TEST(Pac, CollisionRateNearExpected)
+{
+    // Probability two random pointers share a 16-bit PAC should be
+    // about 2^-16; over ~20k pairs expect only a few collisions.
+    unsigned collisions = 0;
+    const unsigned n = 20000;
+    const uint16_t reference = computePac(0xABC000, 7, key);
+    for (unsigned i = 1; i <= n; ++i) {
+        if (computePac(0xABC000 + (uint64_t(i) << 14), 7, key) ==
+            reference) {
+            ++collisions;
+        }
+    }
+    EXPECT_LT(collisions, 8u); // expectation ~0.3
+}
+
+} // namespace
+} // namespace pacman::crypto

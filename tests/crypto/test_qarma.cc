@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "crypto/qarma64.hh"
+
+namespace pacman::crypto
+{
+namespace
+{
+
+// Published QARMA-64 test vectors (Avanzi, ToSC 2017):
+// w0 = 84be85ce9804e94b, k0 = ec2802d4e0a488e9,
+// P = fb623599da6e8127, T = 477d469dec0b8762.
+constexpr uint64_t W0 = 0x84be85ce9804e94bull;
+constexpr uint64_t K0 = 0xec2802d4e0a488e9ull;
+constexpr uint64_t P = 0xfb623599da6e8127ull;
+constexpr uint64_t T = 0x477d469dec0b8762ull;
+
+struct Vector
+{
+    int rounds;
+    QarmaSbox sbox;
+    uint64_t ciphertext;
+};
+
+const Vector vectors[] = {
+    {5, QarmaSbox::Sigma0, 0x3ee99a6c82af0c38ull},
+    {5, QarmaSbox::Sigma1, 0x544b0ab95bda7c3aull},
+    {5, QarmaSbox::Sigma2, 0xc003b93999b33765ull},
+    {6, QarmaSbox::Sigma0, 0x9f5c41ec525603c9ull},
+    {6, QarmaSbox::Sigma1, 0xa512dd1e4e3ec582ull},
+    {7, QarmaSbox::Sigma0, 0xbcaf6c89de930765ull},
+    {7, QarmaSbox::Sigma1, 0xedf67ff370a483f2ull},
+};
+
+TEST(Qarma64, PublishedTestVectors)
+{
+    for (const Vector &v : vectors) {
+        Qarma64 cipher(W0, K0, v.rounds, v.sbox);
+        EXPECT_EQ(cipher.encrypt(P, T), v.ciphertext)
+            << "r=" << v.rounds << " sbox=" << int(v.sbox);
+    }
+}
+
+TEST(Qarma64, DecryptInvertsEncrypt)
+{
+    for (const Vector &v : vectors) {
+        Qarma64 cipher(W0, K0, v.rounds, v.sbox);
+        EXPECT_EQ(cipher.decrypt(v.ciphertext, T), P);
+    }
+}
+
+TEST(Qarma64, RoundTripRandomInputs)
+{
+    Qarma64 cipher(W0, K0, 7, QarmaSbox::Sigma1);
+    uint64_t x = 0x0123456789abcdefull;
+    for (int i = 0; i < 200; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        const uint64_t tweak = x ^ 0x5555aaaa5555aaaaull;
+        EXPECT_EQ(cipher.decrypt(cipher.encrypt(x, tweak), tweak), x);
+    }
+}
+
+TEST(Qarma64, TweakChangesCiphertext)
+{
+    Qarma64 cipher(W0, K0, 7, QarmaSbox::Sigma1);
+    EXPECT_NE(cipher.encrypt(P, T), cipher.encrypt(P, T ^ 1));
+}
+
+TEST(Qarma64, KeyChangesCiphertext)
+{
+    Qarma64 a(W0, K0, 7, QarmaSbox::Sigma1);
+    Qarma64 b(W0, K0 ^ 1, 7, QarmaSbox::Sigma1);
+    Qarma64 c(W0 ^ 1, K0, 7, QarmaSbox::Sigma1);
+    EXPECT_NE(a.encrypt(P, T), b.encrypt(P, T));
+    EXPECT_NE(a.encrypt(P, T), c.encrypt(P, T));
+}
+
+TEST(Qarma64, AvalancheSingleBitFlip)
+{
+    // A one-bit plaintext change should flip roughly half the output
+    // bits; require at least 16 of 64 for every input bit position.
+    Qarma64 cipher(W0, K0, 7, QarmaSbox::Sigma1);
+    const uint64_t base = cipher.encrypt(P, T);
+    for (unsigned bit = 0; bit < 64; ++bit) {
+        const uint64_t flipped = cipher.encrypt(P ^ (1ull << bit), T);
+        EXPECT_GE(__builtin_popcountll(base ^ flipped), 16)
+            << "bit " << bit;
+    }
+}
+
+TEST(Qarma64, EncryptIsDeterministic)
+{
+    Qarma64 cipher(W0, K0, 7, QarmaSbox::Sigma1);
+    EXPECT_EQ(cipher.encrypt(P, T), cipher.encrypt(P, T));
+}
+
+TEST(Qarma64, RoundCountMatters)
+{
+    Qarma64 r5(W0, K0, 5, QarmaSbox::Sigma1);
+    Qarma64 r7(W0, K0, 7, QarmaSbox::Sigma1);
+    EXPECT_NE(r5.encrypt(P, T), r7.encrypt(P, T));
+}
+
+TEST(Qarma64, BijectivityOverSmallSample)
+{
+    // No two distinct plaintexts map to the same ciphertext.
+    Qarma64 cipher(W0, K0, 5, QarmaSbox::Sigma1);
+    std::vector<uint64_t> outs;
+    for (uint64_t i = 0; i < 512; ++i)
+        outs.push_back(cipher.encrypt(i, T));
+    std::sort(outs.begin(), outs.end());
+    EXPECT_EQ(std::adjacent_find(outs.begin(), outs.end()), outs.end());
+}
+
+} // namespace
+} // namespace pacman::crypto

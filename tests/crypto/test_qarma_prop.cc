@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Parameterized property tests for QARMA-64 across round counts and
+ * S-box variants: invertibility, determinism, key/tweak sensitivity,
+ * and diffusion.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "base/random.hh"
+#include "crypto/qarma64.hh"
+
+namespace pacman::crypto
+{
+namespace
+{
+
+using Variant = std::tuple<int, QarmaSbox>;
+
+class QarmaPropTest : public ::testing::TestWithParam<Variant>
+{
+  protected:
+    Qarma64
+    make(uint64_t w0 = 0x84be85ce9804e94bull,
+         uint64_t k0 = 0xec2802d4e0a488e9ull) const
+    {
+        const auto [rounds, sbox] = GetParam();
+        return Qarma64(w0, k0, rounds, sbox);
+    }
+};
+
+TEST_P(QarmaPropTest, DecryptInvertsEncryptRandomized)
+{
+    const Qarma64 cipher = make();
+    Random rng(11);
+    for (int i = 0; i < 300; ++i) {
+        const uint64_t pt = rng.next();
+        const uint64_t tw = rng.next();
+        ASSERT_EQ(cipher.decrypt(cipher.encrypt(pt, tw), tw), pt);
+    }
+}
+
+TEST_P(QarmaPropTest, TweakSeparation)
+{
+    const Qarma64 cipher = make();
+    Random rng(13);
+    for (int i = 0; i < 100; ++i) {
+        const uint64_t pt = rng.next();
+        const uint64_t tw = rng.next();
+        ASSERT_NE(cipher.encrypt(pt, tw), cipher.encrypt(pt, tw ^ 1));
+    }
+}
+
+TEST_P(QarmaPropTest, KeySeparation)
+{
+    Random rng(17);
+    for (int i = 0; i < 50; ++i) {
+        const uint64_t w0 = rng.next(), k0 = rng.next();
+        const Qarma64 a = make(w0, k0);
+        const Qarma64 b = make(w0 ^ (1ull << (i % 64)), k0);
+        const Qarma64 c = make(w0, k0 ^ (1ull << (i % 64)));
+        const uint64_t pt = rng.next(), tw = rng.next();
+        ASSERT_NE(a.encrypt(pt, tw), b.encrypt(pt, tw));
+        ASSERT_NE(a.encrypt(pt, tw), c.encrypt(pt, tw));
+    }
+}
+
+TEST_P(QarmaPropTest, PlaintextDiffusion)
+{
+    // Single-bit plaintext flips change many ciphertext bits on
+    // average (>= 24 of 64 over a sample).
+    const Qarma64 cipher = make();
+    Random rng(19);
+    double total = 0;
+    const int n = 100;
+    for (int i = 0; i < n; ++i) {
+        const uint64_t pt = rng.next();
+        const uint64_t tw = rng.next();
+        const uint64_t base = cipher.encrypt(pt, tw);
+        const uint64_t flipped =
+            cipher.encrypt(pt ^ (1ull << rng.next(64)), tw);
+        total += __builtin_popcountll(base ^ flipped);
+    }
+    EXPECT_GT(total / n, 24.0);
+    EXPECT_LT(total / n, 40.0);
+}
+
+TEST_P(QarmaPropTest, TweakDiffusion)
+{
+    const Qarma64 cipher = make();
+    Random rng(23);
+    double total = 0;
+    const int n = 100;
+    for (int i = 0; i < n; ++i) {
+        const uint64_t pt = rng.next();
+        const uint64_t tw = rng.next();
+        const uint64_t base = cipher.encrypt(pt, tw);
+        const uint64_t flipped =
+            cipher.encrypt(pt, tw ^ (1ull << rng.next(64)));
+        total += __builtin_popcountll(base ^ flipped);
+    }
+    EXPECT_GT(total / n, 24.0);
+}
+
+TEST_P(QarmaPropTest, NoTrivialFixedStructure)
+{
+    // Zero inputs do not produce zero or input-echo outputs.
+    const Qarma64 cipher = make();
+    const uint64_t c = cipher.encrypt(0, 0);
+    EXPECT_NE(c, 0u);
+    const uint64_t pt = 0x0123456789ABCDEFull;
+    EXPECT_NE(cipher.encrypt(pt, 0), pt);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, QarmaPropTest,
+    ::testing::Combine(::testing::Values(5, 6, 7, 8),
+                       ::testing::Values(QarmaSbox::Sigma0,
+                                         QarmaSbox::Sigma1,
+                                         QarmaSbox::Sigma2)),
+    [](const ::testing::TestParamInfo<Variant> &info) {
+        return "r" + std::to_string(std::get<0>(info.param)) +
+               "_sigma" +
+               std::to_string(int(std::get<1>(info.param)));
+    });
+
+} // namespace
+} // namespace pacman::crypto

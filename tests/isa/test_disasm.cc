@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "isa/disasm.hh"
+#include "isa/encoding.hh"
+
+namespace pacman::isa
+{
+namespace
+{
+
+Inst
+rType(Opcode op, RegIndex rd, RegIndex rn, RegIndex rm)
+{
+    Inst i;
+    i.op = op;
+    i.rd = rd;
+    i.rn = rn;
+    i.rm = rm;
+    return i;
+}
+
+TEST(Disasm, Alu)
+{
+    EXPECT_EQ(disassemble(rType(Opcode::ADD, 0, 1, 2)),
+              "add x0, x1, x2");
+    EXPECT_EQ(disassemble(rType(Opcode::MOVR, 3, SP, 0)), "mov x3, sp");
+}
+
+TEST(Disasm, Immediates)
+{
+    Inst i;
+    i.op = Opcode::ADDI;
+    i.rd = 1;
+    i.rn = 2;
+    i.imm = -8;
+    EXPECT_EQ(disassemble(i), "addi x1, x2, #-8");
+}
+
+TEST(Disasm, Memory)
+{
+    Inst i;
+    i.op = Opcode::LDR;
+    i.rd = 4;
+    i.rn = SP;
+    i.imm = 48;
+    EXPECT_EQ(disassemble(i), "ldr x4, [sp, #48]");
+}
+
+TEST(Disasm, BranchRelativeAndAbsolute)
+{
+    Inst i;
+    i.op = Opcode::B;
+    i.imm = -16;
+    EXPECT_EQ(disassemble(i), "b -16");
+    EXPECT_EQ(disassemble(i, 0x1000), "b 0xff0");
+}
+
+TEST(Disasm, CondBranch)
+{
+    Inst i;
+    i.op = Opcode::BCOND;
+    i.cond = Cond::NE;
+    i.imm = 8;
+    EXPECT_EQ(disassemble(i), "b.ne +8");
+}
+
+TEST(Disasm, PacOps)
+{
+    EXPECT_EQ(disassemble(rType(Opcode::PACIA, 30, SP, 0)),
+              "pacia x30, sp");
+    EXPECT_EQ(disassemble(rType(Opcode::AUTDA, 0, 9, 0)),
+              "autda x0, x9");
+    EXPECT_EQ(disassemble(rType(Opcode::XPAC, 5, 0, 0)), "xpac x5");
+}
+
+TEST(Disasm, RetImplicitLr)
+{
+    EXPECT_EQ(disassemble(rType(Opcode::RET, 0, LR, 0)), "ret");
+    EXPECT_EQ(disassemble(rType(Opcode::RET, 0, 9, 0)), "ret x9");
+}
+
+TEST(Disasm, SysOps)
+{
+    Inst i;
+    i.op = Opcode::MRS;
+    i.rd = 0;
+    i.sysreg = SysReg::CNTPCT_EL0;
+    EXPECT_EQ(disassemble(i), "mrs x0, cntpct_el0");
+    i.op = Opcode::MSR;
+    i.sysreg = SysReg::PMCR0;
+    i.rd = 9;
+    EXPECT_EQ(disassemble(i), "msr pmcr0, x9");
+}
+
+TEST(Disasm, MovzWithShift)
+{
+    Inst i;
+    i.op = Opcode::MOVZ;
+    i.rd = 2;
+    i.imm = 0xAB;
+    i.hw = 2;
+    EXPECT_EQ(disassemble(i), "movz x2, #0xab, lsl #32");
+}
+
+TEST(Disasm, UndecodableWordRendersRaw)
+{
+    EXPECT_EQ(disassemble(InstWord(0xFFDEADBE)), ".word 0xffdeadbe");
+}
+
+TEST(Disasm, EveryEncodableOpcodeHasText)
+{
+    for (unsigned byte = 0; byte < 256; ++byte) {
+        const auto inst = decode((uint32_t(byte) << 24) | 0x00084200);
+        if (!inst)
+            continue;
+        EXPECT_FALSE(disassemble(*inst).empty());
+        EXPECT_EQ(disassemble(*inst).find("?unk?"), std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace pacman::isa

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "isa/encoding.hh"
+
+namespace pacman::isa
+{
+namespace
+{
+
+/** Encode/decode round trip helper. */
+Inst
+roundTrip(const Inst &inst)
+{
+    const auto decoded = decode(encode(inst));
+    EXPECT_TRUE(decoded.has_value());
+    return decoded.value_or(Inst{});
+}
+
+TEST(Encoding, RTypeRoundTrip)
+{
+    Inst i;
+    i.op = Opcode::ADD;
+    i.rd = 3;
+    i.rn = 17;
+    i.rm = 30;
+    EXPECT_EQ(roundTrip(i), i);
+}
+
+TEST(Encoding, ITypeRoundTripPositive)
+{
+    Inst i;
+    i.op = Opcode::LDR;
+    i.rd = 5;
+    i.rn = SP;
+    i.imm = 8191;
+    EXPECT_EQ(roundTrip(i), i);
+}
+
+TEST(Encoding, ITypeRoundTripNegative)
+{
+    Inst i;
+    i.op = Opcode::ADDI;
+    i.rd = 1;
+    i.rn = 2;
+    i.imm = -8192;
+    EXPECT_EQ(roundTrip(i), i);
+}
+
+TEST(Encoding, MovRoundTripAllHalfwords)
+{
+    for (unsigned hw = 0; hw < 4; ++hw) {
+        Inst i;
+        i.op = Opcode::MOVK;
+        i.rd = 9;
+        i.hw = uint8_t(hw);
+        i.imm = 0xFFFF;
+        EXPECT_EQ(roundTrip(i), i) << "hw=" << hw;
+    }
+}
+
+TEST(Encoding, BranchOffsetsScaledAndSigned)
+{
+    Inst i;
+    i.op = Opcode::B;
+    i.imm = -4096;
+    EXPECT_EQ(roundTrip(i), i);
+    i.imm = 4 * ((1 << 23) - 1); // max positive word offset
+    EXPECT_EQ(roundTrip(i), i);
+}
+
+TEST(Encoding, BcondCarriesCondition)
+{
+    Inst i;
+    i.op = Opcode::BCOND;
+    i.cond = Cond::LE;
+    i.imm = 64;
+    EXPECT_EQ(roundTrip(i), i);
+}
+
+TEST(Encoding, CbzRoundTrip)
+{
+    Inst i;
+    i.op = Opcode::CBNZ;
+    i.rd = 12;
+    i.imm = -256;
+    EXPECT_EQ(roundTrip(i), i);
+}
+
+TEST(Encoding, SysRegRoundTrip)
+{
+    Inst i;
+    i.op = Opcode::MRS;
+    i.rd = 4;
+    i.sysreg = SysReg::APDBKEY_HI;
+    EXPECT_EQ(roundTrip(i), i);
+}
+
+TEST(Encoding, Imm16RoundTrip)
+{
+    Inst i;
+    i.op = Opcode::SVC;
+    i.imm = 0xBEEF;
+    EXPECT_EQ(roundTrip(i), i);
+}
+
+TEST(Encoding, PacOpsRoundTrip)
+{
+    for (Opcode op : {Opcode::PACIA, Opcode::PACDB, Opcode::AUTIA,
+                      Opcode::AUTDB, Opcode::XPAC}) {
+        Inst i;
+        i.op = op;
+        i.rd = 7;
+        i.rn = 8;
+        EXPECT_EQ(roundTrip(i), i);
+    }
+}
+
+TEST(Encoding, NoOperandOpsRoundTrip)
+{
+    for (Opcode op : {Opcode::ERET, Opcode::ISB, Opcode::DSB,
+                      Opcode::NOP}) {
+        Inst i;
+        i.op = op;
+        EXPECT_EQ(roundTrip(i), i);
+    }
+}
+
+TEST(Encoding, UnknownOpcodeRejected)
+{
+    EXPECT_FALSE(decode(0xFF000000u).has_value());
+    EXPECT_FALSE(decode(0x00000000u).has_value());
+}
+
+TEST(Encoding, AllKnownOpcodesDecode)
+{
+    for (uint8_t byte : {0x01, 0x0D, 0x19, 0x1C, 0x25, 0x34, 0x3A,
+                         0x4F, 0x58}) {
+        EXPECT_TRUE(decode(uint32_t(byte) << 24).has_value())
+            << "opcode byte " << int(byte);
+    }
+}
+
+TEST(Encoding, ExhaustiveOpcodeRoundTripSweep)
+{
+    // Every opcode byte that decodes must re-encode to the same word
+    // when the operand fields are in-range.
+    for (unsigned byte = 0; byte < 256; ++byte) {
+        const uint32_t word = (uint32_t(byte) << 24) | 0x00084200;
+        const auto inst = decode(word);
+        if (!inst)
+            continue;
+        const auto again = decode(encode(*inst));
+        ASSERT_TRUE(again.has_value()) << "byte " << byte;
+        EXPECT_EQ(*again, *inst) << "byte " << byte;
+    }
+}
+
+} // namespace
+} // namespace pacman::isa

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Randomized round-trip fuzzing of the PARM64 encoder/decoder: for
+ * every opcode, thousands of random in-range operand combinations
+ * must encode and decode to identical Inst values; random 32-bit
+ * words must never crash the decoder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/random.hh"
+#include "isa/disasm.hh"
+#include "isa/encoding.hh"
+
+namespace pacman::isa
+{
+namespace
+{
+
+/** All opcodes, for sweeping. */
+const std::vector<Opcode> &
+allOpcodes()
+{
+    static const std::vector<Opcode> ops = [] {
+        std::vector<Opcode> v;
+        for (unsigned byte = 0; byte < 256; ++byte) {
+            if (decode(uint32_t(byte) << 24))
+                v.push_back(Opcode(byte));
+        }
+        return v;
+    }();
+    return ops;
+}
+
+/** Generate a random valid Inst for @p op. */
+Inst
+randomInst(Opcode op, Random &rng)
+{
+    Inst inst;
+    inst.op = op;
+    inst.rd = RegIndex(rng.next(32));
+    inst.rn = RegIndex(rng.next(32));
+    inst.rm = RegIndex(rng.next(32));
+    switch (op) {
+      case Opcode::ADDI: case Opcode::SUBI: case Opcode::ANDI:
+      case Opcode::ORRI: case Opcode::EORI: case Opcode::LSLI:
+      case Opcode::LSRI: case Opcode::ASRI: case Opcode::SUBSI:
+      case Opcode::CMPI: case Opcode::LDR: case Opcode::STR:
+      case Opcode::LDRB: case Opcode::STRB:
+        inst.rm = 0;
+        inst.imm = rng.range(-8192, 8191);
+        break;
+      case Opcode::MOVZ: case Opcode::MOVK:
+        inst.rn = 0;
+        inst.rm = 0;
+        inst.imm = int64_t(rng.next(0x10000));
+        inst.hw = uint8_t(rng.next(4));
+        break;
+      case Opcode::B: case Opcode::BL:
+        inst.rd = inst.rn = inst.rm = 0;
+        inst.imm = rng.range(-(1 << 23), (1 << 23) - 1) * 4;
+        break;
+      case Opcode::BCOND:
+        inst.rd = inst.rn = inst.rm = 0;
+        inst.cond = Cond(rng.next(15));
+        inst.imm = rng.range(-(1 << 19), (1 << 19) - 1) * 4;
+        break;
+      case Opcode::CBZ: case Opcode::CBNZ:
+        inst.rn = inst.rm = 0;
+        inst.imm = rng.range(-(1 << 18), (1 << 18) - 1) * 4;
+        break;
+      case Opcode::MRS: case Opcode::MSR:
+        inst.rn = inst.rm = 0;
+        inst.sysreg = SysReg(rng.next(
+            uint64_t(SysReg::NumSysRegs)));
+        break;
+      case Opcode::SVC: case Opcode::HLT: case Opcode::BRK:
+        inst.rd = inst.rn = inst.rm = 0;
+        inst.imm = int64_t(rng.next(0x10000));
+        break;
+      case Opcode::ERET: case Opcode::ISB: case Opcode::DSB:
+      case Opcode::NOP:
+        inst.rd = inst.rn = inst.rm = 0;
+        break;
+      default:
+        // R-format: registers only.
+        break;
+    }
+    return inst;
+}
+
+TEST(EncodingFuzz, RoundTripEveryOpcodeRandomOperands)
+{
+    Random rng(0xF00D);
+    for (const Opcode op : allOpcodes()) {
+        for (int i = 0; i < 500; ++i) {
+            const Inst inst = randomInst(op, rng);
+            const auto decoded = decode(encode(inst));
+            ASSERT_TRUE(decoded.has_value())
+                << opcodeName(op) << " iteration " << i;
+            ASSERT_EQ(*decoded, inst)
+                << opcodeName(op) << " iteration " << i;
+        }
+    }
+}
+
+TEST(EncodingFuzz, DecoderTotalOnRandomWords)
+{
+    // decode() must never crash or produce an Inst that fails to
+    // disassemble, for any 32-bit input.
+    Random rng(0xBEEF);
+    unsigned decoded_count = 0;
+    for (int i = 0; i < 200000; ++i) {
+        const InstWord word = InstWord(rng.next());
+        const auto inst = decode(word);
+        if (inst) {
+            ++decoded_count;
+            ASSERT_FALSE(disassemble(*inst).empty());
+        }
+    }
+    // A fair share of random words carry valid opcode bytes.
+    EXPECT_GT(decoded_count, 10000u);
+}
+
+TEST(EncodingFuzz, ReencodeDecodedRandomWordsStable)
+{
+    // decode -> encode -> decode must be a fixed point (field bits
+    // outside the format are ignored and normalized away).
+    Random rng(0xCAFE);
+    for (int i = 0; i < 100000; ++i) {
+        const InstWord word = InstWord(rng.next());
+        const auto first = decode(word);
+        if (!first)
+            continue;
+        const auto second = decode(encode(*first));
+        ASSERT_TRUE(second.has_value());
+        ASSERT_EQ(*second, *first);
+    }
+}
+
+TEST(EncodingFuzz, DisassemblerTotalOnAllOpcodes)
+{
+    Random rng(0xD15A);
+    for (const Opcode op : allOpcodes()) {
+        for (int i = 0; i < 100; ++i) {
+            const Inst inst = randomInst(op, rng);
+            const std::string text = disassemble(inst, 0x10000);
+            ASSERT_FALSE(text.empty());
+            ASSERT_EQ(text.find("?unk?"), std::string::npos);
+        }
+    }
+}
+
+} // namespace
+} // namespace pacman::isa

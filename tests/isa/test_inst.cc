@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "isa/inst.hh"
+
+namespace pacman::isa
+{
+namespace
+{
+
+TEST(Inst, RegisterNames)
+{
+    EXPECT_EQ(regName(0), "x0");
+    EXPECT_EQ(regName(30), "x30");
+    EXPECT_EQ(regName(SP), "sp");
+}
+
+TEST(Inst, RegisterParsing)
+{
+    EXPECT_EQ(parseRegName("x0"), 0);
+    EXPECT_EQ(parseRegName("X17"), 17);
+    EXPECT_EQ(parseRegName("sp"), SP);
+    EXPECT_EQ(parseRegName("lr"), LR);
+    EXPECT_EQ(parseRegName("fp"), FP);
+    EXPECT_EQ(parseRegName("x31"), -1);
+    EXPECT_EQ(parseRegName("y2"), -1);
+    EXPECT_EQ(parseRegName("x"), -1);
+}
+
+TEST(Inst, CondHolds)
+{
+    Pstate f;
+    f.z = true;
+    EXPECT_TRUE(condHolds(Cond::EQ, f));
+    EXPECT_FALSE(condHolds(Cond::NE, f));
+    EXPECT_TRUE(condHolds(Cond::LE, f));
+    f = Pstate{};
+    f.n = true;
+    EXPECT_TRUE(condHolds(Cond::MI, f));
+    EXPECT_TRUE(condHolds(Cond::LT, f)); // n != v
+    f.v = true;
+    EXPECT_TRUE(condHolds(Cond::GE, f)); // n == v
+    EXPECT_TRUE(condHolds(Cond::AL, Pstate{}));
+}
+
+TEST(Inst, CondNamesRoundTrip)
+{
+    for (unsigned i = 0; i < 15; ++i) {
+        const Cond c = Cond(i);
+        const auto parsed = parseCondName(condName(c));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, c);
+    }
+    EXPECT_FALSE(parseCondName("zz").has_value());
+}
+
+TEST(Inst, Classification)
+{
+    EXPECT_EQ(instClass(Opcode::LDR), InstClass::Load);
+    EXPECT_EQ(instClass(Opcode::STRR), InstClass::Store);
+    EXPECT_EQ(instClass(Opcode::B), InstClass::BranchDirect);
+    EXPECT_EQ(instClass(Opcode::CBZ), InstClass::BranchCond);
+    EXPECT_EQ(instClass(Opcode::RET), InstClass::BranchIndirect);
+    EXPECT_EQ(instClass(Opcode::PACIA), InstClass::PacSign);
+    EXPECT_EQ(instClass(Opcode::AUTDB), InstClass::PacAuth);
+    EXPECT_EQ(instClass(Opcode::SVC), InstClass::System);
+    EXPECT_EQ(instClass(Opcode::ISB), InstClass::Barrier);
+    EXPECT_EQ(instClass(Opcode::ADD), InstClass::Alu);
+}
+
+TEST(Inst, PacPredicates)
+{
+    EXPECT_TRUE(isPacSign(Opcode::PACDB));
+    EXPECT_FALSE(isPacSign(Opcode::AUTDB));
+    EXPECT_TRUE(isPacAuth(Opcode::AUTIA));
+    EXPECT_FALSE(isPacAuth(Opcode::XPAC)); // strips, never verifies
+}
+
+TEST(Inst, PacKeySelection)
+{
+    EXPECT_EQ(pacKeyOf(Opcode::PACIA), crypto::PacKeySelect::IA);
+    EXPECT_EQ(pacKeyOf(Opcode::AUTIB), crypto::PacKeySelect::IB);
+    EXPECT_EQ(pacKeyOf(Opcode::PACDA), crypto::PacKeySelect::DA);
+    EXPECT_EQ(pacKeyOf(Opcode::AUTDB), crypto::PacKeySelect::DB);
+}
+
+TEST(Inst, RegisterUsageStore)
+{
+    Inst i;
+    i.op = Opcode::STR;
+    EXPECT_FALSE(writesRd(i));          // stores write memory only
+    EXPECT_TRUE(readsRdAsSource(i));    // data register
+    EXPECT_TRUE(readsRn(i));            // base register
+}
+
+TEST(Inst, RegisterUsagePac)
+{
+    Inst i;
+    i.op = Opcode::AUTDA;
+    EXPECT_TRUE(writesRd(i));
+    EXPECT_TRUE(readsRdAsSource(i)); // pointer modified in place
+    EXPECT_TRUE(readsRn(i));         // modifier
+}
+
+TEST(Inst, RegisterUsageBranches)
+{
+    Inst bl;
+    bl.op = Opcode::BL;
+    EXPECT_TRUE(writesRd(bl)); // writes LR
+    Inst cbz;
+    cbz.op = Opcode::CBZ;
+    EXPECT_FALSE(writesRd(cbz));
+    EXPECT_TRUE(readsRdAsSource(cbz)); // tested register
+    Inst br;
+    br.op = Opcode::BR;
+    EXPECT_FALSE(writesRd(br));
+    EXPECT_TRUE(readsRn(br));
+}
+
+TEST(Inst, SysRegNamesParse)
+{
+    EXPECT_EQ(parseSysRegName("cntpct_el0"), int(SysReg::CNTPCT_EL0));
+    EXPECT_EQ(parseSysRegName("PMC0"), int(SysReg::PMC0));
+    EXPECT_EQ(parseSysRegName("apdakeylo_el1"),
+              int(SysReg::APDAKEY_LO));
+    EXPECT_EQ(parseSysRegName("nope"), -1);
+}
+
+TEST(Inst, SysRegEl0Gating)
+{
+    EXPECT_TRUE(sysRegEl0Readable(SysReg::CNTPCT_EL0));
+    EXPECT_TRUE(sysRegEl0Readable(SysReg::CNTFRQ_EL0));
+    EXPECT_FALSE(sysRegEl0Readable(SysReg::PMC0));
+    EXPECT_FALSE(sysRegEl0Readable(SysReg::APIAKEY_LO));
+}
+
+} // namespace
+} // namespace pacman::isa

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "isa/pointer.hh"
+
+namespace pacman::isa
+{
+namespace
+{
+
+const crypto::PacKey key{0xA5A5A5A5A5A5A5A5ull, 0x5A5A5A5A5A5A5A5Aull};
+
+constexpr Addr UserPtr = 0x0000'4000'1234ull;
+constexpr Addr KernelPtr = 0xFFFF'8000'0200'0040ull;
+
+TEST(Pointer, CanonicalForms)
+{
+    EXPECT_TRUE(isCanonical(UserPtr));
+    EXPECT_TRUE(isCanonical(KernelPtr));
+    EXPECT_FALSE(isCanonical(UserPtr | (1ull << 48)));
+    EXPECT_FALSE(isCanonical(KernelPtr & ~(1ull << 50)));
+}
+
+TEST(Pointer, ExtensionFields)
+{
+    EXPECT_EQ(extPart(UserPtr), 0x0000);
+    EXPECT_EQ(extPart(KernelPtr), 0xFFFF);
+    EXPECT_EQ(canonicalExt(UserPtr), 0x0000);
+    EXPECT_EQ(canonicalExt(KernelPtr), 0xFFFF);
+}
+
+TEST(Pointer, PageArithmetic)
+{
+    EXPECT_EQ(PageSize, 16384u); // 16 KB pages as on macOS/M1
+    EXPECT_EQ(pageNumber(0x8000), 2u);
+    EXPECT_EQ(pageOffset(0x8004), 4u);
+}
+
+TEST(Pointer, SignInsertsSixteenBitPac)
+{
+    const uint64_t signed_ptr = signPointer(KernelPtr, 7, key);
+    EXPECT_EQ(vaPart(signed_ptr), vaPart(KernelPtr));
+    // The PAC replaces the extension; with overwhelming probability
+    // it is not the canonical value.
+    EXPECT_EQ(PacBits, 16u);
+}
+
+TEST(Pointer, AuthAcceptsCorrectPac)
+{
+    const uint64_t signed_ptr = signPointer(KernelPtr, 7, key);
+    EXPECT_EQ(authPointer(signed_ptr, 7, key), KernelPtr);
+}
+
+TEST(Pointer, AuthRejectsWrongModifier)
+{
+    const uint64_t signed_ptr = signPointer(KernelPtr, 7, key);
+    const uint64_t out = authPointer(signed_ptr, 8, key);
+    EXPECT_FALSE(isCanonical(out));
+    EXPECT_EQ(vaPart(out), vaPart(KernelPtr));
+}
+
+TEST(Pointer, AuthRejectsWrongKey)
+{
+    const crypto::PacKey other{key.w0 ^ 1, key.k0};
+    const uint64_t signed_ptr = signPointer(KernelPtr, 7, key);
+    EXPECT_FALSE(isCanonical(authPointer(signed_ptr, 7, other)));
+}
+
+TEST(Pointer, AuthRejectsTamperedPointer)
+{
+    const uint64_t signed_ptr = signPointer(KernelPtr, 7, key);
+    // Redirect the pointer to a different address, keep the PAC.
+    const uint64_t tampered = withExt(vaPart(KernelPtr) + 0x100,
+                                      extPart(signed_ptr));
+    EXPECT_FALSE(isCanonical(authPointer(tampered, 7, key)));
+}
+
+TEST(Pointer, PoisonIsNonCanonicalForBothHalves)
+{
+    EXPECT_NE(poisonExt(UserPtr), canonicalExt(UserPtr));
+    EXPECT_NE(poisonExt(KernelPtr), canonicalExt(KernelPtr));
+}
+
+TEST(Pointer, StripRestoresCanonical)
+{
+    const uint64_t signed_ptr = signPointer(KernelPtr, 7, key);
+    EXPECT_EQ(stripPac(signed_ptr), KernelPtr);
+    const uint64_t signed_user = signPointer(UserPtr, 3, key);
+    EXPECT_EQ(stripPac(signed_user), UserPtr);
+}
+
+TEST(Pointer, ForgedPacMatchesWithExpectedProbability)
+{
+    // Exactly one of the 2^16 extensions authenticates: count over a
+    // small window around the true PAC.
+    const uint16_t truth = crypto::computePac(KernelPtr, 9, key);
+    unsigned matches = 0;
+    for (uint32_t guess = 0; guess < 0x400; ++guess) {
+        const uint16_t pac = uint16_t((truth & 0xFC00) | guess);
+        if (isCanonical(authPointer(withExt(KernelPtr, pac), 9, key)))
+            ++matches;
+    }
+    EXPECT_EQ(matches, 1u);
+}
+
+TEST(Pointer, SignIsIdempotentOnSignedInput)
+{
+    // Hardware canonicalizes before hashing, so re-signing a signed
+    // pointer yields the same signature.
+    const uint64_t once = signPointer(KernelPtr, 7, key);
+    EXPECT_EQ(signPointer(once, 7, key), once);
+}
+
+} // namespace
+} // namespace pacman::isa

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "attack/runtime.hh"
+#include "kernel/layout.hh"
+#include "kernel/machine.hh"
+
+namespace pacman::kernel
+{
+namespace
+{
+
+TEST(Machine, BootsAndRunsTrivialGuest)
+{
+    Machine machine;
+    attack::AttackerProcess proc(machine);
+    EXPECT_GT(proc.readCntpct() + 1, 0u);
+}
+
+TEST(Machine, DeterministicAcrossSameSeed)
+{
+    MachineConfig cfg = defaultMachineConfig();
+    cfg.seed = 77;
+    Machine m1(cfg), m2(cfg);
+    EXPECT_EQ(m1.kernel().key(crypto::PacKeySelect::IA),
+              m2.kernel().key(crypto::PacKeySelect::IA));
+    attack::AttackerProcess p1(m1), p2(m2);
+    EXPECT_EQ(p1.syscall(SYS_GET_LEGIT_DATA),
+              p2.syscall(SYS_GET_LEGIT_DATA));
+}
+
+TEST(Machine, TimerDeviceReadableFromEl0)
+{
+    Machine machine;
+    attack::AttackerProcess proc(machine);
+    const uint64_t t1 = proc.timedLoad(proc.scratchPage(9));
+    EXPECT_GT(t1, 0u);
+}
+
+TEST(Machine, TimerPageDoesNotOccupyTlb)
+{
+    Machine machine;
+    attack::AttackerProcess proc(machine);
+    proc.timedLoad(proc.scratchPage(9));
+    const uint64_t timer_vpn =
+        isa::pageNumber(isa::vaPart(TimerPage));
+    EXPECT_FALSE(machine.mem().dtlb().contains(timer_vpn,
+                                               mem::Asid::User));
+}
+
+TEST(Machine, CallReturnsX0)
+{
+    Machine machine;
+    attack::AttackerProcess proc(machine);
+    // SYS_GET_LEGIT_DATA returns a signed pointer in x0.
+    const uint64_t v = proc.syscall(SYS_GET_LEGIT_DATA);
+    EXPECT_EQ(isa::stripPac(v), machine.kernel().benignData());
+}
+
+TEST(Machine, NoiseDisabledByDefault)
+{
+    Machine machine;
+    const uint64_t misses = machine.mem().dtlb().misses();
+    for (int i = 0; i < 100; ++i)
+        machine.injectNoise();
+    EXPECT_EQ(machine.mem().dtlb().misses(), misses);
+}
+
+TEST(Machine, NoisePerturbsTlbWhenEnabled)
+{
+    MachineConfig cfg = defaultMachineConfig();
+    cfg.noiseProbability = 1.0;
+    cfg.noisePages = 8;
+    Machine machine(cfg);
+    const uint64_t accesses = machine.mem().dtlb().misses() +
+                              machine.mem().dtlb().hits();
+    for (int i = 0; i < 10; ++i)
+        machine.injectNoise();
+    EXPECT_GT(machine.mem().dtlb().misses() + machine.mem().dtlb().hits(),
+              accesses);
+}
+
+TEST(Machine, RunGuestReportsCrashes)
+{
+    Machine machine;
+    attack::AttackerProcess proc(machine);
+    // Jump to an unmapped user address.
+    const auto status = machine.runGuest(0x0000'7ABC'0000ull, {});
+    EXPECT_EQ(status.kind, cpu::ExitKind::CrashEl0);
+}
+
+TEST(Machine, StatsReportReflectsActivity)
+{
+    Machine machine;
+    attack::AttackerProcess proc(machine);
+    for (int i = 0; i < 5; ++i)
+        proc.syscall(SYS_NOP);
+    const std::string report = machine.statsReport();
+    EXPECT_NE(report.find("instructions retired"), std::string::npos);
+    EXPECT_NE(report.find("syscalls"), std::string::npos);
+    EXPECT_NE(report.find("dTLB"), std::string::npos);
+    // 5 syscalls recorded.
+    EXPECT_NE(report.find("5"), std::string::npos);
+}
+
+TEST(Machine, GuestStatePersistsAcrossCalls)
+{
+    Machine machine;
+    attack::AttackerProcess proc(machine);
+    machine.mem().writeVirt64(proc.scratchPage(3), 0x77);
+    proc.timedLoad(proc.scratchPage(3));
+    // The scratch page's translation is now cached.
+    EXPECT_TRUE(machine.mem().dtlb().contains(
+        isa::pageNumber(isa::vaPart(proc.scratchPage(3))),
+        mem::Asid::User));
+}
+
+} // namespace
+} // namespace pacman::kernel

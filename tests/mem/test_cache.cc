@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+namespace pacman::mem
+{
+namespace
+{
+
+SetAssocConfig
+smallCache()
+{
+    return {"test", 4, 16, 64}; // 4-way, 16 sets, 64 B lines
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache c(smallCache(), ReplPolicy::LRU, nullptr);
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x103F)); // same line
+    EXPECT_FALSE(c.access(0x1040)); // next line
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, SetIndexing)
+{
+    Cache c(smallCache(), ReplPolicy::LRU, nullptr);
+    EXPECT_EQ(c.setIndex(0x0), 0u);
+    EXPECT_EQ(c.setIndex(64), 1u);
+    EXPECT_EQ(c.setIndex(64 * 16), 0u); // wraps at 16 sets
+}
+
+TEST(Cache, LruEvictionOrder)
+{
+    Cache c(smallCache(), ReplPolicy::LRU, nullptr);
+    const uint64_t way_span = 16 * 64; // same-set stride
+    // Fill set 0 with lines A..D.
+    for (uint64_t i = 0; i < 4; ++i)
+        c.access(i * way_span);
+    // Touch A so B becomes LRU.
+    c.access(0);
+    // Insert E: must evict B.
+    c.access(4 * way_span);
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(1 * way_span));
+    EXPECT_TRUE(c.contains(2 * way_span));
+    EXPECT_TRUE(c.contains(3 * way_span));
+    EXPECT_TRUE(c.contains(4 * way_span));
+}
+
+TEST(Cache, AssociativityExactlyHolds)
+{
+    Cache c(smallCache(), ReplPolicy::LRU, nullptr);
+    const uint64_t way_span = 16 * 64;
+    for (uint64_t i = 0; i < 4; ++i)
+        c.access(i * way_span);
+    // All four still present.
+    for (uint64_t i = 0; i < 4; ++i)
+        EXPECT_TRUE(c.contains(i * way_span));
+}
+
+TEST(Cache, DifferentSetsDoNotConflict)
+{
+    Cache c(smallCache(), ReplPolicy::LRU, nullptr);
+    for (uint64_t i = 0; i < 16; ++i)
+        c.access(i * 64);
+    for (uint64_t i = 0; i < 16; ++i)
+        EXPECT_TRUE(c.contains(i * 64));
+}
+
+TEST(Cache, InvalidateAndFlush)
+{
+    Cache c(smallCache(), ReplPolicy::LRU, nullptr);
+    c.access(0x1000);
+    c.access(0x2000);
+    c.invalidate(0x1000);
+    EXPECT_FALSE(c.contains(0x1000));
+    EXPECT_TRUE(c.contains(0x2000));
+    c.flushAll();
+    EXPECT_FALSE(c.contains(0x2000));
+}
+
+TEST(Cache, ContainsDoesNotPerturbLru)
+{
+    Cache c(smallCache(), ReplPolicy::LRU, nullptr);
+    const uint64_t way_span = 16 * 64;
+    for (uint64_t i = 0; i < 4; ++i)
+        c.access(i * way_span);
+    // contains() on the LRU line (0) must not refresh it.
+    EXPECT_TRUE(c.contains(0));
+    c.access(4 * way_span);
+    EXPECT_FALSE(c.contains(0)); // still evicted as LRU
+}
+
+TEST(Cache, RandomPolicyStaysWithinSet)
+{
+    Random rng(3);
+    Cache c(smallCache(), ReplPolicy::Random, &rng);
+    const uint64_t way_span = 16 * 64;
+    for (uint64_t i = 0; i < 20; ++i)
+        c.access(i * way_span);
+    // Exactly 4 of the conflicting lines can be present.
+    unsigned present = 0;
+    for (uint64_t i = 0; i < 20; ++i)
+        present += c.contains(i * way_span);
+    EXPECT_EQ(present, 4u);
+}
+
+TEST(Cache, M1GeometryCapacities)
+{
+    const auto cfg = m1PCoreConfig();
+    EXPECT_EQ(cfg.l1i.capacityBytes(), 192u * 1024);
+    EXPECT_EQ(cfg.l1d.capacityBytes(), 128u * 1024);
+    EXPECT_EQ(cfg.l2.capacityBytes(), 12u * 1024 * 1024);
+    const auto ecfg = m1ECoreConfig();
+    EXPECT_EQ(ecfg.l1i.capacityBytes(), 128u * 1024);
+    EXPECT_EQ(ecfg.l2.capacityBytes(), 4u * 1024 * 1024);
+}
+
+TEST(CacheDeath, NonPowerOfTwoSetsFatal)
+{
+    auto make_bad = [] {
+        SetAssocConfig bad;
+        bad.name = "bad";
+        bad.ways = 4;
+        bad.sets = 12;
+        bad.lineBytes = 64;
+        Cache c(bad, ReplPolicy::LRU, nullptr);
+    };
+    EXPECT_EXIT(make_bad(), ::testing::ExitedWithCode(1),
+                "not a power of two");
+}
+
+} // namespace
+} // namespace pacman::mem

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include "mem/hierarchy.hh"
+
+namespace pacman::mem
+{
+namespace
+{
+
+using isa::PageSize;
+
+class HierarchyTest : public ::testing::Test
+{
+  protected:
+    HierarchyTest()
+        : rng(1), hier(m1PCoreConfig(), &rng)
+    {
+        hier.mapRange(UserBase, 64 * PageSize,
+                      PageFlags{.user = true, .writable = true,
+                                .executable = true, .device = false});
+        hier.mapRange(KernBase, 256 * PageSize,
+                      PageFlags{.user = false, .writable = true,
+                                .executable = true, .device = false});
+    }
+
+    static constexpr Addr UserBase = 0x0000'4000'0000ull;
+    static constexpr Addr KernBase = 0xFFFF'8000'0000'0000ull;
+
+    AccessResult
+    load(Addr va, unsigned el = 0, bool spec = false,
+         AccessTrace *trace = nullptr)
+    {
+        return hier.access(AccessKind::Load, va, el, spec, trace);
+    }
+
+    Random rng;
+    MemoryHierarchy hier;
+};
+
+TEST_F(HierarchyTest, ColdAccessWalksAndFills)
+{
+    AccessTrace trace;
+    const auto res = load(UserBase, 0, false, &trace);
+    EXPECT_EQ(res.fault, Fault::None);
+    EXPECT_TRUE(trace.walked);
+    EXPECT_FALSE(trace.l1TlbHit);
+    // Second access: everything hits.
+    AccessTrace t2;
+    const auto res2 = load(UserBase, 0, false, &t2);
+    EXPECT_TRUE(t2.l1TlbHit);
+    EXPECT_TRUE(t2.l1CacheHit);
+    EXPECT_LT(res2.latency, res.latency);
+}
+
+TEST_F(HierarchyTest, LatencyClassesAreOrdered)
+{
+    const auto &lat = hier.config().lat;
+    // Warm up.
+    load(UserBase);
+    const auto hit = load(UserBase);
+    EXPECT_EQ(hit.latency, lat.l1Hit);
+
+    // Evict just the dTLB set: 12 aliasing pages, offset by i*128 B
+    // so they do not also alias the cache sets (the reason the paper
+    // adds the same term in Section 7.2).
+    for (unsigned i = 1; i <= 12; ++i) {
+        const Addr alias = UserBase + 0x1'0000'0000ull +
+                           uint64_t(i) * 256 * PageSize +
+                           uint64_t(i) * 128;
+        hier.mapPage(alias, PageFlags{.user = true, .writable = true,
+                                      .executable = false,
+                                      .device = false});
+        load(alias);
+    }
+    AccessTrace trace;
+    const auto dtlb_miss = load(UserBase, 0, false, &trace);
+    EXPECT_FALSE(trace.l1TlbHit);
+    EXPECT_TRUE(trace.l2TlbHit);
+    EXPECT_EQ(dtlb_miss.latency, lat.l1Hit + lat.l1TlbMissPenalty);
+}
+
+TEST_F(HierarchyTest, NonCanonicalPointerFaultsWithoutSideEffects)
+{
+    load(UserBase); // warm
+    const uint64_t dtlb_misses = hier.dtlb().misses();
+    const auto res = load(UserBase | (0x0003ull << 48));
+    EXPECT_EQ(res.fault, Fault::Translation);
+    EXPECT_LE(res.latency, 1u);
+    // No TLB lookup happened at all.
+    EXPECT_EQ(hier.dtlb().misses(), dtlb_misses);
+}
+
+TEST_F(HierarchyTest, UnmappedPageFaultsAfterWalk)
+{
+    const auto res = load(0x0000'7ABC'0000ull);
+    EXPECT_EQ(res.fault, Fault::Translation);
+    EXPECT_GE(res.latency, hier.config().lat.walkPenalty);
+}
+
+TEST_F(HierarchyTest, El0CannotTouchKernelPages)
+{
+    const auto res = load(KernBase, 0);
+    EXPECT_EQ(res.fault, Fault::Permission);
+    // EL1 can.
+    EXPECT_EQ(load(KernBase, 1).fault, Fault::None);
+}
+
+TEST_F(HierarchyTest, StoreNeedsWritable)
+{
+    hier.mapPage(UserBase + 40 * PageSize,
+                 PageFlags{.user = true, .writable = false,
+                           .executable = false, .device = false});
+    const auto res = hier.access(AccessKind::Store,
+                                 UserBase + 40 * PageSize, 0, false);
+    EXPECT_EQ(res.fault, Fault::Permission);
+}
+
+TEST_F(HierarchyTest, FetchNeedsExecutable)
+{
+    hier.mapPage(UserBase + 41 * PageSize,
+                 PageFlags{.user = true, .writable = true,
+                           .executable = false, .device = false});
+    const auto res = hier.access(AccessKind::Fetch,
+                                 UserBase + 41 * PageSize, 0, false);
+    EXPECT_EQ(res.fault, Fault::Permission);
+}
+
+TEST_F(HierarchyTest, SharedDtlbAcrossPrivilegeLevels)
+{
+    // Kernel data access fills the shared dTLB; a user page aliasing
+    // the same set competes with it (Figure 6's key property).
+    const Addr kpage = KernBase + 3 * PageSize;
+    hier.access(AccessKind::Load, kpage, 1, false);
+    EXPECT_TRUE(hier.dtlb().contains(isa::pageNumber(isa::vaPart(kpage)),
+                                     Asid::Kernel));
+}
+
+TEST_F(HierarchyTest, ItlbSplitPerPrivilegeLevel)
+{
+    const Addr upage = UserBase + 5 * PageSize;
+    const Addr kpage = KernBase + 5 * PageSize;
+    hier.access(AccessKind::Fetch, upage, 0, false);
+    hier.access(AccessKind::Fetch, kpage, 1, false);
+    EXPECT_TRUE(hier.itlb(0).contains(
+        isa::pageNumber(isa::vaPart(upage)), Asid::User));
+    EXPECT_FALSE(hier.itlb(0).contains(
+        isa::pageNumber(isa::vaPart(kpage)), Asid::Kernel));
+    EXPECT_TRUE(hier.itlb(1).contains(
+        isa::pageNumber(isa::vaPart(kpage)), Asid::Kernel));
+}
+
+TEST_F(HierarchyTest, ItlbEvictionSpillsIntoDtlb)
+{
+    // Section 7.3: evicting an iTLB entry inserts it into the dTLB.
+    const auto &itlb_cfg = hier.config().itlb;
+    const Addr base = KernBase; // iTLB set of page 0
+    const uint64_t vpn0 = isa::pageNumber(isa::vaPart(base));
+    hier.access(AccessKind::Fetch, base, 1, false);
+    EXPECT_FALSE(hier.dtlb().contains(vpn0, Asid::Kernel));
+    // Fill the same iTLB set with `ways` more pages.
+    for (unsigned i = 1; i <= itlb_cfg.ways; ++i) {
+        hier.access(AccessKind::Fetch,
+                    base + uint64_t(i) * itlb_cfg.sets * PageSize, 1,
+                    false);
+    }
+    EXPECT_FALSE(hier.itlb(1).contains(vpn0, Asid::Kernel));
+    EXPECT_TRUE(hier.dtlb().contains(vpn0, Asid::Kernel));
+}
+
+TEST_F(HierarchyTest, ItlbMissServedByDtlbMovesEntry)
+{
+    // A data access caches the translation in the dTLB; a subsequent
+    // fetch finds it there (backing-store probe) and migrates it.
+    const Addr page = UserBase + 9 * PageSize;
+    const uint64_t vpn = isa::pageNumber(isa::vaPart(page));
+    load(page);
+    EXPECT_TRUE(hier.dtlb().contains(vpn, Asid::User));
+    AccessTrace trace;
+    hier.access(AccessKind::Fetch, page, 0, false, &trace);
+    EXPECT_TRUE(trace.spillServed);
+    EXPECT_TRUE(hier.itlb(0).contains(vpn, Asid::User));
+    EXPECT_FALSE(hier.dtlb().contains(vpn, Asid::User));
+}
+
+TEST_F(HierarchyTest, DelayOnMissBlocksSpeculativeFills)
+{
+    auto cfg = m1PCoreConfig();
+    cfg.delayOnMiss = true;
+    Random rng2(2);
+    MemoryHierarchy h2(cfg, &rng2);
+    h2.mapPage(UserBase, PageFlags{.user = true, .writable = true,
+                                   .executable = false,
+                                   .device = false});
+    // Speculative access: translated but nothing allocated.
+    const auto res = h2.access(AccessKind::Load, UserBase, 0, true);
+    EXPECT_EQ(res.fault, Fault::None);
+    EXPECT_FALSE(h2.dtlb().contains(
+        isa::pageNumber(isa::vaPart(UserBase)), Asid::User));
+    // Demand access still fills.
+    h2.access(AccessKind::Load, UserBase, 0, false);
+    EXPECT_TRUE(h2.dtlb().contains(
+        isa::pageNumber(isa::vaPart(UserBase)), Asid::User));
+}
+
+TEST_F(HierarchyTest, FunctionalAccessLeavesNoTrace)
+{
+    hier.writeVirt64(UserBase + 8, 0xABCDull);
+    EXPECT_EQ(hier.readVirt64(UserBase + 8), 0xABCDull);
+    EXPECT_FALSE(hier.dtlb().contains(
+        isa::pageNumber(isa::vaPart(UserBase)), Asid::User));
+}
+
+TEST_F(HierarchyTest, LoadStoreValuesThroughHierarchy)
+{
+    const auto st = hier.access(AccessKind::Store, UserBase + 16, 0,
+                                false);
+    ASSERT_EQ(st.fault, Fault::None);
+    hier.storeValue(st, UserBase + 16, 0x77, 8);
+    const auto ld = load(UserBase + 16);
+    EXPECT_EQ(hier.loadValue(ld, UserBase + 16, 8), 0x77u);
+}
+
+TEST_F(HierarchyTest, L2TlbEvictionForcesWalk)
+{
+    load(UserBase); // fill
+    // Evict the L2 TLB set (23 ways) — also evicts the dTLB set.
+    for (unsigned i = 1; i <= 23; ++i) {
+        const Addr alias = UserBase + 0x2'0000'0000ull +
+                           uint64_t(i) * 2048 * PageSize;
+        hier.mapPage(alias, PageFlags{.user = true, .writable = true,
+                                      .executable = false,
+                                      .device = false});
+        load(alias);
+    }
+    AccessTrace trace;
+    load(UserBase, 0, false, &trace);
+    EXPECT_TRUE(trace.walked);
+}
+
+} // namespace
+} // namespace pacman::mem

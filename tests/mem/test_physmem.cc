@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "mem/physmem.hh"
+
+namespace pacman::mem
+{
+namespace
+{
+
+TEST(PhysMem, ZeroInitialized)
+{
+    PhysMem m;
+    EXPECT_EQ(m.read64(0x1234), 0u);
+    EXPECT_EQ(m.pageCount(), 0u); // reads do not allocate
+}
+
+TEST(PhysMem, WriteReadRoundTrip)
+{
+    PhysMem m;
+    m.write64(0x4000, 0x1122334455667788ull);
+    EXPECT_EQ(m.read64(0x4000), 0x1122334455667788ull);
+    EXPECT_EQ(m.pageCount(), 1u);
+}
+
+TEST(PhysMem, ByteGranularity)
+{
+    PhysMem m;
+    m.write(0x100, 0xAB, 1);
+    m.write(0x101, 0xCD, 1);
+    EXPECT_EQ(m.read(0x100, 2), 0xCDABu); // little-endian
+}
+
+TEST(PhysMem, CrossPageAccess)
+{
+    PhysMem m;
+    const Addr edge = isa::PageSize - 4;
+    m.write64(edge, 0x8877665544332211ull);
+    EXPECT_EQ(m.read64(edge), 0x8877665544332211ull);
+    EXPECT_EQ(m.pageCount(), 2u);
+}
+
+TEST(PhysMem, SparseHugeAddresses)
+{
+    PhysMem m;
+    const Addr far = 0x0000'7FFF'FFFF'0000ull;
+    m.write64(far, 42);
+    EXPECT_EQ(m.read64(far), 42u);
+    EXPECT_EQ(m.pageCount(), 1u);
+}
+
+TEST(PhysMem, PartialWidths)
+{
+    PhysMem m;
+    m.write64(0, 0x1122334455667788ull);
+    EXPECT_EQ(m.read(0, 4), 0x55667788u);
+    m.write(0, 0xAA, 1);
+    EXPECT_EQ(m.read64(0), 0x11223344556677AAull);
+}
+
+TEST(PhysMem, Read32Instruction)
+{
+    PhysMem m;
+    m.write(0x2000, 0xD503201F, 4);
+    EXPECT_EQ(m.read32(0x2000), 0xD503201Fu);
+}
+
+} // namespace
+} // namespace pacman::mem

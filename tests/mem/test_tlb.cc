@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "mem/tlb.hh"
+
+namespace pacman::mem
+{
+namespace
+{
+
+SetAssocConfig
+smallTlb()
+{
+    return {"tlb", 3, 8, 1}; // 3-way, 8 sets
+}
+
+TlbEntry
+entry(uint64_t vpn, Asid asid = Asid::User)
+{
+    return TlbEntry{vpn, asid, vpn, true, false};
+}
+
+TEST(Tlb, MissThenHit)
+{
+    Tlb t(smallTlb(), ReplPolicy::LRU, nullptr);
+    EXPECT_FALSE(t.lookup(5, Asid::User).has_value());
+    t.insert(entry(5));
+    const auto hit = t.lookup(5, Asid::User);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->ppn, 5u);
+    EXPECT_EQ(t.hits(), 1u);
+    EXPECT_EQ(t.misses(), 1u);
+}
+
+TEST(Tlb, AsidSeparatesEntries)
+{
+    Tlb t(smallTlb(), ReplPolicy::LRU, nullptr);
+    t.insert(entry(5, Asid::User));
+    EXPECT_FALSE(t.lookup(5, Asid::Kernel).has_value());
+    t.insert(entry(5, Asid::Kernel));
+    EXPECT_TRUE(t.lookup(5, Asid::Kernel).has_value());
+    EXPECT_TRUE(t.lookup(5, Asid::User).has_value());
+}
+
+TEST(Tlb, SharedStructureCrossAsidConflicts)
+{
+    // The attack's core property: kernel and user translations
+    // compete for the same set regardless of ASID.
+    Tlb t(smallTlb(), ReplPolicy::LRU, nullptr);
+    t.insert(entry(0, Asid::User));
+    t.insert(entry(8, Asid::User));
+    t.insert(entry(16, Asid::User));
+    // Kernel entry in set 0 evicts the LRU user entry.
+    t.insert(entry(24, Asid::Kernel));
+    EXPECT_FALSE(t.contains(0, Asid::User));
+    EXPECT_TRUE(t.contains(8, Asid::User));
+    EXPECT_TRUE(t.contains(24, Asid::Kernel));
+}
+
+TEST(Tlb, InsertReportsEviction)
+{
+    Tlb t(smallTlb(), ReplPolicy::LRU, nullptr);
+    EXPECT_FALSE(t.insert(entry(0)).has_value());
+    EXPECT_FALSE(t.insert(entry(8)).has_value());
+    EXPECT_FALSE(t.insert(entry(16)).has_value());
+    const auto evicted = t.insert(entry(24));
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->vpn, 0u); // LRU victim
+}
+
+TEST(Tlb, ReinsertRefreshesInPlace)
+{
+    Tlb t(smallTlb(), ReplPolicy::LRU, nullptr);
+    t.insert(entry(0));
+    t.insert(entry(8));
+    t.insert(entry(16));
+    t.insert(entry(0)); // refresh, no eviction
+    const auto evicted = t.insert(entry(24));
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->vpn, 8u); // 8 became LRU
+}
+
+TEST(Tlb, LookupRefreshesLru)
+{
+    Tlb t(smallTlb(), ReplPolicy::LRU, nullptr);
+    t.insert(entry(0));
+    t.insert(entry(8));
+    t.insert(entry(16));
+    t.lookup(0, Asid::User);
+    const auto evicted = t.insert(entry(24));
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->vpn, 8u);
+}
+
+TEST(Tlb, RemoveReturnsEntry)
+{
+    Tlb t(smallTlb(), ReplPolicy::LRU, nullptr);
+    t.insert(entry(3));
+    const auto removed = t.remove(3, Asid::User);
+    ASSERT_TRUE(removed.has_value());
+    EXPECT_EQ(removed->vpn, 3u);
+    EXPECT_FALSE(t.contains(3, Asid::User));
+    EXPECT_FALSE(t.remove(3, Asid::User).has_value());
+}
+
+TEST(Tlb, PrimeProbeSemantics)
+{
+    // Prime a set with exactly `ways` entries, insert one victim
+    // access, and verify exactly one primed entry was displaced —
+    // the signal the PAC oracle reads.
+    Tlb t(smallTlb(), ReplPolicy::LRU, nullptr);
+    for (uint64_t i = 0; i < 3; ++i)
+        t.insert(entry(2 + 8 * i, Asid::User)); // set 2
+    t.insert(entry(2 + 8 * 100, Asid::Kernel)); // victim access
+    unsigned present = 0;
+    for (uint64_t i = 0; i < 3; ++i)
+        present += t.contains(2 + 8 * i, Asid::User);
+    EXPECT_EQ(present, 2u);
+}
+
+TEST(Tlb, FlushAllEmpties)
+{
+    Tlb t(smallTlb(), ReplPolicy::LRU, nullptr);
+    t.insert(entry(1));
+    t.insert(entry(2));
+    t.flushAll();
+    EXPECT_FALSE(t.contains(1, Asid::User));
+    EXPECT_FALSE(t.contains(2, Asid::User));
+}
+
+TEST(Tlb, M1Geometry)
+{
+    const auto cfg = m1PCoreConfig();
+    EXPECT_EQ(cfg.itlb.ways, 4u);
+    EXPECT_EQ(cfg.itlb.sets, 32u);
+    EXPECT_EQ(cfg.dtlb.ways, 12u);
+    EXPECT_EQ(cfg.dtlb.sets, 256u);
+    EXPECT_EQ(cfg.l2tlb.ways, 23u);
+    EXPECT_EQ(cfg.l2tlb.sets, 2048u);
+}
+
+} // namespace
+} // namespace pacman::mem

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Property tests for the TLB model: random lookup/insert/remove
+ * streams replayed against a naive reference implementation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "base/random.hh"
+#include "mem/tlb.hh"
+
+namespace pacman::mem
+{
+namespace
+{
+
+/** Naive reference TLB with explicit per-set LRU lists. */
+class RefTlb
+{
+  public:
+    RefTlb(unsigned ways, unsigned sets) : ways_(ways), sets_(sets) {}
+
+    using Key = std::pair<uint64_t, Asid>;
+
+    bool
+    lookup(uint64_t vpn, Asid asid)
+    {
+        auto &lru = sets_map_[vpn % sets_];
+        for (auto it = lru.begin(); it != lru.end(); ++it) {
+            if (*it == Key{vpn, asid}) {
+                lru.erase(it);
+                lru.push_back({vpn, asid});
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** @return evicted key, if any. */
+    std::optional<Key>
+    insert(uint64_t vpn, Asid asid)
+    {
+        auto &lru = sets_map_[vpn % sets_];
+        for (auto it = lru.begin(); it != lru.end(); ++it) {
+            if (*it == Key{vpn, asid}) {
+                lru.erase(it);
+                lru.push_back({vpn, asid});
+                return std::nullopt;
+            }
+        }
+        lru.push_back({vpn, asid});
+        if (lru.size() > ways_) {
+            const Key victim = lru.front();
+            lru.pop_front();
+            return victim;
+        }
+        return std::nullopt;
+    }
+
+    void
+    remove(uint64_t vpn, Asid asid)
+    {
+        auto &lru = sets_map_[vpn % sets_];
+        lru.remove(Key{vpn, asid});
+    }
+
+    bool
+    contains(uint64_t vpn, Asid asid) const
+    {
+        auto it = sets_map_.find(vpn % sets_);
+        if (it == sets_map_.end())
+            return false;
+        for (const Key &k : it->second) {
+            if (k == Key{vpn, asid})
+                return true;
+        }
+        return false;
+    }
+
+  private:
+    unsigned ways_, sets_;
+    std::map<uint64_t, std::list<Key>> sets_map_;
+};
+
+using Shape = std::tuple<unsigned, unsigned>;
+
+class TlbPropTest : public ::testing::TestWithParam<Shape>
+{
+};
+
+TEST_P(TlbPropTest, MatchesReferenceModelOnRandomOps)
+{
+    const auto [ways, sets] = GetParam();
+    SetAssocConfig cfg;
+    cfg.name = "prop";
+    cfg.ways = ways;
+    cfg.sets = sets;
+    Tlb tlb(cfg, ReplPolicy::LRU, nullptr);
+    RefTlb ref(ways, sets);
+
+    Random rng(uint64_t(ways) * 31 + sets);
+    const uint64_t vpn_span = 4ull * ways * sets;
+    for (int i = 0; i < 20000; ++i) {
+        const uint64_t vpn = rng.next(vpn_span);
+        const Asid asid = rng.chance(0.3) ? Asid::Kernel : Asid::User;
+        switch (rng.next(3)) {
+          case 0:
+            ASSERT_EQ(tlb.lookup(vpn, asid).has_value(),
+                      ref.lookup(vpn, asid))
+                << "lookup step " << i;
+            break;
+          case 1: {
+            const auto ev = tlb.insert(TlbEntry{vpn, asid, vpn, true,
+                                                false});
+            const auto rev = ref.insert(vpn, asid);
+            ASSERT_EQ(ev.has_value(), rev.has_value())
+                << "insert step " << i;
+            if (ev) {
+                ASSERT_EQ(ev->vpn, rev->first);
+                ASSERT_EQ(ev->asid, rev->second);
+            }
+            break;
+          }
+          default:
+            tlb.remove(vpn, asid);
+            ref.remove(vpn, asid);
+            break;
+        }
+    }
+    for (int i = 0; i < 3000; ++i) {
+        const uint64_t vpn = rng.next(vpn_span);
+        const Asid asid = rng.chance(0.5) ? Asid::Kernel : Asid::User;
+        ASSERT_EQ(tlb.contains(vpn, asid), ref.contains(vpn, asid));
+    }
+}
+
+TEST_P(TlbPropTest, PayloadSurvivesResidency)
+{
+    const auto [ways, sets] = GetParam();
+    SetAssocConfig cfg;
+    cfg.name = "prop";
+    cfg.ways = ways;
+    cfg.sets = sets;
+    Tlb tlb(cfg, ReplPolicy::LRU, nullptr);
+
+    tlb.insert(TlbEntry{7, Asid::User, 0xABC, true, false});
+    const auto hit = tlb.lookup(7, Asid::User);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->ppn, 0xABCu);
+    EXPECT_TRUE(hit->writable);
+    EXPECT_FALSE(hit->executable);
+}
+
+TEST_P(TlbPropTest, PrimeProbeCountMatchesVictimAccesses)
+{
+    // The oracle's physics at every shape: prime a set, let a victim
+    // touch k aliasing pages, count displaced entries == min(k, ways).
+    const auto [ways, sets] = GetParam();
+    SetAssocConfig cfg;
+    cfg.name = "prop";
+    cfg.ways = ways;
+    cfg.sets = sets;
+    for (unsigned k = 0; k <= ways; ++k) {
+        Tlb tlb(cfg, ReplPolicy::LRU, nullptr);
+        for (unsigned i = 0; i < ways; ++i)
+            tlb.insert(TlbEntry{3 + uint64_t(i) * sets, Asid::User,
+                                i, true, false});
+        for (unsigned v = 0; v < k; ++v)
+            tlb.insert(TlbEntry{3 + uint64_t(ways + v) * sets,
+                                Asid::Kernel, v, true, false});
+        unsigned displaced = 0;
+        for (unsigned i = 0; i < ways; ++i) {
+            displaced +=
+                !tlb.contains(3 + uint64_t(i) * sets, Asid::User);
+        }
+        EXPECT_EQ(displaced, k) << "k=" << k;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TlbPropTest,
+    ::testing::Values(Shape{1, 8},
+                      Shape{2, 16},
+                      Shape{4, 32},    // M1 iTLB
+                      Shape{12, 256},  // M1 dTLB
+                      Shape{23, 2048}, // M1 L2 TLB
+                      Shape{3, 4}),
+    [](const ::testing::TestParamInfo<Shape> &info) {
+        return "w" + std::to_string(std::get<0>(info.param)) + "s" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+} // namespace
+} // namespace pacman::mem
