@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_tlb_reveng"
+  "../bench/fig5_tlb_reveng.pdb"
+  "CMakeFiles/fig5_tlb_reveng.dir/fig5_tlb_reveng.cc.o"
+  "CMakeFiles/fig5_tlb_reveng.dir/fig5_tlb_reveng.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_tlb_reveng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6_hierarchy.cc" "bench-build/CMakeFiles/fig6_hierarchy.dir/fig6_hierarchy.cc.o" "gcc" "bench-build/CMakeFiles/fig6_hierarchy.dir/fig6_hierarchy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attack/CMakeFiles/pacman_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/pacman_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/pacman_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/pacman_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pacman_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/pacman_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pacman_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pacman_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/pacman_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

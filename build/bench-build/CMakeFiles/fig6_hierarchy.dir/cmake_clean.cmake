@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_hierarchy"
+  "../bench/fig6_hierarchy.pdb"
+  "CMakeFiles/fig6_hierarchy.dir/fig6_hierarchy.cc.o"
+  "CMakeFiles/fig6_hierarchy.dir/fig6_hierarchy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_timer_dists"
+  "../bench/fig7_timer_dists.pdb"
+  "CMakeFiles/fig7_timer_dists.dir/fig7_timer_dists.cc.o"
+  "CMakeFiles/fig7_timer_dists.dir/fig7_timer_dists.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_timer_dists.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_oracle"
+  "../bench/fig8_oracle.pdb"
+  "CMakeFiles/fig8_oracle.dir/fig8_oracle.cc.o"
+  "CMakeFiles/fig8_oracle.dir/fig8_oracle.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_jump2win"
+  "../bench/fig9_jump2win.pdb"
+  "CMakeFiles/fig9_jump2win.dir/fig9_jump2win.cc.o"
+  "CMakeFiles/fig9_jump2win.dir/fig9_jump2win.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_jump2win.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig9_jump2win.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9_jump2win.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec43_gadget_scan"
+  "../bench/sec43_gadget_scan.pdb"
+  "CMakeFiles/sec43_gadget_scan.dir/sec43_gadget_scan.cc.o"
+  "CMakeFiles/sec43_gadget_scan.dir/sec43_gadget_scan.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec43_gadget_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec82_bruteforce"
+  "../bench/sec82_bruteforce.pdb"
+  "CMakeFiles/sec82_bruteforce.dir/sec82_bruteforce.cc.o"
+  "CMakeFiles/sec82_bruteforce.dir/sec82_bruteforce.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec82_bruteforce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec9_mitigations"
+  "../bench/sec9_mitigations.pdb"
+  "CMakeFiles/sec9_mitigations.dir/sec9_mitigations.cc.o"
+  "CMakeFiles/sec9_mitigations.dir/sec9_mitigations.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec9_mitigations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_timers"
+  "../bench/table1_timers.pdb"
+  "CMakeFiles/table1_timers.dir/table1_timers.cc.o"
+  "CMakeFiles/table1_timers.dir/table1_timers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_timers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

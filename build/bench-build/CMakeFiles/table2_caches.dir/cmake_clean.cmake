@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_caches"
+  "../bench/table2_caches.pdb"
+  "CMakeFiles/table2_caches.dir/table2_caches.cc.o"
+  "CMakeFiles/table2_caches.dir/table2_caches.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_caches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

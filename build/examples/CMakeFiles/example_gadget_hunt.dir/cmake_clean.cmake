@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_gadget_hunt.dir/gadget_hunt.cpp.o"
+  "CMakeFiles/example_gadget_hunt.dir/gadget_hunt.cpp.o.d"
+  "example_gadget_hunt"
+  "example_gadget_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_gadget_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pac_oracle_demo.dir/pac_oracle_demo.cpp.o"
+  "CMakeFiles/example_pac_oracle_demo.dir/pac_oracle_demo.cpp.o.d"
+  "example_pac_oracle_demo"
+  "example_pac_oracle_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pac_oracle_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_spectre_primer.dir/spectre_primer.cpp.o"
+  "CMakeFiles/example_spectre_primer.dir/spectre_primer.cpp.o.d"
+  "example_spectre_primer"
+  "example_spectre_primer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_spectre_primer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tlb_reverse_engineer.dir/tlb_reverse_engineer.cpp.o"
+  "CMakeFiles/example_tlb_reverse_engineer.dir/tlb_reverse_engineer.cpp.o.d"
+  "example_tlb_reverse_engineer"
+  "example_tlb_reverse_engineer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tlb_reverse_engineer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_trace_attack.dir/trace_attack.cpp.o"
+  "CMakeFiles/example_trace_attack.dir/trace_attack.cpp.o.d"
+  "example_trace_attack"
+  "example_trace_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_trace_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/scanner.cc" "src/analysis/CMakeFiles/pacman_analysis.dir/scanner.cc.o" "gcc" "src/analysis/CMakeFiles/pacman_analysis.dir/scanner.cc.o.d"
+  "/root/repo/src/analysis/synth.cc" "src/analysis/CMakeFiles/pacman_analysis.dir/synth.cc.o" "gcc" "src/analysis/CMakeFiles/pacman_analysis.dir/synth.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asm/CMakeFiles/pacman_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pacman_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pacman_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/pacman_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacman_analysis.dir/scanner.cc.o"
+  "CMakeFiles/pacman_analysis.dir/scanner.cc.o.d"
+  "CMakeFiles/pacman_analysis.dir/synth.cc.o"
+  "CMakeFiles/pacman_analysis.dir/synth.cc.o.d"
+  "libpacman_analysis.a"
+  "libpacman_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacman_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacman_asm.dir/assembler.cc.o"
+  "CMakeFiles/pacman_asm.dir/assembler.cc.o.d"
+  "CMakeFiles/pacman_asm.dir/program.cc.o"
+  "CMakeFiles/pacman_asm.dir/program.cc.o.d"
+  "CMakeFiles/pacman_asm.dir/textasm.cc.o"
+  "CMakeFiles/pacman_asm.dir/textasm.cc.o.d"
+  "libpacman_asm.a"
+  "libpacman_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacman_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

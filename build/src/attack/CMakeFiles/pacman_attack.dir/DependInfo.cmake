@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/bruteforce.cc" "src/attack/CMakeFiles/pacman_attack.dir/bruteforce.cc.o" "gcc" "src/attack/CMakeFiles/pacman_attack.dir/bruteforce.cc.o.d"
+  "/root/repo/src/attack/evfinder.cc" "src/attack/CMakeFiles/pacman_attack.dir/evfinder.cc.o" "gcc" "src/attack/CMakeFiles/pacman_attack.dir/evfinder.cc.o.d"
+  "/root/repo/src/attack/eviction.cc" "src/attack/CMakeFiles/pacman_attack.dir/eviction.cc.o" "gcc" "src/attack/CMakeFiles/pacman_attack.dir/eviction.cc.o.d"
+  "/root/repo/src/attack/jump2win.cc" "src/attack/CMakeFiles/pacman_attack.dir/jump2win.cc.o" "gcc" "src/attack/CMakeFiles/pacman_attack.dir/jump2win.cc.o.d"
+  "/root/repo/src/attack/oracle.cc" "src/attack/CMakeFiles/pacman_attack.dir/oracle.cc.o" "gcc" "src/attack/CMakeFiles/pacman_attack.dir/oracle.cc.o.d"
+  "/root/repo/src/attack/ret2win.cc" "src/attack/CMakeFiles/pacman_attack.dir/ret2win.cc.o" "gcc" "src/attack/CMakeFiles/pacman_attack.dir/ret2win.cc.o.d"
+  "/root/repo/src/attack/reveng.cc" "src/attack/CMakeFiles/pacman_attack.dir/reveng.cc.o" "gcc" "src/attack/CMakeFiles/pacman_attack.dir/reveng.cc.o.d"
+  "/root/repo/src/attack/runtime.cc" "src/attack/CMakeFiles/pacman_attack.dir/runtime.cc.o" "gcc" "src/attack/CMakeFiles/pacman_attack.dir/runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/pacman_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/pacman_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pacman_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/pacman_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pacman_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pacman_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/pacman_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

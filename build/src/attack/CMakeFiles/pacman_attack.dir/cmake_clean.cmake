@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacman_attack.dir/bruteforce.cc.o"
+  "CMakeFiles/pacman_attack.dir/bruteforce.cc.o.d"
+  "CMakeFiles/pacman_attack.dir/evfinder.cc.o"
+  "CMakeFiles/pacman_attack.dir/evfinder.cc.o.d"
+  "CMakeFiles/pacman_attack.dir/eviction.cc.o"
+  "CMakeFiles/pacman_attack.dir/eviction.cc.o.d"
+  "CMakeFiles/pacman_attack.dir/jump2win.cc.o"
+  "CMakeFiles/pacman_attack.dir/jump2win.cc.o.d"
+  "CMakeFiles/pacman_attack.dir/oracle.cc.o"
+  "CMakeFiles/pacman_attack.dir/oracle.cc.o.d"
+  "CMakeFiles/pacman_attack.dir/ret2win.cc.o"
+  "CMakeFiles/pacman_attack.dir/ret2win.cc.o.d"
+  "CMakeFiles/pacman_attack.dir/reveng.cc.o"
+  "CMakeFiles/pacman_attack.dir/reveng.cc.o.d"
+  "CMakeFiles/pacman_attack.dir/runtime.cc.o"
+  "CMakeFiles/pacman_attack.dir/runtime.cc.o.d"
+  "libpacman_attack.a"
+  "libpacman_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacman_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

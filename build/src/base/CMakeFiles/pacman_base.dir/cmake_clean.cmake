@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacman_base.dir/logging.cc.o"
+  "CMakeFiles/pacman_base.dir/logging.cc.o.d"
+  "CMakeFiles/pacman_base.dir/random.cc.o"
+  "CMakeFiles/pacman_base.dir/random.cc.o.d"
+  "CMakeFiles/pacman_base.dir/stats.cc.o"
+  "CMakeFiles/pacman_base.dir/stats.cc.o.d"
+  "libpacman_base.a"
+  "libpacman_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacman_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacman_cpu.dir/core.cc.o"
+  "CMakeFiles/pacman_cpu.dir/core.cc.o.d"
+  "CMakeFiles/pacman_cpu.dir/predictor.cc.o"
+  "CMakeFiles/pacman_cpu.dir/predictor.cc.o.d"
+  "CMakeFiles/pacman_cpu.dir/timer.cc.o"
+  "CMakeFiles/pacman_cpu.dir/timer.cc.o.d"
+  "libpacman_cpu.a"
+  "libpacman_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacman_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

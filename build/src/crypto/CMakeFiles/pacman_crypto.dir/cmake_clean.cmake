@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacman_crypto.dir/pac.cc.o"
+  "CMakeFiles/pacman_crypto.dir/pac.cc.o.d"
+  "CMakeFiles/pacman_crypto.dir/qarma64.cc.o"
+  "CMakeFiles/pacman_crypto.dir/qarma64.cc.o.d"
+  "libpacman_crypto.a"
+  "libpacman_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacman_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

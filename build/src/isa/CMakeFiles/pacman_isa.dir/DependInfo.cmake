@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/disasm.cc" "src/isa/CMakeFiles/pacman_isa.dir/disasm.cc.o" "gcc" "src/isa/CMakeFiles/pacman_isa.dir/disasm.cc.o.d"
+  "/root/repo/src/isa/encoding.cc" "src/isa/CMakeFiles/pacman_isa.dir/encoding.cc.o" "gcc" "src/isa/CMakeFiles/pacman_isa.dir/encoding.cc.o.d"
+  "/root/repo/src/isa/inst.cc" "src/isa/CMakeFiles/pacman_isa.dir/inst.cc.o" "gcc" "src/isa/CMakeFiles/pacman_isa.dir/inst.cc.o.d"
+  "/root/repo/src/isa/pointer.cc" "src/isa/CMakeFiles/pacman_isa.dir/pointer.cc.o" "gcc" "src/isa/CMakeFiles/pacman_isa.dir/pointer.cc.o.d"
+  "/root/repo/src/isa/registers.cc" "src/isa/CMakeFiles/pacman_isa.dir/registers.cc.o" "gcc" "src/isa/CMakeFiles/pacman_isa.dir/registers.cc.o.d"
+  "/root/repo/src/isa/sysreg.cc" "src/isa/CMakeFiles/pacman_isa.dir/sysreg.cc.o" "gcc" "src/isa/CMakeFiles/pacman_isa.dir/sysreg.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/pacman_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pacman_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacman_isa.dir/disasm.cc.o"
+  "CMakeFiles/pacman_isa.dir/disasm.cc.o.d"
+  "CMakeFiles/pacman_isa.dir/encoding.cc.o"
+  "CMakeFiles/pacman_isa.dir/encoding.cc.o.d"
+  "CMakeFiles/pacman_isa.dir/inst.cc.o"
+  "CMakeFiles/pacman_isa.dir/inst.cc.o.d"
+  "CMakeFiles/pacman_isa.dir/pointer.cc.o"
+  "CMakeFiles/pacman_isa.dir/pointer.cc.o.d"
+  "CMakeFiles/pacman_isa.dir/registers.cc.o"
+  "CMakeFiles/pacman_isa.dir/registers.cc.o.d"
+  "CMakeFiles/pacman_isa.dir/sysreg.cc.o"
+  "CMakeFiles/pacman_isa.dir/sysreg.cc.o.d"
+  "libpacman_isa.a"
+  "libpacman_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacman_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

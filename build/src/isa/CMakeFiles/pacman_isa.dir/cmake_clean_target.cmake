@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpacman_isa.a"
+)

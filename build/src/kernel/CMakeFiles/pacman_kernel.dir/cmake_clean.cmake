@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacman_kernel.dir/kernel.cc.o"
+  "CMakeFiles/pacman_kernel.dir/kernel.cc.o.d"
+  "CMakeFiles/pacman_kernel.dir/machine.cc.o"
+  "CMakeFiles/pacman_kernel.dir/machine.cc.o.d"
+  "libpacman_kernel.a"
+  "libpacman_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacman_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacman_mem.dir/cache.cc.o"
+  "CMakeFiles/pacman_mem.dir/cache.cc.o.d"
+  "CMakeFiles/pacman_mem.dir/config.cc.o"
+  "CMakeFiles/pacman_mem.dir/config.cc.o.d"
+  "CMakeFiles/pacman_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/pacman_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/pacman_mem.dir/pagetable.cc.o"
+  "CMakeFiles/pacman_mem.dir/pagetable.cc.o.d"
+  "CMakeFiles/pacman_mem.dir/physmem.cc.o"
+  "CMakeFiles/pacman_mem.dir/physmem.cc.o.d"
+  "CMakeFiles/pacman_mem.dir/tlb.cc.o"
+  "CMakeFiles/pacman_mem.dir/tlb.cc.o.d"
+  "libpacman_mem.a"
+  "libpacman_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacman_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attack.dir/attack/test_evfinder.cc.o"
+  "CMakeFiles/test_attack.dir/attack/test_evfinder.cc.o.d"
+  "CMakeFiles/test_attack.dir/attack/test_eviction.cc.o"
+  "CMakeFiles/test_attack.dir/attack/test_eviction.cc.o.d"
+  "CMakeFiles/test_attack.dir/attack/test_jump2win.cc.o"
+  "CMakeFiles/test_attack.dir/attack/test_jump2win.cc.o.d"
+  "CMakeFiles/test_attack.dir/attack/test_oracle.cc.o"
+  "CMakeFiles/test_attack.dir/attack/test_oracle.cc.o.d"
+  "CMakeFiles/test_attack.dir/attack/test_oracle_prop.cc.o"
+  "CMakeFiles/test_attack.dir/attack/test_oracle_prop.cc.o.d"
+  "CMakeFiles/test_attack.dir/attack/test_ret2win.cc.o"
+  "CMakeFiles/test_attack.dir/attack/test_ret2win.cc.o.d"
+  "CMakeFiles/test_attack.dir/attack/test_reveng.cc.o"
+  "CMakeFiles/test_attack.dir/attack/test_reveng.cc.o.d"
+  "test_attack"
+  "test_attack.pdb"
+  "test_attack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

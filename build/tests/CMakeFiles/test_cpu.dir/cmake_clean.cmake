@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu.dir/cpu/test_authbranch.cc.o"
+  "CMakeFiles/test_cpu.dir/cpu/test_authbranch.cc.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/test_core_basic.cc.o"
+  "CMakeFiles/test_cpu.dir/cpu/test_core_basic.cc.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/test_core_fpac.cc.o"
+  "CMakeFiles/test_cpu.dir/cpu/test_core_fpac.cc.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/test_core_spec.cc.o"
+  "CMakeFiles/test_cpu.dir/cpu/test_core_spec.cc.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/test_predictor.cc.o"
+  "CMakeFiles/test_cpu.dir/cpu/test_predictor.cc.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/test_timers.cc.o"
+  "CMakeFiles/test_cpu.dir/cpu/test_timers.cc.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/test_tracer.cc.o"
+  "CMakeFiles/test_cpu.dir/cpu/test_tracer.cc.o.d"
+  "test_cpu"
+  "test_cpu.pdb"
+  "test_cpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

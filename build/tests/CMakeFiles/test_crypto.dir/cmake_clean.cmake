@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto.dir/crypto/test_pac.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_pac.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_qarma.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_qarma.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_qarma_prop.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_qarma_prop.cc.o.d"
+  "test_crypto"
+  "test_crypto.pdb"
+  "test_crypto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isa.dir/isa/test_disasm.cc.o"
+  "CMakeFiles/test_isa.dir/isa/test_disasm.cc.o.d"
+  "CMakeFiles/test_isa.dir/isa/test_encoding.cc.o"
+  "CMakeFiles/test_isa.dir/isa/test_encoding.cc.o.d"
+  "CMakeFiles/test_isa.dir/isa/test_encoding_prop.cc.o"
+  "CMakeFiles/test_isa.dir/isa/test_encoding_prop.cc.o.d"
+  "CMakeFiles/test_isa.dir/isa/test_inst.cc.o"
+  "CMakeFiles/test_isa.dir/isa/test_inst.cc.o.d"
+  "CMakeFiles/test_isa.dir/isa/test_pointer.cc.o"
+  "CMakeFiles/test_isa.dir/isa/test_pointer.cc.o.d"
+  "test_isa"
+  "test_isa.pdb"
+  "test_isa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

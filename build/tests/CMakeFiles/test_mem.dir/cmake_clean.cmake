@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem.dir/mem/test_cache.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_cache.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_cache_prop.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_cache_prop.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_hierarchy.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_hierarchy.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_physmem.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_physmem.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_tlb.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_tlb.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_tlb_prop.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_tlb_prop.cc.o.d"
+  "test_mem"
+  "test_mem.pdb"
+  "test_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
