@@ -22,6 +22,7 @@
 #include <string>
 
 #include "attack/bruteforce.hh"
+#include "base/random.hh"
 #include "base/stats.hh"
 #include "kernel/layout.hh"
 
@@ -99,7 +100,10 @@ accuracyTest(unsigned runs, unsigned window, bool full,
     unsigned tp = 0, fp = 0, fn = 0;
     for (unsigned run = 0; run < runs; ++run) {
         MachineConfig cfg = defaultMachineConfig();
-        cfg.seed = 1000 + run;          // fresh boot, fresh keys
+        // Fresh boot, fresh keys; derived streams rather than
+        // adjacent raw seeds so the replicated machines' RNG
+        // sequences are decorrelated.
+        cfg.seed = Random::deriveSeed(1000, run);
         cfg.noiseProbability = 0.5;     // browsing + video calls
         cfg.noisePages = 4;
         Machine machine(cfg);
@@ -155,7 +159,7 @@ naiveContrast()
     uint16_t last_true_pac = 0;
     for (unsigned attempt = 0; attempt < 8; ++attempt) {
         MachineConfig cfg = defaultMachineConfig();
-        cfg.seed = 3000 + attempt; // reboot: new keys
+        cfg.seed = Random::deriveSeed(3000, attempt); // reboot: new keys
         Machine machine(cfg);
         AttackerProcess proc(machine);
         const isa::Addr target = BenignDataBase + 37 * isa::PageSize;

@@ -4,14 +4,20 @@
  * it separate the one correct PAC from wrong guesses without a single
  * crash — the core PACMAN primitive.
  *
- *   $ ./example_pac_oracle_demo
+ *   $ ./example_pac_oracle_demo [--jobs N]
+ *
+ * --jobs N runs the closing brute-force demo on the deterministic
+ * parallel campaign runner with N worker threads (default 1). The
+ * found PAC and merged statistics are bit-identical for every N.
  */
 
 #include <cstdio>
+#include <cstring>
 
 #include "attack/bruteforce.hh"
 #include "attack/oracle.hh"
 #include "kernel/layout.hh"
+#include "runner/campaign.hh"
 
 using namespace pacman;
 using namespace pacman::attack;
@@ -65,8 +71,14 @@ demoOracle(Machine &machine, AttackerProcess &proc, GadgetKind kind)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    unsigned jobs = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc)
+            jobs = unsigned(std::strtoul(argv[++i], nullptr, 0));
+    }
+
     Machine machine;
     AttackerProcess proc(machine);
     std::printf("== PAC oracle demo (Section 8.1) ==\n\n");
@@ -74,23 +86,40 @@ main()
     demoOracle(machine, proc, GadgetKind::Data);
     demoOracle(machine, proc, GadgetKind::Instruction);
 
-    // Mini brute force over a small window around the truth.
-    std::printf("--- brute force (windowed demo) ---\n");
-    OracleConfig cfg;
-    PacOracle oracle(proc, cfg);
+    // Mini brute force over a small window around the truth, run as
+    // a campaign on the parallel runner. The campaign replicas boot
+    // from this machine's seed, so they search for the same keys'
+    // PAC; the output is identical for any --jobs value.
+    const unsigned workers = runner::effectiveJobs(jobs);
+    std::printf("--- brute force (windowed demo, %u worker%s) ---\n",
+                workers, workers == 1 ? "" : "s");
     const isa::Addr target = BenignDataBase + 41 * isa::PageSize;
-    oracle.setTarget(target, 0x77);
     const uint16_t truth = machine.kernel().truePac(
         target, 0x77, crypto::PacKeySelect::DA);
     const uint16_t start = uint16_t(truth & 0xFFF0);
-    PacBruteForcer forcer(oracle);
-    const auto stats = forcer.search(start, uint16_t(start + 31));
+
+    runner::BruteForceCampaignConfig cfg;
+    cfg.replica.machine = machine.config();
+    cfg.replica.target = target;
+    cfg.replica.modifier = 0x77;
+    cfg.first = start;
+    cfg.last = uint16_t(start + 31);
+    cfg.pool.jobs = jobs;
+    cfg.pool.chunkSize = 8;
+    const auto campaign = runner::runBruteForceCampaign(cfg);
+    const auto &stats = campaign.stats;
     if (stats.found) {
         std::printf("found PAC 0x%04x after %llu guesses "
                     "(truth 0x%04x) — %s\n",
                     *stats.found,
                     (unsigned long long)stats.guessesTested, truth,
                     *stats.found == truth ? "MATCH" : "MISMATCH");
+        std::printf("campaign: %u worker%s, %.3f s wall, %llu/%llu "
+                    "chunks merged\n", campaign.jobs,
+                    campaign.jobs == 1 ? "" : "s", campaign.wallSeconds,
+                    (unsigned long long)campaign.chunksMerged,
+                    (unsigned long long)(campaign.chunksRun +
+                                         campaign.chunksSkipped));
     } else {
         std::printf("no PAC found in the window (rerun; oracle "
                     "false negatives are retryable)\n");

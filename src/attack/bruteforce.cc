@@ -1,7 +1,19 @@
 #include "bruteforce.hh"
 
+#include <algorithm>
+
 namespace pacman::attack
 {
+
+void
+BruteForceStats::merge(const BruteForceStats &other)
+{
+    guessesTested += other.guessesTested;
+    oracleQueries += other.oracleQueries;
+    cyclesSimulated += other.cyclesSimulated;
+    if (other.found)
+        found = found ? std::min(*found, *other.found) : *other.found;
+}
 
 PacBruteForcer::PacBruteForcer(PacOracle &oracle, unsigned samples)
     : oracle_(oracle), samples_(samples)
@@ -9,7 +21,8 @@ PacBruteForcer::PacBruteForcer(PacOracle &oracle, unsigned samples)
 }
 
 BruteForceStats
-PacBruteForcer::search(uint16_t first, uint16_t last)
+PacBruteForcer::search(uint16_t first, uint16_t last,
+                       SampleStat *decision_stat)
 {
     BruteForceStats stats;
     auto &core = oracle_.process().machine().core();
@@ -18,7 +31,11 @@ PacBruteForcer::search(uint16_t first, uint16_t last)
 
     for (uint32_t guess = first; guess <= last; ++guess) {
         ++stats.guessesTested;
-        if (oracle_.testPacSampled(uint16_t(guess), samples_)) {
+        const double misses =
+            oracle_.sampledMisses(uint16_t(guess), samples_);
+        if (decision_stat)
+            decision_stat->add(misses);
+        if (misses >= oracle_.config().missThreshold) {
             stats.found = uint16_t(guess);
             break;
         }

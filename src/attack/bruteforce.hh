@@ -12,6 +12,7 @@
 #include <optional>
 
 #include "attack/oracle.hh"
+#include "base/stats.hh"
 
 namespace pacman::attack
 {
@@ -23,6 +24,13 @@ struct BruteForceStats
     uint64_t oracleQueries = 0;
     uint64_t cyclesSimulated = 0;  //!< guest cycles consumed
     std::optional<uint16_t> found; //!< matching PAC, if any
+
+    /**
+     * Fold @p other into this. Counters sum; when both runs found a
+     * PAC the lowest candidate wins, matching what one serial
+     * low-to-high sweep over the union of the two ranges reports.
+     */
+    void merge(const BruteForceStats &other);
 };
 
 /** PAC search driver. */
@@ -40,9 +48,16 @@ class PacBruteForcer
      * The full space is first = 0x0000, last = 0xFFFF (paper
      * Section 8.2: "testing every possible PAC value starting from
      * 0x0 to 0xFFFF").
+     *
+     * @param decision_stat If non-null, receives one sample per
+     *        tested candidate: the median-of-k probe-miss count the
+     *        verdict was based on. Batch callers (the campaign
+     *        runner) merge these per-chunk accumulators into the
+     *        campaign-wide distribution.
      */
     BruteForceStats search(uint16_t first = 0x0000,
-                           uint16_t last = 0xFFFF);
+                           uint16_t last = 0xFFFF,
+                           SampleStat *decision_stat = nullptr);
 
     /**
      * Baseline for contrast: what brute force *without* the oracle

@@ -21,13 +21,6 @@ std::optional<uint16_t>
 Jump2Win::findPac(GadgetKind kind, Addr target, uint64_t modifier,
                   unsigned window, Jump2WinResult &result)
 {
-    OracleConfig cfg;
-    cfg.kind = kind;
-    cfg.trainIters = trainIters_;
-    PacOracle oracle(proc_, cfg);
-    oracle.setTarget(target, modifier);
-    PacBruteForcer forcer(oracle, samples_);
-
     uint16_t first = 0x0000;
     uint16_t last = 0xFFFF;
     if (window != 0) {
@@ -45,7 +38,18 @@ Jump2Win::findPac(GadgetKind kind, Addr target, uint64_t modifier,
         last = uint16_t(std::min<uint32_t>(start + window - 1, 0xFFFF));
     }
 
-    const BruteForceStats stats = forcer.search(first, last);
+    BruteForceStats stats;
+    if (searchHook_) {
+        stats = searchHook_(kind, target, modifier, first, last);
+    } else {
+        OracleConfig cfg;
+        cfg.kind = kind;
+        cfg.trainIters = trainIters_;
+        PacOracle oracle(proc_, cfg);
+        oracle.setTarget(target, modifier);
+        PacBruteForcer forcer(oracle, samples_);
+        stats = forcer.search(first, last);
+    }
     result.guessesTested += stats.guessesTested;
     result.oracleQueries += stats.oracleQueries;
     return stats.found;

@@ -21,8 +21,10 @@
 #define PACMAN_ATTACK_JUMP2WIN_HH
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 
+#include "attack/bruteforce.hh"
 #include "attack/oracle.hh"
 
 namespace pacman::attack
@@ -52,6 +54,22 @@ class Jump2Win
                       unsigned samples = 1);
 
     /**
+     * External search engine for the two PAC sweeps: receives the
+     * gadget kind, target, modifier, and candidate range, and
+     * returns the sweep's stats (with `found` set on success).
+     * Lets callers substitute the parallel campaign runner for the
+     * built-in serial PacBruteForcer sweep — the runner cannot be a
+     * dependency of this library (it sits above src/attack).
+     */
+    using SearchHook = std::function<BruteForceStats(
+        GadgetKind kind, Addr target, uint64_t modifier,
+        uint16_t first, uint16_t last)>;
+
+    /** Route the PAC sweeps through @p hook instead of the serial
+     *  built-in search. Pass nullptr to restore the default. */
+    void setSearchHook(SearchHook hook) { searchHook_ = std::move(hook); }
+
+    /**
      * Run the full attack.
      *
      * @param pac_search_window If nonzero, limit each brute-force
@@ -71,6 +89,7 @@ class Jump2Win
     AttackerProcess &proc_;
     unsigned trainIters_;
     unsigned samples_;
+    SearchHook searchHook_;
 };
 
 } // namespace pacman::attack

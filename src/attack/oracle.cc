@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "base/stats.hh"
 #include "kernel/layout.hh"
 
 namespace pacman::attack
@@ -178,17 +179,20 @@ PacOracle::testPac(uint16_t guessed_pac)
     return probeMisses(guessed_pac) >= cfg_.missThreshold;
 }
 
+double
+PacOracle::sampledMisses(uint16_t guessed_pac, unsigned samples)
+{
+    PACMAN_ASSERT(samples >= 1, "need at least one sample");
+    SampleStat misses;
+    for (unsigned i = 0; i < samples; ++i)
+        misses.add(double(probeMisses(guessed_pac)));
+    return misses.median();
+}
+
 bool
 PacOracle::testPacSampled(uint16_t guessed_pac, unsigned samples)
 {
-    PACMAN_ASSERT(samples >= 1, "need at least one sample");
-    std::vector<unsigned> misses;
-    misses.reserve(samples);
-    for (unsigned i = 0; i < samples; ++i)
-        misses.push_back(probeMisses(guessed_pac));
-    std::sort(misses.begin(), misses.end());
-    const unsigned median = misses[misses.size() / 2];
-    return median >= cfg_.missThreshold;
+    return sampledMisses(guessed_pac, samples) >= cfg_.missThreshold;
 }
 
 } // namespace pacman::attack

@@ -111,6 +111,14 @@ class PacOracle
     /** Classified query: does @p guessed_pac look correct? */
     bool testPac(uint16_t guessed_pac);
 
+    /**
+     * Median probe-miss count over @p samples queries. For odd
+     * @p samples (the documented default usage) this is the middle
+     * order statistic; for even @p samples it is the mean of the two
+     * middle values rather than arbitrarily the upper one.
+     */
+    double sampledMisses(uint16_t guessed_pac, unsigned samples);
+
     /** Median-of-@p samples classification (paper Section 8.2). */
     bool testPacSampled(uint16_t guessed_pac, unsigned samples);
 

@@ -1,6 +1,8 @@
 #include "logging.hh"
 
 #include <cstdarg>
+#include <mutex>
+#include <string>
 
 namespace pacman
 {
@@ -8,6 +10,15 @@ namespace pacman
 namespace
 {
 LogLevel globalLevel = LogLevel::Normal;
+
+/** Serialises emission so concurrent workers cannot interleave the
+ *  prefix, body, and newline of different messages. */
+std::mutex &
+logMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
 } // anonymous namespace
 
 LogLevel
@@ -25,9 +36,26 @@ setLogLevel(LogLevel level)
 void
 logVprintf(const char *prefix, const char *fmt, std::va_list ap)
 {
-    std::fputs(prefix, stderr);
-    std::vfprintf(stderr, fmt, ap);
-    std::fputc('\n', stderr);
+    // Format the whole message up front and emit it as one write:
+    // a prefix/body/newline triple written piecewise interleaves
+    // when campaign workers log concurrently.
+    std::va_list ap2;
+    va_copy(ap2, ap);
+    const int len = std::vsnprintf(nullptr, 0, fmt, ap2);
+    va_end(ap2);
+
+    std::string line(prefix);
+    if (len > 0) {
+        const size_t body = line.size();
+        line.resize(body + size_t(len) + 1);
+        std::vsnprintf(line.data() + body, size_t(len) + 1, fmt, ap);
+        line.resize(body + size_t(len));
+    }
+    line.push_back('\n');
+
+    const std::lock_guard<std::mutex> lock(logMutex());
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
 }
 
 void

@@ -16,6 +16,15 @@ splitmix64(uint64_t &x)
     return z ^ (z >> 31);
 }
 
+/** splitmix64 output mixing function (no counter increment). */
+uint64_t
+mix64(uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
 uint64_t
 rotl(uint64_t x, int k)
 {
@@ -24,10 +33,27 @@ rotl(uint64_t x, int k)
 
 } // anonymous namespace
 
-Random::Random(uint64_t seed)
+Random::Random(uint64_t seed) : seed_(seed)
 {
     for (auto &word : s)
         word = splitmix64(seed);
+}
+
+uint64_t
+Random::deriveSeed(uint64_t seed, uint64_t stream)
+{
+    // Mix the base seed first so that nearby (seed, stream) pairs do
+    // not collide, then fold the stream index in with a second round.
+    uint64_t z = seed + 0x9e3779b97f4a7c15ull;
+    z = mix64(z);
+    z += stream * 0xbf58476d1ce4e5b9ull + 0x94d049bb133111ebull;
+    return mix64(z);
+}
+
+Random
+Random::fork(uint64_t stream) const
+{
+    return Random(deriveSeed(seed_, stream));
 }
 
 uint64_t

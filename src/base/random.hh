@@ -25,6 +25,27 @@ class Random
     /** Construct from a 64-bit seed, expanded via splitmix64. */
     explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ull);
 
+    /**
+     * Derive the seed for an independent stream from (@p seed,
+     * @p stream) via two splitmix64 mixing rounds. Distinct streams
+     * of the same base seed are decorrelated even for adjacent
+     * stream indices; the mapping is a pure function, so parallel
+     * campaigns can hand stream `i` to whichever worker picks up
+     * work item `i` and stay bit-reproducible.
+     */
+    static uint64_t deriveSeed(uint64_t seed, uint64_t stream);
+
+    /**
+     * A new generator for stream @p stream of this generator's seed.
+     * Use this instead of constructing several default-seeded
+     * `Random` instances: those all share one seed and produce
+     * perfectly correlated sequences.
+     */
+    Random fork(uint64_t stream) const;
+
+    /** The seed this generator was constructed from. */
+    uint64_t seed() const { return seed_; }
+
     /** Next raw 64-bit value. */
     uint64_t next();
 
@@ -48,6 +69,7 @@ class Random
     double gaussian(double mean, double stddev);
 
   private:
+    uint64_t seed_;
     uint64_t s[4];
 };
 

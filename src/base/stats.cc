@@ -76,10 +76,28 @@ double
 SampleStat::percentile(double p) const
 {
     PACMAN_ASSERT(!samples_.empty(), "percentile() of empty SampleStat");
+    PACMAN_ASSERT(p >= 0.0 && p <= 100.0, "percentile %f out of [0,100]",
+                  p);
     ensureSorted();
+    // Linear interpolation between the two bracketing order
+    // statistics. Truncating the fractional rank (the old behaviour)
+    // biases tail percentiles low: p90 of 100 samples landed on the
+    // 90th order statistic instead of 0.1 of the way to the 91st.
     const double rank = p / 100.0 * double(samples_.size() - 1);
-    const size_t idx = size_t(rank);
-    return samples_[std::min(idx, samples_.size() - 1)];
+    const size_t lo = size_t(rank);
+    const size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - double(lo);
+    return samples_[lo] + frac * (samples_[hi] - samples_[lo]);
+}
+
+void
+SampleStat::merge(const SampleStat &other)
+{
+    if (other.samples_.empty())
+        return;
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
 }
 
 void

@@ -42,14 +42,23 @@ class SampleStat
     /** Largest sample. */
     double max() const;
 
-    /** Median (lower of the two middle elements for even counts). */
+    /** Median (mean of the two middle elements for even counts). */
     double median() const;
 
     /**
-     * p-th percentile with p in [0, 100], nearest-rank method.
+     * p-th percentile with p in [0, 100], linear interpolation between
+     * the two bracketing order statistics (rank = p/100 * (n-1)).
      * Requires at least one sample.
      */
     double percentile(double p) const;
+
+    /**
+     * Fold @p other's samples into this accumulator. Associative and
+     * commutative with respect to every query above, so per-worker
+     * accumulators from a parallel campaign can be merged in any
+     * order and still report identical statistics.
+     */
+    void merge(const SampleStat &other);
 
     /** Discard all samples. */
     void reset() { samples_.clear(); sorted_ = true; }

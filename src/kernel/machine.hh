@@ -61,6 +61,17 @@ class Machine
     const MachineConfig &config() const { return cfg_; }
 
     /**
+     * Switch the machine's RNG to a fresh stream mid-run. Everything
+     * drawn at boot (notably the per-boot PAC keys) is unaffected;
+     * subsequent jitter/noise/replacement draws follow the new
+     * stream. Campaign replicas boot from the shared campaign seed
+     * (identical keys on every replica) and then switch to a
+     * per-work-item stream so concurrent machines are decorrelated
+     * yet bit-reproducible regardless of which worker runs the item.
+     */
+    void reseedRng(uint64_t seed) { rng_ = Random(seed); }
+
+    /**
      * Run guest code at @p pc in EL0 until HLT; returns x0.
      * Calls fatal() if the guest crashes — callers that expect
      * crashes use runGuest() instead.

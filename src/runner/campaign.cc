@@ -1,0 +1,216 @@
+#include "campaign.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace pacman::runner
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** One worker-owned replica: a private machine stack, re-provisioned
+ *  per work item so its state is a pure function of the item. */
+struct Replica
+{
+    Replica(const ReplicaConfig &cfg, uint64_t boot_seed,
+            uint64_t stream_seed)
+        : machine(withSeed(cfg.machine, boot_seed)), proc(machine),
+          oracle(proc, cfg.oracle)
+    {
+        // Keys are drawn at boot from boot_seed; jitter/noise from
+        // here on follow the per-item stream.
+        machine.reseedRng(stream_seed);
+        oracle.setTarget(cfg.target, cfg.modifier);
+    }
+
+    static kernel::MachineConfig
+    withSeed(kernel::MachineConfig cfg, uint64_t seed)
+    {
+        cfg.seed = seed;
+        return cfg;
+    }
+
+    kernel::Machine machine;
+    attack::AttackerProcess proc;
+    attack::PacOracle oracle;
+};
+
+std::string
+statFingerprint(const SampleStat &s)
+{
+    if (s.count() == 0)
+        return "n=0";
+    return strprintf("n=%llu mean=%.17g median=%.17g p90=%.17g "
+                     "p99=%.17g min=%.17g max=%.17g",
+                     (unsigned long long)s.count(), s.mean(), s.median(),
+                     s.percentile(90), s.percentile(99), s.min(),
+                     s.max());
+}
+
+} // anonymous namespace
+
+std::string
+BruteForceCampaignResult::fingerprint() const
+{
+    return strprintf(
+        "found=%s guesses=%llu queries=%llu cycles=%llu "
+        "chunks_merged=%llu decisions[%s]",
+        stats.found ? strprintf("0x%04x", *stats.found).c_str() : "none",
+        (unsigned long long)stats.guessesTested,
+        (unsigned long long)stats.oracleQueries,
+        (unsigned long long)stats.cyclesSimulated,
+        (unsigned long long)chunksMerged,
+        statFingerprint(decisionMisses).c_str());
+}
+
+BruteForceCampaignResult
+runBruteForceCampaign(const BruteForceCampaignConfig &cfg)
+{
+    PACMAN_ASSERT(cfg.first <= cfg.last,
+                  "brute-force campaign range is empty");
+    const uint64_t num_items = uint64_t(cfg.last) - cfg.first + 1;
+    const uint64_t num_chunks = chunkCount(num_items, cfg.pool.chunkSize);
+
+    struct ChunkResult
+    {
+        attack::BruteForceStats stats;
+        SampleStat decisions;
+    };
+    std::vector<ChunkResult> results(num_chunks);
+
+    const auto t0 = Clock::now();
+    const PoolOutcome outcome = runChunked(
+        cfg.pool, num_items,
+        [&](unsigned, const Chunk &chunk) -> std::optional<uint64_t> {
+            // Fresh replica per chunk: same boot seed (same PAC keys
+            // on every replica), per-chunk RNG stream.
+            Replica replica(cfg.replica, cfg.replica.machine.seed,
+                            Random::deriveSeed(cfg.seed, chunk.index));
+            attack::PacBruteForcer forcer(replica.oracle,
+                                          cfg.replica.samples);
+            ChunkResult &r = results[chunk.index];
+            r.stats = forcer.search(uint16_t(cfg.first + chunk.firstItem),
+                                    uint16_t(cfg.first + chunk.lastItem),
+                                    &r.decisions);
+            if (r.stats.found)
+                return uint64_t(*r.stats.found) - cfg.first;
+            return std::nullopt;
+        });
+    const auto t1 = Clock::now();
+
+    // Merge in chunk order, up to and including the chunk holding the
+    // lowest hit — exactly the candidates a serial sweep would have
+    // tested before stopping.
+    BruteForceCampaignResult result;
+    result.jobs = effectiveJobs(cfg.pool.jobs);
+    result.chunksRun = outcome.chunksRun;
+    result.chunksSkipped = outcome.chunksSkipped;
+    result.wallSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    for (uint64_t c = 0; c < num_chunks; ++c) {
+        if (outcome.firstHit && c * cfg.pool.chunkSize > *outcome.firstHit)
+            break;
+        result.stats.merge(results[c].stats);
+        result.decisionMisses.merge(results[c].decisions);
+        ++result.chunksMerged;
+    }
+    return result;
+}
+
+std::string
+AccuracyCampaignResult::fingerprint() const
+{
+    return strprintf(
+        "tp=%llu fp=%llu fn=%llu guesses=%llu queries=%llu "
+        "cycles=%llu per_trial[%s]",
+        (unsigned long long)truePositives,
+        (unsigned long long)falsePositives,
+        (unsigned long long)falseNegatives,
+        (unsigned long long)totals.guessesTested,
+        (unsigned long long)totals.oracleQueries,
+        (unsigned long long)totals.cyclesSimulated,
+        statFingerprint(guessesPerTrial).c_str());
+}
+
+AccuracyCampaignResult
+runAccuracyCampaign(const AccuracyCampaignConfig &cfg)
+{
+    enum class Verdict { TruePositive, FalsePositive, FalseNegative };
+    struct TrialResult
+    {
+        Verdict verdict = Verdict::FalseNegative;
+        attack::BruteForceStats stats;
+    };
+    std::vector<TrialResult> results(cfg.trials);
+
+    const auto t0 = Clock::now();
+    runChunked(
+        cfg.pool, cfg.trials,
+        [&](unsigned, const Chunk &chunk) -> std::optional<uint64_t> {
+            for (uint64_t trial = chunk.firstItem;
+                 trial <= chunk.lastItem; ++trial) {
+                // Fresh boot per trial: fresh keys, per-trial stream.
+                const uint64_t boot_seed =
+                    Random::deriveSeed(cfg.seed, trial);
+                Replica replica(cfg.replica, boot_seed, boot_seed);
+                const auto sel =
+                    cfg.replica.oracle.kind == attack::GadgetKind::Data
+                        ? crypto::PacKeySelect::DA
+                        : crypto::PacKeySelect::IA;
+                const uint16_t truth = replica.machine.kernel().truePac(
+                    cfg.replica.target, cfg.replica.modifier, sel);
+
+                uint16_t first = 0x0000, last = 0xFFFF;
+                if (cfg.window != 0) {
+                    // Window placed from ground truth for scaling
+                    // only; each candidate is decided by the oracle.
+                    const uint32_t start = truth >= cfg.window / 2
+                                               ? truth - cfg.window / 2
+                                               : 0;
+                    first = uint16_t(start);
+                    last = uint16_t(std::min<uint32_t>(
+                        start + cfg.window - 1, 0xFFFF));
+                }
+
+                attack::PacBruteForcer forcer(replica.oracle,
+                                              cfg.replica.samples);
+                TrialResult &r = results[trial];
+                r.stats = forcer.search(first, last);
+                if (!r.stats.found)
+                    r.verdict = Verdict::FalseNegative;
+                else if (*r.stats.found == truth)
+                    r.verdict = Verdict::TruePositive;
+                else
+                    r.verdict = Verdict::FalsePositive;
+            }
+            return std::nullopt;
+        });
+    const auto t1 = Clock::now();
+
+    AccuracyCampaignResult result;
+    result.jobs = effectiveJobs(cfg.pool.jobs);
+    result.wallSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    for (const TrialResult &r : results) {
+        switch (r.verdict) {
+          case Verdict::TruePositive: ++result.truePositives; break;
+          case Verdict::FalsePositive: ++result.falsePositives; break;
+          case Verdict::FalseNegative: ++result.falseNegatives; break;
+        }
+        // Sum the counters only: `found` differs per trial (fresh
+        // keys), so a merged "found" would be meaningless here.
+        result.totals.guessesTested += r.stats.guessesTested;
+        result.totals.oracleQueries += r.stats.oracleQueries;
+        result.totals.cyclesSimulated += r.stats.cyclesSimulated;
+        result.guessesPerTrial.add(double(r.stats.guessesTested));
+    }
+    return result;
+}
+
+} // namespace pacman::runner

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Deterministic parallel attack campaigns on top of the work pool
+ * (pool.hh): the Section 8.2 PAC brute-force sweep and the
+ * Monte-Carlo oracle-accuracy run, both embarrassingly parallel at
+ * the work-item level.
+ *
+ * Each worker owns a private replica slot holding a full
+ * Machine / AttackerProcess / PacOracle stack. The replica is
+ * re-provisioned per work item: the machine boots from the
+ * campaign's machine seed (so every replica draws identical per-boot
+ * PAC keys — they are sweeping for the *same* PAC) and then switches
+ * its RNG to the stream derived from (campaign_seed, chunk_index).
+ * That makes every per-chunk result — verdicts, query counts, even
+ * simulated cycle counts — a pure function of the chunk index, which
+ * is what lets the merged campaign output be bit-identical at any
+ * thread count. See DESIGN.md, "Parallel campaigns".
+ */
+
+#ifndef PACMAN_RUNNER_CAMPAIGN_HH
+#define PACMAN_RUNNER_CAMPAIGN_HH
+
+#include <cstdint>
+#include <string>
+
+#include "attack/bruteforce.hh"
+#include "runner/pool.hh"
+
+namespace pacman::runner
+{
+
+/** What each worker replicates per work item. */
+struct ReplicaConfig
+{
+    /** Base machine configuration. Its seed fixes the per-boot PAC
+     *  keys, shared by every replica of the campaign. */
+    kernel::MachineConfig machine;
+
+    /** Oracle tuning (gadget kind, training iterations, thresholds). */
+    attack::OracleConfig oracle;
+
+    /** Target kernel address the oracle is bound to. */
+    isa::Addr target = 0;
+
+    /** PAC modifier (salt) for the target. */
+    uint64_t modifier = 0;
+
+    /** Oracle samples per candidate (median-of-k; paper: 5). */
+    unsigned samples = 1;
+};
+
+/** PAC brute-force sweep over candidates [first, last]. */
+struct BruteForceCampaignConfig
+{
+    ReplicaConfig replica;
+    uint16_t first = 0x0000;
+    uint16_t last = 0xFFFF;
+
+    /** Campaign seed for the per-item RNG streams (never derived
+     *  from thread identity). */
+    uint64_t seed = 1;
+
+    PoolConfig pool;
+};
+
+/** Deterministically merged brute-force campaign output. */
+struct BruteForceCampaignResult
+{
+    /** Merged stats over exactly the candidates a serial low-to-high
+     *  sweep would have tested (early exit at the first hit). */
+    attack::BruteForceStats stats;
+
+    /** Per-candidate median-of-k decision miss counts. */
+    SampleStat decisionMisses;
+
+    unsigned jobs = 0;
+    uint64_t chunksRun = 0;
+    uint64_t chunksSkipped = 0;
+    uint64_t chunksMerged = 0;
+
+    /** Host wall-clock seconds; NOT part of the deterministic output. */
+    double wallSeconds = 0;
+
+    /**
+     * Canonical rendering of every deterministic field. Equal strings
+     * across thread counts is the campaign's determinism contract
+     * (asserted by tests/runner and bench/parallel_campaign).
+     */
+    std::string fingerprint() const;
+};
+
+BruteForceCampaignResult
+runBruteForceCampaign(const BruteForceCampaignConfig &cfg);
+
+/**
+ * Monte-Carlo oracle-accuracy campaign (Section 8.2's 50-run
+ * TP/FP/FN table): each trial boots a fresh machine — fresh keys —
+ * from deriveSeed(seed, trial), sweeps a window guaranteed to
+ * contain the true PAC (0 = the full 16-bit space), and grades the
+ * outcome against ground truth.
+ */
+struct AccuracyCampaignConfig
+{
+    /** Replica template; machine.seed is ignored (per-trial boots). */
+    ReplicaConfig replica;
+
+    uint64_t trials = 50;
+
+    /** Candidates swept around the truth; 0 sweeps all 65536. */
+    unsigned window = 96;
+
+    uint64_t seed = 1000;
+
+    PoolConfig pool;
+};
+
+struct AccuracyCampaignResult
+{
+    uint64_t truePositives = 0;
+    uint64_t falsePositives = 0;
+    uint64_t falseNegatives = 0;
+
+    /** Summed search stats across trials. */
+    attack::BruteForceStats totals;
+
+    /** Guesses needed per trial (distribution across trials). */
+    SampleStat guessesPerTrial;
+
+    unsigned jobs = 0;
+    double wallSeconds = 0; //!< not part of the deterministic output
+
+    /** Canonical rendering of the deterministic fields. */
+    std::string fingerprint() const;
+};
+
+AccuracyCampaignResult
+runAccuracyCampaign(const AccuracyCampaignConfig &cfg);
+
+} // namespace pacman::runner
+
+#endif // PACMAN_RUNNER_CAMPAIGN_HH

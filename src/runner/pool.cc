@@ -1,0 +1,95 @@
+#include "pool.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace pacman::runner
+{
+
+unsigned
+effectiveJobs(unsigned jobs)
+{
+    if (jobs != 0)
+        return jobs;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 1;
+}
+
+uint64_t
+chunkCount(uint64_t num_items, uint64_t chunk_size)
+{
+    PACMAN_ASSERT(chunk_size >= 1, "chunk size must be positive");
+    return (num_items + chunk_size - 1) / chunk_size;
+}
+
+PoolOutcome
+runChunked(const PoolConfig &cfg, uint64_t num_items, const ChunkFn &fn)
+{
+    PoolOutcome outcome;
+    outcome.numChunks = chunkCount(num_items, cfg.chunkSize);
+    if (outcome.numChunks == 0)
+        return outcome;
+
+    const unsigned jobs = effectiveJobs(cfg.jobs);
+    constexpr uint64_t NoHit = ~uint64_t(0);
+
+    std::atomic<uint64_t> cursor{0};
+    std::atomic<uint64_t> cutoff{NoHit};
+    std::atomic<uint64_t> run{0};
+    std::atomic<uint64_t> skipped{0};
+
+    auto work = [&](unsigned worker) {
+        for (;;) {
+            const uint64_t c =
+                cursor.fetch_add(1, std::memory_order_relaxed);
+            if (c >= outcome.numChunks)
+                break;
+            Chunk chunk;
+            chunk.index = c;
+            chunk.firstItem = c * cfg.chunkSize;
+            chunk.lastItem = std::min(chunk.firstItem + cfg.chunkSize,
+                                      num_items) - 1;
+            // A hit strictly below this chunk makes its results
+            // unmergeable no matter what they are; skipping is a pure
+            // optimisation. Chunks at or below the cutoff always run
+            // to completion (the cutoff only ever decreases).
+            if (chunk.firstItem > cutoff.load(std::memory_order_acquire)) {
+                skipped.fetch_add(1, std::memory_order_relaxed);
+                continue;
+            }
+            const std::optional<uint64_t> hit = fn(worker, chunk);
+            run.fetch_add(1, std::memory_order_relaxed);
+            if (hit) {
+                uint64_t cur = cutoff.load(std::memory_order_relaxed);
+                while (*hit < cur &&
+                       !cutoff.compare_exchange_weak(
+                           cur, *hit, std::memory_order_acq_rel)) {
+                }
+            }
+        }
+    };
+
+    if (jobs == 1) {
+        work(0);
+    } else {
+        std::vector<std::thread> workers;
+        workers.reserve(jobs);
+        for (unsigned w = 0; w < jobs; ++w)
+            workers.emplace_back(work, w);
+        for (auto &t : workers)
+            t.join();
+    }
+
+    outcome.chunksRun = run.load();
+    outcome.chunksSkipped = skipped.load();
+    const uint64_t hit = cutoff.load();
+    if (hit != NoHit)
+        outcome.firstHit = hit;
+    return outcome;
+}
+
+} // namespace pacman::runner

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "asm/program.hh"
 #include "base/logging.hh"
 
@@ -26,6 +30,46 @@ TEST(Logging, WarnAndInformDoNotTerminate)
     debugLog("debug line %d", 2);
     setLogLevel(LogLevel::Normal);
     SUCCEED();
+}
+
+TEST(Logging, ConcurrentWarnsEmitWholeLines)
+{
+    // Each message must reach stderr as one unbroken
+    // prefix/body/newline unit even when several campaign workers
+    // log at once.
+    const unsigned threads = 4;
+    const unsigned per_thread = 64;
+    const std::string payload(40, 'x');
+
+    ::testing::internal::CaptureStderr();
+    {
+        std::vector<std::thread> pool;
+        for (unsigned t = 0; t < threads; ++t) {
+            pool.emplace_back([&, t] {
+                for (unsigned m = 0; m < per_thread; ++m)
+                    warn("w%u m%03u %s", t, m, payload.c_str());
+            });
+        }
+        for (auto &th : pool)
+            th.join();
+    }
+    const std::string out = ::testing::internal::GetCapturedStderr();
+
+    unsigned lines = 0;
+    size_t pos = 0;
+    while (pos < out.size()) {
+        size_t nl = out.find('\n', pos);
+        ASSERT_NE(nl, std::string::npos) << "unterminated line";
+        const std::string line = out.substr(pos, nl - pos);
+        pos = nl + 1;
+        ++lines;
+        // "warn: w<T> m<MMM> xxxx..."; a torn write would start
+        // mid-message or carry two prefixes.
+        EXPECT_EQ(line.rfind("warn: w", 0), 0u) << line;
+        EXPECT_EQ(line.find("warn: ", 1), std::string::npos) << line;
+        EXPECT_NE(line.find(payload), std::string::npos) << line;
+    }
+    EXPECT_EQ(lines, threads * per_thread);
 }
 
 TEST(LoggingDeath, PanicAborts)

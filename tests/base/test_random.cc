@@ -86,6 +86,48 @@ TEST(Random, ChanceApproximatesProbability)
     EXPECT_NEAR(double(hits) / n, 0.3, 0.02);
 }
 
+TEST(Random, DeriveSeedIsPure)
+{
+    EXPECT_EQ(Random::deriveSeed(42, 7), Random::deriveSeed(42, 7));
+    EXPECT_NE(Random::deriveSeed(42, 7), Random::deriveSeed(42, 8));
+    EXPECT_NE(Random::deriveSeed(42, 7), Random::deriveSeed(43, 7));
+    // Stream 0 is a real derivation, not a pass-through of the seed.
+    EXPECT_NE(Random::deriveSeed(42, 0), 42u);
+}
+
+TEST(Random, ForkDeterministic)
+{
+    Random base_a(99), base_b(99);
+    Random fa = base_a.fork(3), fb = base_b.fork(3);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(fa.next(), fb.next());
+}
+
+TEST(Random, ForkStreamsDecorrelated)
+{
+    Random base(1);
+    Random s0 = base.fork(0), s1 = base.fork(1);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (s0.next() == s1.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Random, ForkIndependentOfParentPosition)
+{
+    // fork() derives from the construction seed, not the current
+    // stream position, so forking is reproducible regardless of how
+    // much the parent has been consumed.
+    Random a(55), b(55);
+    (void)b.next();
+    (void)b.next();
+    Random fa = a.fork(9), fb = b.fork(9);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(fa.next(), fb.next());
+}
+
 TEST(Random, GaussianMoments)
 {
     Random rng(21);

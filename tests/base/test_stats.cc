@@ -39,6 +39,123 @@ TEST(SampleStat, Percentiles)
     EXPECT_NEAR(s.percentile(90), 90.0, 1.0);
 }
 
+TEST(SampleStat, MedianEvenCountIsMeanOfMiddles)
+{
+    SampleStat s;
+    for (double v : {4.0, 1.0, 3.0, 2.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.median(), 2.5);
+
+    SampleStat two;
+    two.add(10.0);
+    two.add(20.0);
+    EXPECT_DOUBLE_EQ(two.median(), 15.0);
+}
+
+TEST(SampleStat, PercentileSingleSample)
+{
+    SampleStat s;
+    s.add(7.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 7.0);
+    EXPECT_DOUBLE_EQ(s.percentile(37.5), 7.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 7.0);
+}
+
+TEST(SampleStat, PercentileTwoSamplesInterpolates)
+{
+    SampleStat s;
+    s.add(10.0);
+    s.add(20.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+    EXPECT_DOUBLE_EQ(s.percentile(25), 12.5);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 15.0);
+    EXPECT_DOUBLE_EQ(s.percentile(75), 17.5);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 20.0);
+}
+
+TEST(SampleStat, PercentileHandComputed)
+{
+    // Four samples: rank = p/100 * 3, linearly interpolated between
+    // the bracketing order statistics.
+    SampleStat s;
+    for (double v : {40.0, 10.0, 20.0, 30.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 25.0);   // rank 1.5
+    EXPECT_DOUBLE_EQ(s.percentile(90), 37.0);   // rank 2.7
+    EXPECT_DOUBLE_EQ(s.percentile(100), 40.0);
+
+    // 1..100: the old floor-rank code returned 90.0 for p90; the
+    // interpolated rank 89.1 lands at 90.1.
+    SampleStat big;
+    for (int i = 1; i <= 100; ++i)
+        big.add(double(i));
+    EXPECT_NEAR(big.percentile(90), 90.1, 1e-9);
+    EXPECT_NEAR(big.percentile(50), 50.5, 1e-9);
+    EXPECT_NEAR(big.percentile(99), 99.01, 1e-9);
+}
+
+TEST(SampleStat, MergeCombinesSamples)
+{
+    SampleStat a, b;
+    a.add(1.0);
+    a.add(2.0);
+    b.add(3.0);
+    b.add(4.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(a.median(), 2.5);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 4.0);
+    // The donor is untouched.
+    EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(SampleStat, MergeIsAssociative)
+{
+    const std::vector<std::vector<double>> parts = {
+        {5.0, 1.0}, {9.0, 3.0, 7.0}, {2.0}};
+    auto make = [&](size_t i) {
+        SampleStat s;
+        for (double v : parts[i])
+            s.add(v);
+        return s;
+    };
+
+    // (a + b) + c
+    SampleStat left = make(0);
+    left.merge(make(1));
+    left.merge(make(2));
+
+    // a + (b + c)
+    SampleStat bc = make(1);
+    bc.merge(make(2));
+    SampleStat right = make(0);
+    right.merge(bc);
+
+    EXPECT_EQ(left.count(), right.count());
+    EXPECT_DOUBLE_EQ(left.mean(), right.mean());
+    EXPECT_DOUBLE_EQ(left.median(), right.median());
+    EXPECT_DOUBLE_EQ(left.stddev(), right.stddev());
+    for (double p : {0.0, 25.0, 50.0, 90.0, 100.0})
+        EXPECT_DOUBLE_EQ(left.percentile(p), right.percentile(p));
+}
+
+TEST(SampleStat, MergeEmptySides)
+{
+    SampleStat a, empty;
+    a.add(4.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_DOUBLE_EQ(a.median(), 4.0);
+
+    SampleStat b;
+    b.merge(a);
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_DOUBLE_EQ(b.median(), 4.0);
+}
+
 TEST(SampleStat, AddAfterQueryKeepsConsistency)
 {
     SampleStat s;

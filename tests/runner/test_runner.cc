@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kernel/layout.hh"
+#include "runner/campaign.hh"
+#include "runner/pool.hh"
+
+namespace pacman
+{
+namespace
+{
+
+using namespace pacman::attack;
+using namespace pacman::kernel;
+using namespace pacman::runner;
+
+TEST(Pool, EffectiveJobsNeverZero)
+{
+    EXPECT_GE(effectiveJobs(0), 1u);
+    EXPECT_EQ(effectiveJobs(1), 1u);
+    EXPECT_EQ(effectiveJobs(5), 5u);
+}
+
+TEST(Pool, ChunkCountEdges)
+{
+    EXPECT_EQ(chunkCount(0, 256), 0u);
+    EXPECT_EQ(chunkCount(1, 256), 1u);
+    EXPECT_EQ(chunkCount(256, 256), 1u);
+    EXPECT_EQ(chunkCount(257, 256), 2u);
+    EXPECT_EQ(chunkCount(100, 7), 15u);
+}
+
+TEST(Pool, AllItemsProcessedExactlyOnce)
+{
+    for (unsigned jobs : {1u, 4u}) {
+        PoolConfig cfg;
+        cfg.jobs = jobs;
+        cfg.chunkSize = 7;
+        const uint64_t items = 100;
+        // One slot per item; every item belongs to exactly one chunk
+        // and each chunk is popped by exactly one worker, so the
+        // slots are race-free.
+        std::vector<unsigned> hits(items, 0);
+        const PoolOutcome out = runChunked(
+            cfg, items,
+            [&](unsigned, const Chunk &c) -> std::optional<uint64_t> {
+                EXPECT_EQ(c.firstItem, c.index * 7);
+                EXPECT_LE(c.lastItem, items - 1);
+                for (uint64_t i = c.firstItem; i <= c.lastItem; ++i)
+                    ++hits[i];
+                return std::nullopt;
+            });
+        EXPECT_EQ(out.numChunks, 15u);
+        EXPECT_EQ(out.chunksRun, 15u);
+        EXPECT_EQ(out.chunksSkipped, 0u);
+        EXPECT_FALSE(out.firstHit.has_value());
+        for (uint64_t i = 0; i < items; ++i)
+            EXPECT_EQ(hits[i], 1u) << "item " << i << " jobs " << jobs;
+    }
+}
+
+TEST(Pool, SerialEarlyExitSkipsLaterChunks)
+{
+    PoolConfig cfg;
+    cfg.jobs = 1;
+    cfg.chunkSize = 7;
+    const PoolOutcome out = runChunked(
+        cfg, 100,
+        [&](unsigned, const Chunk &c) -> std::optional<uint64_t> {
+            if (c.firstItem <= 30 && 30 <= c.lastItem)
+                return 30;
+            return std::nullopt;
+        });
+    ASSERT_TRUE(out.firstHit.has_value());
+    EXPECT_EQ(*out.firstHit, 30u);
+    // Serial handout is in order: chunks 0..4 (items 0..34) run, the
+    // remaining ten start after the cutoff and are skipped.
+    EXPECT_EQ(out.chunksRun, 5u);
+    EXPECT_EQ(out.chunksSkipped, 10u);
+    EXPECT_EQ(out.chunksRun + out.chunksSkipped, out.numChunks);
+}
+
+TEST(Pool, LowestHitWinsAcrossWorkers)
+{
+    // Hits at 30 and 60: the chunk containing 30 starts at item 28,
+    // which never exceeds any cutoff these hits can set, so it is
+    // guaranteed to run and the merged hit is 30 at any job count.
+    for (unsigned jobs : {1u, 4u}) {
+        PoolConfig cfg;
+        cfg.jobs = jobs;
+        cfg.chunkSize = 7;
+        const PoolOutcome out = runChunked(
+            cfg, 100,
+            [&](unsigned, const Chunk &c) -> std::optional<uint64_t> {
+                for (uint64_t i = c.firstItem; i <= c.lastItem; ++i) {
+                    if (i == 30 || i == 60)
+                        return i;
+                }
+                return std::nullopt;
+            });
+        ASSERT_TRUE(out.firstHit.has_value());
+        EXPECT_EQ(*out.firstHit, 30u) << "jobs " << jobs;
+        EXPECT_EQ(out.chunksRun + out.chunksSkipped, out.numChunks);
+    }
+}
+
+/** Campaign over a small window with the truth 40 candidates in. */
+BruteForceCampaignConfig
+smallCampaign(double noise, unsigned samples, uint16_t *truth_out)
+{
+    MachineConfig mcfg = defaultMachineConfig();
+    mcfg.seed = 42;
+    mcfg.noiseProbability = noise;
+
+    const isa::Addr target = BenignDataBase + 37 * isa::PageSize;
+    Machine probe(mcfg);
+    uint64_t modifier = 0x100;
+    uint16_t truth = 0;
+    for (;; ++modifier) {
+        truth = probe.kernel().truePac(target, modifier,
+                                       crypto::PacKeySelect::DA);
+        if (truth >= 48 && truth <= 0xFFF0)
+            break;
+    }
+    *truth_out = truth;
+
+    BruteForceCampaignConfig cfg;
+    cfg.replica.machine = mcfg;
+    cfg.replica.target = target;
+    cfg.replica.modifier = modifier;
+    cfg.replica.samples = samples;
+    cfg.first = uint16_t(truth - 39);
+    cfg.last = uint16_t(truth + 8);
+    cfg.seed = 7;
+    cfg.pool.chunkSize = 16;
+    return cfg;
+}
+
+TEST(Campaign, BruteForceDeterministicAcrossJobs)
+{
+    uint16_t truth = 0;
+    BruteForceCampaignConfig cfg = smallCampaign(0.0, 1, &truth);
+
+    cfg.pool.jobs = 1;
+    const BruteForceCampaignResult serial = runBruteForceCampaign(cfg);
+    cfg.pool.jobs = 4;
+    const BruteForceCampaignResult parallel =
+        runBruteForceCampaign(cfg);
+
+    // The determinism contract: every deterministic field identical.
+    EXPECT_EQ(serial.fingerprint(), parallel.fingerprint());
+
+    // Serial early-exit semantics: the sweep stops at the truth, 40
+    // candidates in, and the hit is the true PAC.
+    ASSERT_TRUE(serial.stats.found.has_value());
+    EXPECT_EQ(*serial.stats.found, truth);
+    EXPECT_EQ(serial.stats.guessesTested, 40u);
+    ASSERT_TRUE(parallel.stats.found.has_value());
+    EXPECT_EQ(*parallel.stats.found, truth);
+    EXPECT_EQ(parallel.stats.guessesTested, 40u);
+    EXPECT_EQ(serial.decisionMisses.count(), 40u);
+}
+
+TEST(Campaign, BruteForceDeterministicUnderNoise)
+{
+    // Ambient noise exercises the per-chunk RNG streams; whatever
+    // the oracle concludes, both thread counts must conclude it
+    // identically.
+    uint16_t truth = 0;
+    BruteForceCampaignConfig cfg = smallCampaign(0.4, 3, &truth);
+
+    cfg.pool.jobs = 1;
+    const std::string fp1 = runBruteForceCampaign(cfg).fingerprint();
+    cfg.pool.jobs = 4;
+    const std::string fp4 = runBruteForceCampaign(cfg).fingerprint();
+    EXPECT_EQ(fp1, fp4);
+}
+
+TEST(Campaign, BruteForceResultIsReproducible)
+{
+    uint16_t truth = 0;
+    BruteForceCampaignConfig cfg = smallCampaign(0.0, 1, &truth);
+    cfg.pool.jobs = 2;
+    const std::string a = runBruteForceCampaign(cfg).fingerprint();
+    const std::string b = runBruteForceCampaign(cfg).fingerprint();
+    EXPECT_EQ(a, b);
+}
+
+TEST(Campaign, AccuracyDeterministicAcrossJobs)
+{
+    AccuracyCampaignConfig cfg;
+    cfg.replica.machine = defaultMachineConfig();
+    cfg.replica.machine.noiseProbability = 0.5;
+    cfg.replica.machine.noisePages = 4;
+    cfg.replica.target = BenignDataBase + 37 * isa::PageSize;
+    cfg.replica.modifier = 0x9999;
+    cfg.replica.samples = 5;
+    cfg.trials = 3;
+    cfg.window = 24;
+    cfg.seed = 1000;
+    cfg.pool.chunkSize = 1;
+
+    cfg.pool.jobs = 1;
+    const AccuracyCampaignResult serial = runAccuracyCampaign(cfg);
+    cfg.pool.jobs = 3;
+    const AccuracyCampaignResult parallel = runAccuracyCampaign(cfg);
+
+    EXPECT_EQ(serial.fingerprint(), parallel.fingerprint());
+    EXPECT_EQ(serial.truePositives + serial.falsePositives +
+                  serial.falseNegatives,
+              cfg.trials);
+    EXPECT_EQ(serial.truePositives, parallel.truePositives);
+    EXPECT_EQ(serial.falsePositives, parallel.falsePositives);
+    EXPECT_EQ(serial.falseNegatives, parallel.falseNegatives);
+}
+
+} // namespace
+} // namespace pacman
