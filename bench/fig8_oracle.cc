@@ -9,8 +9,10 @@
  * 99.2%); correct -> >=5 misses (99.6% / 99.8%).
  *
  * Flags: --gadget data|inst|both (default both), --trials N
- * (default 20000, as in the paper), --quiet (disable the ambient-
- * activity noise model; separation becomes perfect 12-vs-0),
+ * (default 20000, as in the paper), --train N (default 64, the
+ * paper's Section 8.1 training count; the test suite uses the
+ * scaled-down OracleConfig default of 8), --quiet (disable the
+ * ambient-activity noise model; separation becomes perfect 12-vs-0),
  * --channel tlb|cache (cache = the L1D-set transmission variant,
  * data gadget only; demonstrates Section 4.1's generality claim).
  */
@@ -32,7 +34,7 @@ namespace
 
 void
 runExperiment(Machine &machine, AttackerProcess &proc, GadgetKind kind,
-              unsigned trials, Channel channel)
+              unsigned trials, Channel channel, unsigned train)
 {
     const bool data = kind == GadgetKind::Data;
     const char *gname = data ? "data"
@@ -41,6 +43,7 @@ runExperiment(Machine &machine, AttackerProcess &proc, GadgetKind kind,
     OracleConfig cfg;
     cfg.kind = kind;
     cfg.channel = channel;
+    cfg.trainIters = train;
     PacOracle oracle(proc, cfg);
 
     const isa::Addr target =
@@ -97,6 +100,7 @@ main(int argc, char **argv)
 {
     std::string gadget = "both";
     unsigned trials = 20000;
+    unsigned train = 64; // paper Section 8.1
     bool noise = true;
     Channel channel = Channel::DtlbSet;
     for (int i = 1; i < argc; ++i) {
@@ -104,6 +108,8 @@ main(int argc, char **argv)
             gadget = argv[++i];
         else if (!std::strcmp(argv[i], "--trials") && i + 1 < argc)
             trials = unsigned(std::strtoul(argv[++i], nullptr, 0));
+        else if (!std::strcmp(argv[i], "--train") && i + 1 < argc)
+            train = unsigned(std::strtoul(argv[++i], nullptr, 0));
         else if (!std::strcmp(argv[i], "--quiet"))
             noise = false;
         else if (!std::strcmp(argv[i], "--channel") && i + 1 < argc)
@@ -121,14 +127,15 @@ main(int argc, char **argv)
     AttackerProcess proc(machine);
 
     if (gadget == "both" || gadget == "data")
-        runExperiment(machine, proc, GadgetKind::Data, trials, channel);
+        runExperiment(machine, proc, GadgetKind::Data, trials, channel,
+                      train);
     if ((gadget == "both" || gadget == "inst") &&
         channel == Channel::DtlbSet) {
         runExperiment(machine, proc, GadgetKind::Instruction, trials,
-                      channel);
+                      channel, train);
     }
     if (gadget == "braa" && channel == Channel::DtlbSet)
         runExperiment(machine, proc, GadgetKind::Combined, trials,
-                      channel);
+                      channel, train);
     return 0;
 }

@@ -23,7 +23,10 @@
  * sampling produces oracle false positives that truncate the sweep
  * at a noise-dependent point — fine for determinism stress-testing,
  * misleading for throughput), --trials N (default 0 = skip the
- * accuracy campaign), --window N (default 96).
+ * accuracy campaign), --window N (default 96), --fault-rate X
+ * (default 0: FaultPlan::scaled(X) chaos on every replica, plus the
+ * self-healing oracle knobs — the determinism contract must hold for
+ * the faults *and* the recovery they trigger).
  */
 
 #include <chrono>
@@ -72,7 +75,22 @@ struct Options
     double noise = 0.0;
     uint64_t trials = 0;
     unsigned window = 96;
+    double faultRate = 0.0;
 };
+
+/** Chaos + self-healing wiring for the faulted determinism check. */
+void
+applyFaults(ReplicaConfig &replica, double fault_rate)
+{
+    if (fault_rate <= 0.0)
+        return;
+    replica.faults = FaultPlan::scaled(fault_rate);
+    replica.oracle.autoCalibrate = true;
+    replica.oracle.queryRetries = 2;
+    replica.oracle.busyRetries = 3;
+    replica.maxSamples = replica.samples + 4;
+    replica.candidateRetries = 1;
+}
 
 int
 bruteForcePart(const Options &opt)
@@ -109,13 +127,15 @@ bruteForcePart(const Options &opt)
     cfg.last = truth;
     cfg.seed = 7;
     cfg.pool.chunkSize = opt.chunk;
+    applyFaults(cfg.replica, opt.faultRate);
 
     std::printf("== parallel campaign: Section 8.2 brute force ==\n");
     std::printf("range [0x%04x, 0x%04x] (%u candidates), truth 0x%04x, "
-                "chunk %llu, train %u, samples %u, noise %.2f\n",
+                "chunk %llu, train %u, samples %u, noise %.2f, "
+                "fault rate %.2f\n",
                 cfg.first, cfg.last, opt.items, truth,
                 (unsigned long long)opt.chunk, opt.train, opt.samples,
-                opt.noise);
+                opt.noise, opt.faultRate);
     std::printf("host hardware threads: %u\n\n",
                 std::thread::hardware_concurrency());
 
@@ -170,10 +190,13 @@ bruteForcePart(const Options &opt)
                     "\"workload\":\"sec82_bruteforce\",\"jobs\":%u,"
                     "\"items\":%u,\"wall_s\":%.4f,\"items_per_s\":%.1f,"
                     "\"speedup_vs_1\":%.3f,\"found\":\"0x%04x\","
-                    "\"identical\":%s}\n",
+                    "\"fault_rate\":%.3f,\"faults\":%llu,"
+                    "\"query_retries\":%llu,\"identical\":%s}\n",
                     jobs, opt.items, r.wallSeconds, rate,
                     wall1 / r.wallSeconds,
-                    r.stats.found ? *r.stats.found : 0,
+                    r.stats.found ? *r.stats.found : 0, opt.faultRate,
+                    (unsigned long long)r.faultStats.total(),
+                    (unsigned long long)r.oracleStats.retriedQueries,
                     identical ? "true" : "false");
     }
     std::printf("\nmerged output fingerprint:\n  %s\n\n",
@@ -198,6 +221,7 @@ accuracyPart(const Options &opt)
     cfg.window = opt.window;
     cfg.seed = 1000;
     cfg.pool.chunkSize = 1; // a trial is already a chunk of work
+    applyFaults(cfg.replica, opt.faultRate);
 
     std::printf("== parallel campaign: Section 8.2 accuracy "
                 "(%llu trials, window %u) ==\n",
@@ -261,6 +285,8 @@ main(int argc, char **argv)
             opt.trials = std::strtoull(argv[++i], nullptr, 0);
         else if (!std::strcmp(argv[i], "--window") && i + 1 < argc)
             opt.window = unsigned(std::strtoul(argv[++i], nullptr, 0));
+        else if (!std::strcmp(argv[i], "--fault-rate") && i + 1 < argc)
+            opt.faultRate = std::strtod(argv[++i], nullptr);
     }
 
     int rc = bruteForcePart(opt);

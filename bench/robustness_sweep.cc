@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Degradation curves under injected faults: how the PAC oracle and
+ * the Section 8.2 brute-force attack hold up as the chaos layer's
+ * fault intensity rises — and how much of that loss the self-healing
+ * runtime (auto-calibration + bounded retry + adaptive resampling)
+ * recovers.
+ *
+ * Two configurations run at every fault intensity:
+ *
+ *   fixed      — the legacy runtime: constant latency threshold 30,
+ *                no retries, single-sample verdicts (the ablation);
+ *   calibrated — measured threshold, canary-triggered query retries,
+ *                busy retries, median escalation on ambiguous
+ *                margins, candidate retries.
+ *
+ * At intensity 0 both must reproduce the Figure 8 / Section 8.2
+ * accuracy (the chaos layer is inert and self-healing never fires on
+ * a healthy machine). At the EXPERIMENTS.md "heavy load" point the
+ * calibrated runtime must stay >= 90% oracle accuracy while the
+ * fixed ablation drops measurably.
+ *
+ * Emits one BENCH JSON line per (mode, intensity) point:
+ *
+ *   BENCH {"bench":"robustness_sweep","mode":"calibrated",
+ *          "fault_rate":0.20,"oracle_acc":0.97,...,"tp":11,"fp":0,
+ *          "fn":1,...,"faults":153,"query_retries":37,...}
+ *
+ * Flags: --rates LIST (default "0,0.05,0.1,0.2"), --trials N
+ * (oracle classification trials per point, default 2000),
+ * --bf-trials N (brute-force accuracy trials per point, default 12),
+ * --window N (default 48), --train N (default 8; the predictor
+ * saturates well below the paper's 64 and the sweep runs 16 points),
+ * --jobs N (default 0 = hardware concurrency, brute-force part only).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/stats.hh"
+#include "kernel/layout.hh"
+#include "runner/campaign.hh"
+#include "sim/faults.hh"
+
+using namespace pacman;
+using namespace pacman::attack;
+using namespace pacman::kernel;
+using namespace pacman::runner;
+
+namespace
+{
+
+struct Options
+{
+    std::vector<double> rates = {0.0, 0.05, 0.1, 0.2};
+    unsigned trials = 2000;
+    unsigned bfTrials = 12;
+    unsigned window = 48;
+    unsigned train = 8;
+    unsigned jobs = 0;
+};
+
+/** The self-healing knob set under test (vs. all-defaults "fixed"). */
+void
+enableSelfHealing(OracleConfig &cfg)
+{
+    cfg.autoCalibrate = true;
+    cfg.queryRetries = 3;
+    cfg.busyRetries = 3;
+}
+
+struct OracleAccuracy
+{
+    double overall = 0;   //!< correctly classified fraction
+    double correct = 0;   //!< correct-PAC trials detected
+    double incorrect = 0; //!< incorrect-PAC trials rejected
+    OracleStats oracle;
+    FaultStats faults;
+};
+
+/**
+ * Fig-8-style classification accuracy: coin-flip correct/incorrect
+ * PAC per trial, grade testPac() against the flip. One persistent
+ * machine per point; the injector attaches after provisioning.
+ */
+OracleAccuracy
+oracleAccuracy(double rate, bool selfheal, const Options &opt)
+{
+    MachineConfig mcfg = defaultMachineConfig();
+    mcfg.seed = 42;
+    Machine machine(mcfg);
+    AttackerProcess proc(machine);
+
+    OracleConfig ocfg;
+    ocfg.trainIters = opt.train;
+    if (selfheal)
+        enableSelfHealing(ocfg);
+    PacOracle oracle(proc, ocfg);
+
+    const isa::Addr target = BenignDataBase + 37 * isa::PageSize;
+    const uint64_t modifier = 0x6D0D;
+    oracle.setTarget(target, modifier);
+    const uint16_t truth = machine.kernel().truePac(
+        target, modifier, crypto::PacKeySelect::DA);
+
+    const FaultPlan plan = FaultPlan::scaled(rate);
+    std::optional<sim::FaultInjector> injector;
+    if (plan.enabled()) {
+        injector.emplace(machine, plan,
+                         Random::deriveSeed(mcfg.seed,
+                                            sim::FaultSeedStream));
+        injector->attach();
+    }
+
+    Random coin(mcfg.seed ^ 0xC01Cull);
+    uint64_t correct_trials = 0, correct_hits = 0;
+    uint64_t incorrect_trials = 0, incorrect_rejects = 0;
+    for (unsigned t = 0; t < opt.trials; ++t) {
+        const bool use_correct = coin.chance(0.5);
+        uint16_t pac = truth;
+        if (!use_correct) {
+            do {
+                pac = uint16_t(coin.next(0x10000));
+            } while (pac == truth);
+        }
+        const bool verdict = oracle.testPac(pac);
+        if (use_correct) {
+            ++correct_trials;
+            correct_hits += verdict;
+        } else {
+            ++incorrect_trials;
+            incorrect_rejects += !verdict;
+        }
+    }
+
+    OracleAccuracy acc;
+    acc.overall = double(correct_hits + incorrect_rejects) / opt.trials;
+    acc.correct = correct_trials
+                      ? double(correct_hits) / correct_trials : 0.0;
+    acc.incorrect = incorrect_trials
+                        ? double(incorrect_rejects) / incorrect_trials
+                        : 0.0;
+    acc.oracle = oracle.stats();
+    if (injector)
+        acc.faults = injector->stats();
+    return acc;
+}
+
+/** Section 8.2 brute-force accuracy (TP/FP/FN) under the plan. */
+AccuracyCampaignResult
+bruteForceAccuracy(double rate, bool selfheal, const Options &opt)
+{
+    AccuracyCampaignConfig cfg;
+    cfg.replica.machine = defaultMachineConfig();
+    cfg.replica.oracle.trainIters = opt.train;
+    cfg.replica.target = BenignDataBase + 37 * isa::PageSize;
+    cfg.replica.modifier = 0x9999;
+    cfg.replica.samples = 1;
+    cfg.replica.faults = FaultPlan::scaled(rate);
+    if (selfheal) {
+        enableSelfHealing(cfg.replica.oracle);
+        cfg.replica.maxSamples = 5;
+        cfg.replica.candidateRetries = 1;
+    }
+    cfg.trials = opt.bfTrials;
+    cfg.window = opt.window;
+    cfg.seed = 1000;
+    cfg.pool.jobs = opt.jobs;
+    cfg.pool.chunkSize = 1;
+    return runAccuracyCampaign(cfg);
+}
+
+void
+runPoint(double rate, bool selfheal, const Options &opt)
+{
+    const char *mode = selfheal ? "calibrated" : "fixed";
+    const OracleAccuracy acc = oracleAccuracy(rate, selfheal, opt);
+    const AccuracyCampaignResult bf =
+        bruteForceAccuracy(rate, selfheal, opt);
+
+    std::printf("%-10s  rate %.2f  oracle %5.1f%% "
+                "(correct %5.1f%% / incorrect %5.1f%%)  "
+                "bf tp/fp/fn %llu/%llu/%llu  faults %llu  "
+                "retries %llu  recalib %llu\n",
+                mode, rate, 100.0 * acc.overall, 100.0 * acc.correct,
+                100.0 * acc.incorrect,
+                (unsigned long long)bf.truePositives,
+                (unsigned long long)bf.falsePositives,
+                (unsigned long long)bf.falseNegatives,
+                (unsigned long long)(acc.faults.total() +
+                                     bf.faultStats.total()),
+                (unsigned long long)(acc.oracle.retriedQueries +
+                                     bf.oracleStats.retriedQueries),
+                (unsigned long long)(acc.oracle.calibrations +
+                                     bf.oracleStats.calibrations));
+
+    std::printf(
+        "BENCH {\"bench\":\"robustness_sweep\",\"mode\":\"%s\","
+        "\"fault_rate\":%.3f,\"oracle_trials\":%u,"
+        "\"oracle_acc\":%.4f,\"oracle_acc_correct\":%.4f,"
+        "\"oracle_acc_incorrect\":%.4f,\"bf_trials\":%u,"
+        "\"tp\":%llu,\"fp\":%llu,\"fn\":%llu,"
+        "\"faults\":%llu,\"busy_retries\":%llu,"
+        "\"disturbed\":%llu,\"query_retries\":%llu,"
+        "\"calibrations\":%llu,\"repairs\":%llu,"
+        "\"escalations\":%llu,\"candidate_retries\":%llu}\n",
+        mode, rate, opt.trials, acc.overall, acc.correct,
+        acc.incorrect, opt.bfTrials,
+        (unsigned long long)bf.truePositives,
+        (unsigned long long)bf.falsePositives,
+        (unsigned long long)bf.falseNegatives,
+        (unsigned long long)(acc.faults.total() +
+                             bf.faultStats.total()),
+        (unsigned long long)(acc.oracle.busyRetries +
+                             bf.oracleStats.busyRetries),
+        (unsigned long long)(acc.oracle.disturbedQueries +
+                             bf.oracleStats.disturbedQueries),
+        (unsigned long long)(acc.oracle.retriedQueries +
+                             bf.oracleStats.retriedQueries),
+        (unsigned long long)(acc.oracle.calibrations +
+                             bf.oracleStats.calibrations),
+        (unsigned long long)(acc.oracle.repairs +
+                             bf.oracleStats.repairs),
+        (unsigned long long)bf.totals.escalations,
+        (unsigned long long)bf.totals.candidateRetries);
+}
+
+std::vector<double>
+parseRates(const char *arg)
+{
+    std::vector<double> rates;
+    const std::string s(arg);
+    size_t pos = 0;
+    while (pos < s.size()) {
+        size_t next = s.find(',', pos);
+        if (next == std::string::npos)
+            next = s.size();
+        rates.push_back(
+            std::strtod(s.substr(pos, next - pos).c_str(), nullptr));
+        pos = next + 1;
+    }
+    return rates;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--rates") && i + 1 < argc)
+            opt.rates = parseRates(argv[++i]);
+        else if (!std::strcmp(argv[i], "--trials") && i + 1 < argc)
+            opt.trials = unsigned(std::strtoul(argv[++i], nullptr, 0));
+        else if (!std::strcmp(argv[i], "--bf-trials") && i + 1 < argc)
+            opt.bfTrials =
+                unsigned(std::strtoul(argv[++i], nullptr, 0));
+        else if (!std::strcmp(argv[i], "--window") && i + 1 < argc)
+            opt.window = unsigned(std::strtoul(argv[++i], nullptr, 0));
+        else if (!std::strcmp(argv[i], "--train") && i + 1 < argc)
+            opt.train = unsigned(std::strtoul(argv[++i], nullptr, 0));
+        else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc)
+            opt.jobs = unsigned(std::strtoul(argv[++i], nullptr, 0));
+    }
+
+    std::printf("=== robustness sweep: oracle + brute-force accuracy "
+                "vs fault intensity ===\n");
+    std::printf("oracle trials/point %u, brute-force trials/point %u "
+                "(window %u), train %u\n\n",
+                opt.trials, opt.bfTrials, opt.window, opt.train);
+
+    for (double rate : opt.rates) {
+        runPoint(rate, false, opt);
+        runPoint(rate, true, opt);
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -17,12 +17,55 @@
 namespace pacman::attack
 {
 
+/**
+ * Adaptive sampling policy for one brute-force candidate. The legacy
+ * fixed median-of-k behaviour (and its exact oracle-query sequence)
+ * is the default: no escalation, no retries.
+ */
+struct ResamplePolicy
+{
+    /** Initial oracle samples per candidate (paper: 5, median). */
+    unsigned samples = 1;
+
+    /**
+     * Escalation ceiling: while a candidate's verdict is ambiguous,
+     * keep adding escalateBy samples up to this many. 0 (or a value
+     * <= samples) disables escalation — the legacy fixed median-of-k.
+     */
+    unsigned maxSamples = 0;
+
+    /** Extra samples added per escalation step. */
+    unsigned escalateBy = 2;
+
+    /** A verdict is ambiguous when the median lands within this
+     *  distance of missThreshold... */
+    double ambiguity = 1.0;
+
+    /** ...or when the sample mean sits within z standard errors of
+     *  missThreshold (only meaningful with >= 2 samples). */
+    double z = 2.0;
+
+    /** Full re-measurements granted to a candidate whose verdict is
+     *  still ambiguous after escalation ran dry. */
+    unsigned candidateRetries = 0;
+
+    /** True when this policy can take more than `samples` queries. */
+    bool
+    adaptive() const
+    {
+        return maxSamples > samples || candidateRetries > 0;
+    }
+};
+
 /** Brute-force run statistics. */
 struct BruteForceStats
 {
     uint64_t guessesTested = 0;
     uint64_t oracleQueries = 0;
     uint64_t cyclesSimulated = 0;  //!< guest cycles consumed
+    uint64_t samplesTaken = 0;     //!< oracle samples across candidates
+    uint64_t escalations = 0;      //!< ambiguous verdicts escalated
+    uint64_t candidateRetries = 0; //!< full candidate re-measurements
     std::optional<uint16_t> found; //!< matching PAC, if any
 
     /**
@@ -42,6 +85,9 @@ class PacBruteForcer
      * @param samples Oracle samples per candidate (paper: 5, median).
      */
     PacBruteForcer(PacOracle &oracle, unsigned samples = 1);
+
+    /** Adaptive-resampling construction. */
+    PacBruteForcer(PacOracle &oracle, const ResamplePolicy &policy);
 
     /**
      * Test candidates [first, last] in order; stop at the first hit.
@@ -67,9 +113,16 @@ class PacBruteForcer
      */
     static const char *naiveBruteForceOutcome();
 
+    const ResamplePolicy &policy() const { return policy_; }
+
   private:
+    /** Median-of-k measurement of one candidate, escalating while
+     *  the verdict is ambiguous and budget remains. */
+    double measure(uint16_t guess, BruteForceStats &stats,
+                   bool *ambiguous);
+
     PacOracle &oracle_;
-    unsigned samples_;
+    ResamplePolicy policy_;
 };
 
 } // namespace pacman::attack

@@ -63,6 +63,23 @@ PacOracle::setTarget(Addr target, uint64_t modifier)
     target_ = isa::stripPac(target);
     modifier_ = modifier;
 
+    rebuildSets();
+
+    // Tell the gadget kext which modifier to authenticate against,
+    // then obtain a legitimately signed training pointer.
+    proc_.syscall(SYS_SET_MODIFIER, modifier_);
+    const uint16_t legit_sys = cfg_.kind == GadgetKind::Data
+                                   ? SYS_GET_LEGIT_DATA
+                                   : SYS_GET_LEGIT_INST;
+    legitPtr_ = proc_.syscall(legit_sys);
+
+    if (cfg_.autoCalibrate)
+        calibrate();
+}
+
+void
+PacOracle::rebuildSets()
+{
     auto &kern = proc_.machine().kernel();
 
     // Argument arrays move away from the probed set.
@@ -100,13 +117,116 @@ PacOracle::setTarget(Addr target, uint64_t modifier)
         trampIndices_.resize(evsets_.itlbWays());
     }
 
-    // Tell the gadget kext which modifier to authenticate against,
-    // then obtain a legitimately signed training pointer.
-    proc_.syscall(SYS_SET_MODIFIER, modifier_);
-    const uint16_t legit_sys = cfg_.kind == GadgetKind::Data
-                                   ? SYS_GET_LEGIT_DATA
-                                   : SYS_GET_LEGIT_INST;
-    legitPtr_ = proc_.syscall(legit_sys);
+    // Sanity-check canary: one noise-arena page whose dTLB set
+    // collides with nothing the query touches. Arena page i maps to
+    // dTLB set i (mod sets), so the page index is the set index.
+    const uint64_t sets = proc_.machine().mem().config().dtlb.sets;
+    canaryAddr_ = kernel::NoiseArena +
+                  quietDtlbSet((probe_set + 61) % sets) * isa::PageSize;
+}
+
+uint64_t
+PacOracle::quietDtlbSet(uint64_t start) const
+{
+    const auto &kern = proc_.machine().kernel();
+    const uint64_t sets = proc_.machine().mem().config().dtlb.sets;
+    const uint64_t probe_set = evsets_.dtlbSetOf(target_);
+    const auto reserved = proc_.reservedDtlbSets();
+    for (uint64_t off = 0; off < sets; ++off) {
+        const uint64_t s = (start + off) % sets;
+        bool ok = s != probe_set &&
+                  s != evsets_.dtlbSetOf(kern.condSlot()) &&
+                  s != (probe_set + 100) % sets &&   // list array page
+                  s != (probe_set + 101) % sets;     // out array page
+        if (cfg_.kind != GadgetKind::Data &&
+            s == evsets_.dtlbSetOf(kern.benignFn())) {
+            ok = false;
+        }
+        for (uint64_t r : reserved) {
+            if (s == r)
+                ok = false;
+        }
+        if (ok)
+            return s;
+    }
+    panic("no quiet dTLB set available");
+}
+
+void
+PacOracle::calibrate()
+{
+    ++stats_.calibrations;
+
+    // Measure on a quiet set, offset from the canary's so calibration
+    // traffic does not evict it between prime and check.
+    const uint64_t sets = proc_.machine().mem().config().dtlb.sets;
+    const uint64_t cal_set =
+        quietDtlbSet((evsets_.dtlbSetOf(target_) + 173) % sets);
+    std::vector<Addr> evict =
+        evsets_.dtlbSet(cal_set, evsets_.dtlbWays() + 1);
+    const Addr probe = evict.back();
+    evict.pop_back();
+
+    // Hit distribution: repeated timed loads of a resident page.
+    // Miss distribution: evict the set (one more page than ways),
+    // then take the timed load that has to re-walk.
+    SampleStat hit, miss;
+    proc_.loadAll({probe});
+    for (unsigned i = 0; i < cfg_.calibrationSamples; ++i)
+        hit.add(double(proc_.timedLoad(probe)));
+    for (unsigned i = 0; i < cfg_.calibrationSamples; ++i) {
+        proc_.loadAll(evict);
+        miss.add(double(proc_.timedLoad(probe)));
+    }
+
+    calibHitLo_ = hit.percentile(10);
+    calibHitHi_ = hit.percentile(90);
+    const double miss_lo = miss.percentile(10);
+    double thr = (calibHitHi_ + miss_lo) / 2.0;
+    if (miss_lo <= calibHitHi_ + 1.0) {
+        // Distributions overlap (should not happen on healthy
+        // hardware): fall back to just above the hit mass.
+        thr = std::max(thr, hit.mean() + 2.0);
+    }
+    cfg_.latencyThreshold = uint64_t(thr + 0.5);
+}
+
+bool
+PacOracle::healthyHit(double count) const
+{
+    if (count <= 0.0)
+        return false; // a frozen timer reads back zero deltas
+    if (count > double(cfg_.latencyThreshold))
+        return false;
+    if (calibHitHi_ > 0.0) {
+        // Calibrated: the count must also sit inside the measured
+        // hit band. A count far *below* it means the latency/timer
+        // regime shifted down (e.g. migration back to the p-core
+        // with a stale e-core threshold) — equally disturbed.
+        const double slack =
+            4.0 + 2.0 * double(proc_.machine().config().timerJitter);
+        if (count < calibHitLo_ - slack || count > calibHitHi_ + slack)
+            return false;
+    }
+    return true;
+}
+
+bool
+PacOracle::verifyEvictionSets()
+{
+    proc_.loadAll(primeList_);
+    for (uint64_t count : proc_.probeAll(primeList_)) {
+        if (!healthyHit(double(count)))
+            return false;
+    }
+    return true;
+}
+
+void
+PacOracle::repairEvictionSets()
+{
+    ++stats_.repairs;
+    rebuildSets();
 }
 
 uint16_t
@@ -133,6 +253,27 @@ unsigned
 PacOracle::probeMisses(uint16_t guessed_pac)
 {
     PACMAN_ASSERT(target_ != 0, "oracle used before setTarget()");
+    if (cfg_.queryRetries == 0)
+        return probeOnce(guessed_pac, nullptr);
+
+    // Self-healing path: retry queries the sanity check flags as
+    // disturbed, with backoff between attempts; the last attempt's
+    // answer stands either way.
+    unsigned misses = 0;
+    for (unsigned attempt = 0;; ++attempt) {
+        bool disturbed = false;
+        misses = probeOnce(guessed_pac, &disturbed);
+        if (!disturbed || attempt >= cfg_.queryRetries)
+            break;
+        ++stats_.retriedQueries;
+        backoff(attempt);
+    }
+    return misses;
+}
+
+unsigned
+PacOracle::probeOnce(uint16_t guessed_pac, bool *disturbed)
+{
     const uint16_t gadget = gadgetSyscall();
 
     proc_.machine().injectNoise();
@@ -150,12 +291,36 @@ PacOracle::probeMisses(uint16_t guessed_pac)
     // (4) Prime the target's dTLB set.
     proc_.loadAll(primeList_);
 
+    // Plant the canary alongside the prime: anything that flushes or
+    // skews measurements between here and the probe hits it too —
+    // but its set is quiet, so the query itself never evicts it.
+    if (disturbed)
+        proc_.loadAll({canaryAddr_});
+
     proc_.machine().injectNoise();
 
-    // (5) Fire the gadget with the guessed signed pointer.
+    // (5) Fire the gadget with the guessed signed pointer, retrying
+    // transient busy errors within the budget. A busy call is not
+    // free: its own mispredicted busy-check branch speculatively runs
+    // the gadget prologue and refills the reset-evicted cond
+    // translation, so a bare refire would find the speculation window
+    // already closed. Each retry therefore replays the recipe from
+    // the reset step.
     const uint64_t guess_ptr = isa::withExt(target_, guessed_pac);
-    proc_.syscall(gadget, guess_ptr);
+    uint64_t ret = proc_.syscall(gadget, guess_ptr);
     ++queries_;
+    for (unsigned b = 0;
+         ret == SyscallBusy && b < cfg_.busyRetries; ++b) {
+        ++stats_.busyRetries;
+        if (!cfg_.skipReset)
+            proc_.loadAll(resetList_);
+        proc_.loadAll(primeList_);
+        if (disturbed)
+            proc_.loadAll({canaryAddr_});
+        ret = proc_.syscall(gadget, guess_ptr);
+        ++queries_;
+    }
+    const bool gadget_ran = ret != SyscallBusy;
 
     // (6) Instruction-fetch gadgets: spill the (possibly) filled
     // kernel iTLB entry into the shared dTLB.
@@ -170,7 +335,39 @@ PacOracle::probeMisses(uint16_t guessed_pac)
         if (count > cfg_.latencyThreshold)
             ++misses;
     }
+
+    // (8) Sanity check: the canary must still read as a healthy hit.
+    // A high delta means its translation was flushed or the latency
+    // regime shifted; a zero delta means the timer was stalled; a
+    // busy-exhausted gadget means the window never opened at all.
+    if (disturbed) {
+        const double canary = double(proc_.timedLoad(canaryAddr_));
+        if (!gadget_ran || !healthyHit(canary)) {
+            *disturbed = true;
+            ++stats_.disturbedQueries;
+        }
+    }
     return misses;
+}
+
+void
+PacOracle::backoff(unsigned attempt)
+{
+    // Idle exponentially (NOP syscalls burn real simulated cycles)
+    // so transient bursts — timer stalls, jitter bursts, the tail of
+    // a preemption — expire before the retry.
+    for (unsigned i = 0; i < (8u << std::min(attempt, 4u)); ++i)
+        proc_.syscall(SYS_NOP);
+
+    // Escalate from the second attempt on: if the prime list no
+    // longer reads back healthy the disturbance was not transient —
+    // recalibrate (migration moved the latency regime) and rebuild
+    // the derived sets.
+    if (attempt >= 1 && !verifyEvictionSets()) {
+        if (cfg_.autoCalibrate)
+            calibrate();
+        repairEvictionSets();
+    }
 }
 
 bool

@@ -64,16 +64,51 @@ struct OracleConfig
     /** Transmission channel; L1dSet requires the data gadget. */
     Channel channel = Channel::DtlbSet;
 
-    /** Branch-training iterations before each query (paper: 64). */
+    /**
+     * Branch-training iterations before each query. The paper uses
+     * 64 (Section 8.1); this default is a deliberately scaled-down 8
+     * so the test suite stays fast — the simulated bimodal predictor
+     * saturates well before 64 iterations. The bench binaries
+     * (fig8_oracle, sec82_bruteforce) default to the paper's 64.
+     */
     unsigned trainIters = 8;
 
     /** Multi-thread-counter threshold separating dTLB hit from miss
-     *  (paper Section 7.4: 30). */
+     *  (paper Section 7.4: 30). Overwritten by the measured value
+     *  when autoCalibrate is set. */
     uint64_t latencyThreshold = 30;
 
     /** Probe misses at or above this count a correct PAC
      *  (paper Figure 8: correct >= 5, incorrect <= 1). */
     unsigned missThreshold = 3;
+
+    // --- Self-healing knobs (all off by default: the legacy
+    //     fixed-threshold path, including its exact RNG draw
+    //     sequence, is preserved bit-for-bit when these are 0) ---
+
+    /**
+     * Derive latencyThreshold from measured hit/miss latency
+     * distributions at setTarget() time instead of trusting the
+     * constant, and re-derive it whenever disturbance recovery finds
+     * the eviction sets unhealthy (e.g. after a core migration
+     * shifted every latency).
+     */
+    bool autoCalibrate = false;
+
+    /** Hit/miss samples per calibration measurement. */
+    unsigned calibrationSamples = 24;
+
+    /**
+     * Bounded per-query retries when the probe-baseline sanity check
+     * (a canary translation planted at prime time in an independent
+     * dTLB set) reports the query was disturbed. 0 disables both the
+     * check and the retry loop.
+     */
+    unsigned queryRetries = 0;
+
+    /** Retries when a gadget syscall returns the transient
+     *  SyscallBusy error before the query gives up on it. */
+    unsigned busyRetries = 0;
 
     /**
      * Ablation: skip the TLB-reset step (the paper's step 2). The
@@ -83,6 +118,26 @@ struct OracleConfig
      * the reset matters.
      */
     bool skipReset = false;
+};
+
+/** Robustness counters for one oracle's lifetime; mergeable. */
+struct OracleStats
+{
+    uint64_t busyRetries = 0;      //!< gadget calls retried after -EAGAIN
+    uint64_t disturbedQueries = 0; //!< queries the sanity check flagged
+    uint64_t retriedQueries = 0;   //!< flagged queries actually retried
+    uint64_t calibrations = 0;     //!< threshold (re)calibrations
+    uint64_t repairs = 0;          //!< eviction-set rebuilds
+
+    void
+    merge(const OracleStats &other)
+    {
+        busyRetries += other.busyRetries;
+        disturbedQueries += other.disturbedQueries;
+        retriedQueries += other.retriedQueries;
+        calibrations += other.calibrations;
+        repairs += other.repairs;
+    }
 };
 
 /** A configured PAC oracle bound to one target pointer. */
@@ -128,12 +183,42 @@ class PacOracle
     /** Total gadget-syscall invocations so far (speed accounting). */
     uint64_t queries() const { return queries_; }
 
+    /** Robustness counters (retries, calibrations, repairs). */
+    const OracleStats &stats() const { return stats_; }
+
     /** The attacker process this oracle drives. */
     AttackerProcess &process() { return proc_; }
+
+    // --- Self-healing machinery (public for tests and benches;
+    //     probeMisses() drives these automatically) ---
+
+    /**
+     * Measure hit/miss latency distributions on a quiet dTLB set and
+     * set latencyThreshold to the midpoint of (hit p90, miss p10).
+     * Called by setTarget() when autoCalibrate is set, and again by
+     * disturbance recovery when the sets verify unhealthy.
+     */
+    void calibrate();
+
+    /**
+     * Prime-then-probe self-test of the prime list: true when every
+     * probe reads back as a healthy hit under the current threshold
+     * (and, when calibrated, within the measured hit band).
+     */
+    bool verifyEvictionSets();
+
+    /** Rebuild every derived set (reset/prime/trampoline/canary)
+     *  from the geometry — recovery for polluted/stale sets. */
+    void repairEvictionSets();
 
   private:
     void train();
     uint16_t gadgetSyscall() const;
+    void rebuildSets();
+    uint64_t quietDtlbSet(uint64_t start) const;
+    bool healthyHit(double count) const;
+    unsigned probeOnce(uint16_t guessed_pac, bool *disturbed);
+    void backoff(unsigned attempt);
 
     AttackerProcess &proc_;
     OracleConfig cfg_;
@@ -146,6 +231,17 @@ class PacOracle
     std::vector<Addr> primeList_;
     std::vector<uint64_t> trampIndices_;
     uint64_t queries_ = 0;
+
+    /** Sanity-check canary: an arena page in a quiet dTLB set,
+     *  loaded at prime time and timed after the probe. */
+    Addr canaryAddr_ = 0;
+
+    /** Measured hit band from the last calibration (0 = never
+     *  calibrated; the fixed threshold is the only reference). */
+    double calibHitLo_ = 0.0;
+    double calibHitHi_ = 0.0;
+
+    OracleStats stats_;
 };
 
 } // namespace pacman::attack

@@ -58,6 +58,8 @@ AttackerProcess::reservedDtlbSets() const
         pageNumber(vaPart(KernelDataBase)) & (sets - 1),
         // Benign data page touched during training.
         pageNumber(vaPart(BenignDataBase)) & (sets - 1),
+        // Busy-slot page every gadget syscall checks first.
+        pageNumber(vaPart(KernelDataBase + BusySlotOff)) & (sets - 1),
     };
 }
 

@@ -51,6 +51,20 @@ SampleStat::stddev() const
 }
 
 double
+SampleStat::stderrOfMean() const
+{
+    if (samples_.size() < 2)
+        return 0.0;
+    return stddev() / std::sqrt(double(samples_.size()));
+}
+
+double
+SampleStat::marginOfError(double z) const
+{
+    return z * stderrOfMean();
+}
+
+double
 SampleStat::min() const
 {
     PACMAN_ASSERT(!samples_.empty(), "min() of empty SampleStat");

@@ -53,6 +53,20 @@ class SampleStat
     double percentile(double p) const;
 
     /**
+     * Standard error of the mean: stddev / sqrt(n). 0 with fewer
+     * than 2 samples (no spread information yet).
+     */
+    double stderrOfMean() const;
+
+    /**
+     * Half-width of the mean's confidence interval at @p z standard
+     * errors (z = 1.96 for ~95%). The adaptive resampler treats a
+     * decision as ambiguous while the threshold sits within
+     * mean() +/- marginOfError(z).
+     */
+    double marginOfError(double z) const;
+
+    /**
      * Fold @p other's samples into this accumulator. Associative and
      * commutative with respect to every query above, so per-worker
      * accumulators from a parallel campaign can be merged in any

@@ -125,6 +125,14 @@ class Core
     /** Pointer to the cycle counter (for timer devices). */
     const uint64_t *cyclePtr() const { return &cycle_; }
 
+    /**
+     * Advance the cycle counter by @p n without executing guest
+     * instructions — time spent preempted (the fault injector's
+     * interrupt model). Forward-only, so pending dataflow ready
+     * times simply fall due.
+     */
+    void advanceCycles(uint64_t n) { cycle_ += n; }
+
     // --- Execution ---
 
     /**

@@ -6,18 +6,68 @@ namespace pacman::cpu
 ThreadTimerDevice::ThreadTimerDevice(const uint64_t *cycle,
                                      uint64_t incrementsPer1k,
                                      uint64_t jitter, Random *rng)
-    : cycle_(cycle), incrementsPer1k_(incrementsPer1k), jitter_(jitter),
+    : cycle_(cycle), basePer1k_(incrementsPer1k), jitter_(jitter),
       rng_(rng)
 {
+}
+
+void
+ThreadTimerDevice::rebase(uint64_t cycle)
+{
+    // Anchor the slope at the current (un-jittered) value so rate
+    // changes are continuous. A backwards raw jump would be clamped
+    // by the monotonicity guard and read as a long stall instead.
+    const uint64_t rate = basePer1k_ * scalePermille_ / 1000;
+    baseValue_ += (cycle - baseCycle_) * rate / 1000;
+    baseCycle_ = cycle;
+}
+
+void
+ThreadTimerDevice::setBaseRatePer1k(uint64_t per1k)
+{
+    rebase(*cycle_);
+    basePer1k_ = per1k;
+}
+
+void
+ThreadTimerDevice::setRateScalePermille(uint64_t permille)
+{
+    rebase(*cycle_);
+    scalePermille_ = permille;
+}
+
+void
+ThreadTimerDevice::injectStall(uint64_t cycles)
+{
+    stalled_ = true;
+    stallUntil_ = *cycle_ + cycles;
+}
+
+void
+ThreadTimerDevice::injectJitterBurst(uint64_t extra, uint64_t cycles)
+{
+    burstExtra_ = extra;
+    burstUntil_ = *cycle_ + cycles;
 }
 
 uint64_t
 ThreadTimerDevice::valueAt(uint64_t cycle)
 {
-    uint64_t value = cycle * incrementsPer1k_ / 1000;
-    if (jitter_ > 0 && rng_) {
-        const int64_t noise = rng_->range(-int64_t(jitter_),
-                                          int64_t(jitter_));
+    if (stalled_) {
+        if (cycle < stallUntil_)
+            return lastValue_; // descheduled: no draws, no progress
+        // Resume counting from the frozen value — the loop iterations
+        // that would have run are simply lost (permanent offset).
+        stalled_ = false;
+        baseCycle_ = cycle;
+        baseValue_ = lastValue_;
+    }
+    const uint64_t rate = basePer1k_ * scalePermille_ / 1000;
+    uint64_t value = baseValue_ + (cycle - baseCycle_) * rate / 1000;
+    const uint64_t jit =
+        jitter_ + (cycle < burstUntil_ ? burstExtra_ : 0);
+    if (jit > 0 && rng_) {
+        const int64_t noise = rng_->range(-int64_t(jit), int64_t(jit));
         value = uint64_t(int64_t(value) + noise);
     }
     // The real counter is monotonic; jitter must not reverse it.

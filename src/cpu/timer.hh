@@ -52,11 +52,51 @@ class ThreadTimerDevice : public mem::Device
     /** Counter value at @p cycle with jitter applied. */
     uint64_t valueAt(uint64_t cycle);
 
+    // --- Disturbance hooks (the fault injector's timer events) ---
+
+    /**
+     * Change the base throughput (counting-loop speed). Rebases the
+     * counter at the current value so the change never makes the raw
+     * value jump — a decrease would otherwise trip the monotonicity
+     * clamp and freeze the counter until the new slope caught up.
+     */
+    void setBaseRatePer1k(uint64_t per1k);
+
+    /**
+     * Scale the effective throughput by @p permille / 1000 (rate
+     * skew: the counting thread migrated to a faster/slower core).
+     * Persists until the next skew; rebases like setBaseRatePer1k().
+     */
+    void setRateScalePermille(uint64_t permille);
+
+    /**
+     * Freeze the counter for @p cycles core cycles (the counting
+     * thread was descheduled). On expiry the counter resumes from the
+     * frozen value — no catch-up, matching a real counting loop that
+     * simply was not running.
+     */
+    void injectStall(uint64_t cycles);
+
+    /** Add +/- @p extra jitter per read for the next @p cycles. */
+    void injectJitterBurst(uint64_t extra, uint64_t cycles);
+
+    uint64_t ratePer1k() const { return basePer1k_; }
+    uint64_t rateScalePermille() const { return scalePermille_; }
+
   private:
+    void rebase(uint64_t cycle);
+
     const uint64_t *cycle_;
-    uint64_t incrementsPer1k_;
+    uint64_t basePer1k_;
     uint64_t jitter_;
     Random *rng_;
+    uint64_t scalePermille_ = 1000;
+    uint64_t baseCycle_ = 0;  //!< counter == baseValue_ at this cycle
+    uint64_t baseValue_ = 0;
+    bool stalled_ = false;
+    uint64_t stallUntil_ = 0;
+    uint64_t burstUntil_ = 0;
+    uint64_t burstExtra_ = 0;
     uint64_t lastValue_ = 0; //!< monotonicity guard under jitter
 };
 

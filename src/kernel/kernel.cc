@@ -81,7 +81,7 @@ Kernel::boot()
     mem_->mapRange(KernelCodeBase, 0x10000, kcode);
     mem_->mapRange(TrampolineBase,
                    uint64_t(TrampolineCount) * isa::PageSize, kcode);
-    mem_->mapRange(KernelDataBase, 0x10000, kdata);
+    mem_->mapRange(KernelDataBase, KernelDataBytes, kdata);
     // 64 pages of "benign" kernel data: stand-ins for the kernel
     // objects an attacker would forge pointers to; multiple pages so
     // oracle targets with many different dTLB set indices exist.
@@ -110,6 +110,7 @@ Kernel::boot()
     // Kext data initialization.
     mem_->writeVirt64(condSlot(), 0);
     mem_->writeVirt64(modifierSlot(), 0);
+    mem_->writeVirt64(busySlot(), 0);
     clearWin();
     initJump2WinObjects();
 
@@ -235,7 +236,21 @@ Kernel::buildImage()
     // Data PACMAN gadget (paper Figure 3(a)). The guard condition is
     // loaded from memory, so its resolution time — and therefore the
     // speculation window — is controlled by the attacker's TLB reset.
+    //
+    // Each gadget handler first services the transient-failure count:
+    // while the busy slot is nonzero the call decrements it and
+    // returns SyscallBusy (-EAGAIN) without running the gadget body.
+    // The slot lives on its own kernel-data page so this check never
+    // touches the reset-evicted cond-slot translation.
     a.label("h_gadget_data");
+    a.mov64(X12, KernelDataBase + BusySlotOff);
+    a.ldr(X13, X12, 0);
+    a.cbz(X13, "gd_run");
+    a.subi(X13, X13, 1);
+    a.str(X13, X12, 0);
+    a.mov64(X0, SyscallBusy);
+    a.eret();
+    a.label("gd_run");
     a.mov64(X9, KernelDataBase);
     a.ldr(X1, X9, int64_t(CondSlotOff));       // slow after TLB reset
     a.ldr(X10, X9, int64_t(ModifierSlotOff));
@@ -249,6 +264,14 @@ Kernel::buildImage()
 
     // Instruction PACMAN gadget (paper Figure 3(b)).
     a.label("h_gadget_inst");
+    a.mov64(X12, KernelDataBase + BusySlotOff);
+    a.ldr(X13, X12, 0);
+    a.cbz(X13, "gi_run");
+    a.subi(X13, X13, 1);
+    a.str(X13, X12, 0);
+    a.mov64(X0, SyscallBusy);
+    a.eret();
+    a.label("gi_run");
     a.mov64(X9, KernelDataBase);
     a.ldr(X1, X9, int64_t(CondSlotOff));
     a.ldr(X10, X9, int64_t(ModifierSlotOff));
@@ -265,6 +288,14 @@ Kernel::buildImage()
     // instruction. Notably, a fence-after-aut mitigation cannot be
     // applied inside it.
     a.label("h_gadget_braa");
+    a.mov64(X12, KernelDataBase + BusySlotOff);
+    a.ldr(X13, X12, 0);
+    a.cbz(X13, "gb_run");
+    a.subi(X13, X13, 1);
+    a.str(X13, X12, 0);
+    a.mov64(X0, SyscallBusy);
+    a.eret();
+    a.label("gb_run");
     a.mov64(X9, KernelDataBase);
     a.ldr(X1, X9, int64_t(CondSlotOff));
     a.ldr(X10, X9, int64_t(ModifierSlotOff));

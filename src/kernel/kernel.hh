@@ -60,6 +60,10 @@ class Kernel
     Addr condSlot() const { return KernelDataBase + CondSlotOff; }
     Addr modifierSlot() const { return KernelDataBase + ModifierSlotOff; }
 
+    /** Transient-failure count consumed by the gadget syscalls
+     *  (armed host-side by the fault injector). */
+    Addr busySlot() const { return KernelDataBase + BusySlotOff; }
+
     /** Benign data address legit signed pointers point to. */
     Addr benignData() const { return BenignDataBase; }
 

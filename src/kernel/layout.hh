@@ -57,6 +57,27 @@ constexpr uint64_t VtableOff = 0x8000;      //!< object2's real vtable
  */
 constexpr Addr KernelStackTop = KernelDataBase + 0x10000;
 
+/**
+ * Transient-failure count consumed by the gadget syscalls: while
+ * nonzero, each gadget invocation decrements it and returns
+ * SyscallBusy instead of running the gadget body (the fault
+ * injector's "kext resource temporarily busy" event). Deliberately
+ * on its own kernel-data page (the one above the stack page): the
+ * busy check must not touch the cond-slot page, or it would refill
+ * the translation the oracle's reset step just evicted and collapse
+ * the speculation window.
+ */
+constexpr uint64_t BusySlotOff = 0x10000;
+
+/** Total kernel-data mapping size (cond/flags, objects, vtable,
+ *  stack, busy pages). */
+constexpr uint64_t KernelDataBytes = 0x14000;
+
+/** Retryable gadget-syscall error value (-EAGAIN, as returned by a
+ *  real kernel). Never a valid signed-pointer return: the extension
+ *  bits and VA part match no mapped kernel object. */
+constexpr uint64_t SyscallBusy = uint64_t(-11);
+
 /** The value win() writes into the win flag. */
 constexpr uint64_t WinMagic = 0x57494E21ull; // "WIN!"
 

@@ -1,5 +1,8 @@
 #include "machine.hh"
 
+#include <algorithm>
+#include <vector>
+
 #include "base/logging.hh"
 #include "base/stats.hh"
 #include "kernel/layout.hh"
@@ -16,8 +19,8 @@ defaultMachineConfig()
 }
 
 Machine::Machine(const MachineConfig &cfg)
-    : cfg_(cfg), rng_(cfg.seed), mem_(cfg.hier, &rng_),
-      core_(cfg.core, &mem_, &rng_),
+    : cfg_(cfg), rng_(cfg.seed), noiseRng_(rng_.fork(NoiseStream)),
+      mem_(cfg.hier, &rng_), core_(cfg.core, &mem_, &rng_),
       timer_(core_.cyclePtr(), cfg.timerRatePer1k, cfg.timerJitter,
              &rng_),
       kernel_(&core_, &mem_, &rng_)
@@ -97,28 +100,67 @@ Machine::statsReport()
 }
 
 void
+Machine::migrateCore(bool to_ecore)
+{
+    if (to_ecore == onECore_)
+        return;
+    onECore_ = to_ecore;
+    mem_.setLatencyConfig(to_ecore ? mem::m1ECoreLatency()
+                                   : cfg_.hier.lat);
+    // The counting thread's loop speed is fixed in wall time while
+    // the victim's cycles stretch on the slower e-core, so each
+    // victim cycle observes ~5/4 the counts.
+    timer_.setBaseRatePer1k(to_ecore ? cfg_.timerRatePer1k * 5 / 4
+                                     : cfg_.timerRatePer1k);
+}
+
+void
 Machine::injectNoise()
 {
+    // Fault opportunity first: the chaos layer (if attached) fires
+    // regardless of whether the ambient noise model is enabled.
+    if (disturbHook_)
+        disturbHook_();
+
     if (cfg_.noiseProbability <= 0.0 ||
-        !rng_.chance(cfg_.noiseProbability)) {
+        !noiseRng_.chance(cfg_.noiseProbability)) {
         return;
     }
-    // Ambient system activity: demand accesses to random pages,
-    // disturbing TLB and cache state the way background processes
-    // do. User-side noise touches the noise arena (every dTLB set);
-    // kernel-side noise touches the trampoline region (every set,
-    // as data and occasionally as instruction fetches).
-    for (unsigned i = 0; i < cfg_.noisePages; ++i) {
-        const bool kernel_side = rng_.chance(0.4);
+    // Ambient system activity: one demand access per configured noise
+    // page, pages drawn *without replacement* so each perturbation
+    // touches exactly `noisePages` distinct pages (the old model drew
+    // with replacement, so the touched-set count ignored the config).
+    // All draws come from the dedicated noise stream: they never
+    // interleave with timer-jitter draws, keeping measurement
+    // sequences comparable with and without noise. Kernel-side noise
+    // touches the trampoline region both as data and as instruction
+    // fetches — interrupt handlers and kext code perturb the EL1
+    // iTLB, not just the dTLB.
+    const unsigned pages = std::min(cfg_.noisePages, 256u);
+    std::vector<uint64_t> tramp_pages, arena_pages;
+    auto draw_distinct = [&](std::vector<uint64_t> &used,
+                             uint64_t bound) {
+        uint64_t v;
+        do {
+            v = noiseRng_.next(bound);
+        } while (std::find(used.begin(), used.end(), v) != used.end());
+        used.push_back(v);
+        return v;
+    };
+    for (unsigned i = 0; i < pages; ++i) {
+        const bool kernel_side = noiseRng_.chance(0.4);
         if (kernel_side) {
             const Addr va = TrampolineBase +
-                            rng_.next(TrampolineCount) * isa::PageSize;
-            const auto kind = rng_.chance(0.3) ? mem::AccessKind::Fetch
-                                               : mem::AccessKind::Load;
-            mem_.access(kind, va, 1, false);
+                            draw_distinct(tramp_pages, TrampolineCount) *
+                                isa::PageSize;
+            mem_.access(mem::AccessKind::Load, va, 1, false);
+            if (noiseRng_.chance(0.5))
+                mem_.access(mem::AccessKind::Fetch, va, 1, false);
         } else {
-            const Addr va = NoiseArena + rng_.next(512) * isa::PageSize +
-                            rng_.next(256) * 64;
+            const Addr va = NoiseArena +
+                            draw_distinct(arena_pages, 512) *
+                                isa::PageSize +
+                            noiseRng_.next(256) * 64;
             mem_.access(mem::AccessKind::Load, va, 0, false);
         }
     }

@@ -8,6 +8,7 @@
 #ifndef PACMAN_KERNEL_MACHINE_HH
 #define PACMAN_KERNEL_MACHINE_HH
 
+#include <functional>
 #include <memory>
 
 #include "base/random.hh"
@@ -58,6 +59,7 @@ class Machine
     mem::MemoryHierarchy &mem() { return mem_; }
     Kernel &kernel() { return kernel_; }
     Random &rng() { return rng_; }
+    cpu::ThreadTimerDevice &timer() { return timer_; }
     const MachineConfig &config() const { return cfg_; }
 
     /**
@@ -69,7 +71,11 @@ class Machine
      * per-work-item stream so concurrent machines are decorrelated
      * yet bit-reproducible regardless of which worker runs the item.
      */
-    void reseedRng(uint64_t seed) { rng_ = Random(seed); }
+    void reseedRng(uint64_t seed)
+    {
+        rng_ = Random(seed);
+        noiseRng_ = rng_.fork(NoiseStream);
+    }
 
     /**
      * Run guest code at @p pc in EL0 until HLT; returns x0.
@@ -85,8 +91,35 @@ class Machine
     /**
      * Inject ambient micro-architectural noise per the configured
      * noise model (called between attack steps by the harnesses).
+     *
+     * Every call is also a *fault opportunity*: the disturbance hook
+     * (if any) fires first, even when the ambient noise model is
+     * disabled — the sim-layer FaultInjector attaches here without
+     * the kernel layer depending on it.
      */
     void injectNoise();
+
+    /**
+     * Register @p hook to run at the top of every injectNoise() call
+     * (pass nullptr to detach). One consumer at a time — the fault
+     * injector owns this slot while attached.
+     */
+    void setDisturbanceHook(std::function<void()> hook)
+    {
+        disturbHook_ = std::move(hook);
+    }
+
+    /**
+     * Reschedule the machine onto the other core type (the fault
+     * injector's migration event). Swaps the latency constants and
+     * the timer thread's relative throughput; cache/TLB geometry is
+     * intentionally kept (DESIGN.md §4d), so eviction sets stay
+     * valid while every measured latency shifts.
+     */
+    void migrateCore(bool to_ecore);
+
+    /** True while migrated onto the e-core. */
+    bool onECore() const { return onECore_; }
 
     /**
      * Render a human-readable table of core and hierarchy statistics
@@ -96,12 +129,20 @@ class Machine
     std::string statsReport();
 
   private:
+    /** Stream id for the dedicated ambient-noise RNG: noise draws
+     *  must not interleave with timer-jitter draws, or enabling
+     *  noise would perturb every measurement sequence. */
+    static constexpr uint64_t NoiseStream = 0x4E6F'6973ull; // "Nois"
+
     MachineConfig cfg_;
     Random rng_;
+    Random noiseRng_;
     mem::MemoryHierarchy mem_;
     cpu::Core core_;
     cpu::ThreadTimerDevice timer_;
     Kernel kernel_;
+    std::function<void()> disturbHook_;
+    bool onECore_ = false;
 };
 
 } // namespace pacman::kernel

@@ -50,4 +50,25 @@ m1ECoreConfig()
     return cfg;
 }
 
+LatencyConfig
+m1ECoreLatency()
+{
+    // Roughly 1.5x the p-core load-to-use constants: the e-core's
+    // lower clock stretches every fabric round-trip measured in its
+    // own cycles. Chosen so a p-core-calibrated threshold of ~30
+    // multi-thread counts misclassifies e-core dTLB hits as misses
+    // (hit deltas land near 40) — the degradation the self-healing
+    // oracle must detect and recalibrate away.
+    LatencyConfig lat;
+    lat.l1Hit = 6;
+    lat.l2Hit = 36;
+    lat.slcHit = 68;
+    lat.dram = 135;
+    lat.l1TlbMissPenalty = 52;
+    lat.walkPenalty = 82;
+    lat.itlbSpillProbe = 12;
+    lat.device = 15;
+    return lat;
+}
+
 } // namespace pacman::mem

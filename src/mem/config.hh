@@ -102,6 +102,15 @@ HierarchyConfig m1PCoreConfig();
 /** The M1 efficiency-core hierarchy (Table 2; TLBs not paper-derived). */
 HierarchyConfig m1ECoreConfig();
 
+/**
+ * E-core latency constants, in victim-core cycles. Used by the core-
+ * migration fault: an attacker rescheduled onto an e-core sees every
+ * memory level further away (smaller caches, lower clock relative to
+ * the fabric), which shifts the whole Figure 7 latency histogram and
+ * invalidates a threshold calibrated on the p-core.
+ */
+LatencyConfig m1ECoreLatency();
+
 } // namespace pacman::mem
 
 #endif // PACMAN_MEM_CONFIG_HH

@@ -160,6 +160,15 @@ class MemoryHierarchy
 
     const HierarchyConfig &config() const { return cfg_; }
 
+    /**
+     * Swap the latency constants mid-run (core migration: the thread
+     * now runs on a core with different load-to-use timings). The
+     * geometry — and therefore every outstanding eviction set — is
+     * deliberately left untouched; see DESIGN.md §4d for why the
+     * migration model stops at latencies.
+     */
+    void setLatencyConfig(const LatencyConfig &lat) { cfg_.lat = lat; }
+
     /** Invalidate all cache and TLB state (boot / reset). */
     void flushAll();
 

@@ -117,4 +117,31 @@ Tlb::flushAll()
         way.valid = false;
 }
 
+unsigned
+Tlb::flushAsid(Asid asid)
+{
+    unsigned n = 0;
+    for (Way &way : ways_) {
+        if (way.valid && way.entry.asid == asid) {
+            way.valid = false;
+            ++n;
+        }
+    }
+    return n;
+}
+
+unsigned
+Tlb::flushSetAsid(uint64_t set, Asid asid)
+{
+    unsigned n = 0;
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+        Way &way = ways_[set * cfg_.ways + w];
+        if (way.valid && way.entry.asid == asid) {
+            way.valid = false;
+            ++n;
+        }
+    }
+    return n;
+}
+
 } // namespace pacman::mem

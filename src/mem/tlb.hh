@@ -67,6 +67,17 @@ class Tlb
     /** Invalidate everything (e.g. on key rotation / boot). */
     void flushAll();
 
+    /**
+     * Invalidate every translation tagged @p asid (a context switch
+     * flushing one address space while the other survives).
+     * @return the number of entries invalidated.
+     */
+    unsigned flushAsid(Asid asid);
+
+    /** Invalidate @p asid's translations in set @p set only (a
+     *  partial flush). @return the number invalidated. */
+    unsigned flushSetAsid(uint64_t set, Asid asid);
+
     /** Set index for @p vpn. */
     uint64_t setIndex(uint64_t vpn) const;
 

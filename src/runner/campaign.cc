@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <vector>
 
 #include "base/logging.hh"
@@ -27,6 +28,15 @@ struct Replica
         // here on follow the per-item stream.
         machine.reseedRng(stream_seed);
         oracle.setTarget(cfg.target, cfg.modifier);
+        // Faults attach only after provisioning: set construction and
+        // initial calibration run undisturbed, and the injector's own
+        // stream keeps the replica a pure function of the item.
+        if (cfg.faults.enabled()) {
+            injector.emplace(machine, cfg.faults,
+                             Random::deriveSeed(stream_seed,
+                                                sim::FaultSeedStream));
+            injector->attach();
+        }
     }
 
     static kernel::MachineConfig
@@ -36,10 +46,28 @@ struct Replica
         return cfg;
     }
 
+    FaultStats
+    faultStats() const
+    {
+        return injector ? injector->stats() : FaultStats{};
+    }
+
     kernel::Machine machine;
     attack::AttackerProcess proc;
     attack::PacOracle oracle;
+    std::optional<sim::FaultInjector> injector;
 };
+
+/** The replica's per-candidate sampling policy. */
+attack::ResamplePolicy
+resamplePolicy(const ReplicaConfig &cfg)
+{
+    attack::ResamplePolicy policy;
+    policy.samples = cfg.samples;
+    policy.maxSamples = cfg.maxSamples;
+    policy.candidateRetries = cfg.candidateRetries;
+    return policy;
+}
 
 std::string
 statFingerprint(const SampleStat &s)
@@ -53,6 +81,24 @@ statFingerprint(const SampleStat &s)
                      s.max());
 }
 
+std::string
+robustnessFingerprint(const attack::BruteForceStats &b,
+                      const attack::OracleStats &o, const FaultStats &f)
+{
+    return strprintf(
+        "samples=%llu esc=%llu cand_retry=%llu busy_retry=%llu "
+        "disturbed=%llu query_retry=%llu calib=%llu repair=%llu "
+        "faults=%llu",
+        (unsigned long long)b.samplesTaken,
+        (unsigned long long)b.escalations,
+        (unsigned long long)b.candidateRetries,
+        (unsigned long long)o.busyRetries,
+        (unsigned long long)o.disturbedQueries,
+        (unsigned long long)o.retriedQueries,
+        (unsigned long long)o.calibrations,
+        (unsigned long long)o.repairs, (unsigned long long)f.total());
+}
+
 } // anonymous namespace
 
 std::string
@@ -60,13 +106,14 @@ BruteForceCampaignResult::fingerprint() const
 {
     return strprintf(
         "found=%s guesses=%llu queries=%llu cycles=%llu "
-        "chunks_merged=%llu decisions[%s]",
+        "chunks_merged=%llu decisions[%s] robustness[%s]",
         stats.found ? strprintf("0x%04x", *stats.found).c_str() : "none",
         (unsigned long long)stats.guessesTested,
         (unsigned long long)stats.oracleQueries,
         (unsigned long long)stats.cyclesSimulated,
         (unsigned long long)chunksMerged,
-        statFingerprint(decisionMisses).c_str());
+        statFingerprint(decisionMisses).c_str(),
+        robustnessFingerprint(stats, oracleStats, faultStats).c_str());
 }
 
 BruteForceCampaignResult
@@ -81,6 +128,8 @@ runBruteForceCampaign(const BruteForceCampaignConfig &cfg)
     {
         attack::BruteForceStats stats;
         SampleStat decisions;
+        attack::OracleStats oracle;
+        FaultStats faults;
     };
     std::vector<ChunkResult> results(num_chunks);
 
@@ -93,11 +142,13 @@ runBruteForceCampaign(const BruteForceCampaignConfig &cfg)
             Replica replica(cfg.replica, cfg.replica.machine.seed,
                             Random::deriveSeed(cfg.seed, chunk.index));
             attack::PacBruteForcer forcer(replica.oracle,
-                                          cfg.replica.samples);
+                                          resamplePolicy(cfg.replica));
             ChunkResult &r = results[chunk.index];
             r.stats = forcer.search(uint16_t(cfg.first + chunk.firstItem),
                                     uint16_t(cfg.first + chunk.lastItem),
                                     &r.decisions);
+            r.oracle = replica.oracle.stats();
+            r.faults = replica.faultStats();
             if (r.stats.found)
                 return uint64_t(*r.stats.found) - cfg.first;
             return std::nullopt;
@@ -118,6 +169,8 @@ runBruteForceCampaign(const BruteForceCampaignConfig &cfg)
             break;
         result.stats.merge(results[c].stats);
         result.decisionMisses.merge(results[c].decisions);
+        result.oracleStats.merge(results[c].oracle);
+        result.faultStats.merge(results[c].faults);
         ++result.chunksMerged;
     }
     return result;
@@ -128,14 +181,15 @@ AccuracyCampaignResult::fingerprint() const
 {
     return strprintf(
         "tp=%llu fp=%llu fn=%llu guesses=%llu queries=%llu "
-        "cycles=%llu per_trial[%s]",
+        "cycles=%llu per_trial[%s] robustness[%s]",
         (unsigned long long)truePositives,
         (unsigned long long)falsePositives,
         (unsigned long long)falseNegatives,
         (unsigned long long)totals.guessesTested,
         (unsigned long long)totals.oracleQueries,
         (unsigned long long)totals.cyclesSimulated,
-        statFingerprint(guessesPerTrial).c_str());
+        statFingerprint(guessesPerTrial).c_str(),
+        robustnessFingerprint(totals, oracleStats, faultStats).c_str());
 }
 
 AccuracyCampaignResult
@@ -146,6 +200,8 @@ runAccuracyCampaign(const AccuracyCampaignConfig &cfg)
     {
         Verdict verdict = Verdict::FalseNegative;
         attack::BruteForceStats stats;
+        attack::OracleStats oracle;
+        FaultStats faults;
     };
     std::vector<TrialResult> results(cfg.trials);
 
@@ -179,9 +235,11 @@ runAccuracyCampaign(const AccuracyCampaignConfig &cfg)
                 }
 
                 attack::PacBruteForcer forcer(replica.oracle,
-                                              cfg.replica.samples);
+                                              resamplePolicy(cfg.replica));
                 TrialResult &r = results[trial];
                 r.stats = forcer.search(first, last);
+                r.oracle = replica.oracle.stats();
+                r.faults = replica.faultStats();
                 if (!r.stats.found)
                     r.verdict = Verdict::FalseNegative;
                 else if (*r.stats.found == truth)
@@ -208,6 +266,11 @@ runAccuracyCampaign(const AccuracyCampaignConfig &cfg)
         result.totals.guessesTested += r.stats.guessesTested;
         result.totals.oracleQueries += r.stats.oracleQueries;
         result.totals.cyclesSimulated += r.stats.cyclesSimulated;
+        result.totals.samplesTaken += r.stats.samplesTaken;
+        result.totals.escalations += r.stats.escalations;
+        result.totals.candidateRetries += r.stats.candidateRetries;
+        result.oracleStats.merge(r.oracle);
+        result.faultStats.merge(r.faults);
         result.guessesPerTrial.add(double(r.stats.guessesTested));
     }
     return result;

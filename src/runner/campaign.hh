@@ -25,6 +25,7 @@
 
 #include "attack/bruteforce.hh"
 #include "runner/pool.hh"
+#include "sim/faults.hh"
 
 namespace pacman::runner
 {
@@ -47,6 +48,22 @@ struct ReplicaConfig
 
     /** Oracle samples per candidate (median-of-k; paper: 5). */
     unsigned samples = 1;
+
+    /** Adaptive-resampling ceiling per candidate (0 = fixed
+     *  median-of-k; see attack::ResamplePolicy). */
+    unsigned maxSamples = 0;
+
+    /** Full re-measurements for still-ambiguous candidates. */
+    unsigned candidateRetries = 0;
+
+    /**
+     * Fault plan injected into every replica. Injectors are seeded
+     * deriveSeed(stream_seed, FaultSeedStream) and attached only
+     * after the oracle is provisioned, so set construction and
+     * calibration run undisturbed; both the faults and the recovery
+     * they trigger stay a pure function of the chunk index.
+     */
+    FaultPlan faults;
 };
 
 /** PAC brute-force sweep over candidates [first, last]. */
@@ -72,6 +89,12 @@ struct BruteForceCampaignResult
 
     /** Per-candidate median-of-k decision miss counts. */
     SampleStat decisionMisses;
+
+    /** Merged oracle robustness counters (same chunk-order merge). */
+    attack::OracleStats oracleStats;
+
+    /** Merged injected-fault counters (same chunk-order merge). */
+    FaultStats faultStats;
 
     unsigned jobs = 0;
     uint64_t chunksRun = 0;
@@ -125,6 +148,12 @@ struct AccuracyCampaignResult
 
     /** Guesses needed per trial (distribution across trials). */
     SampleStat guessesPerTrial;
+
+    /** Summed oracle robustness counters across trials. */
+    attack::OracleStats oracleStats;
+
+    /** Summed injected-fault counters across trials. */
+    FaultStats faultStats;
 
     unsigned jobs = 0;
     double wallSeconds = 0; //!< not part of the deterministic output

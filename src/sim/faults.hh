@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The chaos layer: a seeded, deterministic fault injector realizing
+ * a FaultPlan (base/faults.hh) against one Machine.
+ *
+ * The injector attaches to the machine's disturbance hook, which
+ * fires at every fault *opportunity* — the injectNoise() markers the
+ * attack harness places between its steps (twice per oracle query:
+ * before training and between prime and fire). At each opportunity
+ * every event type rolls independently against its plan rate, so a
+ * single opportunity can realize several simultaneous disturbances,
+ * like a real scheduler quantum boundary.
+ *
+ * Determinism: all draws come from a private Random seeded via
+ * Random::deriveSeed, and every event mutates only the attached
+ * machine. A faulted campaign replica therefore stays a pure
+ * function of (boot seed, stream seed, plan) — bit-identical at any
+ * --jobs count.
+ */
+
+#ifndef PACMAN_SIM_FAULTS_HH
+#define PACMAN_SIM_FAULTS_HH
+
+#include "base/faults.hh"
+#include "base/random.hh"
+#include "kernel/machine.hh"
+
+namespace pacman::sim
+{
+
+/** Stream id for deriving a replica's injector seed from its
+ *  per-item stream seed (campaign wiring). */
+constexpr uint64_t FaultSeedStream = 0x4641'554Cull; // "FAUL"
+
+/** A FaultPlan bound to one machine. */
+class FaultInjector
+{
+  public:
+    /**
+     * @param machine The machine to disturb.
+     * @param plan    Event rates and burst shapes.
+     * @param seed    Private stream seed (derive via
+     *                Random::deriveSeed; never from thread identity).
+     */
+    FaultInjector(kernel::Machine &machine, const FaultPlan &plan,
+                  uint64_t seed);
+
+    /** Detaches from the machine's disturbance hook. */
+    ~FaultInjector();
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    /** Start receiving fault opportunities from the machine. */
+    void attach();
+
+    /** Stop receiving opportunities (state changes persist). */
+    void detach();
+
+    /**
+     * One fault opportunity: roll every event type. Called via the
+     * machine hook when attached; callable directly by tests.
+     */
+    void onOpportunity();
+
+    const FaultPlan &plan() const { return plan_; }
+    const FaultStats &stats() const { return stats_; }
+    uint64_t opportunities() const { return opportunities_; }
+
+  private:
+    void contextSwitch();
+    void preempt();
+    void disturbTimer();
+    void armBusy();
+    void maybeMigrate();
+    void pollute(unsigned pages, bool kernel_fetches);
+
+    kernel::Machine &machine_;
+    FaultPlan plan_;
+    Random rng_;
+    FaultStats stats_;
+    uint64_t opportunities_ = 0;
+    bool attached_ = false;
+};
+
+} // namespace pacman::sim
+
+#endif // PACMAN_SIM_FAULTS_HH

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Self-healing oracle machinery: auto-calibration, disturbance
+ * detection + bounded retry, busy-retry, and eviction-set
+ * verify/repair. Complements test_oracle.cc, which pins the legacy
+ * fixed-threshold behaviour these features must not change.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "attack/oracle.hh"
+#include "kernel/layout.hh"
+#include "sim/faults.hh"
+
+namespace pacman::attack
+{
+namespace
+{
+
+using namespace pacman::kernel;
+
+class SelfHealTest : public ::testing::Test
+{
+  protected:
+    SelfHealTest() : machine(), proc(machine) {}
+
+    Addr
+    dataTarget() const
+    {
+        return BenignDataBase + 37 * isa::PageSize + 0x80;
+    }
+
+    uint16_t
+    truth(Addr target, uint64_t modifier)
+    {
+        return machine.kernel().truePac(target, modifier,
+                                        crypto::PacKeySelect::DA);
+    }
+
+    Machine machine;
+    AttackerProcess proc;
+};
+
+TEST_F(SelfHealTest, AutoCalibrateMeasuresThresholdAtSetTarget)
+{
+    OracleConfig cfg;
+    cfg.autoCalibrate = true;
+    PacOracle oracle(proc, cfg);
+    oracle.setTarget(dataTarget(), 0x5151);
+
+    EXPECT_EQ(oracle.stats().calibrations, 1u);
+    // The measured threshold must sit strictly between a plausible
+    // hit and a plausible miss count, and the oracle must classify
+    // with it exactly as the fixed-threshold one does.
+    EXPECT_GT(oracle.config().latencyThreshold, 0u);
+    const uint16_t correct = truth(dataTarget(), 0x5151);
+    EXPECT_TRUE(oracle.testPac(correct));
+    EXPECT_FALSE(oracle.testPac(correct ^ 0x0001));
+    EXPECT_FALSE(oracle.testPac(correct ^ 0x8000));
+}
+
+TEST_F(SelfHealTest, CalibrationIsDeterministicPerSeed)
+{
+    MachineConfig mcfg = defaultMachineConfig();
+    mcfg.seed = 123;
+    Machine m1(mcfg), m2(mcfg);
+    AttackerProcess p1(m1), p2(m2);
+    OracleConfig cfg;
+    cfg.autoCalibrate = true;
+    PacOracle o1(p1, cfg), o2(p2, cfg);
+    o1.setTarget(BenignDataBase + 37 * isa::PageSize, 0x2);
+    o2.setTarget(BenignDataBase + 37 * isa::PageSize, 0x2);
+    EXPECT_EQ(o1.config().latencyThreshold,
+              o2.config().latencyThreshold);
+}
+
+TEST_F(SelfHealTest, RecalibrationAdaptsToECoreMigration)
+{
+    OracleConfig cfg;
+    cfg.autoCalibrate = true;
+    PacOracle oracle(proc, cfg);
+    oracle.setTarget(dataTarget(), 0x7);
+    const uint64_t pcore_threshold = oracle.config().latencyThreshold;
+    const uint16_t correct = truth(dataTarget(), 0x7);
+
+    // Migrate to the e-core: every latency and the timer rate grow,
+    // so the p-core threshold undercounts hits as misses. A fresh
+    // calibration measures the new regime and the oracle works again.
+    machine.migrateCore(true);
+    oracle.calibrate();
+    EXPECT_EQ(oracle.stats().calibrations, 2u);
+    EXPECT_GT(oracle.config().latencyThreshold, pcore_threshold);
+    EXPECT_TRUE(oracle.testPac(correct));
+    EXPECT_FALSE(oracle.testPac(correct ^ 0x0010));
+    machine.migrateCore(false);
+}
+
+TEST_F(SelfHealTest, VerifyEvictionSetsDetectsStaleCalibration)
+{
+    OracleConfig cfg;
+    cfg.autoCalibrate = true;
+    PacOracle oracle(proc, cfg);
+    oracle.setTarget(dataTarget(), 0x9);
+    EXPECT_TRUE(oracle.verifyEvictionSets());
+
+    // On the e-core every timed hit lands above the p-core hit band:
+    // the self-test must notice the world changed under the oracle.
+    machine.migrateCore(true);
+    EXPECT_FALSE(oracle.verifyEvictionSets());
+    oracle.calibrate();
+    EXPECT_TRUE(oracle.verifyEvictionSets());
+    machine.migrateCore(false);
+}
+
+TEST_F(SelfHealTest, RepairRebuildsFunctionalSets)
+{
+    OracleConfig cfg;
+    PacOracle oracle(proc, cfg);
+    oracle.setTarget(dataTarget(), 0x33);
+    const uint16_t correct = truth(dataTarget(), 0x33);
+    EXPECT_TRUE(oracle.testPac(correct));
+
+    oracle.repairEvictionSets();
+    EXPECT_EQ(oracle.stats().repairs, 1u);
+    EXPECT_TRUE(oracle.verifyEvictionSets());
+    EXPECT_TRUE(oracle.testPac(correct));
+    EXPECT_FALSE(oracle.testPac(correct ^ 0x0100));
+}
+
+/**
+ * Arm the busy slot at the post-prime disturbance opportunity — the
+ * point the fault injector perturbs — so the failure hits the timed
+ * gadget fire instead of being harmlessly drained by the training
+ * syscalls (which run through the same handler).
+ */
+class BusyArmer
+{
+  public:
+    BusyArmer(Machine &machine, uint64_t count)
+        : machine_(machine), count_(count)
+    {
+        machine_.setDisturbanceHook([this] {
+            // Each query offers two opportunities: query start and
+            // post-prime. Arm only the latter.
+            if (++opportunities_ % 2 == 0)
+                machine_.mem().writeVirt64(
+                    machine_.kernel().busySlot(), count_);
+        });
+    }
+
+    ~BusyArmer() { machine_.setDisturbanceHook(nullptr); }
+
+  private:
+    Machine &machine_;
+    uint64_t count_;
+    unsigned opportunities_ = 0;
+};
+
+TEST_F(SelfHealTest, BusyRetryRidesOutTransientFailures)
+{
+    OracleConfig cfg;
+    cfg.busyRetries = 3;
+    PacOracle oracle(proc, cfg);
+    oracle.setTarget(dataTarget(), 0x44);
+    const uint16_t correct = truth(dataTarget(), 0x44);
+
+    // Every fire fails twice with SyscallBusy before succeeding; the
+    // retry budget covers both and the query still transmits.
+    BusyArmer armer(machine, 2);
+    EXPECT_TRUE(oracle.testPac(correct));
+    EXPECT_EQ(oracle.stats().busyRetries, 2u);
+    EXPECT_FALSE(oracle.testPac(correct ^ 1));
+    EXPECT_EQ(oracle.stats().busyRetries, 4u);
+}
+
+TEST_F(SelfHealTest, BusyWithoutRetryLosesTheQuery)
+{
+    OracleConfig cfg; // busyRetries = 0: legacy behaviour
+    PacOracle oracle(proc, cfg);
+    oracle.setTarget(dataTarget(), 0x44);
+    const uint16_t correct = truth(dataTarget(), 0x44);
+
+    {
+        BusyArmer armer(machine, 1);
+        // The gadget never ran, nothing transmitted: the correct PAC
+        // reads as incorrect. The failure mode busyRetries fixes.
+        EXPECT_FALSE(oracle.testPac(correct));
+        EXPECT_EQ(oracle.stats().busyRetries, 0u);
+    }
+    EXPECT_TRUE(oracle.testPac(correct)); // chaos gone: healthy again
+}
+
+TEST_F(SelfHealTest, QueryRetryRecoversFromInjectedDisturbances)
+{
+    OracleConfig cfg;
+    cfg.autoCalibrate = true;
+    cfg.queryRetries = 3;
+    cfg.busyRetries = 3;
+    PacOracle oracle(proc, cfg);
+    oracle.setTarget(dataTarget(), 0x66);
+    const uint16_t correct = truth(dataTarget(), 0x66);
+
+    // Chaos after setTarget so provisioning/calibration stay clean —
+    // the same ordering the campaign runner uses.
+    FaultPlan plan;
+    plan.timerRate = 0.3;
+    plan.preemptRate = 0.3;
+    plan.syscallBusyRate = 0.2;
+    sim::FaultInjector injector(machine, plan, 77);
+    injector.attach();
+
+    unsigned correct_hits = 0, wrong_hits = 0;
+    for (int i = 0; i < 12; ++i) {
+        correct_hits += oracle.testPacSampled(correct, 3);
+        wrong_hits +=
+            oracle.testPacSampled(uint16_t(correct ^ (1u << (i % 12))), 3);
+    }
+    injector.detach();
+
+    // The canary check must have caught disturbances and the retry
+    // loop must have consumed some of them.
+    EXPECT_GT(injector.stats().total(), 0u);
+    EXPECT_GT(oracle.stats().disturbedQueries, 0u);
+    EXPECT_GT(oracle.stats().retriedQueries, 0u);
+    // Self-healing keeps the classifier essentially intact under a
+    // fault mix that blinds the fixed, non-retrying configuration.
+    EXPECT_GE(correct_hits, 11u);
+    EXPECT_LE(wrong_hits, 1u);
+}
+
+TEST_F(SelfHealTest, BusyPageSetIsReservedForInfrastructure)
+{
+    // The busy slot's dTLB set sees a kernel-side write on every
+    // armBusy fault: targets and eviction sets must avoid it just
+    // like the cond-slot and timer pages.
+    const uint64_t sets = machine.mem().config().dtlb.sets;
+    const uint64_t busy_set =
+        isa::pageNumber(isa::vaPart(machine.kernel().busySlot())) &
+        (sets - 1);
+    const auto reserved = proc.reservedDtlbSets();
+    EXPECT_NE(std::find(reserved.begin(), reserved.end(), busy_set),
+              reserved.end());
+}
+
+} // namespace
+} // namespace pacman::attack

@@ -175,6 +175,57 @@ TEST(SampleStat, ResetClears)
     EXPECT_DOUBLE_EQ(s.mean(), 0.0);
 }
 
+TEST(SampleStat, StderrOfMeanPinnedValues)
+{
+    SampleStat s;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        s.add(v);
+    // stddev = sqrt(((1.5)^2 + (0.5)^2 + (0.5)^2 + (1.5)^2) / 3)
+    //        = sqrt(5/3); stderr = stddev / sqrt(4).
+    EXPECT_NEAR(s.stddev(), 1.2909944487358056, 1e-12);
+    EXPECT_NEAR(s.stderrOfMean(), 0.6454972243679028, 1e-12);
+}
+
+TEST(SampleStat, StderrOfMeanDegenerateCounts)
+{
+    SampleStat s;
+    EXPECT_DOUBLE_EQ(s.stderrOfMean(), 0.0); // n = 0
+    s.add(7.0);
+    EXPECT_DOUBLE_EQ(s.stderrOfMean(), 0.0); // n = 1: no spread info
+    EXPECT_DOUBLE_EQ(s.marginOfError(1.96), 0.0);
+}
+
+TEST(SampleStat, MarginOfErrorScalesStderr)
+{
+    SampleStat s;
+    for (double v : {10.0, 12.0, 14.0, 16.0, 18.0})
+        s.add(v);
+    // stddev = sqrt(40/4) = sqrt(10); stderr = sqrt(10)/sqrt(5)
+    //        = sqrt(2).
+    EXPECT_NEAR(s.stderrOfMean(), 1.4142135623730951, 1e-12);
+    EXPECT_NEAR(s.marginOfError(1.0), s.stderrOfMean(), 1e-12);
+    EXPECT_NEAR(s.marginOfError(1.96), 2.7718585822512663, 1e-12);
+    EXPECT_DOUBLE_EQ(s.marginOfError(0.0), 0.0);
+}
+
+TEST(SampleStat, StderrOfMeanThroughMerge)
+{
+    // Merged accumulators must answer exactly like one accumulator
+    // fed the union — the campaign runner's per-chunk merge path.
+    SampleStat a, b, direct;
+    for (double v : {1.0, 2.0})
+        a.add(v);
+    for (double v : {3.0, 4.0})
+        b.add(v);
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        direct.add(v);
+    a.merge(b);
+    EXPECT_EQ(a.count(), direct.count());
+    EXPECT_DOUBLE_EQ(a.stderrOfMean(), direct.stderrOfMean());
+    EXPECT_DOUBLE_EQ(a.marginOfError(2.0), direct.marginOfError(2.0));
+    EXPECT_NEAR(a.stderrOfMean(), 0.6454972243679028, 1e-12);
+}
+
 TEST(Histogram, CountsAndFractions)
 {
     Histogram h;

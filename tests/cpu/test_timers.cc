@@ -78,5 +78,114 @@ TEST(ThreadTimer, ResolutionSeparatesLatencyClasses)
     EXPECT_GT(miss, hit + 10);
 }
 
+TEST(ThreadTimer, StallFreezesThenResumesWithoutCatchUp)
+{
+    uint64_t cycle = 1000;
+    ThreadTimerDevice timer(&cycle, 450, 0, nullptr);
+    EXPECT_EQ(timer.read(0, 8), 450u);
+
+    timer.injectStall(2000); // descheduled until cycle 3000
+    cycle = 2000;
+    EXPECT_EQ(timer.read(0, 8), 450u); // frozen
+    cycle = 2900;
+    EXPECT_EQ(timer.read(0, 8), 450u);
+
+    // Resume: counting restarts from the frozen value at the first
+    // read past the stall — everything the loop would have counted
+    // in between is a permanent offset, not caught up.
+    cycle = 4000;
+    EXPECT_EQ(timer.read(0, 8), 450u);
+    cycle = 5000;
+    EXPECT_EQ(timer.read(0, 8), 450u + 450u);
+}
+
+TEST(ThreadTimer, StallDrawsNoJitter)
+{
+    // The stall path must not consume RNG draws: a stalled read has
+    // no jitter to sample, and an extra draw would shift every
+    // subsequent measurement in a seeded campaign.
+    uint64_t cycle = 1000;
+    Random rng(9), mirror(9);
+    ThreadTimerDevice timer(&cycle, 450, 3, &rng);
+    timer.injectStall(5000);
+    for (int i = 0; i < 50; ++i) {
+        cycle += 10;
+        timer.read(0, 8);
+    }
+    EXPECT_EQ(rng.next(1u << 30), mirror.next(1u << 30));
+}
+
+TEST(ThreadTimer, RateSkewRebasesWithoutBackwardJump)
+{
+    uint64_t cycle = 2000;
+    ThreadTimerDevice timer(&cycle, 450, 0, nullptr);
+    EXPECT_EQ(timer.read(0, 8), 900u);
+
+    // Slow down to half throughput: continuous at the switch point.
+    timer.setRateScalePermille(500);
+    EXPECT_EQ(timer.read(0, 8), 900u);
+    cycle = 3000;
+    EXPECT_EQ(timer.read(0, 8), 900u + 225u);
+
+    // Speed back up: still continuous, new slope applies forward.
+    timer.setRateScalePermille(2000);
+    cycle = 4000;
+    EXPECT_EQ(timer.read(0, 8), 1125u + 900u);
+}
+
+TEST(ThreadTimer, MonotonicUnderInjectedDisturbances)
+{
+    // The lastValue_ guard must hold against every fault the chaos
+    // layer can inject: stalls, skews in both directions, and jitter
+    // bursts, interleaved at random.
+    uint64_t cycle = 0;
+    Random rng(13), chaos(17);
+    ThreadTimerDevice timer(&cycle, 450, 2, &rng);
+    uint64_t last = 0;
+    for (int i = 0; i < 5000; ++i) {
+        cycle += chaos.next(40) + 1;
+        switch (chaos.next(20)) {
+          case 0:
+            timer.injectStall(chaos.next(500));
+            break;
+          case 1:
+            timer.setRateScalePermille(500 + chaos.next(1500));
+            break;
+          case 2:
+            timer.injectJitterBurst(5, 300 + chaos.next(1000));
+            break;
+          default:
+            break;
+        }
+        const uint64_t v = timer.read(0, 8);
+        EXPECT_GE(v, last) << "iteration " << i;
+        last = v;
+    }
+}
+
+TEST(ThreadTimer, JitterBurstExpiresBackToBaseEnvelope)
+{
+    uint64_t cycle = 0;
+    Random rng(21);
+    ThreadTimerDevice timer(&cycle, 450, 1, &rng);
+    timer.injectJitterBurst(8, 1000);
+    bool saw_large_jitter = false;
+    for (int i = 0; i < 10; ++i) {
+        cycle += 100;
+        const uint64_t expect = cycle * 450 / 1000;
+        const uint64_t v = timer.read(0, 8);
+        EXPECT_LE(v, expect + 9); // base 1 + burst 8
+        if (v > expect + 1 || v + 1 < expect)
+            saw_large_jitter = true;
+    }
+    EXPECT_TRUE(saw_large_jitter);
+    // Far past expiry the envelope is back to +/-1 (plus any clamp
+    // carry-over, which a long quiet stretch outruns).
+    cycle = 1'000'000;
+    const uint64_t v = timer.read(0, 8);
+    EXPECT_LE(v, cycle * 450 / 1000 + 1);
+    EXPECT_GE(v + 1, cycle * 450 / 1000);
+}
+
 } // namespace
 } // namespace pacman::cpu

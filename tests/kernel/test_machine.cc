@@ -79,6 +79,114 @@ TEST(Machine, NoisePerturbsTlbWhenEnabled)
               accesses);
 }
 
+TEST(Machine, NoiseTouchesExactlyConfiguredPageCount)
+{
+    // Regression: the old model drew noise pages *with* replacement,
+    // so the touched-set size silently undershot noisePages. Every
+    // noise access is one dTLB lookup (kernel-side loads share the
+    // dTLB; the extra kernel fetches go to the EL1 iTLB).
+    MachineConfig cfg = defaultMachineConfig();
+    cfg.noiseProbability = 1.0;
+    cfg.noisePages = 7;
+    Machine machine(cfg);
+    auto &dtlb = machine.mem().dtlb();
+    for (int i = 0; i < 20; ++i) {
+        const uint64_t before = dtlb.hits() + dtlb.misses();
+        machine.injectNoise();
+        EXPECT_EQ(dtlb.hits() + dtlb.misses() - before, 7u)
+            << "call " << i;
+    }
+}
+
+TEST(Machine, NoisePageCountClampedTo256)
+{
+    MachineConfig cfg = defaultMachineConfig();
+    cfg.noiseProbability = 1.0;
+    cfg.noisePages = 100000;
+    Machine machine(cfg);
+    auto &dtlb = machine.mem().dtlb();
+    const uint64_t before = dtlb.hits() + dtlb.misses();
+    machine.injectNoise();
+    EXPECT_EQ(dtlb.hits() + dtlb.misses() - before, 256u);
+}
+
+TEST(Machine, KernelSideNoisePerturbsEl1Itlb)
+{
+    MachineConfig cfg = defaultMachineConfig();
+    cfg.noiseProbability = 1.0;
+    cfg.noisePages = 64;
+    Machine machine(cfg);
+    auto &itlb1 = machine.mem().itlb(1);
+    const uint64_t before = itlb1.hits() + itlb1.misses();
+    for (int i = 0; i < 10; ++i)
+        machine.injectNoise();
+    // Interrupt handlers / kext code fetch at EL1: the iTLB the
+    // instruction-gadget oracle primes must see pressure too.
+    EXPECT_GT(itlb1.hits() + itlb1.misses(), before);
+}
+
+TEST(Machine, NoiseDeterministicAcrossSameSeedMachines)
+{
+    MachineConfig cfg = defaultMachineConfig();
+    cfg.seed = 1234;
+    cfg.noiseProbability = 0.7;
+    cfg.noisePages = 12;
+    Machine a(cfg), b(cfg);
+    for (int i = 0; i < 50; ++i) {
+        a.injectNoise();
+        b.injectNoise();
+    }
+    EXPECT_EQ(a.mem().dtlb().hits(), b.mem().dtlb().hits());
+    EXPECT_EQ(a.mem().dtlb().misses(), b.mem().dtlb().misses());
+    EXPECT_EQ(a.mem().itlb(1).misses(), b.mem().itlb(1).misses());
+}
+
+TEST(Machine, NoiseDrawsDecoupledFromMainRngStream)
+{
+    // Regression: noise used to draw from the machine's main RNG, so
+    // enabling it shifted every subsequent jitter/replacement draw.
+    // Now it forks a dedicated stream at boot/reseed: the main RNG
+    // sequence must be identical whether or not noise ever fired.
+    MachineConfig quiet_cfg = defaultMachineConfig();
+    quiet_cfg.seed = 99;
+    MachineConfig noisy_cfg = quiet_cfg;
+    noisy_cfg.noiseProbability = 1.0;
+    noisy_cfg.noisePages = 16;
+
+    Machine quiet(quiet_cfg), noisy(noisy_cfg);
+    for (int i = 0; i < 25; ++i)
+        noisy.injectNoise();
+    EXPECT_EQ(quiet.rng().next(1u << 30), noisy.rng().next(1u << 30));
+
+    // And the same holds after a mid-run reseed (campaign path).
+    quiet.reseedRng(4242);
+    noisy.reseedRng(4242);
+    for (int i = 0; i < 25; ++i)
+        noisy.injectNoise();
+    EXPECT_EQ(quiet.rng().next(1u << 30), noisy.rng().next(1u << 30));
+}
+
+TEST(Machine, MigrateCoreSwapsAndRestoresLatency)
+{
+    Machine machine;
+    const auto pcore = machine.mem().config().lat;
+    const uint64_t rate = machine.timer().ratePer1k();
+
+    machine.migrateCore(true);
+    EXPECT_TRUE(machine.onECore());
+    EXPECT_GT(machine.mem().config().lat.l1Hit, pcore.l1Hit);
+    EXPECT_GT(machine.mem().config().lat.dram, pcore.dram);
+    EXPECT_GT(machine.timer().ratePer1k(), rate);
+
+    machine.migrateCore(true); // idempotent
+    EXPECT_TRUE(machine.onECore());
+
+    machine.migrateCore(false);
+    EXPECT_FALSE(machine.onECore());
+    EXPECT_EQ(machine.mem().config().lat.l1Hit, pcore.l1Hit);
+    EXPECT_EQ(machine.timer().ratePer1k(), rate);
+}
+
 TEST(Machine, RunGuestReportsCrashes)
 {
     Machine machine;

@@ -217,5 +217,62 @@ TEST(Campaign, AccuracyDeterministicAcrossJobs)
     EXPECT_EQ(serial.falseNegatives, parallel.falseNegatives);
 }
 
+/** Chaos + full self-healing on a campaign replica template. */
+void
+addFaultsAndSelfHealing(ReplicaConfig &replica)
+{
+    replica.faults = FaultPlan::scaled(0.2);
+    replica.oracle.autoCalibrate = true;
+    replica.oracle.queryRetries = 2;
+    replica.oracle.busyRetries = 3;
+    replica.maxSamples = replica.samples + 2;
+    replica.candidateRetries = 1;
+}
+
+TEST(Campaign, FaultedBruteForceDeterministicAcrossJobs)
+{
+    // The determinism contract must hold for the injected faults AND
+    // the recovery they trigger: retries, recalibrations, and repairs
+    // all draw from per-item streams, never from thread identity.
+    uint16_t truth = 0;
+    BruteForceCampaignConfig cfg = smallCampaign(0.0, 1, &truth);
+    addFaultsAndSelfHealing(cfg.replica);
+
+    cfg.pool.jobs = 1;
+    const BruteForceCampaignResult serial = runBruteForceCampaign(cfg);
+    cfg.pool.jobs = 4;
+    const BruteForceCampaignResult parallel =
+        runBruteForceCampaign(cfg);
+
+    EXPECT_EQ(serial.fingerprint(), parallel.fingerprint());
+    // The plan must have realized faults, or this test ran vacuously.
+    EXPECT_GT(serial.faultStats.total(), 0u);
+    EXPECT_EQ(serial.faultStats.total(), parallel.faultStats.total());
+    EXPECT_EQ(serial.oracleStats.retriedQueries,
+              parallel.oracleStats.retriedQueries);
+}
+
+TEST(Campaign, FaultedAccuracyDeterministicAcrossJobs)
+{
+    AccuracyCampaignConfig cfg;
+    cfg.replica.machine = defaultMachineConfig();
+    cfg.replica.target = BenignDataBase + 37 * isa::PageSize;
+    cfg.replica.modifier = 0x9999;
+    cfg.replica.samples = 1;
+    addFaultsAndSelfHealing(cfg.replica);
+    cfg.trials = 3;
+    cfg.window = 24;
+    cfg.seed = 1000;
+    cfg.pool.chunkSize = 1;
+
+    cfg.pool.jobs = 1;
+    const AccuracyCampaignResult serial = runAccuracyCampaign(cfg);
+    cfg.pool.jobs = 3;
+    const AccuracyCampaignResult parallel = runAccuracyCampaign(cfg);
+
+    EXPECT_EQ(serial.fingerprint(), parallel.fingerprint());
+    EXPECT_GT(serial.faultStats.total(), 0u);
+}
+
 } // namespace
 } // namespace pacman

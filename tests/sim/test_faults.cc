@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "kernel/layout.hh"
+#include "sim/faults.hh"
+
+namespace pacman
+{
+namespace
+{
+
+using namespace pacman::kernel;
+using namespace pacman::sim;
+
+Machine
+makeMachine()
+{
+    MachineConfig cfg = defaultMachineConfig();
+    cfg.seed = 42;
+    return Machine(cfg);
+}
+
+/** Rate-1 plan for one event type, everything else off. */
+FaultPlan
+onlyEvent(double FaultPlan::*rate)
+{
+    FaultPlan plan;
+    plan.*rate = 1.0;
+    return plan;
+}
+
+TEST(FaultPlan, ScaledZeroIsDisabled)
+{
+    EXPECT_FALSE(FaultPlan{}.enabled());
+    EXPECT_FALSE(FaultPlan::scaled(0.0).enabled());
+    EXPECT_TRUE(FaultPlan::scaled(0.1).enabled());
+}
+
+TEST(FaultStats, TotalAndMergeSumEventCounts)
+{
+    FaultStats a;
+    a.contextSwitches = 2;
+    a.preemptions = 3;
+    a.busyArms = 1;
+    FaultStats b;
+    b.timerStalls = 4;
+    b.migrations = 5;
+    a.merge(b);
+    EXPECT_EQ(a.total(), 15u);
+    EXPECT_EQ(a.contextSwitches, 2u);
+    EXPECT_EQ(a.timerStalls, 4u);
+}
+
+TEST(FaultInjector, DisabledPlanRealizesNothing)
+{
+    Machine machine = makeMachine();
+    FaultInjector injector(machine, FaultPlan{}, 1);
+    for (int i = 0; i < 100; ++i)
+        injector.onOpportunity();
+    EXPECT_EQ(injector.opportunities(), 100u);
+    EXPECT_EQ(injector.stats().total(), 0u);
+}
+
+TEST(FaultInjector, FullContextSwitchFlushesUserNotKernel)
+{
+    Machine machine = makeMachine();
+    auto &dtlb = machine.mem().dtlb();
+    dtlb.insert({.vpn = 0x11, .asid = mem::Asid::User, .ppn = 1});
+    dtlb.insert({.vpn = 0x22, .asid = mem::Asid::Kernel, .ppn = 2});
+
+    FaultPlan plan = onlyEvent(&FaultPlan::contextSwitchRate);
+    plan.fullFlushFraction = 1.0; // always the full EL0 flush
+    plan.pollutePages = 0;
+    FaultInjector injector(machine, plan, 1);
+    injector.onOpportunity();
+
+    EXPECT_EQ(injector.stats().contextSwitches, 1u);
+    EXPECT_EQ(injector.stats().fullFlushes, 1u);
+    EXPECT_FALSE(dtlb.contains(0x11, mem::Asid::User));
+    EXPECT_TRUE(dtlb.contains(0x22, mem::Asid::Kernel));
+}
+
+TEST(FaultInjector, PreemptionBurnsCycles)
+{
+    Machine machine = makeMachine();
+    const uint64_t before = machine.core().cycle();
+
+    FaultPlan plan = onlyEvent(&FaultPlan::preemptRate);
+    plan.preemptPollutePages = 0;
+    FaultInjector injector(machine, plan, 1);
+    injector.onOpportunity();
+
+    EXPECT_EQ(injector.stats().preemptions, 1u);
+    const uint64_t burned = machine.core().cycle() - before;
+    EXPECT_GE(burned, plan.preemptMinCycles);
+    EXPECT_LE(burned, plan.preemptMaxCycles);
+    EXPECT_EQ(injector.stats().preemptedCycles, burned);
+}
+
+TEST(FaultInjector, BusyArmMakesGadgetSyscallsTransientlyFail)
+{
+    Machine machine = makeMachine();
+    FaultPlan plan = onlyEvent(&FaultPlan::syscallBusyRate);
+    plan.busyMinCount = plan.busyMaxCount = 2;
+    FaultInjector injector(machine, plan, 1);
+    injector.onOpportunity();
+
+    EXPECT_EQ(injector.stats().busyArms, 1u);
+    EXPECT_EQ(machine.mem().readVirt64(machine.kernel().busySlot()),
+              2u);
+}
+
+TEST(FaultInjector, MigrationSwapsLatencyAndTimerRate)
+{
+    Machine machine = makeMachine();
+    const auto pcore_lat = machine.mem().config().lat;
+    const uint64_t pcore_rate = machine.timer().ratePer1k();
+
+    FaultPlan plan = onlyEvent(&FaultPlan::migrationRate);
+    plan.migrationReturnRate = 0.0; // stay on the e-core
+    FaultInjector injector(machine, plan, 1);
+    injector.onOpportunity();
+
+    EXPECT_TRUE(machine.onECore());
+    EXPECT_EQ(injector.stats().migrations, 1u);
+    EXPECT_GT(machine.mem().config().lat.l1Hit, pcore_lat.l1Hit);
+    EXPECT_GT(machine.timer().ratePer1k(), pcore_rate);
+
+    // And back: latencies and throughput restore exactly.
+    machine.migrateCore(false);
+    EXPECT_FALSE(machine.onECore());
+    EXPECT_EQ(machine.mem().config().lat.l1Hit, pcore_lat.l1Hit);
+    EXPECT_EQ(machine.timer().ratePer1k(), pcore_rate);
+}
+
+TEST(FaultInjector, TimerEventsDisturbTheCounter)
+{
+    Machine machine = makeMachine();
+    FaultPlan plan = onlyEvent(&FaultPlan::timerRate);
+    FaultInjector injector(machine, plan, 1);
+    for (int i = 0; i < 30; ++i)
+        injector.onOpportunity();
+    const FaultStats &s = injector.stats();
+    EXPECT_EQ(s.timerStalls + s.timerSkews + s.jitterBursts, 30u);
+    // All three variants should show up over 30 draws.
+    EXPECT_GT(s.timerStalls, 0u);
+    EXPECT_GT(s.timerSkews, 0u);
+    EXPECT_GT(s.jitterBursts, 0u);
+}
+
+TEST(FaultInjector, SameSeedRealizesIdenticalFaultSequences)
+{
+    Machine a = makeMachine();
+    Machine b = makeMachine();
+    const FaultPlan plan = FaultPlan::scaled(0.5);
+    FaultInjector ia(a, plan, 99);
+    FaultInjector ib(b, plan, 99);
+    for (int i = 0; i < 200; ++i) {
+        ia.onOpportunity();
+        ib.onOpportunity();
+    }
+    EXPECT_GT(ia.stats().total(), 0u);
+    EXPECT_EQ(ia.stats().total(), ib.stats().total());
+    EXPECT_EQ(ia.stats().contextSwitches, ib.stats().contextSwitches);
+    EXPECT_EQ(ia.stats().preemptions, ib.stats().preemptions);
+    EXPECT_EQ(ia.stats().preemptedCycles, ib.stats().preemptedCycles);
+    EXPECT_EQ(ia.stats().busyArms, ib.stats().busyArms);
+    EXPECT_EQ(ia.stats().migrations, ib.stats().migrations);
+    // Machine-visible state diverges identically too.
+    EXPECT_EQ(a.core().cycle(), b.core().cycle());
+    EXPECT_EQ(a.onECore(), b.onECore());
+    EXPECT_EQ(a.timer().rateScalePermille(),
+              b.timer().rateScalePermille());
+}
+
+TEST(FaultInjector, AttachReceivesOpportunitiesFromInjectNoise)
+{
+    Machine machine = makeMachine();
+    FaultInjector injector(machine, FaultPlan{}, 1);
+
+    machine.injectNoise(); // not attached yet: no opportunity
+    EXPECT_EQ(injector.opportunities(), 0u);
+
+    injector.attach();
+    machine.injectNoise();
+    machine.injectNoise();
+    EXPECT_EQ(injector.opportunities(), 2u);
+
+    injector.detach();
+    machine.injectNoise();
+    EXPECT_EQ(injector.opportunities(), 2u);
+}
+
+TEST(FaultInjector, DestructorDetachesHook)
+{
+    Machine machine = makeMachine();
+    {
+        FaultInjector injector(machine, FaultPlan{}, 1);
+        injector.attach();
+    }
+    machine.injectNoise(); // must not call into the dead injector
+}
+
+} // namespace
+} // namespace pacman
