@@ -4,11 +4,25 @@
  * blocks: QARMA throughput, hierarchy access cost, guest instruction
  * rate, and oracle query cost. These gauge how long the paper-scale
  * experiments (20000 Figure 8 trials, full 16-bit sweeps) take.
+ *
+ * The end-to-end benchmarks double as the perf-regression harness's
+ * data source: tools/perf_smoke.py runs this binary with
+ * --benchmark_format=json and distils the result into BENCH_PR4.json
+ * (guest MIPS, oracle queries/sec, Figure-8-subset wall clock), which
+ * tools/perf_compare.py diffs across commits.
+ *
+ * The Figure-8 training-loop benchmark is registered twice: arg 1 is
+ * the default fast configuration (decode cache + PhysMem frame
+ * table), arg 0 is the slow reference path (both disabled at runtime,
+ * as in a PACMAN_DISABLE_FASTPATH build) — so the fast-vs-slow
+ * speedup claim is measurable from one binary.
  */
 
 #include <benchmark/benchmark.h>
 
 #include "attack/oracle.hh"
+#include "base/random.hh"
+#include "crypto/pac.hh"
 #include "crypto/qarma64.hh"
 #include "kernel/layout.hh"
 
@@ -17,6 +31,25 @@ using namespace pacman::kernel;
 
 namespace
 {
+
+/** Machine configuration with the fast paths toggled at runtime. */
+MachineConfig
+machineConfig(bool fast)
+{
+    MachineConfig cfg = defaultMachineConfig();
+    cfg.core.decodeCache = fast;
+    cfg.hier.fastMem = fast;
+    return cfg;
+}
+
+/** Paper-faithful Figure-8 oracle (Section 8.1: 64 training iters). */
+attack::OracleConfig
+fig8OracleConfig()
+{
+    attack::OracleConfig cfg;
+    cfg.trainIters = 64;
+    return cfg;
+}
 
 void
 BM_QarmaEncrypt(benchmark::State &state)
@@ -67,14 +100,103 @@ BM_OracleQuery(benchmark::State &state)
 {
     Machine machine;
     attack::AttackerProcess proc(machine);
-    attack::OracleConfig cfg;
-    attack::PacOracle oracle(proc, cfg);
+    attack::PacOracle oracle(proc, attack::OracleConfig{});
     oracle.setTarget(BenignDataBase + 37 * isa::PageSize, 0x42);
     uint16_t guess = 0;
     for (auto _ : state)
         benchmark::DoNotOptimize(oracle.probeMisses(guess++));
+    state.counters["queries_per_sec"] = benchmark::Counter(
+        double(state.iterations()), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_OracleQuery);
+
+/**
+ * The Figure-8 training-loop workload with the paper's 64 training
+ * iterations per query — the loop shape every paper-scale campaign
+ * spends its time in. One iteration = one full oracle query.
+ * Arg: 1 = fast paths (default build), 0 = slow reference paths.
+ */
+void
+BM_Fig8TrainingLoop(benchmark::State &state)
+{
+    const bool fast = state.range(0) != 0;
+    const bool prev_memo = crypto::pacMemoEnabled();
+    crypto::setPacMemoEnabled(fast);
+    Machine machine(machineConfig(fast));
+    attack::AttackerProcess proc(machine);
+    attack::PacOracle oracle(proc, fig8OracleConfig());
+    oracle.setTarget(BenignDataBase + 37 * isa::PageSize, 0x6D0D);
+
+    // Warm up (first query pays all compulsory misses), then exclude
+    // it from the instruction-rate accounting via the resettable
+    // stats the benches exist to exercise.
+    benchmark::DoNotOptimize(oracle.probeMisses(0));
+    machine.core().resetStats();
+
+    uint16_t guess = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(oracle.probeMisses(guess++));
+
+    const cpu::CoreStats &cs = machine.core().stats();
+    state.counters["guest_insts"] = benchmark::Counter(
+        double(cs.instsRetired), benchmark::Counter::kIsRate);
+    state.counters["queries_per_sec"] = benchmark::Counter(
+        double(state.iterations()), benchmark::Counter::kIsRate);
+    const double decode_total =
+        double(cs.icacheDecodeHits + cs.icacheDecodeMisses);
+    state.counters["decode_hit_rate"] =
+        decode_total > 0.0 ? double(cs.icacheDecodeHits) / decode_total
+                           : 0.0;
+    crypto::setPacMemoEnabled(prev_memo);
+}
+BENCHMARK(BM_Fig8TrainingLoop)->Arg(1)->Arg(0);
+
+/**
+ * End-to-end wall clock of a Figure-8 subset: per benchmark
+ * iteration, 16 coin-flip correct/incorrect oracle queries — a
+ * 1/1250-scale replica of the 20000-trial experiment, from which
+ * tools/perf_smoke.py extrapolates full-campaign wall clock.
+ */
+void
+BM_Fig8Subset(benchmark::State &state)
+{
+    constexpr unsigned TrialsPerIter = 16;
+
+    Machine machine;
+    attack::AttackerProcess proc(machine);
+    attack::PacOracle oracle(proc, fig8OracleConfig());
+    const isa::Addr target = BenignDataBase + 37 * isa::PageSize;
+    const uint64_t modifier = 0x6D0D;
+    oracle.setTarget(target, modifier);
+    const uint16_t correct = machine.kernel().truePac(
+        target, modifier, crypto::PacKeySelect::DA);
+    Random coin(machine.config().seed ^ 0xC01Cull);
+
+    // Exercise the structure-level reset + hit-rate accessors: drop
+    // the construction/boot warm-up from the reported rates.
+    benchmark::DoNotOptimize(oracle.probeMisses(correct));
+    machine.mem().dtlb().resetStats();
+    machine.mem().l1d().resetStats();
+
+    for (auto _ : state) {
+        for (unsigned t = 0; t < TrialsPerIter; ++t) {
+            uint16_t pac = correct;
+            if (coin.chance(0.5)) {
+                do {
+                    pac = uint16_t(coin.next(0x10000));
+                } while (pac == correct);
+            }
+            benchmark::DoNotOptimize(oracle.probeMisses(pac));
+        }
+    }
+
+    state.counters["trials_per_sec"] = benchmark::Counter(
+        double(state.iterations()) * TrialsPerIter,
+        benchmark::Counter::kIsRate);
+    state.counters["dtlb_hit_rate"] = machine.mem().dtlb().hitRate();
+    state.counters["l1d_hit_rate"] = machine.mem().l1d().hitRate();
+}
+BENCHMARK(BM_Fig8Subset);
 
 } // namespace
 

@@ -224,18 +224,18 @@ AttackerProcess::loadAll(const std::vector<Addr> &addrs)
     machine_.call(rLoadList_, {0, listArray_, addrs.size()});
 }
 
-std::vector<uint64_t>
+const std::vector<uint64_t> &
 AttackerProcess::probeAll(const std::vector<Addr> &addrs)
 {
     for (Addr va : addrs)
         ensureMapped(va);
     writeList(addrs);
     machine_.call(rProbeList_, {0, listArray_, addrs.size(), outArray_});
-    std::vector<uint64_t> counts;
-    counts.reserve(addrs.size());
+    probeScratch_.clear();
+    probeScratch_.reserve(addrs.size());
     for (size_t i = 0; i < addrs.size(); ++i)
-        counts.push_back(machine_.mem().readVirt64(outArray_ + 8 * i));
-    return counts;
+        probeScratch_.push_back(machine_.mem().readVirt64(outArray_ + 8 * i));
+    return probeScratch_;
 }
 
 void

@@ -59,8 +59,13 @@ class AttackerProcess
     /**
      * Probe: load every address, timing each with the multi-thread
      * counter; returns the per-access counts.
+     *
+     * The result references per-process scratch reused by the next
+     * probeAll() call — iterate or copy before probing again. (The
+     * oracle probes on every query; returning by value would allocate
+     * on the attack's hottest host-side path.)
      */
-    std::vector<uint64_t> probeAll(const std::vector<Addr> &addrs);
+    const std::vector<uint64_t> &probeAll(const std::vector<Addr> &addrs);
 
     /** Branch to @p va (target must contain a `ret`). */
     void fetchAt(Addr va);
@@ -114,6 +119,7 @@ class AttackerProcess
     Addr rReadPmc0_ = 0;
     Addr listArray_ = 0;
     Addr outArray_ = 0;
+    std::vector<uint64_t> probeScratch_; //!< probeAll result storage
 };
 
 } // namespace pacman::attack

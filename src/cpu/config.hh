@@ -84,6 +84,21 @@ struct CoreConfig
     unsigned bimodalEntries = 4096; //!< 2-bit counters
     unsigned btbEntries = 1024;
 
+    // --- Performance (non-architectural) ---
+
+    /**
+     * Memoize decoded instructions by physical address (skips
+     * isa::decode on hot PCs). Purely a host-side speedup — fetch
+     * timing and hierarchy state are identical either way; see
+     * cpu/decode_cache.hh. Defaults off in PACMAN_DISABLE_FASTPATH
+     * builds so the sanitizer CI leg runs the reference path.
+     */
+#ifdef PACMAN_DISABLE_FASTPATH
+    bool decodeCache = false;
+#else
+    bool decodeCache = true;
+#endif
+
     // --- Timers ---
     uint64_t cpuFreqHz = 3'200'000'000; //!< nominal core clock
     uint64_t cntFreqHz = 24'000'000;    //!< CNTPCT (Table 1: 24 MHz)

@@ -297,15 +297,50 @@ Core::fetch(Addr pc, bool speculative)
     FetchedInst out;
     const auto res =
         mem_->access(mem::AccessKind::Fetch, pc, el_, speculative);
-    if (res.fault != mem::Fault::None)
+    if (res.fault != mem::Fault::None) {
+        out.fault = res.fault;
         return out;
+    }
+    out.fetchLatency = res.latency;
+
+    // Decoded-instruction cache: consulted strictly after the
+    // architectural access() above, so hierarchy state and latency
+    // are identical whether it hits, misses, or is disabled. A hit
+    // skips only the (state-free) value load and isa::decode.
+    // Device pages are never executable, so res.isDevice cannot be
+    // set here; the check keeps the value path honest regardless.
+    const bool cacheable = cfg_.decodeCache && !res.isDevice;
+    uint64_t page_gen = 0;
+    if (cacheable) {
+        decodeCache_.syncEpoch(mem_->fetchEpoch());
+        page_gen = mem_->phys().pageGen(res.pa);
+        if (const auto *hit = decodeCache_.lookup(res.pa, page_gen)) {
+            ++stats_.icacheDecodeHits;
+            if (hit->undefined) {
+                out.undefined = true;
+                out.word = hit->word;
+                return out;
+            }
+            out.ok = true;
+            out.inst = hit->inst;
+            return out;
+        }
+        ++stats_.icacheDecodeMisses;
+    }
+
     const uint32_t word = uint32_t(mem_->loadValue(res, pc, 4));
     const auto inst = isa::decode(word);
-    if (!inst)
+    if (!inst) {
+        if (cacheable)
+            decodeCache_.insertUndefined(res.pa, page_gen, word);
+        out.undefined = true;
+        out.word = word;
         return out;
+    }
+    if (cacheable)
+        decodeCache_.insert(res.pa, page_gen, *inst);
     out.ok = true;
     out.inst = *inst;
-    out.fetchLatency = res.latency;
     return out;
 }
 
@@ -336,9 +371,20 @@ Core::run(uint64_t max_insts)
 
         const FetchedInst f = fetch(pc_, false);
         if (!f.ok) {
-            // Architectural fetch fault or undefined instruction.
-            return archFault(mem::Fault::Translation, pc_,
-                             "instruction fetch fault");
+            if (f.undefined) {
+                // The word mapped and fetched fine but fails decode:
+                // an undefined-instruction exception, not a
+                // translation fault.
+                ExitStatus status;
+                status.kind = ExitKind::UndefinedInst;
+                status.code = f.word;
+                status.pc = pc_;
+                status.reason = strprintf(
+                    "undefined instruction 0x%08x at pc=0x%llx (EL%u)",
+                    f.word, (unsigned long long)pc_, el_);
+                return status;
+            }
+            return archFault(f.fault, pc_, "instruction fetch fault");
         }
         // Front-end stall on icache/iTLB misses.
         if (f.fetchLatency > mem_->config().lat.l1Hit)
@@ -427,13 +473,14 @@ Core::run(uint64_t max_insts)
             predictor_.update(pc_, actual);
             if (predicted != actual) {
                 ++stats_.branchMispredicts;
-                SpecContext ctx;
+                SpecContext &ctx = specCtx_[0];
                 ctx.regs = regs_;
                 ctx.ready = ready_;
                 ctx.poison.fill(false);
                 ctx.taint.fill(false);
                 ctx.flags = flags_;
                 ctx.flagsReady = flagsReady_;
+                ctx.flagsPoison = false;
                 unsigned rob = cfg_.robSize;
                 speculate(predicted ? taken_target : next_pc, cycle_ + 1,
                           resolve, ctx, rob, 0);
@@ -487,13 +534,14 @@ Core::run(uint64_t max_insts)
             }
             if (predicted && *predicted != target) {
                 ++stats_.branchMispredicts;
-                SpecContext ctx;
+                SpecContext &ctx = specCtx_[0];
                 ctx.regs = regs_;
                 ctx.ready = ready_;
                 ctx.poison.fill(false);
                 ctx.taint.fill(false);
                 ctx.flags = flags_;
                 ctx.flagsReady = flagsReady_;
+                ctx.flagsPoison = false;
                 unsigned rob = cfg_.robSize;
                 speculate(*predicted, cycle_ + 1, resolve, ctx, rob, 0);
                 cycle_ = resolve + cfg_.redirectPenalty;
@@ -649,9 +697,9 @@ Core::run(uint64_t max_insts)
 
 void
 Core::speculate(Addr pc, uint64_t start, uint64_t deadline,
-                SpecContext ctx, unsigned &rob_budget, unsigned depth)
+                SpecContext &ctx, unsigned &rob_budget, unsigned depth)
 {
-    if (depth > 8)
+    if (depth > MaxSpecDepth)
         return;
 
     uint64_t fetch_t = start;
@@ -801,9 +849,13 @@ Core::speculate(Addr pc, uint64_t start, uint64_t deadline,
                 next_pc = actual_target;
                 break;
             }
-            // Nested misprediction inside the wrong path.
+            // Nested misprediction inside the wrong path. The child
+            // runs on its own pool slot seeded with a copy of this
+            // context, leaving ours untouched across the call.
+            SpecContext &nested = specCtx_[depth + 1];
+            nested = ctx;
             if (cfg_.eagerNestedSquash) {
-                speculate(pred_target, fetch_t + 1, resolve, ctx,
+                speculate(pred_target, fetch_t + 1, resolve, nested,
                           rob_budget, depth + 1);
                 fetch_t = resolve + cfg_.redirectPenalty;
                 group = 0;
@@ -813,7 +865,7 @@ Core::speculate(Addr pc, uint64_t start, uint64_t deadline,
             // Lazy squash: the inner branch never becomes oldest, so
             // its wrong path runs until the outer branch resolves and
             // its computed target is never fetched.
-            speculate(pred_target, fetch_t + 1, deadline, ctx,
+            speculate(pred_target, fetch_t + 1, deadline, nested,
                       rob_budget, depth + 1);
             return;
           }
@@ -874,19 +926,21 @@ Core::speculate(Addr pc, uint64_t start, uint64_t deadline,
                     next_pc = target;
                     break;
                 }
+                SpecContext &nested = specCtx_[depth + 1];
+                nested = ctx;
                 if (cfg_.eagerNestedSquash) {
                     // This is the instruction-PACMAN moment: execute
                     // down the stale BTB target until the aut output
                     // resolves, then squash eagerly and refetch from
                     // the verified pointer while still speculative.
-                    speculate(*predicted, fetch_t + 1, resolve, ctx,
+                    speculate(*predicted, fetch_t + 1, resolve, nested,
                               rob_budget, depth + 1);
                     fetch_t = resolve + cfg_.redirectPenalty;
                     group = 0;
                     next_pc = target;
                     break;
                 }
-                speculate(*predicted, fetch_t + 1, deadline, ctx,
+                speculate(*predicted, fetch_t + 1, deadline, nested,
                           rob_budget, depth + 1);
                 return;
             }

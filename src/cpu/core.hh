@@ -38,6 +38,7 @@
 
 #include "base/random.hh"
 #include "cpu/config.hh"
+#include "cpu/decode_cache.hh"
 #include "cpu/predictor.hh"
 #include "crypto/pac.hh"
 #include "isa/encoding.hh"
@@ -50,18 +51,19 @@ namespace pacman::cpu
 /** Why a run() returned. */
 enum class ExitKind : uint8_t
 {
-    Halted,       //!< HLT executed
-    CrashEl0,     //!< architectural fault at EL0 (process killed)
-    KernelPanic,  //!< architectural fault at EL1
-    Breakpoint,   //!< BRK executed
-    MaxInsts,     //!< instruction budget exhausted
+    Halted,        //!< HLT executed
+    CrashEl0,      //!< architectural fault at EL0 (process killed)
+    KernelPanic,   //!< architectural fault at EL1
+    Breakpoint,    //!< BRK executed
+    MaxInsts,      //!< instruction budget exhausted
+    UndefinedInst, //!< fetched word failed isa::decode (SIGILL-style)
 };
 
 /** Exit details. */
 struct ExitStatus
 {
     ExitKind kind = ExitKind::Halted;
-    uint64_t code = 0;        //!< HLT/BRK immediate
+    uint64_t code = 0;        //!< HLT/BRK immediate; undecodable word
     isa::Addr pc = 0;         //!< faulting / final pc
     mem::Fault fault = mem::Fault::None;
     std::string reason;       //!< human-readable description
@@ -91,6 +93,11 @@ struct CoreStats
     uint64_t wrongPathMemOps = 0;
     uint64_t specFaultsSuppressed = 0;
     uint64_t syscalls = 0;
+
+    // Decode-cache effectiveness (host-side perf; not architectural —
+    // excluded from the fast-vs-slow equivalence dumps).
+    uint64_t icacheDecodeHits = 0;
+    uint64_t icacheDecodeMisses = 0;
 };
 
 /** The core. One instance per simulated hardware thread. */
@@ -174,6 +181,9 @@ class Core
     struct FetchedInst
     {
         bool ok = false;
+        bool undefined = false; //!< fetched fine, failed isa::decode
+        mem::Fault fault = mem::Fault::None; //!< when !ok && !undefined
+        uint32_t word = 0;      //!< raw word (valid when undefined)
         isa::Inst inst;
         uint64_t fetchLatency = 0;
     };
@@ -191,9 +201,21 @@ class Core
      * Execute the wrong path from @p pc until @p deadline (the
      * resolution time of the oldest mispredicted branch), consuming
      * @p rob_budget. @p depth caps recursion into nested wrong paths.
+     *
+     * @p ctx is the callee's private working context — slot
+     * specCtx_[depth] of the per-core pool, seeded by the caller (a
+     * copy of the parent context for nested wrong paths). Passing the
+     * slot by reference keeps the recursion allocation-free while
+     * preserving the by-value semantics the eager-squash path needs:
+     * the parent's own slot is never written by the callee.
      */
     void speculate(isa::Addr pc, uint64_t start, uint64_t deadline,
-                   SpecContext ctx, unsigned &rob_budget, unsigned depth);
+                   SpecContext &ctx, unsigned &rob_budget,
+                   unsigned depth);
+
+    /** Deepest speculate() recursion: the depth guard admits depths
+     *  0..MaxSpecDepth, and a nested call may seed one slot beyond. */
+    static constexpr unsigned MaxSpecDepth = 8;
 
     CoreConfig cfg_;
     mem::MemoryHierarchy *mem_;
@@ -217,6 +239,11 @@ class Core
     Btb btb_;
     CoreStats stats_;
     std::function<void(const TraceRecord &)> traceHook_;
+
+    DecodeCache decodeCache_;
+
+    /** Pre-reserved speculation contexts, one per recursion depth. */
+    std::array<SpecContext, MaxSpecDepth + 2> specCtx_;
 };
 
 } // namespace pacman::cpu

@@ -1,0 +1,17 @@
+#include "decode_cache.hh"
+
+namespace pacman::cpu
+{
+
+DecodeCache::DecodeCache() : entries_(NumEntries), victim_(NumSets, 0)
+{
+}
+
+void
+DecodeCache::flush()
+{
+    for (Entry &e : entries_)
+        e.pa = NoPa;
+}
+
+} // namespace pacman::cpu

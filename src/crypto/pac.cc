@@ -1,10 +1,46 @@
 #include "pac.hh"
 
+#include <array>
+
 #include "base/bitfield.hh"
 #include "base/logging.hh"
 
 namespace pacman::crypto
 {
+
+namespace
+{
+
+/** One memoized PAC: the full input tuple plus the result. */
+struct PacMemoEntry
+{
+    uint64_t ptr = 0;
+    uint64_t mod = 0;
+    uint64_t w0 = 0;
+    uint64_t k0 = 0;
+    uint32_t meta = ~0u; //!< pac_bits << 8 | rounds; ~0u = empty
+    uint16_t pac = 0;
+};
+
+constexpr size_t PacMemoSize = 1024; //!< power of two
+
+thread_local std::array<PacMemoEntry, PacMemoSize> pacMemoTable;
+
+#ifdef PACMAN_DISABLE_FASTPATH
+thread_local bool pacMemoOn = false;
+#else
+thread_local bool pacMemoOn = true;
+#endif
+
+size_t
+pacMemoIndex(uint64_t ptr, uint64_t mod, uint64_t k0)
+{
+    uint64_t h = ptr ^ (mod * 0x9e3779b97f4a7c15ull) ^ k0;
+    h ^= h >> 32;
+    return size_t(h) & (PacMemoSize - 1);
+}
+
+} // namespace
 
 const char *
 pacKeyName(PacKeySelect sel)
@@ -25,12 +61,35 @@ computePac(uint64_t canonical_ptr, uint64_t modifier, const PacKey &key,
 {
     PACMAN_ASSERT(pac_bits >= 1 && pac_bits <= 16,
                   "unsupported PAC width %u", pac_bits);
+    const uint32_t meta = (pac_bits << 8) | uint32_t(rounds & 0xff);
+    PacMemoEntry *e = nullptr;
+    if (pacMemoOn) {
+        e = &pacMemoTable[pacMemoIndex(canonical_ptr, modifier, key.k0)];
+        if (e->ptr == canonical_ptr && e->mod == modifier &&
+            e->w0 == key.w0 && e->k0 == key.k0 && e->meta == meta)
+            return e->pac;
+    }
     const Qarma64 cipher(key.w0, key.k0, rounds);
     const uint64_t ct = cipher.encrypt(canonical_ptr, modifier);
     // Truncate to the upper unused pointer bits' width. Taking the top
     // bits of the ciphertext mirrors hardware, which slices the QARMA
     // output into the PAC field.
-    return uint16_t(bits(ct, 63, 64 - pac_bits));
+    const auto pac = uint16_t(bits(ct, 63, 64 - pac_bits));
+    if (e)
+        *e = PacMemoEntry{canonical_ptr, modifier, key.w0, key.k0, meta, pac};
+    return pac;
+}
+
+void
+setPacMemoEnabled(bool on)
+{
+    pacMemoOn = on;
+}
+
+bool
+pacMemoEnabled()
+{
+    return pacMemoOn;
 }
 
 } // namespace pacman::crypto

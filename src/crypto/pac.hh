@@ -63,6 +63,22 @@ uint16_t computePac(uint64_t canonical_ptr, uint64_t modifier,
                     const PacKey &key, unsigned pac_bits = 16,
                     int rounds = 7);
 
+/**
+ * Toggle the (thread-local) computePac memo table. computePac is a
+ * pure function, so memoization cannot change any result — a memo hit
+ * requires the full (pointer, modifier, key, width, rounds) tuple to
+ * match — but the attack's training loops authenticate the same
+ * pointer thousands of times, and skipping the repeated QARMA key
+ * schedule + rounds is the single largest hot-path win. Defaults on;
+ * a PACMAN_DISABLE_FASTPATH build defaults it off so the slow
+ * reference configuration measures the uncached cipher.
+ *
+ * The table and the flag are thread_local: parallel campaign workers
+ * neither share nor contend on memo state.
+ */
+void setPacMemoEnabled(bool on);
+bool pacMemoEnabled();
+
 } // namespace pacman::crypto
 
 #endif // PACMAN_CRYPTO_PAC_HH

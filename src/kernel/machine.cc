@@ -77,6 +77,10 @@ Machine::statsReport()
     row("wrong-path instructions", cs.wrongPathInsts);
     row("wrong-path memory ops", cs.wrongPathMemOps);
     row("speculative faults suppressed", cs.specFaultsSuppressed);
+    // Host-side perf counters (not architectural state): how well the
+    // decoded-instruction cache is absorbing front-end decode work.
+    row("decode-cache hits", cs.icacheDecodeHits);
+    row("decode-cache misses", cs.icacheDecodeMisses);
 
     auto structure = [&](const char *name, uint64_t hits,
                          uint64_t misses) {
@@ -137,7 +141,12 @@ Machine::injectNoise()
     // fetches — interrupt handlers and kext code perturb the EL1
     // iTLB, not just the dTLB.
     const unsigned pages = std::min(cfg_.noisePages, 256u);
-    std::vector<uint64_t> tramp_pages, arena_pages;
+    // Per-machine scratch: injectNoise runs between every attack step,
+    // so the draw bookkeeping must not allocate per call.
+    std::vector<uint64_t> &tramp_pages = noiseTrampScratch_;
+    std::vector<uint64_t> &arena_pages = noiseArenaScratch_;
+    tramp_pages.clear();
+    arena_pages.clear();
     auto draw_distinct = [&](std::vector<uint64_t> &used,
                              uint64_t bound) {
         uint64_t v;

@@ -10,6 +10,7 @@
 
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "base/random.hh"
 #include "cpu/core.hh"
@@ -143,6 +144,11 @@ class Machine
     Kernel kernel_;
     std::function<void()> disturbHook_;
     bool onECore_ = false;
+
+    /** injectNoise() draw-without-replacement scratch (no per-call
+     *  allocation on the attack hot path). */
+    std::vector<uint64_t> noiseTrampScratch_;
+    std::vector<uint64_t> noiseArenaScratch_;
 };
 
 } // namespace pacman::kernel

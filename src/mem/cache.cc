@@ -119,4 +119,20 @@ Cache::flushAll()
         line.valid = false;
 }
 
+void
+Cache::resetStats()
+{
+    hits_ = misses_ = 0;
+    uint64_t min_stamp = tick_;
+    for (const Line &line : lines_) {
+        if (line.valid && line.lruStamp < min_stamp)
+            min_stamp = line.lruStamp;
+    }
+    tick_ -= min_stamp;
+    for (Line &line : lines_) {
+        if (line.valid)
+            line.lruStamp -= min_stamp;
+    }
+}
+
 } // namespace pacman::mem

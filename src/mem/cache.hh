@@ -48,7 +48,21 @@ class Cache
     const SetAssocConfig &config() const { return cfg_; }
     uint64_t hits() const { return hits_; }
     uint64_t misses() const { return misses_; }
-    void resetStats() { hits_ = misses_ = 0; }
+
+    /** Hit fraction since construction / the last resetStats(). */
+    double hitRate() const
+    {
+        const uint64_t total = hits_ + misses_;
+        return total ? double(hits_) / double(total) : 0.0;
+    }
+
+    /**
+     * Zero the hit/miss counters and rebase the LRU clock so benches
+     * can exclude warm-up. Rebasing subtracts a common offset from
+     * tick_ and every live stamp; LRU ordering is purely relative, so
+     * replacement decisions are unchanged.
+     */
+    void resetStats();
 
   private:
     struct Line

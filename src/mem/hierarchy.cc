@@ -6,7 +6,7 @@ namespace pacman::mem
 {
 
 MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &cfg, Random *rng)
-    : cfg_(cfg), rng_(rng),
+    : cfg_(cfg), rng_(rng), phys_(cfg.fastMem),
       l1i_(cfg.l1i, cfg.replPolicy, rng),
       l1d_(cfg.l1d, cfg.replPolicy, rng),
       l2_(cfg.l2, cfg.replPolicy, rng),
@@ -296,6 +296,7 @@ MemoryHierarchy::flushAll()
     itlbEl1_.flushAll();
     dtlb_.flushAll();
     l2tlb_.flushAll();
+    ++flushEpoch_;
 }
 
 } // namespace pacman::mem

@@ -172,6 +172,15 @@ class MemoryHierarchy
     /** Invalidate all cache and TLB state (boot / reset). */
     void flushAll();
 
+    /**
+     * Front-end invalidation epoch: changes whenever any mapping is
+     * created/updated/removed or the hierarchy is flushed. The decode
+     * cache compares this once per fetch and drops all entries on a
+     * change — cheap enough for the hot path, and conservative enough
+     * to cover remap/unmap and reset without per-page bookkeeping.
+     */
+    uint64_t fetchEpoch() const { return pt_.epoch() + flushEpoch_; }
+
   private:
     /** Translation step shared by data and fetch paths. */
     AccessResult translateTimed(AccessKind kind, Addr va, unsigned el,
@@ -201,6 +210,7 @@ class MemoryHierarchy
     Tlb l2tlb_;
 
     std::vector<Device *> devices_;          //!< index = ppn - DevicePhysBase/PageSize
+    uint64_t flushEpoch_ = 0;                //!< bumped by flushAll()
 };
 
 } // namespace pacman::mem

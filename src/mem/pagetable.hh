@@ -67,8 +67,16 @@ class PageTable
     /** Number of mapped pages. */
     size_t size() const { return table_.size(); }
 
+    /**
+     * Mapping-change epoch: bumped on every map/mapTo/unmap. The
+     * decode cache folds this into its validity check so PA-keyed
+     * entries can never survive a page remap or unmap.
+     */
+    uint64_t epoch() const { return epoch_; }
+
   private:
     std::unordered_map<uint64_t, Mapping> table_;
+    uint64_t epoch_ = 0;
 };
 
 } // namespace pacman::mem

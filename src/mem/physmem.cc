@@ -1,51 +1,132 @@
 #include "physmem.hh"
 
+#include <cstring>
+
 #include "base/logging.hh"
 
 namespace pacman::mem
 {
 
-PhysMem::Page &
-PhysMem::pageFor(Addr pa)
+PhysMem::PhysMem(bool fastFrames) : fast_(fastFrames)
 {
-    auto [it, inserted] =
-        pages_.try_emplace(isa::pageNumber(pa));
-    if (inserted)
-        it->second.assign(isa::PageSize, 0);
-    return it->second;
+    if (fast_) {
+        user_.base = UserWindowBase;
+        user_.frames = UserWindowFrames;
+        user_.chunks.resize(UserWindowFrames / FramesPerChunk);
+        kernel_.base = KernelWindowBase;
+        kernel_.frames = KernelWindowFrames;
+        kernel_.chunks.resize(KernelWindowFrames / FramesPerChunk);
+    }
 }
 
-const PhysMem::Page *
-PhysMem::pageIfPresent(Addr pa) const
+PhysMem::Window *
+PhysMem::windowFor(uint64_t ppn)
 {
-    auto it = pages_.find(isa::pageNumber(pa));
-    return it == pages_.end() ? nullptr : &it->second;
+    return const_cast<Window *>(
+        const_cast<const PhysMem *>(this)->windowFor(ppn));
+}
+
+const PhysMem::Window *
+PhysMem::windowFor(uint64_t ppn) const
+{
+    if (!fast_)
+        return nullptr;
+    if (ppn - user_.base < user_.frames)
+        return &user_;
+    if (ppn - kernel_.base < kernel_.frames)
+        return &kernel_;
+    return nullptr;
+}
+
+const PhysMem::Frame *
+PhysMem::frameIfPresent(uint64_t ppn) const
+{
+    if (const Window *w = windowFor(ppn)) {
+        const auto &chunk = w->chunks[(ppn - w->base) / FramesPerChunk];
+        if (!chunk)
+            return nullptr;
+        const Frame &f = chunk->frames[(ppn - w->base) % FramesPerChunk];
+        return f.data ? &f : nullptr;
+    }
+    auto it = sparse_.find(ppn);
+    return it == sparse_.end() || !it->second.data ? nullptr : &it->second;
+}
+
+PhysMem::Frame &
+PhysMem::frameFor(uint64_t ppn)
+{
+    Frame *f;
+    if (Window *w = windowFor(ppn)) {
+        auto &chunk = w->chunks[(ppn - w->base) / FramesPerChunk];
+        if (!chunk)
+            chunk = std::make_unique<Chunk>();
+        f = &chunk->frames[(ppn - w->base) % FramesPerChunk];
+    } else {
+        f = &sparse_[ppn];
+    }
+    if (!f->data) {
+        f->data = std::make_unique<uint8_t[]>(isa::PageSize);
+        std::memset(f->data.get(), 0, isa::PageSize);
+        ++backedPages_;
+    }
+    return *f;
+}
+
+uint64_t
+PhysMem::readWithin(Addr pa, unsigned size) const
+{
+    const Frame *f = frameIfPresent(isa::pageNumber(pa));
+    if (!f)
+        return 0;
+    const uint8_t *src = f->data.get() + isa::pageOffset(pa);
+    uint64_t value = 0;
+    for (unsigned i = 0; i < size; ++i)
+        value |= uint64_t(src[i]) << (8 * i);
+    return value;
+}
+
+void
+PhysMem::writeWithin(Addr pa, uint64_t value, unsigned size)
+{
+    Frame &f = frameFor(isa::pageNumber(pa));
+    ++f.gen;
+    uint8_t *dst = f.data.get() + isa::pageOffset(pa);
+    for (unsigned i = 0; i < size; ++i)
+        dst[i] = uint8_t(value >> (8 * i));
 }
 
 uint64_t
 PhysMem::read(Addr pa, unsigned size) const
 {
     PACMAN_ASSERT(size >= 1 && size <= 8, "bad access size %u", size);
-    uint64_t value = 0;
-    for (unsigned i = 0; i < size; ++i) {
-        const Addr byte_pa = pa + i;
-        const Page *page = pageIfPresent(byte_pa);
-        const uint8_t byte =
-            page ? (*page)[isa::pageOffset(byte_pa)] : 0;
-        value |= uint64_t(byte) << (8 * i);
-    }
-    return value;
+    const unsigned room = unsigned(isa::PageSize - isa::pageOffset(pa));
+    if (size <= room)
+        return readWithin(pa, size);
+    // Page-straddling access: split at the boundary (at most once,
+    // since size <= 8 << PageSize).
+    const uint64_t lo = readWithin(pa, room);
+    const uint64_t hi = readWithin(pa + room, size - room);
+    return lo | (hi << (8 * room));
 }
 
 void
 PhysMem::write(Addr pa, uint64_t value, unsigned size)
 {
     PACMAN_ASSERT(size >= 1 && size <= 8, "bad access size %u", size);
-    for (unsigned i = 0; i < size; ++i) {
-        const Addr byte_pa = pa + i;
-        pageFor(byte_pa)[isa::pageOffset(byte_pa)] =
-            uint8_t(value >> (8 * i));
+    const unsigned room = unsigned(isa::PageSize - isa::pageOffset(pa));
+    if (size <= room) {
+        writeWithin(pa, value, size);
+        return;
     }
+    writeWithin(pa, value, room);
+    writeWithin(pa + room, value >> (8 * room), size - room);
+}
+
+uint64_t
+PhysMem::pageGen(Addr pa) const
+{
+    const Frame *f = frameIfPresent(isa::pageNumber(pa));
+    return f ? f->gen : 0;
 }
 
 } // namespace pacman::mem

@@ -4,6 +4,30 @@
  * touch. The attack's eviction-set sweeps span hundreds of megabytes
  * of address space but only touch a handful of pages per stride, so
  * sparse backing keeps the footprint tiny.
+ *
+ * Two lookup paths back the same byte-level contract:
+ *
+ *  - The *frame table* (default): two direct-indexed windows of page
+ *    frames covering the simulated DRAM ranges (the linear-mapped
+ *    user half below 32 GB and the first GB of the kernel half's
+ *    frames). Frame chunks are allocated lazily, so a boot costs a
+ *    few KB of pointers, and every load/store/fetch resolves with two
+ *    compares and two array indexes instead of a hash lookup.
+ *  - The *sparse map* fallback: an `unordered_map` keyed by PPN, used
+ *    for frames outside the windows (huge synthetic addresses, device
+ *    frames) — and for everything when the fast path is disabled
+ *    (`fastFrames = false`, the PACMAN_DISABLE_FASTPATH reference
+ *    configuration).
+ *
+ * Both paths are bit-identical by contract; the fast-vs-slow
+ * equivalence suite (tests/runner/test_fastpath_equiv.cc) proves it
+ * end to end.
+ *
+ * Every backed page also carries a monotonic *write generation*,
+ * bumped once per write touching the page. The CPU's decoded-
+ * instruction cache validates entries against it, which is what makes
+ * self-modifying code safe without any invalidation callbacks on the
+ * store hot path.
  */
 
 #ifndef PACMAN_MEM_PHYSMEM_HH
@@ -25,6 +49,14 @@ using isa::Addr;
 class PhysMem
 {
   public:
+    /**
+     * @param fastFrames Use the direct-indexed frame table for DRAM
+     *                   frames (default). When false every frame goes
+     *                   through the sparse map — the slow reference
+     *                   path the equivalence tests compare against.
+     */
+    explicit PhysMem(bool fastFrames = true);
+
     /** Read @p size bytes (1..8) as a little-endian integer. */
     uint64_t read(Addr pa, unsigned size) const;
 
@@ -38,19 +70,76 @@ class PhysMem
     /** Read a 32-bit instruction word. */
     uint32_t read32(Addr pa) const { return uint32_t(read(pa, 4)); }
 
+    /**
+     * Write generation of the page containing @p pa: 0 for a page
+     * never written, monotonically increasing with each write that
+     * touches the page. Consumers (the decode cache) snapshot it and
+     * treat any change as an invalidation.
+     */
+    uint64_t pageGen(Addr pa) const;
+
     /** Number of pages currently backed. */
-    size_t pageCount() const { return pages_.size(); }
+    size_t pageCount() const { return backedPages_; }
+
+    /** True when the direct-indexed frame table is in use. */
+    bool fastFrames() const { return fast_; }
 
   private:
-    using Page = std::vector<uint8_t>;
+    /** One backed page frame: data plus its write generation. */
+    struct Frame
+    {
+        std::unique_ptr<uint8_t[]> data; //!< PageSize bytes, zeroed
+        uint64_t gen = 0;
+    };
 
-    /** Backing page for @p pa, allocated (zeroed) on demand. */
-    Page &pageFor(Addr pa);
+    // Frame-table geometry. The windows are a fast-path optimization
+    // only — frames outside them fall back to the sparse map, so the
+    // bounds just need to cover the hot linear-mapped ranges
+    // (kernel/layout.hh): user code/data/arenas/JIT below 32 GB, and
+    // the kernel image/trampolines/data in the first GB above
+    // VA 0xFFFF'8000'0000'0000 (frame 0x2'0000'0000).
+    static constexpr uint64_t FramesPerChunk = 1024;
+    static constexpr uint64_t UserWindowBase = 0;
+    static constexpr uint64_t UserWindowFrames =
+        (0x8'0000'0000ull >> isa::PageShift); // 32 GB
+    static constexpr uint64_t KernelWindowBase =
+        (0x8000'0000'0000ull >> isa::PageShift);
+    static constexpr uint64_t KernelWindowFrames =
+        (0x1'0000'0000ull >> isa::PageShift); // 1 GB
 
-    /** Backing page for @p pa if present, else nullptr. */
-    const Page *pageIfPresent(Addr pa) const;
+    /** A lazily allocated group of frames (bounds chunk-vector size). */
+    struct Chunk
+    {
+        Frame frames[FramesPerChunk];
+    };
 
-    std::unordered_map<uint64_t, Page> pages_;
+    /** One direct-indexed window of the frame table. */
+    struct Window
+    {
+        uint64_t base = 0;   //!< first PPN covered
+        uint64_t frames = 0; //!< PPNs covered
+        std::vector<std::unique_ptr<Chunk>> chunks;
+    };
+
+    /** Window covering @p ppn, or nullptr. */
+    Window *windowFor(uint64_t ppn);
+    const Window *windowFor(uint64_t ppn) const;
+
+    /** Frame for @p ppn if backed, else nullptr. Never allocates. */
+    const Frame *frameIfPresent(uint64_t ppn) const;
+
+    /** Frame for @p ppn, allocated (zeroed) on demand. */
+    Frame &frameFor(uint64_t ppn);
+
+    /** Single-page read/write helpers (no page-boundary crossing). */
+    uint64_t readWithin(Addr pa, unsigned size) const;
+    void writeWithin(Addr pa, uint64_t value, unsigned size);
+
+    bool fast_;
+    Window user_;
+    Window kernel_;
+    std::unordered_map<uint64_t, Frame> sparse_;
+    size_t backedPages_ = 0;
 };
 
 } // namespace pacman::mem

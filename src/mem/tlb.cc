@@ -130,6 +130,22 @@ Tlb::flushAsid(Asid asid)
     return n;
 }
 
+void
+Tlb::resetStats()
+{
+    hits_ = misses_ = 0;
+    uint64_t min_stamp = tick_;
+    for (const Way &way : ways_) {
+        if (way.valid && way.lruStamp < min_stamp)
+            min_stamp = way.lruStamp;
+    }
+    tick_ -= min_stamp;
+    for (Way &way : ways_) {
+        if (way.valid)
+            way.lruStamp -= min_stamp;
+    }
+}
+
 unsigned
 Tlb::flushSetAsid(uint64_t set, Asid asid)
 {

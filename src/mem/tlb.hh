@@ -84,7 +84,19 @@ class Tlb
     const SetAssocConfig &config() const { return cfg_; }
     uint64_t hits() const { return hits_; }
     uint64_t misses() const { return misses_; }
-    void resetStats() { hits_ = misses_ = 0; }
+
+    /** Hit fraction since construction / the last resetStats(). */
+    double hitRate() const
+    {
+        const uint64_t total = hits_ + misses_;
+        return total ? double(hits_) / double(total) : 0.0;
+    }
+
+    /**
+     * Zero the hit/miss counters and rebase the LRU clock (see
+     * Cache::resetStats — replacement behaviour is unchanged).
+     */
+    void resetStats();
 
   private:
     struct Way

@@ -64,5 +64,58 @@ TEST(PhysMem, Read32Instruction)
     EXPECT_EQ(m.read32(0x2000), 0xD503201Fu);
 }
 
+TEST(PhysMem, PageGenBumpsOnWriteOnly)
+{
+    PhysMem m;
+    const uint64_t g0 = m.pageGen(0x4000);
+    EXPECT_EQ(m.read64(0x4000), 0u);
+    EXPECT_EQ(m.pageGen(0x4000), g0); // reads never move the gen
+
+    m.write64(0x4000, 1);
+    const uint64_t g1 = m.pageGen(0x4000);
+    EXPECT_GT(g1, g0);
+    m.write(0x4800, 0xAB, 1);
+    EXPECT_GT(m.pageGen(0x4000), g1); // same page, any offset
+
+    // Other pages are unaffected.
+    EXPECT_EQ(m.pageGen(0x4000 + isa::PageSize), g0);
+}
+
+TEST(PhysMem, CrossPageWriteBumpsBothPages)
+{
+    PhysMem m;
+    const Addr edge = isa::PageSize - 4;
+    const uint64_t lo0 = m.pageGen(edge);
+    const uint64_t hi0 = m.pageGen(edge + 8);
+    m.write64(edge, 0x1122334455667788ull);
+    EXPECT_GT(m.pageGen(edge), lo0);
+    EXPECT_GT(m.pageGen(edge + 8), hi0);
+}
+
+TEST(PhysMem, SlowPathParity)
+{
+    // The sparse map is the reference implementation; the frame table
+    // must be observationally identical through the whole API.
+    PhysMem fast(true);
+    PhysMem slow(false);
+    EXPECT_TRUE(fast.fastFrames());
+    EXPECT_FALSE(slow.fastFrames());
+
+    const Addr addrs[] = {0x0, 0x4000, isa::PageSize - 4,
+                          0x0000'7FFF'FFFF'0000ull,
+                          0x0000'8000'0000'0000ull + 0x2000};
+    for (PhysMem *m : {&fast, &slow}) {
+        for (const Addr a : addrs)
+            m->write64(a, a ^ 0xDEADBEEFull);
+        m->write(0x101, 0xCD, 1);
+    }
+    for (const Addr a : addrs) {
+        EXPECT_EQ(fast.read64(a), slow.read64(a)) << std::hex << a;
+        EXPECT_EQ(fast.pageGen(a), slow.pageGen(a)) << std::hex << a;
+    }
+    EXPECT_EQ(fast.read(0x100, 2), slow.read(0x100, 2));
+    EXPECT_EQ(fast.pageCount(), slow.pageCount());
+}
+
 } // namespace
 } // namespace pacman::mem

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * The fast-path equivalence contract: with the decode cache, the
+ * PhysMem frame table, and the PAC memo enabled (the default build),
+ * every observable architectural outcome is bit-identical to the slow
+ * reference paths — oracle miss counts, cycle counts, every cache/TLB
+ * hit/miss counter, and whole-campaign fingerprints at any job count,
+ * with and without injected faults. The fast paths are host-side
+ * memoization only; if any of these comparisons ever diverges, one of
+ * them leaked into architectural state.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "attack/oracle.hh"
+#include "base/stats.hh"
+#include "crypto/pac.hh"
+#include "kernel/layout.hh"
+#include "runner/campaign.hh"
+
+namespace pacman
+{
+namespace
+{
+
+using namespace pacman::attack;
+using namespace pacman::kernel;
+using namespace pacman::runner;
+
+MachineConfig
+fastSlowConfig(bool fast)
+{
+    MachineConfig cfg = defaultMachineConfig();
+    cfg.core.decodeCache = fast;
+    cfg.hier.fastMem = fast;
+    return cfg;
+}
+
+/** RAII toggle for the thread-local PAC memo. */
+struct PacMemoScope
+{
+    explicit PacMemoScope(bool on) : prev(crypto::pacMemoEnabled())
+    {
+        crypto::setPacMemoEnabled(on);
+    }
+    ~PacMemoScope() { crypto::setPacMemoEnabled(prev); }
+    bool prev;
+};
+
+/**
+ * Full architectural stats dump: every counter the simulation exposes
+ * except the decode-cache hit/miss counters, which are host-side by
+ * design (they count memo effectiveness, not guest behavior).
+ */
+std::string
+archDump(Machine &m)
+{
+    const cpu::CoreStats &cs = m.core().stats();
+    std::string s;
+    const auto add = [&](const char *name, uint64_t v) {
+        s += strprintf("%s=%llu ", name, (unsigned long long)v);
+    };
+    add("cycles", m.core().cycle());
+    add("retired", cs.instsRetired);
+    add("branches", cs.branches);
+    add("mispredicts", cs.branchMispredicts);
+    add("wrongpath", cs.wrongPathInsts);
+    add("wrongpath_mem", cs.wrongPathMemOps);
+    add("spec_faults", cs.specFaultsSuppressed);
+    add("syscalls", cs.syscalls);
+    const auto structure = [&](const char *name, uint64_t hits,
+                               uint64_t misses) {
+        s += strprintf("%s=%llu/%llu ", name, (unsigned long long)hits,
+                       (unsigned long long)misses);
+    };
+    mem::MemoryHierarchy &h = m.mem();
+    structure("l1i", h.l1i().hits(), h.l1i().misses());
+    structure("l1d", h.l1d().hits(), h.l1d().misses());
+    structure("l2", h.l2().hits(), h.l2().misses());
+    structure("slc", h.slc().hits(), h.slc().misses());
+    structure("itlb0", h.itlb(0).hits(), h.itlb(0).misses());
+    structure("itlb1", h.itlb(1).hits(), h.itlb(1).misses());
+    structure("dtlb", h.dtlb().hits(), h.dtlb().misses());
+    structure("l2tlb", h.l2tlb().hits(), h.l2tlb().misses());
+    return s;
+}
+
+/** A Figure-8 subset: 24 oracle queries, returning per-query miss
+ *  counts and the final architectural stats dump. */
+std::string
+runFig8Subset(bool fast, std::vector<unsigned> *counts)
+{
+    const PacMemoScope memo(fast);
+    Machine machine(fastSlowConfig(fast));
+    AttackerProcess proc(machine);
+    OracleConfig ocfg;
+    ocfg.trainIters = 8;
+    PacOracle oracle(proc, ocfg);
+    oracle.setTarget(BenignDataBase + 37 * isa::PageSize, 0x6D0D);
+    for (unsigned g = 0; g < 24; ++g)
+        counts->push_back(oracle.probeMisses(uint16_t(g * 2731)));
+    return archDump(machine);
+}
+
+TEST(FastpathEquiv, Fig8SubsetBitIdentical)
+{
+    std::vector<unsigned> fast_counts, slow_counts;
+    const std::string fast_dump = runFig8Subset(true, &fast_counts);
+    const std::string slow_dump = runFig8Subset(false, &slow_counts);
+    EXPECT_EQ(fast_counts, slow_counts);
+    EXPECT_EQ(fast_dump, slow_dump);
+}
+
+/** Brute-force campaign over a small window with the truth inside. */
+BruteForceCampaignConfig
+equivCampaign(bool fast, unsigned jobs, bool faults)
+{
+    MachineConfig mcfg = fastSlowConfig(fast);
+    mcfg.seed = 42;
+
+    const isa::Addr target = BenignDataBase + 37 * isa::PageSize;
+    Machine probe(mcfg);
+    uint64_t modifier = 0x100;
+    uint16_t truth = 0;
+    for (;; ++modifier) {
+        truth = probe.kernel().truePac(target, modifier,
+                                       crypto::PacKeySelect::DA);
+        if (truth >= 48 && truth <= 0xFFF0)
+            break;
+    }
+
+    BruteForceCampaignConfig cfg;
+    cfg.replica.machine = mcfg;
+    cfg.replica.target = target;
+    cfg.replica.modifier = modifier;
+    cfg.replica.samples = 1;
+    cfg.first = uint16_t(truth - 23);
+    cfg.last = uint16_t(truth + 8);
+    cfg.seed = 7;
+    cfg.pool.chunkSize = 4;
+    cfg.pool.jobs = jobs;
+    if (faults) {
+        cfg.replica.faults = FaultPlan::scaled(0.2);
+        cfg.replica.oracle.autoCalibrate = true;
+        cfg.replica.oracle.queryRetries = 2;
+        cfg.replica.oracle.busyRetries = 3;
+        cfg.replica.maxSamples = cfg.replica.samples + 2;
+        cfg.replica.candidateRetries = 1;
+    }
+    return cfg;
+}
+
+TEST(FastpathEquiv, BruteForceFingerprintAcrossJobs)
+{
+    for (const unsigned jobs : {1u, 4u, 16u}) {
+        const std::string fast_fp =
+            runBruteForceCampaign(equivCampaign(true, jobs, false))
+                .fingerprint();
+        const std::string slow_fp =
+            runBruteForceCampaign(equivCampaign(false, jobs, false))
+                .fingerprint();
+        EXPECT_EQ(fast_fp, slow_fp) << "jobs " << jobs;
+    }
+}
+
+TEST(FastpathEquiv, FaultedBruteForceFingerprintAcrossJobs)
+{
+    // The contract must also hold when the chaos layer is injecting
+    // faults and the self-healing machinery is retrying/recalibrating
+    // — the paths where divergence would hide best.
+    for (const unsigned jobs : {1u, 4u, 16u}) {
+        const BruteForceCampaignResult fast_res =
+            runBruteForceCampaign(equivCampaign(true, jobs, true));
+        const BruteForceCampaignResult slow_res =
+            runBruteForceCampaign(equivCampaign(false, jobs, true));
+        EXPECT_EQ(fast_res.fingerprint(), slow_res.fingerprint())
+            << "jobs " << jobs;
+        // Vacuity guard: the plan must have realized faults.
+        EXPECT_GT(fast_res.faultStats.total(), 0u);
+    }
+}
+
+} // namespace
+} // namespace pacman

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Diff two perf baselines produced by tools/perf_smoke.py.
+
+Each metric carries its own direction ("higher" or "lower" is
+better); a metric counts as a regression when it moves in the wrong
+direction by more than --threshold (fractional, default 0.15 — sized
+for shared CI runners, override for quieter hardware). Exit status is
+1 when any metric regresses, so the comparison can gate a CI step;
+improvements and in-threshold noise are reported but never fail.
+
+Usage:
+    python3 tools/perf_compare.py BASELINE.json CURRENT.json \
+        [--threshold 0.15]
+    python3 tools/perf_compare.py --self-test
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "pacman-bench-v1"
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: unexpected schema "
+                         f"{data.get('schema')!r} (want {SCHEMA!r})")
+    return data["metrics"]
+
+
+def compare(baseline, current, threshold):
+    """Return (report_lines, regressions) for two metric dicts."""
+    lines = []
+    regressions = []
+    for name in sorted(set(baseline) | set(current)):
+        if name not in baseline:
+            lines.append(f"  NEW    {name}: "
+                         f"{current[name]['value']:.4g}")
+            continue
+        if name not in current:
+            lines.append(f"  GONE   {name}")
+            regressions.append(name)
+            continue
+        base = baseline[name]["value"]
+        cur = current[name]["value"]
+        better = baseline[name].get("better", "higher")
+        if base == 0:
+            delta = 0.0 if cur == 0 else float("inf")
+        else:
+            delta = (cur - base) / abs(base)
+        worse = -delta if better == "higher" else delta
+        status = "OK    "
+        if worse > threshold:
+            status = "REGRESS"
+            regressions.append(name)
+        lines.append(f"  {status} {name}: {base:.4g} -> {cur:.4g} "
+                     f"({delta:+.1%}, {better} is better)")
+    return lines, regressions
+
+
+def self_test():
+    """Unit-style checks of the comparison logic (no files needed)."""
+    base = {
+        "rate": {"value": 100.0, "better": "higher"},
+        "wall": {"value": 10.0, "better": "lower"},
+    }
+
+    # Within threshold both directions: no regressions.
+    cur = {
+        "rate": {"value": 95.0, "better": "higher"},
+        "wall": {"value": 10.5, "better": "lower"},
+    }
+    _, regs = compare(base, cur, threshold=0.10)
+    assert regs == [], regs
+
+    # Rate dropped 30%: regression.
+    cur = {
+        "rate": {"value": 70.0, "better": "higher"},
+        "wall": {"value": 10.0, "better": "lower"},
+    }
+    _, regs = compare(base, cur, threshold=0.10)
+    assert regs == ["rate"], regs
+
+    # Time grew 30%: regression; direction matters.
+    cur = {
+        "rate": {"value": 130.0, "better": "higher"},
+        "wall": {"value": 13.0, "better": "lower"},
+    }
+    _, regs = compare(base, cur, threshold=0.10)
+    assert regs == ["wall"], regs
+
+    # Large improvements are never regressions.
+    cur = {
+        "rate": {"value": 300.0, "better": "higher"},
+        "wall": {"value": 1.0, "better": "lower"},
+    }
+    _, regs = compare(base, cur, threshold=0.10)
+    assert regs == [], regs
+
+    # A metric disappearing is a regression (baseline coverage lost).
+    _, regs = compare(base, {"rate": base["rate"]}, threshold=0.10)
+    assert regs == ["wall"], regs
+
+    # A new metric is reported but never fails.
+    cur = dict(base)
+    cur["extra"] = {"value": 1.0, "better": "higher"}
+    _, regs = compare(base, cur, threshold=0.10)
+    assert regs == [], regs
+
+    # Zero baselines: unchanged is fine, any growth on a lower-better
+    # metric is an infinite regression.
+    zbase = {"wall": {"value": 0.0, "better": "lower"}}
+    _, regs = compare(zbase, {"wall": {"value": 0.0,
+                                       "better": "lower"}}, 0.10)
+    assert regs == [], regs
+    _, regs = compare(zbase, {"wall": {"value": 0.1,
+                                       "better": "lower"}}, 0.10)
+    assert regs == ["wall"], regs
+
+    print("perf_compare self-test: all assertions passed")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", nargs="?",
+                        help="baseline BENCH json (e.g. committed "
+                             "BENCH_PR4.json)")
+    parser.add_argument("current", nargs="?",
+                        help="freshly measured BENCH json")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="fractional regression tolerance")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in logic checks and exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        parser.error("baseline and current files are required "
+                     "(or use --self-test)")
+
+    lines, regressions = compare(load(args.baseline),
+                                 load(args.current), args.threshold)
+    print(f"perf compare: {args.baseline} -> {args.current} "
+          f"(threshold {args.threshold:.0%})")
+    for line in lines:
+        print(line)
+    if regressions:
+        print(f"FAIL: {len(regressions)} metric(s) regressed: "
+              f"{', '.join(regressions)}")
+        return 1
+    print("PASS: no metric regressed beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Run the micro_sim_perf benchmark binary and distil its JSON output
+into the checked-in perf baseline (BENCH_PR4.json).
+
+The baseline captures the handful of end-to-end numbers the project
+optimizes for — guest MIPS on the Figure-8 training loop (fast and
+slow reference paths), oracle queries per second, and the wall clock
+of a Figure-8 subset extrapolated to the paper's 20000-trial campaign
+— in a direction-annotated schema that tools/perf_compare.py can diff
+across commits.
+
+Usage:
+    python3 tools/perf_smoke.py --bench build/bench/micro_sim_perf \
+        --output BENCH_PR4.json [--min-time 0.5]
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+SCHEMA = "pacman-bench-v1"
+
+# Paper scale: Figure 8 runs 20000 trials; BM_Fig8Subset runs 16 per
+# benchmark iteration.
+FIG8_CAMPAIGN_TRIALS = 20000
+FIG8_SUBSET_TRIALS_PER_ITER = 16
+
+
+def run_benchmark(bench, min_time):
+    """Run the benchmark binary, returning google-benchmark's JSON."""
+    cmd = [
+        bench,
+        "--benchmark_format=json",
+        f"--benchmark_min_time={min_time}",
+    ]
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE, check=True)
+    return json.loads(proc.stdout)
+
+
+def index_by_name(raw):
+    return {b["name"]: b for b in raw.get("benchmarks", [])}
+
+
+def to_seconds(value, unit):
+    return value * {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}[unit]
+
+
+def distil(raw):
+    """Reduce google-benchmark JSON to the headline metric dict."""
+    by_name = index_by_name(raw)
+
+    def need(name):
+        if name not in by_name:
+            raise KeyError(f"benchmark '{name}' missing from output")
+        return by_name[name]
+
+    fast = need("BM_Fig8TrainingLoop/1")
+    slow = need("BM_Fig8TrainingLoop/0")
+    oracle = need("BM_OracleQuery")
+    syscall = need("BM_GuestSyscall")
+    subset = need("BM_Fig8Subset")
+
+    subset_iter_s = to_seconds(subset["real_time"], subset["time_unit"])
+    campaign_wall_s = (subset_iter_s / FIG8_SUBSET_TRIALS_PER_ITER *
+                      FIG8_CAMPAIGN_TRIALS)
+
+    metrics = {
+        "fig8_guest_mips": {
+            "value": fast["guest_insts"] / 1e6,
+            "better": "higher",
+        },
+        "fig8_guest_mips_slowpath": {
+            "value": slow["guest_insts"] / 1e6,
+            "better": "higher",
+        },
+        "fig8_queries_per_sec": {
+            "value": fast["queries_per_sec"],
+            "better": "higher",
+        },
+        "fig8_decode_hit_rate": {
+            "value": fast["decode_hit_rate"],
+            "better": "higher",
+        },
+        "oracle_queries_per_sec": {
+            "value": oracle["queries_per_sec"],
+            "better": "higher",
+        },
+        "syscall_guest_mips": {
+            "value": syscall["guest_insts"] / 1e6,
+            "better": "higher",
+        },
+        "fig8_subset_wall_s": {
+            "value": campaign_wall_s,
+            "better": "lower",
+        },
+    }
+    speedup = (metrics["fig8_guest_mips"]["value"] /
+               metrics["fig8_guest_mips_slowpath"]["value"])
+    metrics["fastpath_speedup"] = {"value": speedup, "better": "higher"}
+    return metrics
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", default="build/bench/micro_sim_perf",
+                        help="path to the micro_sim_perf binary")
+    parser.add_argument("--output", default="BENCH_PR4.json",
+                        help="where to write the distilled baseline")
+    parser.add_argument("--min-time", default="0.5",
+                        help="per-benchmark --benchmark_min_time")
+    args = parser.parse_args(argv)
+
+    raw = run_benchmark(args.bench, args.min_time)
+    metrics = distil(raw)
+
+    result = {
+        "schema": SCHEMA,
+        "context": {
+            "host": raw.get("context", {}).get("host_name", "unknown"),
+            "num_cpus": raw.get("context", {}).get("num_cpus", 0),
+        },
+        "metrics": metrics,
+    }
+    with open(args.output, "w") as f:
+        json.dump(result, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    for name in sorted(metrics):
+        print(f"{name}: {metrics[name]['value']:.4g}")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
