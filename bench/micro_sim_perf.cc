@@ -7,7 +7,7 @@
  *
  * The end-to-end benchmarks double as the perf-regression harness's
  * data source: tools/perf_smoke.py runs this binary with
- * --benchmark_format=json and distils the result into BENCH_PR4.json
+ * --benchmark_format=json and distils the result into BENCH_PR5.json
  * (guest MIPS, oracle queries/sec, Figure-8-subset wall clock), which
  * tools/perf_compare.py diffs across commits.
  *
@@ -25,6 +25,8 @@
 #include "crypto/pac.hh"
 #include "crypto/qarma64.hh"
 #include "kernel/layout.hh"
+#include "runner/campaign.hh"
+#include "sim/snapshot.hh"
 
 using namespace pacman;
 using namespace pacman::kernel;
@@ -197,6 +199,93 @@ BM_Fig8Subset(benchmark::State &state)
     state.counters["l1d_hit_rate"] = machine.mem().l1d().hitRate();
 }
 BENCHMARK(BM_Fig8Subset);
+
+/**
+ * Full replica provisioning — what a campaign worker pays before its
+ * first work item, and what fresh-provision mode pays PER item: boot
+ * (keys, kernel image, page tables), guest program assembly, eviction
+ * set construction, target binding and threshold calibration. The
+ * per-iteration time is the provision_ms baseline metric; the
+ * checkpoint restore below is the price the snapshot path pays
+ * instead.
+ */
+void
+BM_ReplicaProvision(benchmark::State &state)
+{
+    attack::OracleConfig ocfg;
+    ocfg.autoCalibrate = true;
+    for (auto _ : state) {
+        Machine machine;
+        attack::AttackerProcess proc(machine);
+        attack::PacOracle oracle(proc, ocfg);
+        oracle.setTarget(BenignDataBase + 37 * isa::PageSize, 0x6D0D);
+        benchmark::DoNotOptimize(oracle.queries());
+    }
+}
+BENCHMARK(BM_ReplicaProvision)->Unit(benchmark::kMillisecond);
+
+/**
+ * Checkpoint restore of a dirtied replica — the per-item cost of the
+ * snapshot path. Each iteration first dirties machine state with one
+ * oracle query (outside the timed region), then rewinds: the restore
+ * therefore pays the realistic COW page count, not the no-op
+ * clean-restore fast case.
+ */
+void
+BM_SnapshotRestore(benchmark::State &state)
+{
+    Machine machine;
+    attack::AttackerProcess proc(machine);
+    attack::PacOracle oracle(proc, attack::OracleConfig{});
+    oracle.setTarget(BenignDataBase + 37 * isa::PageSize, 0x6D0D);
+    sim::ReplicaCheckpoint ckpt(machine, oracle);
+
+    uint16_t guess = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        benchmark::DoNotOptimize(oracle.probeMisses(guess++));
+        state.ResumeTiming();
+        ckpt.restore();
+    }
+    state.counters["pages_copied_per_restore"] =
+        ckpt.stats().restores
+            ? double(ckpt.stats().pagesCopied) / ckpt.stats().restores
+            : 0.0;
+}
+BENCHMARK(BM_SnapshotRestore)->Unit(benchmark::kMicrosecond);
+
+/**
+ * End-to-end accuracy campaign, small enough to iterate: 6 trials,
+ * each re-keying and sweeping an 8-candidate window. Arg 1 runs the
+ * provision-once/restore-per-item path, arg 0 the fresh-provision
+ * reference — the pair is the accuracy_snapshot_speedup metric, the
+ * headline number of the checkpointing work (the two modes produce
+ * bit-identical fingerprints; tests/runner/test_snapshot_equiv.cc
+ * asserts that, this measures the wall-clock gap).
+ */
+void
+BM_AccuracyCampaign(benchmark::State &state)
+{
+    constexpr uint64_t Trials = 6;
+    runner::AccuracyCampaignConfig cfg;
+    cfg.replica.machine = defaultMachineConfig();
+    cfg.replica.oracle.autoCalibrate = true;
+    cfg.replica.target = BenignDataBase + 37 * isa::PageSize;
+    cfg.replica.modifier = 0x6D0D;
+    cfg.replica.samples = 1;
+    cfg.replica.snapshot = state.range(0) != 0;
+    cfg.trials = Trials;
+    cfg.window = 8;
+    cfg.pool.jobs = 1;
+    for (auto _ : state) {
+        const auto res = runner::runAccuracyCampaign(cfg);
+        benchmark::DoNotOptimize(res.totals.guessesTested);
+    }
+    state.counters["trials_per_sec"] = benchmark::Counter(
+        double(state.iterations()) * Trials, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AccuracyCampaign)->Arg(1)->Arg(0)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

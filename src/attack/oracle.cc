@@ -78,6 +78,54 @@ PacOracle::setTarget(Addr target, uint64_t modifier)
 }
 
 void
+PacOracle::refreshLegitPointer()
+{
+    PACMAN_ASSERT(target_ != 0, "oracle used before setTarget()");
+    const uint16_t legit_sys = cfg_.kind == GadgetKind::Data
+                                   ? SYS_GET_LEGIT_DATA
+                                   : SYS_GET_LEGIT_INST;
+    legitPtr_ = proc_.syscall(legit_sys);
+}
+
+PacOracle::Snapshot
+PacOracle::takeSnapshot() const
+{
+    Snapshot snap;
+    snap.cfg = cfg_;
+    snap.target = target_;
+    snap.modifier = modifier_;
+    snap.legitPtr = legitPtr_;
+    snap.resetList = resetList_;
+    snap.primeList = primeList_;
+    snap.trampIndices = trampIndices_;
+    snap.queries = queries_;
+    snap.canaryAddr = canaryAddr_;
+    snap.calibHitLo = calibHitLo_;
+    snap.calibHitHi = calibHitHi_;
+    snap.stats = stats_;
+    snap.proc = proc_.takeSnapshot();
+    return snap;
+}
+
+void
+PacOracle::restore(const Snapshot &snap)
+{
+    cfg_ = snap.cfg;
+    target_ = snap.target;
+    modifier_ = snap.modifier;
+    legitPtr_ = snap.legitPtr;
+    resetList_ = snap.resetList;
+    primeList_ = snap.primeList;
+    trampIndices_ = snap.trampIndices;
+    queries_ = snap.queries;
+    canaryAddr_ = snap.canaryAddr;
+    calibHitLo_ = snap.calibHitLo;
+    calibHitHi_ = snap.calibHitHi;
+    stats_ = snap.stats;
+    proc_.restore(snap.proc);
+}
+
+void
 PacOracle::rebuildSets()
 {
     auto &kern = proc_.machine().kernel();

@@ -211,6 +211,45 @@ class PacOracle
      *  from the geometry — recovery for polluted/stale sets. */
     void repairEvictionSets();
 
+    /**
+     * Re-run the legitimate-pointer fetch syscall for the bound
+     * target. Required after Machine::rekey(): the kernel re-signs
+     * its pointers under the new keys, so the cached legit pointer
+     * used for training would otherwise carry a stale PAC. The call
+     * runs guest code and perturbs micro-architectural state — but
+     * deterministically, so snapshot-restore and fresh-provision
+     * replicas that both call it stay bit-identical.
+     */
+    void refreshLegitPointer();
+
+    /**
+     * Complete host-side mutable state, including the attacker
+     * process's (the guest-visible side of both lives in the Machine
+     * snapshot). The configured-then-calibrated threshold, measured
+     * hit band, derived address lists, query/robustness counters, and
+     * argument-array placement all rewind, so a restored replica
+     * re-enters exactly the post-provisioning state.
+     */
+    struct Snapshot
+    {
+        OracleConfig cfg;
+        Addr target = 0;
+        uint64_t modifier = 0;
+        uint64_t legitPtr = 0;
+        std::vector<Addr> resetList;
+        std::vector<Addr> primeList;
+        std::vector<uint64_t> trampIndices;
+        uint64_t queries = 0;
+        Addr canaryAddr = 0;
+        double calibHitLo = 0.0;
+        double calibHitHi = 0.0;
+        OracleStats stats;
+        AttackerProcess::Snapshot proc;
+    };
+
+    Snapshot takeSnapshot() const;
+    void restore(const Snapshot &snap);
+
   private:
     void train();
     uint16_t gadgetSyscall() const;

@@ -103,6 +103,28 @@ class AttackerProcess
      *  configuration (callers must not probe these). */
     std::vector<uint64_t> reservedDtlbSets() const;
 
+    /**
+     * Host-side mutable state. The assembled routines and their guest
+     * pages are captured by the Machine snapshot (they live in
+     * simulated memory); only the argument-array placement is host
+     * state that placeArrays() can move after construction. The
+     * probeAll scratch is overwritten before every read, so it needs
+     * no capture.
+     */
+    struct Snapshot
+    {
+        Addr listArray = 0;
+        Addr outArray = 0;
+    };
+
+    Snapshot takeSnapshot() const { return {listArray_, outArray_}; }
+
+    void restore(const Snapshot &snap)
+    {
+        listArray_ = snap.listArray;
+        outArray_ = snap.outArray;
+    }
+
   private:
     void buildRoutines();
     void writeList(const std::vector<Addr> &addrs);

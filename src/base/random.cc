@@ -56,6 +56,24 @@ Random::fork(uint64_t stream) const
     return Random(deriveSeed(seed_, stream));
 }
 
+Random::State
+Random::state() const
+{
+    State st;
+    st.seed = seed_;
+    for (int i = 0; i < 4; ++i)
+        st.s[i] = s[i];
+    return st;
+}
+
+void
+Random::setState(const State &st)
+{
+    seed_ = st.seed;
+    for (int i = 0; i < 4; ++i)
+        s[i] = st.s[i];
+}
+
 uint64_t
 Random::next()
 {

@@ -46,6 +46,25 @@ class Random
     /** The seed this generator was constructed from. */
     uint64_t seed() const { return seed_; }
 
+    /**
+     * Complete generator state: the construction seed plus the
+     * xoshiro256** word vector. Capturing it mid-stream and feeding it
+     * back through setState() resumes the sequence exactly where it
+     * left off, which is what lets Machine::restore() rewind every RNG
+     * stream bit-identically.
+     */
+    struct State
+    {
+        uint64_t seed = 0;
+        uint64_t s[4] = {0, 0, 0, 0};
+    };
+
+    /** Capture the current stream position. */
+    State state() const;
+
+    /** Rewind (or fast-forward) to a previously captured position. */
+    void setState(const State &st);
+
     /** Next raw 64-bit value. */
     uint64_t next();
 

@@ -284,6 +284,51 @@ Core::setTraceHook(std::function<void(const TraceRecord &)> hook)
     traceHook_ = std::move(hook);
 }
 
+Core::Snapshot
+Core::takeSnapshot() const
+{
+    Snapshot snap;
+    snap.regs = regs_;
+    snap.flags = flags_;
+    snap.pc = pc_;
+    snap.el = el_;
+    snap.sysregs = sysregs_;
+    snap.cycle = cycle_;
+    snap.ready = ready_;
+    snap.flagsReady = flagsReady_;
+    snap.lastCompletion = lastCompletion_;
+    snap.fetchGroup = fetchGroup_;
+    snap.predictor = predictor_.takeSnapshot();
+    snap.btb = btb_.takeSnapshot();
+    snap.stats = stats_;
+    return snap;
+}
+
+void
+Core::restore(const Snapshot &snap)
+{
+    regs_ = snap.regs;
+    flags_ = snap.flags;
+    pc_ = snap.pc;
+    el_ = snap.el;
+    sysregs_ = snap.sysregs;
+    cycle_ = snap.cycle;
+    ready_ = snap.ready;
+    flagsReady_ = snap.flagsReady;
+    lastCompletion_ = snap.lastCompletion;
+    fetchGroup_ = snap.fetchGroup;
+    predictor_.restore(snap.predictor);
+    btb_.restore(snap.btb);
+    stats_ = snap.stats;
+    // The decode cache deliberately survives the rewind (it is pure
+    // host-side memoization with no architectural or timing effect,
+    // and re-decoding all guest code per restore would dominate the
+    // restore-per-item fast path). This is safe because entries are
+    // PA-keyed and validated against page write generations, and
+    // PhysMem::restore relabels rewound pages with never-reused
+    // generation values — a stale entry can never re-validate.
+}
+
 void
 Core::serialize(uint64_t extra)
 {

@@ -164,6 +164,38 @@ class Core
     const CoreConfig &config() const { return cfg_; }
     mem::MemoryHierarchy &mem() { return *mem_; }
 
+    /**
+     * Complete per-core state: architectural registers/flags/pc/EL and
+     * system registers (so PAC keys rewind), the dataflow timing
+     * scoreboard, branch predictor and BTB tables, and the stats
+     * counters. The decoded-instruction cache is deliberately NOT
+     * captured: a restore rewinds page write generations and the fetch
+     * epoch, which could make stale (pa, gen) entries re-validate, so
+     * restore() flushes it instead — a pure host-side warm-up cost
+     * with no architectural or timing effect. The speculation-context
+     * pool is scratch (fully re-seeded before every use) and the trace
+     * hook is host wiring; neither is captured.
+     */
+    struct Snapshot
+    {
+        std::array<uint64_t, isa::NumRegs> regs{};
+        isa::Pstate flags;
+        isa::Addr pc = 0;
+        unsigned el = 0;
+        std::array<uint64_t, size_t(isa::SysReg::NumSysRegs)> sysregs{};
+        uint64_t cycle = 0;
+        std::array<uint64_t, isa::NumRegs> ready{};
+        uint64_t flagsReady = 0;
+        uint64_t lastCompletion = 0;
+        unsigned fetchGroup = 0;
+        BimodalPredictor::Snapshot predictor;
+        Btb::Snapshot btb;
+        CoreStats stats;
+    };
+
+    Snapshot takeSnapshot() const;
+    void restore(const Snapshot &snap);
+
   private:
     /** Speculative (wrong-path) execution context. */
     struct SpecContext

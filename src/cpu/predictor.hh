@@ -38,6 +38,12 @@ class BimodalPredictor
     /** Reset all counters to weakly not-taken. */
     void reset();
 
+    /** Complete state: the counter table. */
+    using Snapshot = std::vector<uint8_t>;
+
+    Snapshot takeSnapshot() const { return counters_; }
+    void restore(const Snapshot &snap) { counters_ = snap; }
+
   private:
     uint64_t indexOf(isa::Addr pc) const;
 
@@ -59,7 +65,7 @@ class Btb
     /** Invalidate all entries. */
     void reset();
 
-  private:
+    /** One BTB entry (exposed so Snapshot can hold the table). */
     struct Entry
     {
         bool valid = false;
@@ -67,6 +73,13 @@ class Btb
         isa::Addr target = 0;
     };
 
+    /** Complete state: the entry table. */
+    using Snapshot = std::vector<Entry>;
+
+    Snapshot takeSnapshot() const { return entries_; }
+    void restore(const Snapshot &snap) { entries_ = snap; }
+
+  private:
     uint64_t indexOf(isa::Addr pc) const;
 
     std::vector<Entry> entries_;

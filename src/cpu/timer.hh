@@ -83,6 +83,44 @@ class ThreadTimerDevice : public mem::Device
     uint64_t ratePer1k() const { return basePer1k_; }
     uint64_t rateScalePermille() const { return scalePermille_; }
 
+    /**
+     * Every mutable field (the cycle pointer, jitter amplitude, and
+     * RNG pointer are construction-time wiring; the jitter draws come
+     * from the machine RNG, which the Machine snapshot covers).
+     */
+    struct Snapshot
+    {
+        uint64_t basePer1k = 0;
+        uint64_t scalePermille = 1000;
+        uint64_t baseCycle = 0;
+        uint64_t baseValue = 0;
+        bool stalled = false;
+        uint64_t stallUntil = 0;
+        uint64_t burstUntil = 0;
+        uint64_t burstExtra = 0;
+        uint64_t lastValue = 0;
+    };
+
+    Snapshot takeSnapshot() const
+    {
+        return {basePer1k_, scalePermille_, baseCycle_, baseValue_,
+                stalled_, stallUntil_, burstUntil_, burstExtra_,
+                lastValue_};
+    }
+
+    void restore(const Snapshot &snap)
+    {
+        basePer1k_ = snap.basePer1k;
+        scalePermille_ = snap.scalePermille;
+        baseCycle_ = snap.baseCycle;
+        baseValue_ = snap.baseValue;
+        stalled_ = snap.stalled;
+        stallUntil_ = snap.stallUntil;
+        burstUntil_ = snap.burstUntil;
+        burstExtra_ = snap.burstExtra;
+        lastValue_ = snap.lastValue;
+    }
+
   private:
     void rebase(uint64_t cycle);
 

@@ -75,6 +75,12 @@ uint16_t computePac(uint64_t canonical_ptr, uint64_t modifier,
  *
  * The table and the flag are thread_local: parallel campaign workers
  * neither share nor contend on memo state.
+ *
+ * Because entries are keyed by the full tuple *including the key
+ * material*, the memo is also snapshot/rekey-safe: Machine::restore()
+ * and Kernel::rekey() change which keys are live in the sysregs, but
+ * a memo entry for an old key can only be hit by a query using that
+ * old key — so no flush is needed (or performed) on either path.
  */
 void setPacMemoEnabled(bool on);
 bool pacMemoEnabled();

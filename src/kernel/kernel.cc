@@ -59,10 +59,11 @@ Kernel::loadProgram(const asmjit::Program &prog)
 }
 
 void
-Kernel::boot()
+Kernel::drawKeys(Random &rng)
 {
-    // Per-boot Pointer Authentication keys: fresh secrets every boot,
-    // so a crash-restart cycle re-keys and invalidates learned PACs.
+    // The draw order is part of the determinism contract: boot() and
+    // rekey() must consume exactly these ten values in exactly this
+    // order so a given seed always produces the same key material.
     static const SysReg key_regs[] = {
         SysReg::APIAKEY_LO, SysReg::APIAKEY_HI,
         SysReg::APIBKEY_LO, SysReg::APIBKEY_HI,
@@ -71,7 +72,27 @@ Kernel::boot()
         SysReg::APGAKEY_LO, SysReg::APGAKEY_HI,
     };
     for (SysReg reg : key_regs)
-        core_->setSysreg(reg, rng_->next());
+        core_->setSysreg(reg, rng.next());
+}
+
+void
+Kernel::rekey(uint64_t key_seed)
+{
+    // A reboot's key-relevant effects without the reboot: fresh key
+    // sysregs from a dedicated generator (the machine's main stream is
+    // left untouched) and re-signing of every stored signed pointer
+    // (the jump2win object graph is the only one the kernel owns).
+    Random key_rng(key_seed);
+    drawKeys(key_rng);
+    initJump2WinObjects();
+}
+
+void
+Kernel::boot()
+{
+    // Per-boot Pointer Authentication keys: fresh secrets every boot,
+    // so a crash-restart cycle re-keys and invalidates learned PACs.
+    drawKeys(*rng_);
 
     // Map kernel memory: code, trampolines, data, benign data.
     mem::PageFlags kcode{.user = false, .writable = false,

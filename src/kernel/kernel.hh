@@ -48,6 +48,17 @@ class Kernel
      */
     void boot();
 
+    /**
+     * Rotate the Pointer Authentication keys without rebooting: draw
+     * ten fresh key values from a dedicated Random(@p key_seed) in the
+     * same register order as boot(), then re-sign the jump2win object
+     * pointers under the new keys. Gives restore-per-trial campaigns
+     * the per-trial "fresh boot, fresh keys" semantics at a fraction
+     * of the cost, and deterministically: the same seed always
+     * installs the same keys.
+     */
+    void rekey(uint64_t key_seed);
+
     /** The assembled kernel image (input to the gadget scanner). */
     const asmjit::Program &image() const { return image_; }
 
@@ -98,6 +109,9 @@ class Kernel
     void initJump2WinObjects();
 
   private:
+    /** Install fresh PA keys drawn from @p rng (boot/rekey shared). */
+    void drawKeys(Random &rng);
+
     /** Assemble the dispatcher + kext code. */
     asmjit::Program buildImage();
 

@@ -103,6 +103,39 @@ Machine::statsReport()
     return table.render();
 }
 
+Machine::Snapshot
+Machine::takeSnapshot() const
+{
+    Snapshot snap;
+    snap.rng = rng_.state();
+    snap.noiseRng = noiseRng_.state();
+    snap.onECore = onECore_;
+    snap.mem = mem_.takeSnapshot();
+    snap.core = core_.takeSnapshot();
+    snap.timer = timer_.takeSnapshot();
+    return snap;
+}
+
+mem::PhysMem::RestoreStats
+Machine::restore(const Snapshot &snap)
+{
+    rng_.setState(snap.rng);
+    noiseRng_.setState(snap.noiseRng);
+    const mem::PhysMem::RestoreStats stats = mem_.restore(snap.mem);
+    core_.restore(snap.core);
+    // The hierarchy snapshot does not carry the latency constants (they
+    // are a pure function of the migration flag); re-derive them here
+    // exactly as migrateCore() would.
+    onECore_ = snap.onECore;
+    mem_.setLatencyConfig(onECore_ ? mem::m1ECoreLatency()
+                                   : cfg_.hier.lat);
+    // Restore the timer after the latency swap: its snapshot already
+    // holds the matching base rate, so no setBaseRatePer1k rebase
+    // (which would resample base cycle/value) must run.
+    timer_.restore(snap.timer);
+    return stats;
+}
+
 void
 Machine::migrateCore(bool to_ecore)
 {

@@ -129,6 +129,49 @@ class Machine
      */
     std::string statsReport();
 
+    // --- Snapshot / restore (checkpointed replica provisioning) ---
+
+    /**
+     * The complete simulated state: both RNG stream positions, the
+     * e-core migration flag, the full memory hierarchy (physical
+     * pages, page table, caches, TLBs), the core (architectural +
+     * timing + predictor state and PAC-key sysregs), and the thread
+     * timer. Host wiring — the disturbance hook, device registration,
+     * trace hooks — is deliberately not captured: a snapshot must be
+     * restored into the machine it was taken from.
+     */
+    struct Snapshot
+    {
+        Random::State rng;
+        Random::State noiseRng;
+        bool onECore = false;
+        mem::MemoryHierarchy::Snapshot mem;
+        cpu::Core::Snapshot core;
+        cpu::ThreadTimerDevice::Snapshot timer;
+    };
+
+    /** Capture the complete simulated state. */
+    Snapshot takeSnapshot() const;
+
+    /** Convenience alias matching the subsystem's public name. */
+    Snapshot snapshot() const { return takeSnapshot(); }
+
+    /**
+     * Rewind bit-identically to @p snap: any guest or host-driven
+     * simulation from the restored state replays exactly the run that
+     * followed the capture (given the same inputs). Physical pages
+     * are rewound copy-on-write — only pages written since the
+     * capture are copied back. @return the page copy/free work done.
+     */
+    mem::PhysMem::RestoreStats restore(const Snapshot &snap);
+
+    /**
+     * Rotate PAC keys as if freshly booted (Kernel::rekey): dedicated
+     * key stream, machine RNG untouched. Pair with reseedRng() to give
+     * a restored replica per-trial fresh-boot semantics.
+     */
+    void rekey(uint64_t key_seed) { kernel_.rekey(key_seed); }
+
   private:
     /** Stream id for the dedicated ambient-noise RNG: noise draws
      *  must not interleave with timer-jitter draws, or enabling

@@ -87,12 +87,14 @@ Cache::access(Addr pa)
 {
     ++tick_;
     if (Line *line = findLine(pa)) {
+        journalTouch(line);
         line->lruStamp = tick_;
         ++hits_;
         return true;
     }
     ++misses_;
     Line &victim = victimIn(setIndex(pa));
+    journalTouch(&victim);
     victim.valid = true;
     victim.tag = tagOf(lineNumber(pa));
     victim.lruStamp = tick_;
@@ -108,13 +110,16 @@ Cache::contains(Addr pa) const
 void
 Cache::invalidate(Addr pa)
 {
-    if (Line *line = findLine(pa))
+    if (Line *line = findLine(pa)) {
+        journalTouch(line);
         line->valid = false;
+    }
 }
 
 void
 Cache::flushAll()
 {
+    journalBulk();
     for (Line &line : lines_)
         line.valid = false;
 }
@@ -122,6 +127,7 @@ Cache::flushAll()
 void
 Cache::resetStats()
 {
+    journalBulk();
     hits_ = misses_ = 0;
     uint64_t min_stamp = tick_;
     for (const Line &line : lines_) {
@@ -132,6 +138,46 @@ Cache::resetStats()
     for (Line &line : lines_) {
         if (line.valid)
             line.lruStamp -= min_stamp;
+    }
+}
+
+Cache::Snapshot
+Cache::takeSnapshot() const
+{
+    ++journalEpoch_;
+    journalOff_ = false;
+    journal_.clear();
+    journaled_.assign(lines_.size(), 0);
+    return {lines_, tick_, hits_, misses_, journalEpoch_};
+}
+
+void
+Cache::restore(const Snapshot &snap)
+{
+    tick_ = snap.tick;
+    hits_ = snap.hits;
+    misses_ = snap.misses;
+    if (snap.journalEpoch == journalEpoch_ && !journalOff_) {
+        // The journal lists exactly the lines dirtied since this
+        // snapshot was captured; everything else is already identical.
+        for (const uint32_t idx : journal_) {
+            lines_[idx] = snap.lines[idx];
+            journaled_[idx] = 0;
+        }
+        journal_.clear();
+        return;
+    }
+    lines_ = snap.lines;
+    if (snap.journalEpoch == journalEpoch_) {
+        // The journal overflowed, but the full copy just made the
+        // live state equal this (still armed) snapshot again: re-arm.
+        journal_.clear();
+        journaled_.assign(lines_.size(), 0);
+        journalOff_ = false;
+    } else {
+        // Restored a snapshot the journal was not armed against; its
+        // contents no longer describe the divergence from anything.
+        journalOff_ = true;
     }
 }
 

@@ -64,7 +64,7 @@ class Cache
      */
     void resetStats();
 
-  private:
+    /** One tag-array way (exposed so Snapshot can hold the array). */
     struct Line
     {
         bool valid = false;
@@ -72,11 +72,58 @@ class Cache
         uint64_t lruStamp = 0; //!< larger = more recently used
     };
 
+    /** Complete mutable state: tag array, LRU clock, counters. */
+    struct Snapshot
+    {
+        std::vector<Line> lines;
+        uint64_t tick = 0;
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+
+        /** Which arming of the dirty-line journal this capture
+         *  belongs to (restore fast-path validity check). */
+        uint64_t journalEpoch = 0;
+    };
+
+    /**
+     * Capture the complete tag-array state. Also (re)arms the
+     * dirty-line journal — bookkeeping, not observable state, hence
+     * const — so a later restore of THIS snapshot can copy back just
+     * the lines touched since the capture instead of the whole array
+     * (the large L2/SLC arrays make the full copy the dominant cost
+     * of a replica restore). Restoring any other snapshot falls back
+     * to the full copy.
+     */
+    Snapshot takeSnapshot() const;
+
+    void restore(const Snapshot &snap);
+
+  private:
     uint64_t lineNumber(Addr pa) const;
     uint64_t tagOf(uint64_t line_num) const;
     Line *findLine(Addr pa);
     const Line *findLine(Addr pa) const;
     Line &victimIn(uint64_t set);
+
+    /** Record @p line as dirtied since the last takeSnapshot(). */
+    void journalTouch(const Line *line)
+    {
+        if (journalOff_)
+            return;
+        const size_t idx = size_t(line - lines_.data());
+        if (journaled_[idx])
+            return;
+        if (journal_.size() >= lines_.size() / 4) {
+            journalOff_ = true; // cheaper to copy the array wholesale
+            return;
+        }
+        journaled_[idx] = 1;
+        journal_.push_back(uint32_t(idx));
+    }
+
+    /** Whole-array mutation (flushAll/resetStats): give up on the
+     *  journal until the next capture re-arms it. */
+    void journalBulk() { journalOff_ = true; }
 
     SetAssocConfig cfg_;
     ReplPolicy policy_;
@@ -85,6 +132,14 @@ class Cache
     uint64_t tick_ = 0;
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;
+
+    // Dirty-line journal (see takeSnapshot). Mutable: arming from the
+    // const capture path only redirects how restore copies bytes, it
+    // never changes modelled behaviour. Disarmed until first capture.
+    mutable bool journalOff_ = true;
+    mutable uint64_t journalEpoch_ = 0;
+    mutable std::vector<uint32_t> journal_;  //!< dirtied line indices
+    mutable std::vector<uint8_t> journaled_; //!< per-line dedup flag
 };
 
 } // namespace pacman::mem

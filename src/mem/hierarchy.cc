@@ -285,6 +285,41 @@ MemoryHierarchy::writeVirt(Addr va, uint64_t value, unsigned size)
     phys_.write(*pa, value, size);
 }
 
+MemoryHierarchy::Snapshot
+MemoryHierarchy::takeSnapshot() const
+{
+    Snapshot snap;
+    snap.phys = phys_.takeSnapshot();
+    snap.pt = pt_.takeSnapshot();
+    snap.l1i = l1i_.takeSnapshot();
+    snap.l1d = l1d_.takeSnapshot();
+    snap.l2 = l2_.takeSnapshot();
+    snap.slc = slc_.takeSnapshot();
+    snap.itlbEl0 = itlbEl0_.takeSnapshot();
+    snap.itlbEl1 = itlbEl1_.takeSnapshot();
+    snap.dtlb = dtlb_.takeSnapshot();
+    snap.l2tlb = l2tlb_.takeSnapshot();
+    snap.flushEpoch = flushEpoch_;
+    return snap;
+}
+
+PhysMem::RestoreStats
+MemoryHierarchy::restore(const Snapshot &snap)
+{
+    const PhysMem::RestoreStats stats = phys_.restore(snap.phys);
+    pt_.restore(snap.pt);
+    l1i_.restore(snap.l1i);
+    l1d_.restore(snap.l1d);
+    l2_.restore(snap.l2);
+    slc_.restore(snap.slc);
+    itlbEl0_.restore(snap.itlbEl0);
+    itlbEl1_.restore(snap.itlbEl1);
+    dtlb_.restore(snap.dtlb);
+    l2tlb_.restore(snap.l2tlb);
+    flushEpoch_ = snap.flushEpoch;
+    return stats;
+}
+
 void
 MemoryHierarchy::flushAll()
 {

@@ -181,6 +181,29 @@ class MemoryHierarchy
      */
     uint64_t fetchEpoch() const { return pt_.epoch() + flushEpoch_; }
 
+    /**
+     * Complete simulated-memory state: physical pages (COW against
+     * write generations), page table, all cache tag arrays and all TLB
+     * way arrays including LRU stamps, and the flush epoch. Device
+     * registrations are host wiring established at boot and are not
+     * captured; snapshots must be restored into the same machine they
+     * were taken from. The latency configuration is owned by the
+     * Machine-level snapshot (it tracks the e-core migration flag).
+     */
+    struct Snapshot
+    {
+        PhysMem::Snapshot phys;
+        PageTable::Snapshot pt;
+        Cache::Snapshot l1i, l1d, l2, slc;
+        Tlb::Snapshot itlbEl0, itlbEl1, dtlb, l2tlb;
+        uint64_t flushEpoch = 0;
+    };
+
+    Snapshot takeSnapshot() const;
+
+    /** @return the physical-page copy/free work actually performed. */
+    PhysMem::RestoreStats restore(const Snapshot &snap);
+
   private:
     /** Translation step shared by data and fetch paths. */
     AccessResult translateTimed(AccessKind kind, Addr va, unsigned el,

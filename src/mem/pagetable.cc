@@ -14,14 +14,14 @@ PageTable::mapTo(Addr va, uint64_t ppn, PageFlags flags)
 {
     const uint64_t vpn = isa::pageNumber(isa::vaPart(va));
     table_[vpn] = Mapping{ppn, flags};
-    ++epoch_;
+    epoch_ = ++epochCounter_;
 }
 
 void
 PageTable::unmap(Addr va)
 {
     table_.erase(isa::pageNumber(isa::vaPart(va)));
-    ++epoch_;
+    epoch_ = ++epochCounter_;
 }
 
 std::optional<Mapping>

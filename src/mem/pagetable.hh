@@ -68,15 +68,47 @@ class PageTable
     size_t size() const { return table_.size(); }
 
     /**
-     * Mapping-change epoch: bumped on every map/mapTo/unmap. The
-     * decode cache folds this into its validity check so PA-keyed
-     * entries can never survive a page remap or unmap.
+     * Mapping-change epoch: relabelled from a never-rewound counter
+     * on every map/mapTo/unmap. The decode cache folds this into its
+     * validity check so PA-keyed entries can never survive a page
+     * remap or unmap.
      */
     uint64_t epoch() const { return epoch_; }
+
+    /**
+     * Complete table state. The epoch label is the copy-on-write
+     * check (same scheme as PhysMem write generations): a live epoch
+     * still equal to the stored one means no mapping has changed
+     * since the capture, so the (hundreds-of-entries) table copy is
+     * skipped entirely. Campaign work items never remap, making the
+     * skip the common case on the restore-per-item fast path. When a
+     * copy IS needed, the restored table gets a fresh label (mirrored
+     * into the snapshot's mutable field) — labels are never reused,
+     * so the equality check stays sound across any snapshot/restore
+     * interleaving.
+     */
+    struct Snapshot
+    {
+        std::unordered_map<uint64_t, Mapping> table;
+        mutable uint64_t epoch = 0;
+    };
+
+    Snapshot takeSnapshot() const { return {table_, epoch_}; }
+
+    void restore(const Snapshot &snap)
+    {
+        if (epoch_ == snap.epoch)
+            return; // no mapping mutated since capture: table identical
+        table_ = snap.table;
+        epoch_ = snap.epoch = ++epochCounter_;
+    }
 
   private:
     std::unordered_map<uint64_t, Mapping> table_;
     uint64_t epoch_ = 0;
+
+    /** Source of epoch labels; never rewound (see Snapshot docs). */
+    uint64_t epochCounter_ = 0;
 };
 
 } // namespace pacman::mem

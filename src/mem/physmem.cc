@@ -89,7 +89,7 @@ void
 PhysMem::writeWithin(Addr pa, uint64_t value, unsigned size)
 {
     Frame &f = frameFor(isa::pageNumber(pa));
-    ++f.gen;
+    f.gen = ++genCounter_;
     uint8_t *dst = f.data.get() + isa::pageOffset(pa);
     for (unsigned i = 0; i < size; ++i)
         dst[i] = uint8_t(value >> (8 * i));
@@ -120,6 +120,105 @@ PhysMem::write(Addr pa, uint64_t value, unsigned size)
     }
     writeWithin(pa, value, room);
     writeWithin(pa + room, value >> (8 * room), size - room);
+}
+
+PhysMem::Snapshot
+PhysMem::takeSnapshot() const
+{
+    Snapshot snap;
+    snap.pages.reserve(backedPages_);
+    auto capture = [&](uint64_t ppn, const Frame &f) {
+        Snapshot::Page page;
+        page.gen = f.gen;
+        page.data = std::make_unique<uint8_t[]>(isa::PageSize);
+        std::memcpy(page.data.get(), f.data.get(), isa::PageSize);
+        snap.pages.emplace(ppn, std::move(page));
+    };
+    for (const Window *w : {&user_, &kernel_}) {
+        for (size_t c = 0; c < w->chunks.size(); ++c) {
+            const auto &chunk = w->chunks[c];
+            if (!chunk)
+                continue;
+            for (uint64_t i = 0; i < FramesPerChunk; ++i) {
+                const Frame &f = chunk->frames[i];
+                if (f.data)
+                    capture(w->base + c * FramesPerChunk + i, f);
+            }
+        }
+    }
+    for (const auto &[ppn, f] : sparse_)
+        if (f.data)
+            capture(ppn, f);
+    return snap;
+}
+
+PhysMem::RestoreStats
+PhysMem::restore(const Snapshot &snap)
+{
+    RestoreStats stats;
+    // Rewind one live frame against the snapshot. Returns false when
+    // the page was not backed at capture time (caller frees it). The
+    // generation compare is the COW check: equal generations mean no
+    // write has touched the page since the capture, so the bytes are
+    // already identical and no copy is needed.
+    auto rewind = [&](uint64_t ppn, Frame &f) {
+        auto it = snap.pages.find(ppn);
+        if (it == snap.pages.end())
+            return false;
+        const Snapshot::Page &page = it->second;
+        if (f.gen != page.gen) {
+            std::memcpy(f.data.get(), page.data.get(), isa::PageSize);
+            // Relabel with a FRESH generation (mirrored into the
+            // snapshot's mutable label, so the page reads as clean on
+            // the next restore) instead of rewinding to the captured
+            // one: generation values are never reused, which is what
+            // lets stale decoded-instruction entries be detected by
+            // generation mismatch alone — and the decode cache
+            // therefore survive Machine::restore() without a flush.
+            f.gen = page.gen = ++genCounter_;
+            ++stats.pagesCopied;
+        }
+        return true;
+    };
+    for (Window *w : {&user_, &kernel_}) {
+        for (size_t c = 0; c < w->chunks.size(); ++c) {
+            auto &chunk = w->chunks[c];
+            if (!chunk)
+                continue;
+            for (uint64_t i = 0; i < FramesPerChunk; ++i) {
+                Frame &f = chunk->frames[i];
+                if (!f.data)
+                    continue;
+                if (!rewind(w->base + c * FramesPerChunk + i, f)) {
+                    f.data.reset();
+                    f.gen = 0;
+                    --backedPages_;
+                    ++stats.pagesFreed;
+                }
+            }
+        }
+    }
+    for (auto it = sparse_.begin(); it != sparse_.end();) {
+        Frame &f = it->second;
+        if (f.data && !rewind(it->first, f)) {
+            --backedPages_;
+            ++stats.pagesFreed;
+            it = sparse_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    // Re-back captured pages that have been freed since the capture
+    // (possible only if a restore to an older snapshot dropped them).
+    for (const auto &[ppn, page] : snap.pages) {
+        if (frameIfPresent(ppn))
+            continue;
+        Frame &f = frameFor(ppn);
+        std::memcpy(f.data.get(), page.data.get(), isa::PageSize);
+        f.gen = page.gen = ++genCounter_;
+        ++stats.pagesCopied;
+    }
+    return stats;
 }
 
 uint64_t

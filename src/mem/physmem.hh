@@ -23,11 +23,15 @@
  * equivalence suite (tests/runner/test_fastpath_equiv.cc) proves it
  * end to end.
  *
- * Every backed page also carries a monotonic *write generation*,
- * bumped once per write touching the page. The CPU's decoded-
- * instruction cache validates entries against it, which is what makes
- * self-modifying code safe without any invalidation callbacks on the
- * store hot path.
+ * Every backed page also carries a *write generation*: a label drawn
+ * from a single monotonic counter on every write touching the page.
+ * The CPU's decoded-instruction cache validates entries against it,
+ * which is what makes self-modifying code safe without any
+ * invalidation callbacks on the store hot path. Labels are never
+ * reused — snapshot restores relabel rewound pages with fresh values
+ * rather than rewinding the counter — so a generation match always
+ * implies identical page bytes, across restores included; that is
+ * what lets the decode cache survive Machine::restore() unflushed.
  */
 
 #ifndef PACMAN_MEM_PHYSMEM_HH
@@ -72,9 +76,9 @@ class PhysMem
 
     /**
      * Write generation of the page containing @p pa: 0 for a page
-     * never written, monotonically increasing with each write that
-     * touches the page. Consumers (the decode cache) snapshot it and
-     * treat any change as an invalidation.
+     * never written, else the never-reused label of the last write
+     * (or restore relabel) that touched it. Consumers (the decode
+     * cache) snapshot it and treat any change as an invalidation.
      */
     uint64_t pageGen(Addr pa) const;
 
@@ -83,6 +87,44 @@ class PhysMem
 
     /** True when the direct-indexed frame table is in use. */
     bool fastFrames() const { return fast_; }
+
+    /**
+     * Full image of every backed page, keyed by PPN, each tagged with
+     * a write-generation label. The label is the copy-on-write dirty
+     * check on restore: a page whose live generation still equals the
+     * stored one has not been written since the snapshot (labels come
+     * from a never-rewound counter), so its bytes need no copy. The
+     * label is mutable because restore refreshes it after a copy-back
+     * — the page then equals the snapshot bytes again under a brand-
+     * new label, keeping both the clean-check AND the never-reused
+     * guarantee the decode cache relies on.
+     */
+    struct Snapshot
+    {
+        struct Page
+        {
+            mutable uint64_t gen = 0;
+            std::unique_ptr<uint8_t[]> data; //!< PageSize bytes
+        };
+        std::unordered_map<uint64_t, Page> pages;
+    };
+
+    /** Page copy/free work a restore actually performed. */
+    struct RestoreStats
+    {
+        size_t pagesCopied = 0; //!< dirty pages whose bytes were rewound
+        size_t pagesFreed = 0;  //!< pages backed after the snapshot, dropped
+    };
+
+    /** Capture every backed page (full copy; restores are the COW side). */
+    Snapshot takeSnapshot() const;
+
+    /**
+     * Rewind to @p snap bit-identically: copy back only pages dirtied
+     * since the capture, free pages that did not exist then, and
+     * re-back captured pages that have since been freed.
+     */
+    RestoreStats restore(const Snapshot &snap);
 
   private:
     /** One backed page frame: data plus its write generation. */
@@ -140,6 +182,10 @@ class PhysMem
     Window kernel_;
     std::unordered_map<uint64_t, Frame> sparse_;
     size_t backedPages_ = 0;
+
+    /** Source of write-generation labels; never rewound, not part of
+     *  any snapshot (labels must stay unique across restores). */
+    uint64_t genCounter_ = 0;
 };
 
 } // namespace pacman::mem

@@ -66,6 +66,7 @@ Tlb::lookup(uint64_t vpn, Asid asid)
 {
     ++tick_;
     if (Way *way = find(vpn, asid)) {
+        journalTouch(way);
         way->lruStamp = tick_;
         ++hits_;
         return way->entry;
@@ -86,11 +87,13 @@ Tlb::insert(const TlbEntry &entry)
     ++tick_;
     // Refresh in place if already present.
     if (Way *way = find(entry.vpn, entry.asid)) {
+        journalTouch(way);
         way->entry = entry;
         way->lruStamp = tick_;
         return std::nullopt;
     }
     Way &victim = victimIn(setIndex(entry.vpn));
+    journalTouch(&victim);
     std::optional<TlbEntry> evicted;
     if (victim.valid)
         evicted = victim.entry;
@@ -104,6 +107,7 @@ std::optional<TlbEntry>
 Tlb::remove(uint64_t vpn, Asid asid)
 {
     if (Way *way = find(vpn, asid)) {
+        journalTouch(way);
         way->valid = false;
         return way->entry;
     }
@@ -113,6 +117,7 @@ Tlb::remove(uint64_t vpn, Asid asid)
 void
 Tlb::flushAll()
 {
+    journalBulk();
     for (Way &way : ways_)
         way.valid = false;
 }
@@ -120,6 +125,7 @@ Tlb::flushAll()
 unsigned
 Tlb::flushAsid(Asid asid)
 {
+    journalBulk();
     unsigned n = 0;
     for (Way &way : ways_) {
         if (way.valid && way.entry.asid == asid) {
@@ -133,6 +139,7 @@ Tlb::flushAsid(Asid asid)
 void
 Tlb::resetStats()
 {
+    journalBulk();
     hits_ = misses_ = 0;
     uint64_t min_stamp = tick_;
     for (const Way &way : ways_) {
@@ -153,11 +160,50 @@ Tlb::flushSetAsid(uint64_t set, Asid asid)
     for (unsigned w = 0; w < cfg_.ways; ++w) {
         Way &way = ways_[set * cfg_.ways + w];
         if (way.valid && way.entry.asid == asid) {
+            journalTouch(&way);
             way.valid = false;
             ++n;
         }
     }
     return n;
+}
+
+Tlb::Snapshot
+Tlb::takeSnapshot() const
+{
+    ++journalEpoch_;
+    journalOff_ = false;
+    journal_.clear();
+    journaled_.assign(ways_.size(), 0);
+    return {ways_, tick_, hits_, misses_, journalEpoch_};
+}
+
+void
+Tlb::restore(const Snapshot &snap)
+{
+    tick_ = snap.tick;
+    hits_ = snap.hits;
+    misses_ = snap.misses;
+    if (snap.journalEpoch == journalEpoch_ && !journalOff_) {
+        // The journal lists exactly the ways dirtied since this
+        // snapshot was captured; everything else is already identical.
+        for (const uint32_t idx : journal_) {
+            ways_[idx] = snap.ways[idx];
+            journaled_[idx] = 0;
+        }
+        journal_.clear();
+        return;
+    }
+    ways_ = snap.ways;
+    if (snap.journalEpoch == journalEpoch_) {
+        // Journal overflowed; the full copy re-synced us with this
+        // (still armed) snapshot: re-arm.
+        journal_.clear();
+        journaled_.assign(ways_.size(), 0);
+        journalOff_ = false;
+    } else {
+        journalOff_ = true;
+    }
 }
 
 } // namespace pacman::mem

@@ -98,7 +98,7 @@ class Tlb
      */
     void resetStats();
 
-  private:
+    /** One TLB way (exposed so Snapshot can hold the array). */
     struct Way
     {
         bool valid = false;
@@ -106,9 +106,53 @@ class Tlb
         uint64_t lruStamp = 0;
     };
 
+    /** Complete mutable state: way array, LRU clock, counters. */
+    struct Snapshot
+    {
+        std::vector<Way> ways;
+        uint64_t tick = 0;
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+
+        /** Which arming of the dirty-way journal this capture
+         *  belongs to (restore fast-path validity check). */
+        uint64_t journalEpoch = 0;
+    };
+
+    /**
+     * Capture the complete TLB state. Also (re)arms the dirty-way
+     * journal (see Cache::takeSnapshot — same scheme, same
+     * const-but-mutable-bookkeeping rationale): restoring this
+     * snapshot copies back only the ways touched since the capture;
+     * restoring any other snapshot falls back to the full copy.
+     */
+    Snapshot takeSnapshot() const;
+
+    void restore(const Snapshot &snap);
+
+  private:
     Way *find(uint64_t vpn, Asid asid);
     const Way *find(uint64_t vpn, Asid asid) const;
     Way &victimIn(uint64_t set);
+
+    /** Record @p way as dirtied since the last takeSnapshot(). */
+    void journalTouch(const Way *way)
+    {
+        if (journalOff_)
+            return;
+        const size_t idx = size_t(way - ways_.data());
+        if (journaled_[idx])
+            return;
+        if (journal_.size() >= ways_.size() / 4) {
+            journalOff_ = true; // cheaper to copy the array wholesale
+            return;
+        }
+        journaled_[idx] = 1;
+        journal_.push_back(uint32_t(idx));
+    }
+
+    /** Whole-array mutation: disarm until the next capture. */
+    void journalBulk() { journalOff_ = true; }
 
     SetAssocConfig cfg_;
     ReplPolicy policy_;
@@ -117,6 +161,12 @@ class Tlb
     uint64_t tick_ = 0;
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;
+
+    // Dirty-way journal (see Cache). Disarmed until first capture.
+    mutable bool journalOff_ = true;
+    mutable uint64_t journalEpoch_ = 0;
+    mutable std::vector<uint32_t> journal_;
+    mutable std::vector<uint8_t> journaled_;
 };
 
 } // namespace pacman::mem

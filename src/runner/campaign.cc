@@ -2,35 +2,84 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "base/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace pacman::runner
 {
+
+bool
+snapshotReplicasDefault()
+{
+    static const bool disabled =
+        std::getenv("PACMAN_DISABLE_SNAPSHOT") != nullptr;
+    return !disabled;
+}
 
 namespace
 {
 
 using Clock = std::chrono::steady_clock;
 
-/** One worker-owned replica: a private machine stack, re-provisioned
- *  per work item so its state is a pure function of the item. */
+/** Stream id for per-trial PAC-key rotation (accuracy campaigns):
+ *  key draws must come from a stream distinct from the trial's main
+ *  stream or the first jitter draws would correlate with the keys. */
+constexpr uint64_t KeySeedStream = 0x4B65'7973ull; // "Keys"
+
+/**
+ * One worker-owned replica: a private machine stack. Construction
+ * provisions it completely — boot (PAC keys drawn from the config's
+ * machine seed), guest-program assembly, eviction-set build, target
+ * binding, calibration — all under the boot stream, so the
+ * post-provisioning state is a pure function of the configuration.
+ *
+ * beginItem() then prepares one work item: rewind to the
+ * post-provisioning checkpoint (or rely on the caller having just
+ * constructed a fresh replica in the reference mode), optionally
+ * rotate the PAC keys, switch the RNG to the item stream, and attach
+ * the fault injector. Every per-item result is a pure function of
+ * (config, item seeds) in both modes.
+ */
 struct Replica
 {
-    Replica(const ReplicaConfig &cfg, uint64_t boot_seed,
-            uint64_t stream_seed)
-        : machine(withSeed(cfg.machine, boot_seed)), proc(machine),
+    explicit Replica(const ReplicaConfig &cfg)
+        : cfg(cfg), machine(cfg.machine), proc(machine),
           oracle(proc, cfg.oracle)
     {
-        // Keys are drawn at boot from boot_seed; jitter/noise from
-        // here on follow the per-item stream.
-        machine.reseedRng(stream_seed);
         oracle.setTarget(cfg.target, cfg.modifier);
+    }
+
+    /** Checkpoint the current (post-provisioning) state; beginItem()
+     *  restores it before every subsequent item. */
+    void enableCheckpoint() { checkpoint.emplace(machine, oracle); }
+
+    /**
+     * Prepare one work item. @p rekey_seed, when set, rotates the PAC
+     * keys (and refreshes the oracle's legit training pointer) before
+     * the stream switch, so the key draw and the refresh syscall are
+     * identical across provisioning modes and thread counts.
+     */
+    void beginItem(std::optional<uint64_t> rekey_seed,
+                   uint64_t stream_seed)
+    {
+        // Detach the previous item's injector before touching any
+        // machine state; its hook must not observe the rewind.
+        injector.reset();
+        if (checkpoint)
+            checkpoint->restore();
+        if (rekey_seed) {
+            machine.rekey(*rekey_seed);
+            oracle.refreshLegitPointer();
+        }
+        machine.reseedRng(stream_seed);
         // Faults attach only after provisioning: set construction and
-        // initial calibration run undisturbed, and the injector's own
-        // stream keeps the replica a pure function of the item.
+        // calibration run undisturbed, and the injector's own stream
+        // keeps the replica a pure function of the item.
         if (cfg.faults.enabled()) {
             injector.emplace(machine, cfg.faults,
                              Random::deriveSeed(stream_seed,
@@ -39,24 +88,37 @@ struct Replica
         }
     }
 
-    static kernel::MachineConfig
-    withSeed(kernel::MachineConfig cfg, uint64_t seed)
-    {
-        cfg.seed = seed;
-        return cfg;
-    }
-
     FaultStats
     faultStats() const
     {
         return injector ? injector->stats() : FaultStats{};
     }
 
+    const ReplicaConfig cfg;
     kernel::Machine machine;
     attack::AttackerProcess proc;
     attack::PacOracle oracle;
+    std::optional<sim::ReplicaCheckpoint> checkpoint;
     std::optional<sim::FaultInjector> injector;
 };
+
+/**
+ * The per-worker replica slot policy: snapshot mode provisions once
+ * per worker and reuses the checkpointed replica; the fresh-provision
+ * reference mode reconstructs the whole stack for every item.
+ */
+Replica &
+prepareReplica(std::vector<std::unique_ptr<Replica>> &slots,
+               unsigned worker, const ReplicaConfig &cfg)
+{
+    std::unique_ptr<Replica> &slot = slots[worker];
+    if (!slot || !cfg.snapshot) {
+        slot = std::make_unique<Replica>(cfg);
+        if (cfg.snapshot)
+            slot->enableCheckpoint();
+    }
+    return *slot;
+}
 
 /** The replica's per-candidate sampling policy. */
 attack::ResamplePolicy
@@ -132,15 +194,21 @@ runBruteForceCampaign(const BruteForceCampaignConfig &cfg)
         FaultStats faults;
     };
     std::vector<ChunkResult> results(num_chunks);
+    std::vector<std::unique_ptr<Replica>> replicas(
+        effectiveJobs(cfg.pool.jobs));
 
     const auto t0 = Clock::now();
     const PoolOutcome outcome = runChunked(
         cfg.pool, num_items,
-        [&](unsigned, const Chunk &chunk) -> std::optional<uint64_t> {
-            // Fresh replica per chunk: same boot seed (same PAC keys
-            // on every replica), per-chunk RNG stream.
-            Replica replica(cfg.replica, cfg.replica.machine.seed,
-                            Random::deriveSeed(cfg.seed, chunk.index));
+        [&](unsigned worker, const Chunk &chunk)
+            -> std::optional<uint64_t> {
+            // Same provision seed on every replica (same PAC keys —
+            // they are sweeping for the *same* PAC), per-chunk RNG
+            // stream from the item's index.
+            Replica &replica =
+                prepareReplica(replicas, worker, cfg.replica);
+            replica.beginItem(std::nullopt,
+                              Random::deriveSeed(cfg.seed, chunk.index));
             attack::PacBruteForcer forcer(replica.oracle,
                                           resamplePolicy(cfg.replica));
             ChunkResult &r = results[chunk.index];
@@ -204,17 +272,25 @@ runAccuracyCampaign(const AccuracyCampaignConfig &cfg)
         FaultStats faults;
     };
     std::vector<TrialResult> results(cfg.trials);
+    std::vector<std::unique_ptr<Replica>> replicas(
+        effectiveJobs(cfg.pool.jobs));
 
     const auto t0 = Clock::now();
     runChunked(
         cfg.pool, cfg.trials,
-        [&](unsigned, const Chunk &chunk) -> std::optional<uint64_t> {
+        [&](unsigned worker, const Chunk &chunk)
+            -> std::optional<uint64_t> {
             for (uint64_t trial = chunk.firstItem;
                  trial <= chunk.lastItem; ++trial) {
-                // Fresh boot per trial: fresh keys, per-trial stream.
-                const uint64_t boot_seed =
+                // Fresh keys per trial — rekey from a dedicated key
+                // stream (the checkpointed equivalent of a per-trial
+                // reboot) — then the per-trial main stream.
+                const uint64_t stream =
                     Random::deriveSeed(cfg.seed, trial);
-                Replica replica(cfg.replica, boot_seed, boot_seed);
+                Replica &replica =
+                    prepareReplica(replicas, worker, cfg.replica);
+                replica.beginItem(
+                    Random::deriveSeed(stream, KeySeedStream), stream);
                 const auto sel =
                     cfg.replica.oracle.kind == attack::GadgetKind::Data
                         ? crypto::PacKeySelect::DA

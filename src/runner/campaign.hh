@@ -6,15 +6,23 @@
  * the work-item level.
  *
  * Each worker owns a private replica slot holding a full
- * Machine / AttackerProcess / PacOracle stack. The replica is
- * re-provisioned per work item: the machine boots from the
- * campaign's machine seed (so every replica draws identical per-boot
- * PAC keys — they are sweeping for the *same* PAC) and then switches
- * its RNG to the stream derived from (campaign_seed, chunk_index).
- * That makes every per-chunk result — verdicts, query counts, even
- * simulated cycle counts — a pure function of the chunk index, which
- * is what lets the merged campaign output be bit-identical at any
- * thread count. See DESIGN.md, "Parallel campaigns".
+ * Machine / AttackerProcess / PacOracle stack, provisioned once —
+ * boot from the campaign's machine seed (so every replica draws
+ * identical per-boot PAC keys), guest-program assembly, eviction-set
+ * build, target binding and calibration — and checkpointed
+ * (sim::ReplicaCheckpoint) immediately afterwards. Per work item the
+ * worker restores the checkpoint and switches the machine RNG to the
+ * stream derived from (campaign_seed, item_index); accuracy trials
+ * additionally rotate the PAC keys via Machine::rekey() with a
+ * per-trial key stream. Provisioning is deterministic in the boot
+ * seed, so the restored state is exactly the state a fresh
+ * construction would reach — every per-item result is a pure
+ * function of the item index either way, which is what lets the
+ * merged campaign output be bit-identical at any thread count AND
+ * across the two provisioning modes. ReplicaConfig::snapshot (or the
+ * PACMAN_DISABLE_SNAPSHOT environment variable) selects the
+ * fresh-provision reference path, mirroring the fastpath ablation
+ * pattern. See DESIGN.md §4c/§4f.
  */
 
 #ifndef PACMAN_RUNNER_CAMPAIGN_HH
@@ -30,7 +38,14 @@
 namespace pacman::runner
 {
 
-/** What each worker replicates per work item. */
+/**
+ * Default for ReplicaConfig::snapshot: true unless the
+ * PACMAN_DISABLE_SNAPSHOT environment variable is set (to anything).
+ * Read once per process.
+ */
+bool snapshotReplicasDefault();
+
+/** What each worker's replica is provisioned with. */
 struct ReplicaConfig
 {
     /** Base machine configuration. Its seed fixes the per-boot PAC
@@ -64,6 +79,15 @@ struct ReplicaConfig
      * they trigger stay a pure function of the chunk index.
      */
     FaultPlan faults;
+
+    /**
+     * Provision-once / restore-per-item checkpointing (the fast
+     * path). When false, each work item reconstructs the replica from
+     * scratch — the slow reference path the snapshot equivalence
+     * tests compare against. Either way the per-item results are
+     * bit-identical; only wall-clock time differs.
+     */
+    bool snapshot = snapshotReplicasDefault();
 };
 
 /** PAC brute-force sweep over candidates [first, last]. */
@@ -117,14 +141,16 @@ runBruteForceCampaign(const BruteForceCampaignConfig &cfg);
 
 /**
  * Monte-Carlo oracle-accuracy campaign (Section 8.2's 50-run
- * TP/FP/FN table): each trial boots a fresh machine — fresh keys —
- * from deriveSeed(seed, trial), sweeps a window guaranteed to
- * contain the true PAC (0 = the full 16-bit space), and grades the
- * outcome against ground truth.
+ * TP/FP/FN table): each trial gets fresh PAC keys — via
+ * Machine::rekey() from a per-trial key stream, the checkpointed
+ * equivalent of a fresh boot — sweeps a window guaranteed to contain
+ * the true PAC (0 = the full 16-bit space), and grades the outcome
+ * against ground truth.
  */
 struct AccuracyCampaignConfig
 {
-    /** Replica template; machine.seed is ignored (per-trial boots). */
+    /** Replica template; machine.seed is the shared provision seed
+     *  (per-trial key freshness comes from rekey, not reboot). */
     ReplicaConfig replica;
 
     uint64_t trials = 50;

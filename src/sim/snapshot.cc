@@ -1,0 +1,31 @@
+#include "snapshot.hh"
+
+namespace pacman::sim
+{
+
+ReplicaCheckpoint::ReplicaCheckpoint(kernel::Machine &machine,
+                                     attack::PacOracle &oracle)
+    : machine_(machine), oracle_(oracle)
+{
+    capture();
+}
+
+void
+ReplicaCheckpoint::capture()
+{
+    msnap_ = machine_.takeSnapshot();
+    osnap_ = oracle_.takeSnapshot();
+    stats_.pagesCaptured = msnap_.mem.phys.pages.size();
+}
+
+void
+ReplicaCheckpoint::restore()
+{
+    const mem::PhysMem::RestoreStats rs = machine_.restore(msnap_);
+    oracle_.restore(osnap_);
+    ++stats_.restores;
+    stats_.pagesCopied += rs.pagesCopied;
+    stats_.pagesFreed += rs.pagesFreed;
+}
+
+} // namespace pacman::sim

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Snapshot/restore subsystem (DESIGN.md §4f).
+ *
+ * Every stateful simulator layer exposes the same two-method shape —
+ * `takeSnapshot() const` returning a `Snapshot` value and
+ * `restore(const Snapshot &)` rewinding to it — checked here by the
+ * `Snapshottable` concept. `Machine::snapshot()` composes the layer
+ * snapshots into one machine image; `ReplicaCheckpoint` adds the
+ * attack stack's host-side state on top, which is what campaign
+ * workers capture once after provisioning and rewind per work item.
+ *
+ * Restores are copy-on-write against PhysMem's per-page write
+ * generations: a page whose generation is unchanged since the capture
+ * has not been written, so only pages the work item actually dirtied
+ * are copied back. A restore is therefore proportional to the work
+ * done since the snapshot, not to the machine's footprint.
+ */
+
+#ifndef PACMAN_SIM_SNAPSHOT_HH
+#define PACMAN_SIM_SNAPSHOT_HH
+
+#include <concepts>
+#include <cstdint>
+
+#include "attack/oracle.hh"
+#include "kernel/machine.hh"
+
+namespace pacman::sim
+{
+
+/**
+ * The shape every snapshottable simulator layer implements. The
+ * restore's return type is unconstrained: most layers return void,
+ * PhysMem (and everything composing it) returns the copy/free work
+ * performed.
+ */
+template <typename T>
+concept Snapshottable = requires(const T &ct, T &t,
+                                 const typename T::Snapshot &snap) {
+    { ct.takeSnapshot() } -> std::same_as<typename T::Snapshot>;
+    t.restore(snap);
+};
+
+// The layers Machine::snapshot() composes, plus the attack-stack
+// host state ReplicaCheckpoint adds. Keeping the list here makes a
+// layer that drifts from the contract a compile error in exactly one
+// place.
+static_assert(Snapshottable<mem::PhysMem>);
+static_assert(Snapshottable<mem::PageTable>);
+static_assert(Snapshottable<mem::Cache>);
+static_assert(Snapshottable<mem::Tlb>);
+static_assert(Snapshottable<mem::MemoryHierarchy>);
+static_assert(Snapshottable<cpu::BimodalPredictor>);
+static_assert(Snapshottable<cpu::Btb>);
+static_assert(Snapshottable<cpu::Core>);
+static_assert(Snapshottable<cpu::ThreadTimerDevice>);
+static_assert(Snapshottable<kernel::Machine>);
+static_assert(Snapshottable<attack::AttackerProcess>);
+static_assert(Snapshottable<attack::PacOracle>);
+
+/** Aggregate work counters over a checkpoint's lifetime. */
+struct CheckpointStats
+{
+    uint64_t restores = 0;    //!< restore() calls
+    uint64_t pagesCopied = 0; //!< dirty pages rewound, total
+    uint64_t pagesFreed = 0;  //!< post-snapshot pages dropped, total
+    size_t pagesCaptured = 0; //!< backed pages in the capture
+};
+
+/**
+ * A provisioned replica's checkpoint: the complete Machine state plus
+ * the oracle's (and, through it, the attacker process's) host-side
+ * state. Capture after provisioning — boot, AttackerProcess assembly,
+ * eviction-set build, setTarget()/calibration — then restore() before
+ * each work item instead of reconstructing the stack.
+ */
+class ReplicaCheckpoint
+{
+  public:
+    /** Captures immediately; recapture later with capture(). */
+    ReplicaCheckpoint(kernel::Machine &machine, attack::PacOracle &oracle);
+
+    ReplicaCheckpoint(const ReplicaCheckpoint &) = delete;
+    ReplicaCheckpoint &operator=(const ReplicaCheckpoint &) = delete;
+
+    /** Re-capture at the machine/oracle's current state. */
+    void capture();
+
+    /** Rewind machine and oracle to the captured state. */
+    void restore();
+
+    const CheckpointStats &stats() const { return stats_; }
+
+  private:
+    kernel::Machine &machine_;
+    attack::PacOracle &oracle_;
+    kernel::Machine::Snapshot msnap_;
+    attack::PacOracle::Snapshot osnap_;
+    CheckpointStats stats_;
+};
+
+} // namespace pacman::sim
+
+#endif // PACMAN_SIM_SNAPSHOT_HH

@@ -92,6 +92,75 @@ TEST(PhysMem, CrossPageWriteBumpsBothPages)
     EXPECT_GT(m.pageGen(edge + 8), hi0);
 }
 
+TEST(PhysMem, SnapshotRestoreRewindsOnlyDirtyPages)
+{
+    for (const bool fast : {true, false}) {
+        PhysMem m(fast);
+        m.write64(0x0000, 1);
+        m.write64(isa::PageSize, 2);
+        m.write64(2 * isa::PageSize, 3);
+        const PhysMem::Snapshot snap = m.takeSnapshot();
+        EXPECT_EQ(snap.pages.size(), 3u);
+
+        m.write64(isa::PageSize, 99); // dirty exactly one page
+        const PhysMem::RestoreStats rs = m.restore(snap);
+        EXPECT_EQ(rs.pagesCopied, 1u) << "fast=" << fast;
+        EXPECT_EQ(rs.pagesFreed, 0u);
+        EXPECT_EQ(m.read64(isa::PageSize), 2u);
+        EXPECT_EQ(m.read64(0x0000), 1u);
+
+        // Nothing written since the rewind: the generation check must
+        // find every page clean and copy nothing.
+        const PhysMem::RestoreStats rs2 = m.restore(snap);
+        EXPECT_EQ(rs2.pagesCopied, 0u) << "fast=" << fast;
+        EXPECT_EQ(rs2.pagesFreed, 0u);
+
+        // Dirtiness detection survives repeated restore cycles.
+        m.write64(2 * isa::PageSize, 4);
+        EXPECT_EQ(m.restore(snap).pagesCopied, 1u) << "fast=" << fast;
+        EXPECT_EQ(m.read64(2 * isa::PageSize), 3u);
+    }
+}
+
+TEST(PhysMem, SnapshotRestoreFreesPagesBackedAfterCapture)
+{
+    for (const bool fast : {true, false}) {
+        PhysMem m(fast);
+        m.write64(0x0, 7);
+        const PhysMem::Snapshot snap = m.takeSnapshot();
+
+        const Addr windowed = 5 * isa::PageSize;
+        const Addr sparse = 0x0000'7FFF'FFFF'0000ull;
+        m.write64(windowed, 8);
+        m.write64(sparse, 9);
+        EXPECT_EQ(m.pageCount(), 3u);
+
+        const PhysMem::RestoreStats rs = m.restore(snap);
+        EXPECT_EQ(rs.pagesFreed, 2u) << "fast=" << fast;
+        EXPECT_EQ(m.pageCount(), 1u);
+        EXPECT_EQ(m.read64(windowed), 0u);
+        EXPECT_EQ(m.read64(sparse), 0u);
+        EXPECT_EQ(m.read64(0x0), 7u);
+    }
+}
+
+TEST(PhysMem, RestoreRebacksPagesFreedByAnOlderRestore)
+{
+    PhysMem m;
+    m.write64(0x0, 1);
+    const PhysMem::Snapshot base = m.takeSnapshot(); // page 0 only
+    m.write64(isa::PageSize, 2);
+    const PhysMem::Snapshot wide = m.takeSnapshot(); // pages 0 and 1
+
+    m.restore(base); // drops page 1
+    EXPECT_EQ(m.pageCount(), 1u);
+
+    m.restore(wide); // must re-back page 1 with its captured bytes
+    EXPECT_EQ(m.pageCount(), 2u);
+    EXPECT_EQ(m.read64(isa::PageSize), 2u);
+    EXPECT_EQ(m.read64(0x0), 1u);
+}
+
 TEST(PhysMem, SlowPathParity)
 {
     // The sparse map is the reference implementation; the frame table

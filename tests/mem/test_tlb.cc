@@ -127,6 +127,38 @@ TEST(Tlb, FlushAllEmpties)
     EXPECT_FALSE(t.contains(2, Asid::User));
 }
 
+TEST(Tlb, ResetStatsPreservesReplacementVictim)
+{
+    // The LRU-stamp rebase in resetStats must leave the replacement
+    // victim unchanged: twin TLBs, identical streams, one reset
+    // mid-stream, must report identical evictions afterwards.
+    Tlb a(smallTlb(), ReplPolicy::LRU, nullptr);
+    Tlb b(smallTlb(), ReplPolicy::LRU, nullptr);
+    const auto warm = [&](Tlb &t) {
+        t.insert(entry(0));
+        t.insert(entry(8));
+        t.insert(entry(16));
+        t.lookup(8, Asid::User); // refresh: LRU order 0 < 16 < 8
+    };
+    warm(a);
+    warm(b);
+
+    b.resetStats();
+    EXPECT_EQ(b.hits(), 0u);
+    EXPECT_EQ(b.misses(), 0u);
+
+    // Walk the whole recency order; victims must match at each step.
+    const uint64_t expected[] = {0, 16, 8};
+    for (unsigned n = 0; n < 3; ++n) {
+        const auto va = a.insert(entry(24 + 8 * n));
+        const auto vb = b.insert(entry(24 + 8 * n));
+        ASSERT_TRUE(va.has_value());
+        ASSERT_TRUE(vb.has_value());
+        EXPECT_EQ(va->vpn, vb->vpn) << "insert " << n;
+        EXPECT_EQ(va->vpn, expected[n]) << "insert " << n;
+    }
+}
+
 TEST(Tlb, M1Geometry)
 {
     const auto cfg = m1PCoreConfig();

@@ -8,9 +8,19 @@ for shared CI runners, override for quieter hardware). Exit status is
 1 when any metric regresses, so the comparison can gate a CI step;
 improvements and in-threshold noise are reported but never fail.
 
+Asymmetric baselines are expected across PR boundaries (each PR's
+harness adds metrics): a metric present only in the current
+measurement is reported as "added", one present only in the baseline
+as "removed" — both informational, neither a regression. The gate
+only fires on a shared metric moving the wrong way.
+
+With --json PATH the full structured comparison (per-metric status,
+values, delta) is also written as JSON for machine consumption, e.g.
+CI annotation steps.
+
 Usage:
     python3 tools/perf_compare.py BASELINE.json CURRENT.json \
-        [--threshold 0.15]
+        [--threshold 0.15] [--json compare.json]
     python3 tools/perf_compare.py --self-test
 """
 
@@ -19,6 +29,7 @@ import json
 import sys
 
 SCHEMA = "pacman-bench-v1"
+COMPARE_SCHEMA = "pacman-bench-compare-v1"
 
 
 def load(path):
@@ -31,17 +42,39 @@ def load(path):
 
 
 def compare(baseline, current, threshold):
-    """Return (report_lines, regressions) for two metric dicts."""
-    lines = []
-    regressions = []
+    """Compare two metric dicts.
+
+    Returns a list of entry dicts, one per metric name in either
+    input, each with:
+      name     metric name
+      status   "ok" | "regress" | "added" | "removed"
+      better   direction ("higher"/"lower"; None for added/removed
+               entries whose side lacks it)
+      base     baseline value (None when added)
+      current  current value (None when removed)
+      delta    fractional change, signed (None when added/removed)
+    """
+    entries = []
     for name in sorted(set(baseline) | set(current)):
         if name not in baseline:
-            lines.append(f"  NEW    {name}: "
-                         f"{current[name]['value']:.4g}")
+            entries.append({
+                "name": name,
+                "status": "added",
+                "better": current[name].get("better"),
+                "base": None,
+                "current": current[name]["value"],
+                "delta": None,
+            })
             continue
         if name not in current:
-            lines.append(f"  GONE   {name}")
-            regressions.append(name)
+            entries.append({
+                "name": name,
+                "status": "removed",
+                "better": baseline[name].get("better"),
+                "base": baseline[name]["value"],
+                "current": None,
+                "delta": None,
+            })
             continue
         base = baseline[name]["value"]
         cur = current[name]["value"]
@@ -51,17 +84,63 @@ def compare(baseline, current, threshold):
         else:
             delta = (cur - base) / abs(base)
         worse = -delta if better == "higher" else delta
-        status = "OK    "
-        if worse > threshold:
-            status = "REGRESS"
-            regressions.append(name)
-        lines.append(f"  {status} {name}: {base:.4g} -> {cur:.4g} "
-                     f"({delta:+.1%}, {better} is better)")
-    return lines, regressions
+        status = "regress" if worse > threshold else "ok"
+        entries.append({
+            "name": name,
+            "status": status,
+            "better": better,
+            "base": base,
+            "current": cur,
+            "delta": delta,
+        })
+    return entries
+
+
+def regressions(entries):
+    return [e["name"] for e in entries if e["status"] == "regress"]
+
+
+def render(entries):
+    """Human-readable report lines for a compare() result."""
+    label = {
+        "ok": "OK     ",
+        "regress": "REGRESS",
+        "added": "ADDED  ",
+        "removed": "REMOVED",
+    }
+    lines = []
+    for e in entries:
+        if e["status"] == "added":
+            lines.append(f"  {label['added']} {e['name']}: "
+                         f"{e['current']:.4g} (no baseline)")
+        elif e["status"] == "removed":
+            lines.append(f"  {label['removed']} {e['name']}: "
+                         f"was {e['base']:.4g} (not measured now)")
+        else:
+            lines.append(
+                f"  {label[e['status']]} {e['name']}: "
+                f"{e['base']:.4g} -> {e['current']:.4g} "
+                f"({e['delta']:+.1%}, {e['better']} is better)")
+    return lines
+
+
+def write_json(path, entries, threshold):
+    result = {
+        "schema": COMPARE_SCHEMA,
+        "threshold": threshold,
+        "metrics": entries,
+        "regressions": regressions(entries),
+    }
+    with open(path, "w") as f:
+        json.dump(result, f, indent=2, sort_keys=True)
+        f.write("\n")
 
 
 def self_test():
     """Unit-style checks of the comparison logic (no files needed)."""
+    import os
+    import tempfile
+
     base = {
         "rate": {"value": 100.0, "better": "higher"},
         "wall": {"value": 10.0, "better": "lower"},
@@ -72,52 +151,85 @@ def self_test():
         "rate": {"value": 95.0, "better": "higher"},
         "wall": {"value": 10.5, "better": "lower"},
     }
-    _, regs = compare(base, cur, threshold=0.10)
-    assert regs == [], regs
+    assert regressions(compare(base, cur, 0.10)) == []
 
     # Rate dropped 30%: regression.
     cur = {
         "rate": {"value": 70.0, "better": "higher"},
         "wall": {"value": 10.0, "better": "lower"},
     }
-    _, regs = compare(base, cur, threshold=0.10)
-    assert regs == ["rate"], regs
+    assert regressions(compare(base, cur, 0.10)) == ["rate"]
 
     # Time grew 30%: regression; direction matters.
     cur = {
         "rate": {"value": 130.0, "better": "higher"},
         "wall": {"value": 13.0, "better": "lower"},
     }
-    _, regs = compare(base, cur, threshold=0.10)
-    assert regs == ["wall"], regs
+    assert regressions(compare(base, cur, 0.10)) == ["wall"]
 
     # Large improvements are never regressions.
     cur = {
         "rate": {"value": 300.0, "better": "higher"},
         "wall": {"value": 1.0, "better": "lower"},
     }
-    _, regs = compare(base, cur, threshold=0.10)
-    assert regs == [], regs
+    assert regressions(compare(base, cur, 0.10)) == []
 
-    # A metric disappearing is a regression (baseline coverage lost).
-    _, regs = compare(base, {"rate": base["rate"]}, threshold=0.10)
-    assert regs == ["wall"], regs
+    # Asymmetric baselines: a metric present on only one side is
+    # informational, never a gate failure — new PRs grow the harness,
+    # old baselines lack the new metrics and vice versa.
+    entries = compare(base, {"rate": base["rate"]}, 0.10)
+    assert regressions(entries) == []
+    by_name = {e["name"]: e for e in entries}
+    assert by_name["wall"]["status"] == "removed"
+    assert by_name["wall"]["base"] == 10.0
+    assert by_name["wall"]["current"] is None
 
-    # A new metric is reported but never fails.
     cur = dict(base)
     cur["extra"] = {"value": 1.0, "better": "higher"}
-    _, regs = compare(base, cur, threshold=0.10)
-    assert regs == [], regs
+    entries = compare(base, cur, 0.10)
+    assert regressions(entries) == []
+    by_name = {e["name"]: e for e in entries}
+    assert by_name["extra"]["status"] == "added"
+    assert by_name["extra"]["base"] is None
+    assert by_name["extra"]["current"] == 1.0
+
+    # Fully asymmetric inputs still render without raising.
+    entries = compare(base, {"other": {"value": 5.0}}, 0.10)
+    assert regressions(entries) == []
+    assert [e["status"] for e in entries] == \
+        ["added", "removed", "removed"]
+    assert len(render(entries)) == 3
 
     # Zero baselines: unchanged is fine, any growth on a lower-better
     # metric is an infinite regression.
     zbase = {"wall": {"value": 0.0, "better": "lower"}}
-    _, regs = compare(zbase, {"wall": {"value": 0.0,
-                                       "better": "lower"}}, 0.10)
-    assert regs == [], regs
-    _, regs = compare(zbase, {"wall": {"value": 0.1,
-                                       "better": "lower"}}, 0.10)
-    assert regs == ["wall"], regs
+    assert regressions(compare(
+        zbase, {"wall": {"value": 0.0, "better": "lower"}}, 0.10)) == []
+    assert regressions(compare(
+        zbase, {"wall": {"value": 0.1, "better": "lower"}},
+        0.10)) == ["wall"]
+
+    # --json round-trip: structured output mirrors the entries and
+    # carries the regression list.
+    cur = {
+        "rate": {"value": 70.0, "better": "higher"},
+        "extra": {"value": 1.0, "better": "higher"},
+    }
+    entries = compare(base, cur, 0.10)
+    fd, path = tempfile.mkstemp(suffix=".json")
+    os.close(fd)
+    try:
+        write_json(path, entries, 0.10)
+        with open(path) as f:
+            out = json.load(f)
+    finally:
+        os.unlink(path)
+    assert out["schema"] == COMPARE_SCHEMA
+    assert out["threshold"] == 0.10
+    assert out["regressions"] == ["rate"]
+    statuses = {m["name"]: m["status"] for m in out["metrics"]}
+    assert statuses == {"rate": "regress", "extra": "added",
+                        "wall": "removed"}
 
     print("perf_compare self-test: all assertions passed")
     return 0
@@ -127,11 +239,14 @@ def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", nargs="?",
                         help="baseline BENCH json (e.g. committed "
-                             "BENCH_PR4.json)")
+                             "BENCH_PR5.json)")
     parser.add_argument("current", nargs="?",
                         help="freshly measured BENCH json")
     parser.add_argument("--threshold", type=float, default=0.15,
                         help="fractional regression tolerance")
+    parser.add_argument("--json", dest="json_out", metavar="PATH",
+                        help="also write the structured comparison "
+                             "as JSON")
     parser.add_argument("--self-test", action="store_true",
                         help="run the built-in logic checks and exit")
     args = parser.parse_args(argv)
@@ -142,15 +257,19 @@ def main(argv=None):
         parser.error("baseline and current files are required "
                      "(or use --self-test)")
 
-    lines, regressions = compare(load(args.baseline),
-                                 load(args.current), args.threshold)
+    entries = compare(load(args.baseline), load(args.current),
+                      args.threshold)
+    regressed = regressions(entries)
     print(f"perf compare: {args.baseline} -> {args.current} "
           f"(threshold {args.threshold:.0%})")
-    for line in lines:
+    for line in render(entries):
         print(line)
-    if regressions:
-        print(f"FAIL: {len(regressions)} metric(s) regressed: "
-              f"{', '.join(regressions)}")
+    if args.json_out:
+        write_json(args.json_out, entries, args.threshold)
+        print(f"wrote {args.json_out}")
+    if regressed:
+        print(f"FAIL: {len(regressed)} metric(s) regressed: "
+              f"{', '.join(regressed)}")
         return 1
     print("PASS: no metric regressed beyond threshold")
     return 0

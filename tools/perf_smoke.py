@@ -1,17 +1,19 @@
 #!/usr/bin/env python3
 """Run the micro_sim_perf benchmark binary and distil its JSON output
-into the checked-in perf baseline (BENCH_PR4.json).
+into the checked-in perf baseline (BENCH_PR5.json).
 
 The baseline captures the handful of end-to-end numbers the project
 optimizes for — guest MIPS on the Figure-8 training loop (fast and
-slow reference paths), oracle queries per second, and the wall clock
-of a Figure-8 subset extrapolated to the paper's 20000-trial campaign
-— in a direction-annotated schema that tools/perf_compare.py can diff
+slow reference paths), oracle queries per second, the wall clock of a
+Figure-8 subset extrapolated to the paper's 20000-trial campaign, and
+the replica checkpointing numbers (full provision cost, per-item
+restore cost, and the snapshot-vs-fresh accuracy-campaign speedup) —
+in a direction-annotated schema that tools/perf_compare.py can diff
 across commits.
 
 Usage:
     python3 tools/perf_smoke.py --bench build/bench/micro_sim_perf \
-        --output BENCH_PR4.json [--min-time 0.5]
+        --output BENCH_PR5.json [--min-time 0.5]
 """
 
 import argparse
@@ -60,6 +62,10 @@ def distil(raw):
     oracle = need("BM_OracleQuery")
     syscall = need("BM_GuestSyscall")
     subset = need("BM_Fig8Subset")
+    provision = need("BM_ReplicaProvision")
+    restore = need("BM_SnapshotRestore")
+    acc_snap = need("BM_AccuracyCampaign/1")
+    acc_fresh = need("BM_AccuracyCampaign/0")
 
     subset_iter_s = to_seconds(subset["real_time"], subset["time_unit"])
     campaign_wall_s = (subset_iter_s / FIG8_SUBSET_TRIALS_PER_ITER *
@@ -98,6 +104,34 @@ def distil(raw):
     speedup = (metrics["fig8_guest_mips"]["value"] /
                metrics["fig8_guest_mips_slowpath"]["value"])
     metrics["fastpath_speedup"] = {"value": speedup, "better": "higher"}
+
+    # Replica checkpointing (the provision-once/restore-per-item fast
+    # path): what one worker pays to provision a replica from scratch,
+    # what a per-item checkpoint restore costs instead, and the
+    # end-to-end accuracy-campaign speedup the trade buys (both modes
+    # produce bit-identical fingerprints; tests/runner/
+    # test_snapshot_equiv.cc holds that line).
+    metrics["provision_ms"] = {
+        "value": to_seconds(provision["real_time"],
+                            provision["time_unit"]) * 1e3,
+        "better": "lower",
+    }
+    metrics["restore_us"] = {
+        "value": to_seconds(restore["real_time"],
+                            restore["time_unit"]) * 1e6,
+        "better": "lower",
+    }
+    metrics["accuracy_trials_per_sec"] = {
+        "value": acc_snap["trials_per_sec"],
+        "better": "higher",
+    }
+    metrics["accuracy_snapshot_speedup"] = {
+        "value": (to_seconds(acc_fresh["real_time"],
+                             acc_fresh["time_unit"]) /
+                  to_seconds(acc_snap["real_time"],
+                             acc_snap["time_unit"])),
+        "better": "higher",
+    }
     return metrics
 
 
@@ -105,7 +139,7 @@ def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--bench", default="build/bench/micro_sim_perf",
                         help="path to the micro_sim_perf binary")
-    parser.add_argument("--output", default="BENCH_PR4.json",
+    parser.add_argument("--output", default="BENCH_PR5.json",
                         help="where to write the distilled baseline")
     parser.add_argument("--min-time", default="0.5",
                         help="per-benchmark --benchmark_min_time")
