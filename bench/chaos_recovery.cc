@@ -1,0 +1,460 @@
+/**
+ * @file
+ * Chaos harness for the supervised campaign runtime (DESIGN.md §4g):
+ * proves that killing a campaign process at arbitrary journal-record
+ * boundaries, corrupting the journal tail, and wedging replicas with
+ * injected hangs never changes the campaign's deterministic output.
+ *
+ * Scenarios:
+ *
+ *  1. kill/resume — fork a child that journals the campaign and dies
+ *     (_Exit(137) via Journal::crashAfterAppends) after the N-th
+ *     fsync'd record; the parent resumes from the journal and the
+ *     merged fingerprint must be bit-identical to an uninterrupted
+ *     run. Swept over --jobs x kill points x fault rates {0, 0.2}.
+ *  2. torn tail — garbage is appended to the killed child's journal;
+ *     resume must truncate it and still reproduce the fingerprint.
+ *  3. hang quarantine — FaultPlan::hangRate wedges replicas; the
+ *     guest-cycle budget classifies them as Hangs, the ladder
+ *     escalates, and the quarantine list (part of the fingerprint)
+ *     must be identical at every thread count. Each quarantine record
+ *     is then replayed standalone (replayQuarantine) and must
+ *     reproduce the same classification.
+ *  4. accuracy kill/resume — the same journal machinery under the
+ *     Monte-Carlo accuracy campaign (per-trial rekey path).
+ *
+ * Emits one BENCH JSON line per measurement, e.g.:
+ *
+ *   BENCH {"bench":"chaos_recovery","scenario":"kill_resume",
+ *          "fault_rate":0.2,"jobs":4,"kill_after":5,"resumed":4,
+ *          "wall_uninterrupted_s":0.21,"wall_resume_s":0.09,
+ *          "identical":true}
+ *
+ * Flags: --items N (default 256), --chunk N (default 16), --jobs
+ * LIST (default "1,4,16"), --train N (default 4), --workdir DIR
+ * (default "chaos_artifacts"; journals and quarantine files are left
+ * there for CI artifact upload), --quick (CI-sized matrix). Exits
+ * non-zero if any scenario diverges.
+ */
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "kernel/layout.hh"
+#include "runner/campaign.hh"
+
+using namespace pacman;
+using namespace pacman::attack;
+using namespace pacman::kernel;
+using namespace pacman::runner;
+
+namespace
+{
+
+struct Options
+{
+    unsigned items = 256;
+    uint64_t chunk = 16;
+    std::vector<unsigned> jobs = {1, 4, 16};
+    unsigned train = 4;
+    std::string workdir = "chaos_artifacts";
+    bool quick = false;
+};
+
+std::vector<unsigned>
+parseJobsList(const char *arg)
+{
+    std::vector<unsigned> jobs;
+    const std::string s(arg);
+    size_t pos = 0;
+    while (pos < s.size()) {
+        size_t next = s.find(',', pos);
+        if (next == std::string::npos)
+            next = s.size();
+        jobs.push_back(
+            unsigned(std::strtoul(s.substr(pos, next - pos).c_str(),
+                                  nullptr, 0)));
+        pos = next + 1;
+    }
+    return jobs;
+}
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "\n"
+        "Chaos harness: kill/resume, torn journals, hang quarantine\n"
+        "(DESIGN.md section 4g).\n"
+        "\n"
+        "  --items N      brute-force candidates to sweep (default 256)\n"
+        "  --chunk N      items per chunk / journal record (default 16)\n"
+        "  --jobs LIST    thread counts, comma-separated (default 1,4,16)\n"
+        "  --train N      oracle training iterations (default 4)\n"
+        "  --workdir DIR  journal/quarantine artifact directory\n"
+        "                 (default chaos_artifacts)\n"
+        "  --quick        CI-sized matrix (fewer kill points/jobs)\n"
+        "  --help         this text\n",
+        argv0);
+}
+
+/** The shared brute-force workload (mirrors bench/parallel_campaign:
+ *  truth at the end of the range so every run does the full sweep). */
+BruteForceCampaignConfig
+makeBruteForceConfig(const Options &opt, double fault_rate)
+{
+    MachineConfig mcfg = defaultMachineConfig();
+    mcfg.seed = 42;
+
+    const isa::Addr target = BenignDataBase + 37 * isa::PageSize;
+    Machine probe(mcfg);
+    uint64_t modifier = 0x1000;
+    uint16_t truth = 0;
+    for (;; ++modifier) {
+        truth = probe.kernel().truePac(target, modifier,
+                                       crypto::PacKeySelect::DA);
+        if (truth >= opt.items - 1)
+            break;
+    }
+
+    BruteForceCampaignConfig cfg;
+    cfg.replica.machine = mcfg;
+    cfg.replica.oracle.trainIters = opt.train;
+    cfg.replica.target = target;
+    cfg.replica.modifier = modifier;
+    cfg.first = uint16_t(truth - (opt.items - 1));
+    cfg.last = truth;
+    cfg.seed = 7;
+    cfg.pool.chunkSize = opt.chunk;
+    if (fault_rate > 0.0) {
+        cfg.replica.faults = FaultPlan::scaled(fault_rate);
+        cfg.replica.oracle.autoCalibrate = true;
+        cfg.replica.oracle.queryRetries = 2;
+        cfg.replica.oracle.busyRetries = 3;
+        cfg.replica.maxSamples = cfg.replica.samples + 4;
+        cfg.replica.candidateRetries = 1;
+    }
+    return cfg;
+}
+
+/**
+ * Fork a child that runs @p cfg with the journal armed to kill the
+ * process after @p kill_after appends. Returns the child's exit code
+ * (137 = died at the record boundary, 0 = campaign finished first).
+ */
+int
+runChildWithKill(BruteForceCampaignConfig cfg,
+                 const std::string &journal, uint64_t kill_after)
+{
+    std::fflush(stdout);
+    const pid_t pid = fork();
+    if (pid == 0) {
+        cfg.supervision.journalPath = journal;
+        cfg.supervision.resume = false;
+        cfg.supervision.crashAfterAppends = kill_after;
+        runBruteForceCampaign(cfg);
+        std::_Exit(0); // campaign completed before the kill point
+    }
+    int status = 0;
+    waitpid(pid, &status, 0);
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+struct ScenarioTally
+{
+    unsigned run = 0;
+    unsigned failed = 0;
+
+    void
+    check(bool ok, const char *what)
+    {
+        ++run;
+        if (!ok) {
+            ++failed;
+            std::printf("FAIL: %s\n", what);
+        }
+    }
+};
+
+/** Scenario 1 (+2): kill at a record boundary, optionally tear the
+ *  journal tail, resume, compare against the uninterrupted run. */
+void
+killResumeScenario(const Options &opt, ScenarioTally &tally)
+{
+    const std::vector<double> fault_rates = {0.0, 0.2};
+    for (double fault_rate : fault_rates) {
+        BruteForceCampaignConfig cfg =
+            makeBruteForceConfig(opt, fault_rate);
+        const uint64_t chunks =
+            chunkCount(uint64_t(cfg.last) - cfg.first + 1,
+                       cfg.pool.chunkSize);
+
+        // Uninterrupted reference (no journal involved at all).
+        cfg.pool.jobs = 1;
+        const BruteForceCampaignResult ref =
+            runBruteForceCampaign(cfg);
+        const std::string ref_fp = ref.fingerprint();
+
+        // Kill after the meta record (nothing resumable), early, and
+        // late in the chunk stream. Record 1 is the meta record.
+        std::vector<uint64_t> kill_points = {1, 1 + chunks / 4,
+                                             1 + (3 * chunks) / 4};
+        if (opt.quick)
+            kill_points = {1 + chunks / 2};
+
+        for (unsigned jobs : opt.jobs) {
+            for (uint64_t kill_after : kill_points) {
+                const std::string journal = strprintf(
+                    "%s/kill_f%02.0f_j%u_k%llu.journal",
+                    opt.workdir.c_str(), fault_rate * 100, jobs,
+                    (unsigned long long)kill_after);
+                cfg.pool.jobs = jobs;
+
+                const int code =
+                    runChildWithKill(cfg, journal, kill_after);
+                tally.check(code == 137 || code == 0,
+                            "child died outside a record boundary");
+
+                // Torn tail: the late kill point also gets garbage
+                // appended, exercising replay's truncation path.
+                const bool tear = kill_after == kill_points.back();
+                if (tear) {
+                    std::ofstream f(journal, std::ios::app |
+                                                 std::ios::binary);
+                    f << "R deadbeef 4 9\ntornTORN"; // short frame
+                }
+
+                cfg.supervision.journalPath = journal;
+                cfg.supervision.resume = true;
+                cfg.supervision.crashAfterAppends = 0;
+                const auto t0 = std::chrono::steady_clock::now();
+                const BruteForceCampaignResult res =
+                    runBruteForceCampaign(cfg);
+                const auto t1 = std::chrono::steady_clock::now();
+                cfg.supervision = SupervisionConfig{};
+
+                const bool identical = res.fingerprint() == ref_fp;
+                tally.check(identical,
+                            "resumed fingerprint diverged");
+                if (code == 137)
+                    tally.check(res.chunksResumed > 0 ||
+                                    kill_after <= 1,
+                                "kill mid-run but nothing resumed");
+                std::printf(
+                    "kill/resume f=%.1f jobs=%-2u kill_after=%-3llu "
+                    "resumed=%llu%s  %s\n",
+                    fault_rate, jobs, (unsigned long long)kill_after,
+                    (unsigned long long)res.chunksResumed,
+                    tear ? " (torn tail)" : "",
+                    identical ? "identical" : "DIVERGED");
+                std::printf(
+                    "BENCH {\"bench\":\"chaos_recovery\","
+                    "\"scenario\":\"kill_resume\","
+                    "\"fault_rate\":%.2f,\"jobs\":%u,"
+                    "\"kill_after\":%llu,\"resumed\":%llu,"
+                    "\"torn_tail\":%s,"
+                    "\"wall_uninterrupted_s\":%.4f,"
+                    "\"wall_resume_s\":%.4f,\"identical\":%s}\n",
+                    fault_rate, jobs,
+                    (unsigned long long)kill_after,
+                    (unsigned long long)res.chunksResumed,
+                    tear ? "true" : "false", ref.wallSeconds,
+                    std::chrono::duration<double>(t1 - t0).count(),
+                    identical ? "true" : "false");
+            }
+        }
+    }
+}
+
+/** Scenario 3: injected wedges -> Hang classification -> quarantine,
+ *  identical across thread counts and reproducible standalone. */
+void
+hangQuarantineScenario(const Options &opt, ScenarioTally &tally)
+{
+    BruteForceCampaignConfig cfg = makeBruteForceConfig(opt, 0.0);
+    cfg.replica.faults.hangRate = 0.003;
+    cfg.supervision.budget.maxGuestCycles = 1ull << 34;
+
+    std::string ref_fp;
+    BruteForceCampaignResult ref;
+    for (unsigned jobs : opt.jobs) {
+        cfg.pool.jobs = jobs;
+        const BruteForceCampaignResult res =
+            runBruteForceCampaign(cfg);
+        if (ref_fp.empty()) {
+            ref = res;
+            ref_fp = res.fingerprint();
+            tally.check(!res.quarantined.empty(),
+                        "hang plan produced no quarantines");
+        }
+        const bool identical = res.fingerprint() == ref_fp;
+        tally.check(identical,
+                    "quarantine fingerprint diverged across jobs");
+        std::printf("hang-quarantine jobs=%-2u quarantined=%zu "
+                    "hangs=%llu reprovisions=%llu  %s\n",
+                    jobs, res.quarantined.size(),
+                    (unsigned long long)res.recovery.hangs,
+                    (unsigned long long)res.recovery.reprovisions,
+                    identical ? "identical" : "DIVERGED");
+        std::printf("BENCH {\"bench\":\"chaos_recovery\","
+                    "\"scenario\":\"hang_quarantine\",\"jobs\":%u,"
+                    "\"quarantined\":%zu,\"hangs\":%llu,"
+                    "\"identical\":%s}\n",
+                    jobs, res.quarantined.size(),
+                    (unsigned long long)res.recovery.hangs,
+                    identical ? "true" : "false");
+    }
+
+    // Kill/resume must also reproduce the quarantine list (the
+    // records travel through the journal).
+    const std::string journal =
+        opt.workdir + "/hang_resume.journal";
+    cfg.pool.jobs = opt.jobs.back();
+    const int code = runChildWithKill(
+        cfg, journal,
+        1 + chunkCount(uint64_t(cfg.last) - cfg.first + 1,
+                       cfg.pool.chunkSize) /
+                2);
+    tally.check(code == 137 || code == 0,
+                "hang-plan child died outside a record boundary");
+    cfg.supervision.journalPath = journal;
+    cfg.supervision.resume = true;
+    const BruteForceCampaignResult resumed =
+        runBruteForceCampaign(cfg);
+    tally.check(resumed.fingerprint() == ref_fp,
+                "resumed hang-quarantine fingerprint diverged");
+    cfg.supervision = SupervisionConfig{};
+    cfg.supervision.budget.maxGuestCycles = 1ull << 34;
+
+    // Standalone reproduction: each quarantine record must fail the
+    // same way outside the campaign.
+    size_t replayed = 0;
+    for (const QuarantineRecord &rec : ref.quarantined) {
+        if (replayed == (opt.quick ? 1u : 3u))
+            break;
+        ++replayed;
+        const WorkOutcome outcome = replayQuarantine(cfg, rec);
+        tally.check(!outcome.completed,
+                    "quarantined item completed on replay");
+        tally.check(outcome.quarantined &&
+                        *outcome.quarantined == rec.kind,
+                    "replayed classification differs from record");
+        std::printf("replay chunk %llu: %s (%s)\n",
+                    (unsigned long long)rec.chunkIndex,
+                    outcome.completed ? "completed?!" : "reproduced",
+                    workerFaultName(rec.kind));
+    }
+    std::printf("BENCH {\"bench\":\"chaos_recovery\","
+                "\"scenario\":\"quarantine_replay\","
+                "\"records\":%zu,\"replayed\":%zu}\n",
+                ref.quarantined.size(), replayed);
+}
+
+/** Scenario 4: the accuracy campaign's journal path (rekey trials). */
+void
+accuracyResumeScenario(const Options &opt, ScenarioTally &tally)
+{
+    AccuracyCampaignConfig cfg;
+    cfg.replica.machine = defaultMachineConfig();
+    cfg.replica.machine.seed = 42;
+    cfg.replica.oracle.trainIters = opt.train;
+    cfg.replica.target = BenignDataBase + 37 * isa::PageSize;
+    cfg.replica.modifier = 0x9999;
+    cfg.replica.samples = 1;
+    cfg.trials = opt.quick ? 4 : 8;
+    cfg.window = 24;
+    cfg.seed = 1000;
+    cfg.pool.chunkSize = 1;
+
+    cfg.pool.jobs = 1;
+    const std::string ref_fp = runAccuracyCampaign(cfg).fingerprint();
+
+    const std::string journal =
+        opt.workdir + "/accuracy_resume.journal";
+    std::fflush(stdout);
+    const pid_t pid = fork();
+    if (pid == 0) {
+        cfg.supervision.journalPath = journal;
+        cfg.supervision.crashAfterAppends = 1 + cfg.trials / 2;
+        cfg.pool.jobs = 2;
+        runAccuracyCampaign(cfg);
+        std::_Exit(0);
+    }
+    int status = 0;
+    waitpid(pid, &status, 0);
+    tally.check(WIFEXITED(status) && (WEXITSTATUS(status) == 137 ||
+                                      WEXITSTATUS(status) == 0),
+                "accuracy child died outside a record boundary");
+
+    for (unsigned jobs : opt.jobs) {
+        cfg.pool.jobs = jobs;
+        cfg.supervision.journalPath = journal;
+        cfg.supervision.resume = true;
+        const AccuracyCampaignResult res = runAccuracyCampaign(cfg);
+        const bool identical = res.fingerprint() == ref_fp;
+        tally.check(identical, "accuracy resume diverged");
+        std::printf("accuracy resume jobs=%-2u resumed=%llu  %s\n",
+                    jobs, (unsigned long long)res.chunksResumed,
+                    identical ? "identical" : "DIVERGED");
+        std::printf("BENCH {\"bench\":\"chaos_recovery\","
+                    "\"scenario\":\"accuracy_resume\",\"jobs\":%u,"
+                    "\"resumed\":%llu,\"identical\":%s}\n",
+                    jobs, (unsigned long long)res.chunksResumed,
+                    identical ? "true" : "false");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--items") && i + 1 < argc)
+            opt.items = unsigned(std::strtoul(argv[++i], nullptr, 0));
+        else if (!std::strcmp(argv[i], "--chunk") && i + 1 < argc)
+            opt.chunk = std::strtoull(argv[++i], nullptr, 0);
+        else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc)
+            opt.jobs = parseJobsList(argv[++i]);
+        else if (!std::strcmp(argv[i], "--train") && i + 1 < argc)
+            opt.train = unsigned(std::strtoul(argv[++i], nullptr, 0));
+        else if (!std::strcmp(argv[i], "--workdir") && i + 1 < argc)
+            opt.workdir = argv[++i];
+        else if (!std::strcmp(argv[i], "--quick"))
+            opt.quick = true;
+        else if (!std::strcmp(argv[i], "--help")) {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n\n", argv[i]);
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (opt.quick && opt.jobs.size() > 2)
+        opt.jobs = {1, 4};
+
+    std::error_code ec;
+    std::filesystem::create_directories(opt.workdir, ec);
+
+    ScenarioTally tally;
+    std::printf("== chaos recovery: kill/resume ==\n");
+    killResumeScenario(opt, tally);
+    std::printf("\n== chaos recovery: hang quarantine ==\n");
+    hangQuarantineScenario(opt, tally);
+    std::printf("\n== chaos recovery: accuracy resume ==\n");
+    accuracyResumeScenario(opt, tally);
+
+    std::printf("\n%u checks, %u failed; artifacts in %s\n",
+                tally.run, tally.failed, opt.workdir.c_str());
+    return tally.failed == 0 ? 0 : 1;
+}

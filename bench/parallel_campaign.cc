@@ -26,7 +26,9 @@
  * accuracy campaign), --window N (default 96), --fault-rate X
  * (default 0: FaultPlan::scaled(X) chaos on every replica, plus the
  * self-healing oracle knobs — the determinism contract must hold for
- * the faults *and* the recovery they trigger).
+ * the faults *and* the recovery they trigger), --journal PATH /
+ * --resume (durable per-jobs-count chunk journals; DESIGN.md §4g).
+ * Run --help for the full list; unknown flags exit 2.
  */
 
 #include <chrono>
@@ -76,7 +78,52 @@ struct Options
     uint64_t trials = 0;
     unsigned window = 96;
     double faultRate = 0.0;
+    std::string journal;
+    bool resume = false;
 };
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "\n"
+        "Deterministic parallel campaign benchmark (Section 8.2\n"
+        "brute force; --trials adds the Monte-Carlo accuracy run).\n"
+        "\n"
+        "  --items N       brute-force candidates (default 2048)\n"
+        "  --jobs LIST     thread counts, comma-separated\n"
+        "                  (default 1,2,4,8)\n"
+        "  --chunk N       items per work chunk (default 256)\n"
+        "  --train N       oracle training iterations (default 8)\n"
+        "  --samples N     oracle samples per candidate (default 1)\n"
+        "  --noise P       ambient noise probability (default 0)\n"
+        "  --trials N      accuracy trials; 0 skips the accuracy\n"
+        "                  campaign (default 0)\n"
+        "  --window N      accuracy sweep window (default 96)\n"
+        "  --fault-rate X  FaultPlan::scaled(X) chaos + self-healing\n"
+        "                  knobs on every replica (default 0)\n"
+        "  --journal PATH  durable chunk journal; each jobs count\n"
+        "                  writes PATH.j<jobs> (accuracy:\n"
+        "                  PATH.accuracy.j<jobs>)\n"
+        "  --resume        replay completed chunks from the journal\n"
+        "                  instead of recomputing them\n"
+        "  --help          this text\n",
+        argv0);
+}
+
+/** Per-jobs-count journal wiring (empty --journal disables). */
+SupervisionConfig
+journalFor(const Options &opt, const char *part, unsigned jobs)
+{
+    SupervisionConfig sup;
+    if (opt.journal.empty())
+        return sup;
+    sup.journalPath =
+        strprintf("%s%s.j%u", opt.journal.c_str(), part, jobs);
+    sup.resume = opt.resume;
+    return sup;
+}
 
 /** Chaos + self-healing wiring for the faulted determinism check. */
 void
@@ -170,6 +217,7 @@ bruteForcePart(const Options &opt)
     bool all_identical = true;
     for (unsigned jobs : opt.jobs) {
         cfg.pool.jobs = jobs;
+        cfg.supervision = journalFor(opt, "", jobs);
         const BruteForceCampaignResult r = runBruteForceCampaign(cfg);
         const std::string fp = r.fingerprint();
         if (reference.empty()) {
@@ -232,6 +280,7 @@ accuracyPart(const Options &opt)
     bool all_identical = true;
     for (unsigned jobs : opt.jobs) {
         cfg.pool.jobs = jobs;
+        cfg.supervision = journalFor(opt, ".accuracy", jobs);
         const AccuracyCampaignResult r = runAccuracyCampaign(cfg);
         const std::string fp = r.fingerprint();
         if (reference.empty()) {
@@ -287,6 +336,18 @@ main(int argc, char **argv)
             opt.window = unsigned(std::strtoul(argv[++i], nullptr, 0));
         else if (!std::strcmp(argv[i], "--fault-rate") && i + 1 < argc)
             opt.faultRate = std::strtod(argv[++i], nullptr);
+        else if (!std::strcmp(argv[i], "--journal") && i + 1 < argc)
+            opt.journal = argv[++i];
+        else if (!std::strcmp(argv[i], "--resume"))
+            opt.resume = true;
+        else if (!std::strcmp(argv[i], "--help")) {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n\n", argv[i]);
+            usage(argv[0]);
+            return 2;
+        }
     }
 
     int rc = bruteForcePart(opt);

@@ -31,7 +31,9 @@
  * --bf-trials N (brute-force accuracy trials per point, default 12),
  * --window N (default 48), --train N (default 8; the predictor
  * saturates well below the paper's 64 and the sweep runs 16 points),
- * --jobs N (default 0 = hardware concurrency, brute-force part only).
+ * --jobs N (default 0 = hardware concurrency, brute-force part only),
+ * --journal PATH / --resume (durable per-point chunk journals;
+ * DESIGN.md §4g). Run --help for the full list; unknown flags exit 2.
  */
 
 #include <cstdio>
@@ -61,7 +63,37 @@ struct Options
     unsigned window = 48;
     unsigned train = 8;
     unsigned jobs = 0;
+    std::string journal;
+    bool resume = false;
 };
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "\n"
+        "Oracle + brute-force accuracy degradation curves vs injected\n"
+        "fault intensity, fixed vs self-healing runtime.\n"
+        "\n"
+        "  --rates LIST    fault intensities, comma-separated\n"
+        "                  (default 0,0.05,0.1,0.2)\n"
+        "  --trials N      oracle classification trials per point\n"
+        "                  (default 2000)\n"
+        "  --bf-trials N   brute-force accuracy trials per point\n"
+        "                  (default 12)\n"
+        "  --window N      brute-force sweep window (default 48)\n"
+        "  --train N       oracle training iterations (default 8)\n"
+        "  --jobs N        brute-force campaign threads (default 0 =\n"
+        "                  hardware concurrency)\n"
+        "  --journal PATH  durable chunk journal for the brute-force\n"
+        "                  campaigns; each (mode, rate) point writes\n"
+        "                  PATH.<mode>_r<rate>\n"
+        "  --resume        replay journaled chunks instead of\n"
+        "                  recomputing them\n"
+        "  --help          this text\n",
+        argv0);
+}
 
 /** The self-healing knob set under test (vs. all-defaults "fixed"). */
 void
@@ -170,6 +202,14 @@ bruteForceAccuracy(double rate, bool selfheal, const Options &opt)
     cfg.seed = 1000;
     cfg.pool.jobs = opt.jobs;
     cfg.pool.chunkSize = 1;
+    if (!opt.journal.empty()) {
+        // Every (mode, rate) point is a distinct campaign; give each
+        // its own journal so resume can never mix points.
+        cfg.supervision.journalPath =
+            strprintf("%s.%s_r%.2f", opt.journal.c_str(),
+                      selfheal ? "calibrated" : "fixed", rate);
+        cfg.supervision.resume = opt.resume;
+    }
     return runAccuracyCampaign(cfg);
 }
 
@@ -265,6 +305,18 @@ main(int argc, char **argv)
             opt.train = unsigned(std::strtoul(argv[++i], nullptr, 0));
         else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc)
             opt.jobs = unsigned(std::strtoul(argv[++i], nullptr, 0));
+        else if (!std::strcmp(argv[i], "--journal") && i + 1 < argc)
+            opt.journal = argv[++i];
+        else if (!std::strcmp(argv[i], "--resume"))
+            opt.resume = true;
+        else if (!std::strcmp(argv[i], "--help")) {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n\n", argv[i]);
+            usage(argv[0]);
+            return 2;
+        }
     }
 
     std::printf("=== robustness sweep: oracle + brute-force accuracy "

@@ -181,6 +181,29 @@ AttackerProcess::buildRoutines()
     rReadPmc0_ = prog.symbol("r_read_pmc0");
 }
 
+bool
+AttackerProcess::verifyRoutines() const
+{
+    // The `mem()` accessor is non-const but the functional probes
+    // below only read; keep this check usable from const contexts.
+    auto &mem = const_cast<Machine &>(machine_).mem();
+    for (Addr entry :
+         {rSyscall_, rTimedLoad_, rTimedLoadPmc_, rLoadList_,
+          rProbeList_, rFetchAt_, rFetchList_, rReadCntpct_,
+          rReadPmc0_}) {
+        if (entry == 0)
+            return false; // buildRoutines never ran to completion
+        if (!mem.translateFunctional(entry))
+            return false; // code page unmapped
+        if (mem.readVirt(entry, 4) == 0)
+            return false; // entry word zeroed (no ARM inst is 0)
+    }
+    const Addr lo = UserDataBase;
+    const Addr hi = UserDataBase + 256 * PageSize;
+    return listArray_ >= lo && listArray_ < hi && outArray_ >= lo &&
+           outArray_ < hi;
+}
+
 uint64_t
 AttackerProcess::syscall(uint16_t num, uint64_t a0, uint64_t a1,
                          uint64_t a2)

@@ -18,8 +18,10 @@
 #define PACMAN_ATTACK_RUNTIME_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
+#include "base/supervision.hh"
 #include "kernel/machine.hh"
 
 namespace pacman::attack
@@ -103,6 +105,42 @@ class AttackerProcess
      *  configuration (callers must not probe these). */
     std::vector<uint64_t> reservedDtlbSets() const;
 
+    // --- Supervision / recovery (DESIGN.md §4g) ---
+
+    /**
+     * Integrity self-check for the recovery ladder: every assembled
+     * routine entry point must still be mapped and hold a non-zero
+     * instruction word, and the argument arrays must point into the
+     * scratch area. A replica whose code pages were lost or zeroed
+     * (checkpoint corruption, a bad restore) fails here before the
+     * supervisor wastes a retry on it.
+     */
+    bool verifyRoutines() const;
+
+    /**
+     * Register a hook the campaign supervisor invokes after it
+     * recovers this process's replica (restore-retry or full
+     * re-provision), with the classified fault and the ladder rung
+     * that succeeded (1 = restore, 2 = re-provision). Lets the attack
+     * layer react — e.g. schedule a recalibration — without the
+     * runner depending on attack internals. Pass nullptr to detach.
+     * Host wiring: deliberately not part of the snapshot.
+     */
+    void
+    setRecoveryHook(
+        std::function<void(WorkerFaultKind, unsigned)> hook)
+    {
+        recoveryHook_ = std::move(hook);
+    }
+
+    /** Invoke the recovery hook, if any (supervisor side). */
+    void
+    notifyRecovery(WorkerFaultKind kind, unsigned rung)
+    {
+        if (recoveryHook_)
+            recoveryHook_(kind, rung);
+    }
+
     /**
      * Host-side mutable state. The assembled routines and their guest
      * pages are captured by the Machine snapshot (they live in
@@ -142,6 +180,7 @@ class AttackerProcess
     Addr listArray_ = 0;
     Addr outArray_ = 0;
     std::vector<uint64_t> probeScratch_; //!< probeAll result storage
+    std::function<void(WorkerFaultKind, unsigned)> recoveryHook_;
 };
 
 } // namespace pacman::attack

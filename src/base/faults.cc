@@ -1,0 +1,87 @@
+#include "faults.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "base/stats.hh"
+
+namespace pacman
+{
+
+namespace
+{
+
+/** Reject NaN and out-of-range probabilities with the field name. */
+void
+checkRate(const char *field, double rate)
+{
+    if (std::isnan(rate) || rate < 0.0 || rate > 1.0) {
+        throw std::invalid_argument(
+            strprintf("FaultPlan::%s must be a probability in [0, 1], "
+                      "got %g", field, rate));
+    }
+}
+
+void
+checkRange(const char *event, const char *field, uint64_t lo,
+           uint64_t hi)
+{
+    if (lo > hi) {
+        throw std::invalid_argument(strprintf(
+            "FaultPlan: %s enabled but %s range is inverted "
+            "(%llu > %llu)", event, field, (unsigned long long)lo,
+            (unsigned long long)hi));
+    }
+}
+
+void
+checkNonZero(const char *event, const char *field, uint64_t value)
+{
+    if (value == 0) {
+        throw std::invalid_argument(
+            strprintf("FaultPlan: %s enabled but %s is zero", event,
+                      field));
+    }
+}
+
+} // anonymous namespace
+
+void
+FaultPlan::validate() const
+{
+    checkRate("contextSwitchRate", contextSwitchRate);
+    checkRate("fullFlushFraction", fullFlushFraction);
+    checkRate("preemptRate", preemptRate);
+    checkRate("timerRate", timerRate);
+    checkRate("syscallBusyRate", syscallBusyRate);
+    checkRate("migrationRate", migrationRate);
+    checkRate("migrationReturnRate", migrationReturnRate);
+    checkRate("hangRate", hangRate);
+
+    if (preemptRate > 0.0) {
+        checkRange("preemption", "preemptMin/MaxCycles",
+                   preemptMinCycles, preemptMaxCycles);
+    }
+    if (timerRate > 0.0) {
+        checkRange("timer disturbance", "stallMin/MaxCycles",
+                   stallMinCycles, stallMaxCycles);
+        checkRange("timer disturbance", "skewPermilleMin/Max",
+                   skewPermilleMin, skewPermilleMax);
+        // A zero-permille skew stops the counting thread dead and a
+        // zero-period burst is a divide-into-nothing: both "timers"
+        // with no period.
+        checkNonZero("timer disturbance", "skewPermilleMin",
+                     skewPermilleMin);
+        checkNonZero("timer disturbance", "jitterBurstCycles",
+                     jitterBurstCycles);
+    }
+    if (syscallBusyRate > 0.0) {
+        checkRange("syscall busy", "busyMin/MaxCount", busyMinCount,
+                   busyMaxCount);
+        checkNonZero("syscall busy", "busyMinCount", busyMinCount);
+    }
+    if (hangRate > 0.0)
+        checkNonZero("wedge", "hangCycles", hangCycles);
+}
+
+} // namespace pacman

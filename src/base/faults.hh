@@ -35,6 +35,7 @@
 #define PACMAN_BASE_FAULTS_HH
 
 #include <cstdint>
+#include <string>
 
 namespace pacman
 {
@@ -72,14 +73,42 @@ struct FaultPlan
     double migrationRate = 0.0;       //!< p-core -> e-core
     double migrationReturnRate = 0.3; //!< e-core -> p-core, per opp.
 
+    // --- (f) wedge (hang) ---
+    /**
+     * Probability per opportunity that the replica wedges: the
+     * scheduler never returns to the attacker for hangCycles of
+     * simulated time. The default burn is effectively forever — only
+     * a supervising watchdog with a guest-cycle budget (ItemBudget)
+     * gets the item back; an unsupervised campaign would simply see
+     * every measurement on the wedged replica time out. The chaos
+     * harness uses this to prove the Hang rung of the recovery
+     * ladder, which is why FaultPlan::scaled() — the robustness
+     * sweep's axis — leaves it at zero.
+     */
+    double hangRate = 0.0;
+    uint64_t hangCycles = 1ull << 40; //!< simulated-cycle burn
+
     /** True if any event can ever fire. */
     bool
     enabled() const
     {
         return contextSwitchRate > 0.0 || preemptRate > 0.0 ||
                timerRate > 0.0 || syscallBusyRate > 0.0 ||
-               migrationRate > 0.0;
+               migrationRate > 0.0 || hangRate > 0.0;
     }
+
+    /**
+     * Reject malformed plans with a descriptive
+     * std::invalid_argument instead of silently misbehaving
+     * downstream (a NaN rate never fires, a zero-period timer burst
+     * divides the disturbance into nothing, an inverted min/max range
+     * traps in Random::range). Rates are validated unconditionally;
+     * burst-shape constraints only when their event is enabled, so a
+     * plan carrying nonsense defaults for an event that can never
+     * fire stays usable. Called by sim::FaultInjector at
+     * construction and by the campaign runner at provisioning.
+     */
+    void validate() const;
 
     /**
      * The robustness_sweep's one-dimensional fault axis: all event
@@ -115,13 +144,15 @@ struct FaultStats
     uint64_t jitterBursts = 0;
     uint64_t busyArms = 0;
     uint64_t migrations = 0;
+    uint64_t hangs = 0;
 
     /** Total realized events (cycle budgets excluded). */
     uint64_t
     total() const
     {
         return contextSwitches + preemptions + timerStalls +
-               timerSkews + jitterBursts + busyArms + migrations;
+               timerSkews + jitterBursts + busyArms + migrations +
+               hangs;
     }
 
     /** Fold @p other into this (campaign merge; order-insensitive). */
@@ -138,6 +169,7 @@ struct FaultStats
         jitterBursts += other.jitterBursts;
         busyArms += other.busyArms;
         migrations += other.migrations;
+        hangs += other.hangs;
     }
 };
 

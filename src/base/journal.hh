@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Durable append-only record journal (crash-recovery substrate for
+ * campaign supervision; DESIGN.md §4g).
+ *
+ * A journal is a sequence of (key, payload) records on disk. Appends
+ * are atomic with respect to process death: each record is written in
+ * one write(2) call and fsync'd before append() returns, and every
+ * record carries a CRC32 over its key and payload. A process killed
+ * mid-append leaves at most one torn record at the tail; replay()
+ * detects it (short frame or CRC mismatch), reports every record
+ * before it, and open() truncates the file back to the last valid
+ * frame boundary so the journal is appendable again.
+ *
+ * Frame format (lengths make keys and payloads binary-safe):
+ *
+ *   R <crc32-hex> <key-bytes> <payload-bytes>\n
+ *   <key><payload>\n
+ *
+ * The journal knows nothing about what the records mean. Campaigns
+ * (src/runner/campaign.cc) store one chunk-completion record per
+ * finished chunk keyed by (campaign_seed, chunk_index), plus a meta
+ * record binding the file to its campaign configuration — see
+ * DESIGN.md §4g for that schema.
+ */
+
+#ifndef PACMAN_BASE_JOURNAL_HH
+#define PACMAN_BASE_JOURNAL_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pacman
+{
+
+/** An fsync'd append-only record log with torn-tail detection. */
+class Journal
+{
+  public:
+    /** One replayed record. */
+    struct Record
+    {
+        std::string key;
+        std::string payload;
+    };
+
+    /** What replay() found in a journal file. */
+    struct Replay
+    {
+        std::vector<Record> records; //!< every valid record, in order
+        uint64_t validBytes = 0;     //!< file offset after the last
+                                     //!< valid frame
+        bool corruptTail = false;    //!< torn/garbage bytes followed
+    };
+
+    Journal() = default;
+    ~Journal() { close(); }
+
+    Journal(const Journal &) = delete;
+    Journal &operator=(const Journal &) = delete;
+
+    /**
+     * Parse @p path without opening it for writing. A missing file
+     * replays as empty (not corrupt): a campaign that never journaled
+     * a record and one whose journal was lost resume identically —
+     * from the start.
+     */
+    static Replay replay(const std::string &path);
+
+    /**
+     * Open @p path for appending, creating it if needed. Existing
+     * valid records are returned; a corrupt tail is truncated away
+     * (with a warn) so subsequent appends start on a frame boundary.
+     */
+    Replay open(const std::string &path);
+
+    /** True between open() and close(). */
+    bool isOpen() const { return fd_ >= 0; }
+
+    const std::string &path() const { return path_; }
+
+    /**
+     * Append one record and fsync it. Thread-safe: concurrent
+     * campaign workers append whole frames in FIFO order. Must not
+     * be called on a closed journal.
+     */
+    void append(std::string_view key, std::string_view payload);
+
+    /** Records appended through this handle (not replayed ones). */
+    uint64_t appends() const { return appends_; }
+
+    /**
+     * Chaos-test hook: kill the process with _Exit(137) immediately
+     * after the @p n-th successful (fsync'd) append through this
+     * handle. 0 disables. The bench/chaos_recovery harness uses this
+     * to die at a precise record boundary; combined with replay()'s
+     * torn-tail handling it proves resume from any kill point.
+     */
+    void crashAfterAppends(uint64_t n) { crashAfter_ = n; }
+
+    void close();
+
+    /** CRC32 (IEEE, reflected) over @p data, seedable for chaining. */
+    static uint32_t crc32(std::string_view data, uint32_t seed = 0);
+
+  private:
+    int fd_ = -1;
+    std::string path_;
+    std::mutex mu_;
+    uint64_t appends_ = 0;
+    uint64_t crashAfter_ = 0;
+};
+
+} // namespace pacman
+
+#endif // PACMAN_BASE_JOURNAL_HH

@@ -1,25 +1,22 @@
 #include "campaign.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
 #include <chrono>
-#include <cstdlib>
+#include <cstdio>
+#include <fstream>
 #include <memory>
 #include <optional>
+#include <sstream>
+#include <unordered_map>
 #include <vector>
 
+#include "base/journal.hh"
 #include "base/logging.hh"
-#include "sim/snapshot.hh"
 
 namespace pacman::runner
 {
-
-bool
-snapshotReplicasDefault()
-{
-    static const bool disabled =
-        std::getenv("PACMAN_DISABLE_SNAPSHOT") != nullptr;
-    return !disabled;
-}
 
 namespace
 {
@@ -31,92 +28,15 @@ using Clock = std::chrono::steady_clock;
  *  stream or the first jitter draws would correlate with the keys. */
 constexpr uint64_t KeySeedStream = 0x4B65'7973ull; // "Keys"
 
-/**
- * One worker-owned replica: a private machine stack. Construction
- * provisions it completely — boot (PAC keys drawn from the config's
- * machine seed), guest-program assembly, eviction-set build, target
- * binding, calibration — all under the boot stream, so the
- * post-provisioning state is a pure function of the configuration.
- *
- * beginItem() then prepares one work item: rewind to the
- * post-provisioning checkpoint (or rely on the caller having just
- * constructed a fresh replica in the reference mode), optionally
- * rotate the PAC keys, switch the RNG to the item stream, and attach
- * the fault injector. Every per-item result is a pure function of
- * (config, item seeds) in both modes.
- */
-struct Replica
+/** The per-pool-worker supervised-worker slot. */
+Worker &
+prepareWorker(std::vector<std::unique_ptr<Worker>> &slots,
+              unsigned worker, const ReplicaConfig &cfg,
+              const SupervisionConfig &sup)
 {
-    explicit Replica(const ReplicaConfig &cfg)
-        : cfg(cfg), machine(cfg.machine), proc(machine),
-          oracle(proc, cfg.oracle)
-    {
-        oracle.setTarget(cfg.target, cfg.modifier);
-    }
-
-    /** Checkpoint the current (post-provisioning) state; beginItem()
-     *  restores it before every subsequent item. */
-    void enableCheckpoint() { checkpoint.emplace(machine, oracle); }
-
-    /**
-     * Prepare one work item. @p rekey_seed, when set, rotates the PAC
-     * keys (and refreshes the oracle's legit training pointer) before
-     * the stream switch, so the key draw and the refresh syscall are
-     * identical across provisioning modes and thread counts.
-     */
-    void beginItem(std::optional<uint64_t> rekey_seed,
-                   uint64_t stream_seed)
-    {
-        // Detach the previous item's injector before touching any
-        // machine state; its hook must not observe the rewind.
-        injector.reset();
-        if (checkpoint)
-            checkpoint->restore();
-        if (rekey_seed) {
-            machine.rekey(*rekey_seed);
-            oracle.refreshLegitPointer();
-        }
-        machine.reseedRng(stream_seed);
-        // Faults attach only after provisioning: set construction and
-        // calibration run undisturbed, and the injector's own stream
-        // keeps the replica a pure function of the item.
-        if (cfg.faults.enabled()) {
-            injector.emplace(machine, cfg.faults,
-                             Random::deriveSeed(stream_seed,
-                                                sim::FaultSeedStream));
-            injector->attach();
-        }
-    }
-
-    FaultStats
-    faultStats() const
-    {
-        return injector ? injector->stats() : FaultStats{};
-    }
-
-    const ReplicaConfig cfg;
-    kernel::Machine machine;
-    attack::AttackerProcess proc;
-    attack::PacOracle oracle;
-    std::optional<sim::ReplicaCheckpoint> checkpoint;
-    std::optional<sim::FaultInjector> injector;
-};
-
-/**
- * The per-worker replica slot policy: snapshot mode provisions once
- * per worker and reuses the checkpointed replica; the fresh-provision
- * reference mode reconstructs the whole stack for every item.
- */
-Replica &
-prepareReplica(std::vector<std::unique_ptr<Replica>> &slots,
-               unsigned worker, const ReplicaConfig &cfg)
-{
-    std::unique_ptr<Replica> &slot = slots[worker];
-    if (!slot || !cfg.snapshot) {
-        slot = std::make_unique<Replica>(cfg);
-        if (cfg.snapshot)
-            slot->enableCheckpoint();
-    }
+    std::unique_ptr<Worker> &slot = slots[worker];
+    if (!slot)
+        slot = std::make_unique<Worker>(cfg, sup);
     return *slot;
 }
 
@@ -161,6 +81,438 @@ robustnessFingerprint(const attack::BruteForceStats &b,
         (unsigned long long)o.repairs, (unsigned long long)f.total());
 }
 
+std::string
+quarantineFingerprint(const std::vector<QuarantineRecord> &records)
+{
+    if (records.empty())
+        return "none";
+    std::string out;
+    for (const QuarantineRecord &r : records) {
+        out += strprintf("%sc%llu:%s", out.empty() ? "" : " ",
+                         (unsigned long long)r.chunkIndex,
+                         workerFaultName(r.kind));
+    }
+    return out;
+}
+
+// --- Journal record (de)serialization ------------------------------
+//
+// Chunk payloads are line-oriented, one tagged line per embedded
+// struct. Doubles travel as their 64-bit patterns in hex, so a
+// resumed campaign merges bit-identical values — the resume
+// determinism contract depends on this, not on printf round-tripping.
+
+std::string
+encodeBfStats(const attack::BruteForceStats &s)
+{
+    return strprintf(
+        "S %llu %llu %llu %llu %llu %llu %llu",
+        s.found ? (unsigned long long)*s.found + 1 : 0ull,
+        (unsigned long long)s.guessesTested,
+        (unsigned long long)s.oracleQueries,
+        (unsigned long long)s.cyclesSimulated,
+        (unsigned long long)s.samplesTaken,
+        (unsigned long long)s.escalations,
+        (unsigned long long)s.candidateRetries);
+}
+
+bool
+decodeBfStats(std::istringstream &in, attack::BruteForceStats &s)
+{
+    unsigned long long found1 = 0, g = 0, q = 0, c = 0, sm = 0, e = 0,
+                       r = 0;
+    if (!(in >> found1 >> g >> q >> c >> sm >> e >> r))
+        return false;
+    s = attack::BruteForceStats{};
+    if (found1)
+        s.found = uint16_t(found1 - 1);
+    s.guessesTested = g;
+    s.oracleQueries = q;
+    s.cyclesSimulated = c;
+    s.samplesTaken = sm;
+    s.escalations = e;
+    s.candidateRetries = r;
+    return true;
+}
+
+std::string
+encodeOracleStats(const attack::OracleStats &o)
+{
+    return strprintf("O %llu %llu %llu %llu %llu",
+                     (unsigned long long)o.busyRetries,
+                     (unsigned long long)o.disturbedQueries,
+                     (unsigned long long)o.retriedQueries,
+                     (unsigned long long)o.calibrations,
+                     (unsigned long long)o.repairs);
+}
+
+bool
+decodeOracleStats(std::istringstream &in, attack::OracleStats &o)
+{
+    o = attack::OracleStats{};
+    return bool(in >> o.busyRetries >> o.disturbedQueries >>
+                o.retriedQueries >> o.calibrations >> o.repairs);
+}
+
+std::string
+encodeFaultStats(const FaultStats &f)
+{
+    return strprintf(
+        "F %llu %llu %llu %llu %llu %llu %llu %llu %llu %llu %llu",
+        (unsigned long long)f.contextSwitches,
+        (unsigned long long)f.fullFlushes,
+        (unsigned long long)f.partialFlushes,
+        (unsigned long long)f.preemptions,
+        (unsigned long long)f.preemptedCycles,
+        (unsigned long long)f.timerStalls,
+        (unsigned long long)f.timerSkews,
+        (unsigned long long)f.jitterBursts,
+        (unsigned long long)f.busyArms,
+        (unsigned long long)f.migrations, (unsigned long long)f.hangs);
+}
+
+bool
+decodeFaultStats(std::istringstream &in, FaultStats &f)
+{
+    f = FaultStats{};
+    return bool(in >> f.contextSwitches >> f.fullFlushes >>
+                f.partialFlushes >> f.preemptions >> f.preemptedCycles >>
+                f.timerStalls >> f.timerSkews >> f.jitterBursts >>
+                f.busyArms >> f.migrations >> f.hangs);
+}
+
+/** Samples in insertion order: mean() sums in that order, so
+ *  preserving it keeps floating-point rounding identical on resume. */
+std::string
+encodeSamples(const SampleStat &s)
+{
+    std::string out = strprintf("D %llu",
+                                (unsigned long long)s.count());
+    for (double v : s.samples())
+        out += strprintf(" %016llx",
+                         (unsigned long long)std::bit_cast<uint64_t>(v));
+    return out;
+}
+
+bool
+decodeSamples(std::istringstream &in, SampleStat &s)
+{
+    unsigned long long n = 0;
+    if (!(in >> n))
+        return false;
+    s.reset();
+    for (unsigned long long i = 0; i < n; ++i) {
+        std::string word;
+        if (!(in >> word))
+            return false;
+        unsigned long long bits = 0;
+        if (sscanf(word.c_str(), "%llx", &bits) != 1)
+            return false;
+        s.add(std::bit_cast<double>(uint64_t(bits)));
+    }
+    return true;
+}
+
+/** One brute-force chunk's completed result (journal unit). */
+struct BfChunkResult
+{
+    attack::BruteForceStats stats;
+    SampleStat decisions;
+    attack::OracleStats oracle;
+    FaultStats faults;
+    std::optional<QuarantineRecord> quarantine;
+};
+
+std::string
+encodeBfChunk(const BfChunkResult &r)
+{
+    std::string out = encodeBfStats(r.stats) + "\n" +
+                      encodeOracleStats(r.oracle) + "\n" +
+                      encodeFaultStats(r.faults) + "\n" +
+                      encodeSamples(r.decisions) + "\n";
+    if (r.quarantine)
+        out += "Q " + r.quarantine->serialize() + "\n";
+    return out;
+}
+
+bool
+decodeBfChunk(const std::string &payload, BfChunkResult &r)
+{
+    r = BfChunkResult{};
+    std::istringstream lines(payload);
+    std::string line;
+    bool s = false, o = false, f = false, d = false;
+    while (std::getline(lines, line)) {
+        std::istringstream in(line);
+        std::string tag;
+        if (!(in >> tag))
+            continue;
+        if (tag == "S")
+            s = decodeBfStats(in, r.stats);
+        else if (tag == "O")
+            o = decodeOracleStats(in, r.oracle);
+        else if (tag == "F")
+            f = decodeFaultStats(in, r.faults);
+        else if (tag == "D")
+            d = decodeSamples(in, r.decisions);
+        else if (tag == "Q") {
+            std::string rest;
+            std::getline(in, rest);
+            if (!rest.empty() && rest.front() == ' ')
+                rest.erase(0, 1);
+            r.quarantine = QuarantineRecord::parse(rest);
+            if (!r.quarantine)
+                return false;
+        }
+    }
+    return s && o && f && d;
+}
+
+/** One accuracy trial's result; a chunk journals all its trials. */
+enum class Verdict : unsigned
+{
+    TruePositive = 0,
+    FalsePositive = 1,
+    FalseNegative = 2,
+    Quarantined = 3,
+};
+
+struct TrialResult
+{
+    Verdict verdict = Verdict::FalseNegative;
+    attack::BruteForceStats stats;
+    attack::OracleStats oracle;
+    FaultStats faults;
+    std::optional<QuarantineRecord> quarantine;
+};
+
+std::string
+encodeTrialChunk(const std::vector<TrialResult> &results,
+                 const Chunk &chunk)
+{
+    std::string out;
+    for (uint64_t t = chunk.firstItem; t <= chunk.lastItem; ++t) {
+        const TrialResult &r = results[t];
+        out += strprintf("T %llu %u\n", (unsigned long long)t,
+                         unsigned(r.verdict));
+        out += encodeBfStats(r.stats) + "\n" +
+               encodeOracleStats(r.oracle) + "\n" +
+               encodeFaultStats(r.faults) + "\n";
+        if (r.quarantine)
+            out += "Q " + r.quarantine->serialize() + "\n";
+    }
+    return out;
+}
+
+bool
+decodeTrialChunk(const std::string &payload,
+                 std::vector<TrialResult> &results, const Chunk &chunk)
+{
+    std::istringstream lines(payload);
+    std::string line;
+    TrialResult *cur = nullptr;
+    uint64_t seen = 0;
+    while (std::getline(lines, line)) {
+        std::istringstream in(line);
+        std::string tag;
+        if (!(in >> tag))
+            continue;
+        if (tag == "T") {
+            unsigned long long t = 0;
+            unsigned v = 0;
+            if (!(in >> t >> v) || t < chunk.firstItem ||
+                t > chunk.lastItem || v > unsigned(Verdict::Quarantined))
+                return false;
+            cur = &results[t];
+            *cur = TrialResult{};
+            cur->verdict = Verdict(v);
+            ++seen;
+        } else if (!cur) {
+            return false;
+        } else if (tag == "S") {
+            if (!decodeBfStats(in, cur->stats))
+                return false;
+        } else if (tag == "O") {
+            if (!decodeOracleStats(in, cur->oracle))
+                return false;
+        } else if (tag == "F") {
+            if (!decodeFaultStats(in, cur->faults))
+                return false;
+        } else if (tag == "Q") {
+            std::string rest;
+            std::getline(in, rest);
+            if (!rest.empty() && rest.front() == ' ')
+                rest.erase(0, 1);
+            cur->quarantine = QuarantineRecord::parse(rest);
+            if (!cur->quarantine)
+                return false;
+        }
+    }
+    return seen == chunk.lastItem - chunk.firstItem + 1;
+}
+
+// --- Campaign journal wiring ---------------------------------------
+
+std::string
+chunkKey(uint64_t campaign_seed, uint64_t chunk_index)
+{
+    return strprintf("chunk/%016llx/%llu",
+                     (unsigned long long)campaign_seed,
+                     (unsigned long long)chunk_index);
+}
+
+/** The journal plus the resume map its replay produced. */
+struct CampaignJournal
+{
+    Journal journal;
+    std::unordered_map<uint64_t, std::string> resumable;
+
+    /**
+     * Open (or start fresh) per the supervision config and bind the
+     * file to this campaign via its meta record. Only records keyed
+     * with @p campaign_seed become resumable; a meta record from a
+     * *different* campaign configuration is a hard error — resuming
+     * someone else's journal would silently merge foreign results.
+     */
+    void
+    open(const SupervisionConfig &sup, uint64_t campaign_seed,
+         const std::string &meta_payload)
+    {
+        if (sup.journalPath.empty())
+            return;
+        if (!sup.resume)
+            std::remove(sup.journalPath.c_str());
+        const Journal::Replay replay = journal.open(sup.journalPath);
+        journal.crashAfterAppends(sup.crashAfterAppends);
+        bool have_meta = false;
+        for (const Journal::Record &rec : replay.records) {
+            if (rec.key == "meta") {
+                PACMAN_ASSERT(
+                    rec.payload == meta_payload,
+                    "journal %s belongs to a different campaign\n"
+                    "  journal: %s\n  campaign: %s",
+                    sup.journalPath.c_str(), rec.payload.c_str(),
+                    meta_payload.c_str());
+                have_meta = true;
+                continue;
+            }
+            unsigned long long seed = 0, index = 0;
+            if (sscanf(rec.key.c_str(), "chunk/%16llx/%llu", &seed,
+                       &index) == 2 &&
+                seed == campaign_seed) {
+                resumable[index] = rec.payload; // last record wins
+            }
+        }
+        if (!have_meta)
+            journal.append("meta", meta_payload);
+    }
+
+    void
+    record(uint64_t campaign_seed, uint64_t chunk_index,
+           const std::string &payload)
+    {
+        if (journal.isOpen())
+            journal.append(chunkKey(campaign_seed, chunk_index),
+                           payload);
+    }
+};
+
+/** Rewrite the quarantine file from the campaign's final record list
+ *  (deterministic; idempotent across resumes). */
+void
+writeQuarantineFile(const SupervisionConfig &sup,
+                    const std::vector<QuarantineRecord> &records)
+{
+    const std::string path = sup.effectiveQuarantinePath();
+    if (path.empty())
+        return;
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        warn("cannot write quarantine file %s", path.c_str());
+        return;
+    }
+    for (const QuarantineRecord &r : records)
+        out << r.serialize() << "\n";
+}
+
+QuarantineRecord
+makeQuarantineRecord(const char *campaign, uint64_t campaign_seed,
+                     uint64_t chunk_index, uint64_t first_item,
+                     uint64_t last_item, const WorkRequest &req,
+                     const WorkOutcome &outcome)
+{
+    QuarantineRecord qr;
+    qr.campaign = campaign;
+    qr.campaignSeed = campaign_seed;
+    qr.chunkIndex = chunk_index;
+    qr.firstItem = first_item;
+    qr.lastItem = last_item;
+    qr.streamSeed = req.streamSeed;
+    if (req.rekeySeed) {
+        qr.rekeySeed = *req.rekeySeed;
+        qr.hasRekey = true;
+    }
+    qr.kind = outcome.quarantined.value_or(
+        WorkerFaultKind::PoisonedItem);
+    qr.detail = outcome.detail;
+    return qr;
+}
+
+/**
+ * The accuracy campaign's per-trial work: rekey already happened in
+ * beginItem; read ground truth, place the window, search, grade.
+ * Shared with replayQuarantine so a quarantined trial reproduces the
+ * exact campaign execution. Resets @p r first — the recovery ladder
+ * may run the function several times for one trial.
+ */
+void
+runAccuracyTrial(const AccuracyCampaignConfig &cfg,
+                 attack::PacOracle &oracle, kernel::Machine &machine,
+                 TrialResult &r)
+{
+    r = TrialResult{};
+    const auto sel =
+        cfg.replica.oracle.kind == attack::GadgetKind::Data
+            ? crypto::PacKeySelect::DA
+            : crypto::PacKeySelect::IA;
+    const uint16_t truth = machine.kernel().truePac(
+        cfg.replica.target, cfg.replica.modifier, sel);
+
+    uint16_t first = 0x0000, last = 0xFFFF;
+    if (cfg.window != 0) {
+        // Window placed from ground truth for scaling only; each
+        // candidate is decided by the oracle.
+        const uint32_t start = truth >= cfg.window / 2
+                                   ? truth - cfg.window / 2
+                                   : 0;
+        first = uint16_t(start);
+        last = uint16_t(
+            std::min<uint32_t>(start + cfg.window - 1, 0xFFFF));
+    }
+
+    attack::PacBruteForcer forcer(oracle, resamplePolicy(cfg.replica));
+    r.stats = forcer.search(first, last);
+    r.oracle = oracle.stats();
+    if (!r.stats.found)
+        r.verdict = Verdict::FalseNegative;
+    else if (*r.stats.found == truth)
+        r.verdict = Verdict::TruePositive;
+    else
+        r.verdict = Verdict::FalsePositive;
+}
+
+/** Replay-mode supervision: same budgets/ladder, no journal. */
+SupervisionConfig
+replaySupervision(const SupervisionConfig &sup)
+{
+    SupervisionConfig replay = sup;
+    replay.journalPath.clear();
+    replay.quarantinePath.clear();
+    replay.resume = false;
+    replay.crashAfterAppends = 0;
+    return replay;
+}
+
 } // anonymous namespace
 
 std::string
@@ -168,14 +520,16 @@ BruteForceCampaignResult::fingerprint() const
 {
     return strprintf(
         "found=%s guesses=%llu queries=%llu cycles=%llu "
-        "chunks_merged=%llu decisions[%s] robustness[%s]",
+        "chunks_merged=%llu decisions[%s] robustness[%s] "
+        "quarantined[%s]",
         stats.found ? strprintf("0x%04x", *stats.found).c_str() : "none",
         (unsigned long long)stats.guessesTested,
         (unsigned long long)stats.oracleQueries,
         (unsigned long long)stats.cyclesSimulated,
         (unsigned long long)chunksMerged,
         statFingerprint(decisionMisses).c_str(),
-        robustnessFingerprint(stats, oracleStats, faultStats).c_str());
+        robustnessFingerprint(stats, oracleStats, faultStats).c_str(),
+        quarantineFingerprint(quarantined).c_str());
 }
 
 BruteForceCampaignResult
@@ -186,37 +540,69 @@ runBruteForceCampaign(const BruteForceCampaignConfig &cfg)
     const uint64_t num_items = uint64_t(cfg.last) - cfg.first + 1;
     const uint64_t num_chunks = chunkCount(num_items, cfg.pool.chunkSize);
 
-    struct ChunkResult
-    {
-        attack::BruteForceStats stats;
-        SampleStat decisions;
-        attack::OracleStats oracle;
-        FaultStats faults;
-    };
-    std::vector<ChunkResult> results(num_chunks);
-    std::vector<std::unique_ptr<Replica>> replicas(
+    std::vector<BfChunkResult> results(num_chunks);
+    std::vector<std::unique_ptr<Worker>> workers(
         effectiveJobs(cfg.pool.jobs));
+    std::atomic<uint64_t> resumed{0};
+
+    CampaignJournal journal;
+    journal.open(cfg.supervision, cfg.seed,
+                 strprintf("campaign=bruteforce seed=%016llx first=%u "
+                           "last=%u chunk_size=%u",
+                           (unsigned long long)cfg.seed, cfg.first,
+                           cfg.last, cfg.pool.chunkSize));
 
     const auto t0 = Clock::now();
     const PoolOutcome outcome = runChunked(
         cfg.pool, num_items,
         [&](unsigned worker, const Chunk &chunk)
             -> std::optional<uint64_t> {
+            BfChunkResult &r = results[chunk.index];
+
+            // Resume: a journaled chunk short-circuits — the stored
+            // result is bit-exact, so the merge cannot tell.
+            auto it = journal.resumable.find(chunk.index);
+            if (it != journal.resumable.end() &&
+                decodeBfChunk(it->second, r)) {
+                resumed.fetch_add(1, std::memory_order_relaxed);
+                if (r.stats.found)
+                    return uint64_t(*r.stats.found) - cfg.first;
+                return std::nullopt;
+            }
+
             // Same provision seed on every replica (same PAC keys —
             // they are sweeping for the *same* PAC), per-chunk RNG
             // stream from the item's index.
-            Replica &replica =
-                prepareReplica(replicas, worker, cfg.replica);
-            replica.beginItem(std::nullopt,
-                              Random::deriveSeed(cfg.seed, chunk.index));
-            attack::PacBruteForcer forcer(replica.oracle,
-                                          resamplePolicy(cfg.replica));
-            ChunkResult &r = results[chunk.index];
-            r.stats = forcer.search(uint16_t(cfg.first + chunk.firstItem),
-                                    uint16_t(cfg.first + chunk.lastItem),
-                                    &r.decisions);
-            r.oracle = replica.oracle.stats();
-            r.faults = replica.faultStats();
+            Worker &w = prepareWorker(workers, worker, cfg.replica,
+                                      cfg.supervision);
+            const WorkRequest req{
+                chunk.index, Random::deriveSeed(cfg.seed, chunk.index),
+                std::nullopt};
+            const WorkOutcome oc = w.run(
+                req,
+                [&](attack::PacOracle &oracle, kernel::Machine &) {
+                    // Reset first: the recovery ladder may run this
+                    // several times for one chunk.
+                    r = BfChunkResult{};
+                    attack::PacBruteForcer forcer(
+                        oracle, resamplePolicy(cfg.replica));
+                    r.stats = forcer.search(
+                        uint16_t(cfg.first + chunk.firstItem),
+                        uint16_t(cfg.first + chunk.lastItem),
+                        &r.decisions);
+                    r.oracle = oracle.stats();
+                });
+            r.faults = w.faultStats();
+            if (!oc.completed) {
+                // No rung completed the chunk: drop the partial
+                // attempt's statistics and quarantine it.
+                r = BfChunkResult{};
+                r.quarantine = makeQuarantineRecord(
+                    "bruteforce", cfg.seed, chunk.index,
+                    cfg.first + chunk.firstItem,
+                    cfg.first + chunk.lastItem, req, oc);
+            }
+            journal.record(cfg.seed, chunk.index, encodeBfChunk(r));
             if (r.stats.found)
                 return uint64_t(*r.stats.found) - cfg.first;
             return std::nullopt;
@@ -230,6 +616,7 @@ runBruteForceCampaign(const BruteForceCampaignConfig &cfg)
     result.jobs = effectiveJobs(cfg.pool.jobs);
     result.chunksRun = outcome.chunksRun;
     result.chunksSkipped = outcome.chunksSkipped;
+    result.chunksResumed = resumed.load();
     result.wallSeconds =
         std::chrono::duration<double>(t1 - t0).count();
     for (uint64_t c = 0; c < num_chunks; ++c) {
@@ -239,8 +626,15 @@ runBruteForceCampaign(const BruteForceCampaignConfig &cfg)
         result.decisionMisses.merge(results[c].decisions);
         result.oracleStats.merge(results[c].oracle);
         result.faultStats.merge(results[c].faults);
+        if (results[c].quarantine)
+            result.quarantined.push_back(*results[c].quarantine);
         ++result.chunksMerged;
     }
+    for (const std::unique_ptr<Worker> &w : workers) {
+        if (w)
+            result.recovery.merge(w->recovery());
+    }
+    writeQuarantineFile(cfg.supervision, result.quarantined);
     return result;
 }
 
@@ -249,7 +643,7 @@ AccuracyCampaignResult::fingerprint() const
 {
     return strprintf(
         "tp=%llu fp=%llu fn=%llu guesses=%llu queries=%llu "
-        "cycles=%llu per_trial[%s] robustness[%s]",
+        "cycles=%llu per_trial[%s] robustness[%s] quarantined[%s]",
         (unsigned long long)truePositives,
         (unsigned long long)falsePositives,
         (unsigned long long)falseNegatives,
@@ -257,29 +651,41 @@ AccuracyCampaignResult::fingerprint() const
         (unsigned long long)totals.oracleQueries,
         (unsigned long long)totals.cyclesSimulated,
         statFingerprint(guessesPerTrial).c_str(),
-        robustnessFingerprint(totals, oracleStats, faultStats).c_str());
+        robustnessFingerprint(totals, oracleStats, faultStats).c_str(),
+        quarantineFingerprint(quarantined).c_str());
 }
 
 AccuracyCampaignResult
 runAccuracyCampaign(const AccuracyCampaignConfig &cfg)
 {
-    enum class Verdict { TruePositive, FalsePositive, FalseNegative };
-    struct TrialResult
-    {
-        Verdict verdict = Verdict::FalseNegative;
-        attack::BruteForceStats stats;
-        attack::OracleStats oracle;
-        FaultStats faults;
-    };
+    const uint64_t num_chunks =
+        chunkCount(cfg.trials, cfg.pool.chunkSize);
     std::vector<TrialResult> results(cfg.trials);
-    std::vector<std::unique_ptr<Replica>> replicas(
+    std::vector<std::unique_ptr<Worker>> workers(
         effectiveJobs(cfg.pool.jobs));
+    std::atomic<uint64_t> resumed{0};
+
+    CampaignJournal journal;
+    journal.open(cfg.supervision, cfg.seed,
+                 strprintf("campaign=accuracy seed=%016llx trials=%llu "
+                           "window=%u chunk_size=%u",
+                           (unsigned long long)cfg.seed,
+                           (unsigned long long)cfg.trials, cfg.window,
+                           cfg.pool.chunkSize));
+    (void)num_chunks;
 
     const auto t0 = Clock::now();
     runChunked(
         cfg.pool, cfg.trials,
         [&](unsigned worker, const Chunk &chunk)
             -> std::optional<uint64_t> {
+            auto it = journal.resumable.find(chunk.index);
+            if (it != journal.resumable.end() &&
+                decodeTrialChunk(it->second, results, chunk)) {
+                resumed.fetch_add(1, std::memory_order_relaxed);
+                return std::nullopt;
+            }
+
             for (uint64_t trial = chunk.firstItem;
                  trial <= chunk.lastItem; ++trial) {
                 // Fresh keys per trial — rekey from a dedicated key
@@ -287,48 +693,35 @@ runAccuracyCampaign(const AccuracyCampaignConfig &cfg)
                 // reboot) — then the per-trial main stream.
                 const uint64_t stream =
                     Random::deriveSeed(cfg.seed, trial);
-                Replica &replica =
-                    prepareReplica(replicas, worker, cfg.replica);
-                replica.beginItem(
-                    Random::deriveSeed(stream, KeySeedStream), stream);
-                const auto sel =
-                    cfg.replica.oracle.kind == attack::GadgetKind::Data
-                        ? crypto::PacKeySelect::DA
-                        : crypto::PacKeySelect::IA;
-                const uint16_t truth = replica.machine.kernel().truePac(
-                    cfg.replica.target, cfg.replica.modifier, sel);
-
-                uint16_t first = 0x0000, last = 0xFFFF;
-                if (cfg.window != 0) {
-                    // Window placed from ground truth for scaling
-                    // only; each candidate is decided by the oracle.
-                    const uint32_t start = truth >= cfg.window / 2
-                                               ? truth - cfg.window / 2
-                                               : 0;
-                    first = uint16_t(start);
-                    last = uint16_t(std::min<uint32_t>(
-                        start + cfg.window - 1, 0xFFFF));
-                }
-
-                attack::PacBruteForcer forcer(replica.oracle,
-                                              resamplePolicy(cfg.replica));
+                Worker &w = prepareWorker(workers, worker, cfg.replica,
+                                          cfg.supervision);
+                const WorkRequest req{
+                    trial, stream,
+                    Random::deriveSeed(stream, KeySeedStream)};
                 TrialResult &r = results[trial];
-                r.stats = forcer.search(first, last);
-                r.oracle = replica.oracle.stats();
-                r.faults = replica.faultStats();
-                if (!r.stats.found)
-                    r.verdict = Verdict::FalseNegative;
-                else if (*r.stats.found == truth)
-                    r.verdict = Verdict::TruePositive;
-                else
-                    r.verdict = Verdict::FalsePositive;
+                const WorkOutcome oc = w.run(
+                    req, [&](attack::PacOracle &oracle,
+                             kernel::Machine &machine) {
+                        runAccuracyTrial(cfg, oracle, machine, r);
+                    });
+                r.faults = w.faultStats();
+                if (!oc.completed) {
+                    r = TrialResult{};
+                    r.verdict = Verdict::Quarantined;
+                    r.quarantine = makeQuarantineRecord(
+                        "accuracy", cfg.seed, chunk.index, trial,
+                        trial, req, oc);
+                }
             }
+            journal.record(cfg.seed, chunk.index,
+                           encodeTrialChunk(results, chunk));
             return std::nullopt;
         });
     const auto t1 = Clock::now();
 
     AccuracyCampaignResult result;
     result.jobs = effectiveJobs(cfg.pool.jobs);
+    result.chunksResumed = resumed.load();
     result.wallSeconds =
         std::chrono::duration<double>(t1 - t0).count();
     for (const TrialResult &r : results) {
@@ -336,6 +729,12 @@ runAccuracyCampaign(const AccuracyCampaignConfig &cfg)
           case Verdict::TruePositive: ++result.truePositives; break;
           case Verdict::FalsePositive: ++result.falsePositives; break;
           case Verdict::FalseNegative: ++result.falseNegatives; break;
+          case Verdict::Quarantined:
+            // Quarantined trials contribute their record, never
+            // their partial statistics.
+            if (r.quarantine)
+                result.quarantined.push_back(*r.quarantine);
+            continue;
         }
         // Sum the counters only: `found` differs per trial (fresh
         // keys), so a merged "found" would be meaningless here.
@@ -349,7 +748,52 @@ runAccuracyCampaign(const AccuracyCampaignConfig &cfg)
         result.faultStats.merge(r.faults);
         result.guessesPerTrial.add(double(r.stats.guessesTested));
     }
+    for (const std::unique_ptr<Worker> &w : workers) {
+        if (w)
+            result.recovery.merge(w->recovery());
+    }
+    writeQuarantineFile(cfg.supervision, result.quarantined);
     return result;
+}
+
+WorkOutcome
+replayQuarantine(const BruteForceCampaignConfig &cfg,
+                 const QuarantineRecord &record)
+{
+    PACMAN_ASSERT(record.campaign == "bruteforce",
+                  "record is for campaign '%s', not bruteforce",
+                  record.campaign.c_str());
+    Worker w(cfg.replica, replaySupervision(cfg.supervision));
+    const WorkRequest req{record.chunkIndex, record.streamSeed,
+                          record.hasRekey
+                              ? std::optional<uint64_t>(record.rekeySeed)
+                              : std::nullopt};
+    return w.run(req, [&](attack::PacOracle &oracle,
+                          kernel::Machine &) {
+        attack::PacBruteForcer forcer(oracle,
+                                      resamplePolicy(cfg.replica));
+        forcer.search(uint16_t(record.firstItem),
+                      uint16_t(record.lastItem));
+    });
+}
+
+WorkOutcome
+replayQuarantine(const AccuracyCampaignConfig &cfg,
+                 const QuarantineRecord &record)
+{
+    PACMAN_ASSERT(record.campaign == "accuracy",
+                  "record is for campaign '%s', not accuracy",
+                  record.campaign.c_str());
+    Worker w(cfg.replica, replaySupervision(cfg.supervision));
+    const WorkRequest req{record.firstItem, record.streamSeed,
+                          record.hasRekey
+                              ? std::optional<uint64_t>(record.rekeySeed)
+                              : std::nullopt};
+    TrialResult scratch;
+    return w.run(req, [&](attack::PacOracle &oracle,
+                          kernel::Machine &machine) {
+        runAccuracyTrial(cfg, oracle, machine, scratch);
+    });
 }
 
 } // namespace pacman::runner

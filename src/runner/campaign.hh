@@ -1,28 +1,38 @@
 /**
  * @file
  * Deterministic parallel attack campaigns on top of the work pool
- * (pool.hh): the Section 8.2 PAC brute-force sweep and the
- * Monte-Carlo oracle-accuracy run, both embarrassingly parallel at
- * the work-item level.
+ * (pool.hh) and the supervised worker (worker.hh): the Section 8.2
+ * PAC brute-force sweep and the Monte-Carlo oracle-accuracy run, both
+ * embarrassingly parallel at the work-item level.
  *
- * Each worker owns a private replica slot holding a full
- * Machine / AttackerProcess / PacOracle stack, provisioned once —
- * boot from the campaign's machine seed (so every replica draws
- * identical per-boot PAC keys), guest-program assembly, eviction-set
- * build, target binding and calibration — and checkpointed
- * (sim::ReplicaCheckpoint) immediately afterwards. Per work item the
- * worker restores the checkpoint and switches the machine RNG to the
- * stream derived from (campaign_seed, item_index); accuracy trials
- * additionally rotate the PAC keys via Machine::rekey() with a
- * per-trial key stream. Provisioning is deterministic in the boot
- * seed, so the restored state is exactly the state a fresh
- * construction would reach — every per-item result is a pure
- * function of the item index either way, which is what lets the
- * merged campaign output be bit-identical at any thread count AND
- * across the two provisioning modes. ReplicaConfig::snapshot (or the
- * PACMAN_DISABLE_SNAPSHOT environment variable) selects the
- * fresh-provision reference path, mirroring the fastpath ablation
- * pattern. See DESIGN.md §4c/§4f.
+ * Each pool worker drives a runner::Worker — a supervised replica
+ * provisioned once from the campaign's machine seed (so every replica
+ * draws identical per-boot PAC keys) and checkpointed
+ * (sim::ReplicaCheckpoint). Per work item the worker restores the
+ * checkpoint and switches the machine RNG to the stream derived from
+ * (campaign_seed, item_index); accuracy trials additionally rotate
+ * the PAC keys via Machine::rekey() with a per-trial key stream.
+ * Provisioning is deterministic in the boot seed, so the restored
+ * state is exactly the state a fresh construction would reach —
+ * every per-item result is a pure function of the item index either
+ * way, which is what lets the merged campaign output be bit-identical
+ * at any thread count AND across the two provisioning modes.
+ * ReplicaConfig::snapshot (or the PACMAN_DISABLE_SNAPSHOT environment
+ * variable) selects the fresh-provision reference path, mirroring the
+ * fastpath ablation pattern. See DESIGN.md §4c/§4f.
+ *
+ * Durability (DESIGN.md §4g): with SupervisionConfig::journalPath
+ * set, every completed chunk is appended fsync'd to an append-only
+ * journal keyed by (campaign_seed, chunk_index), and a campaign
+ * restarted with `resume` replays those chunks instead of recomputing
+ * them. Because chunk results are serialized bit-exactly (doubles as
+ * bit patterns) and merged identically, a killed-and-resumed campaign
+ * reports the same fingerprint as an uninterrupted run at any --jobs
+ * count — bench/chaos_recovery proves this by killing the process at
+ * arbitrary record boundaries. Items the recovery ladder gives up on
+ * are quarantined: excluded from the merged statistics, listed (with
+ * their seed and fault context) in the result and the quarantine
+ * file, and reproducible standalone via replayQuarantine().
  */
 
 #ifndef PACMAN_RUNNER_CAMPAIGN_HH
@@ -30,65 +40,13 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
-#include "attack/bruteforce.hh"
 #include "runner/pool.hh"
-#include "sim/faults.hh"
+#include "runner/worker.hh"
 
 namespace pacman::runner
 {
-
-/**
- * Default for ReplicaConfig::snapshot: true unless the
- * PACMAN_DISABLE_SNAPSHOT environment variable is set (to anything).
- * Read once per process.
- */
-bool snapshotReplicasDefault();
-
-/** What each worker's replica is provisioned with. */
-struct ReplicaConfig
-{
-    /** Base machine configuration. Its seed fixes the per-boot PAC
-     *  keys, shared by every replica of the campaign. */
-    kernel::MachineConfig machine;
-
-    /** Oracle tuning (gadget kind, training iterations, thresholds). */
-    attack::OracleConfig oracle;
-
-    /** Target kernel address the oracle is bound to. */
-    isa::Addr target = 0;
-
-    /** PAC modifier (salt) for the target. */
-    uint64_t modifier = 0;
-
-    /** Oracle samples per candidate (median-of-k; paper: 5). */
-    unsigned samples = 1;
-
-    /** Adaptive-resampling ceiling per candidate (0 = fixed
-     *  median-of-k; see attack::ResamplePolicy). */
-    unsigned maxSamples = 0;
-
-    /** Full re-measurements for still-ambiguous candidates. */
-    unsigned candidateRetries = 0;
-
-    /**
-     * Fault plan injected into every replica. Injectors are seeded
-     * deriveSeed(stream_seed, FaultSeedStream) and attached only
-     * after the oracle is provisioned, so set construction and
-     * calibration run undisturbed; both the faults and the recovery
-     * they trigger stay a pure function of the chunk index.
-     */
-    FaultPlan faults;
-
-    /**
-     * Provision-once / restore-per-item checkpointing (the fast
-     * path). When false, each work item reconstructs the replica from
-     * scratch — the slow reference path the snapshot equivalence
-     * tests compare against. Either way the per-item results are
-     * bit-identical; only wall-clock time differs.
-     */
-    bool snapshot = snapshotReplicasDefault();
-};
 
 /** PAC brute-force sweep over candidates [first, last]. */
 struct BruteForceCampaignConfig
@@ -102,6 +60,9 @@ struct BruteForceCampaignConfig
     uint64_t seed = 1;
 
     PoolConfig pool;
+
+    /** Watchdogs, recovery ladder, journal/resume (worker.hh). */
+    SupervisionConfig supervision;
 };
 
 /** Deterministically merged brute-force campaign output. */
@@ -120,18 +81,38 @@ struct BruteForceCampaignResult
     /** Merged injected-fault counters (same chunk-order merge). */
     FaultStats faultStats;
 
+    /**
+     * Quarantined chunks (chunk order, same merge cutoff). Their
+     * statistics are excluded from the merged counters above — the
+     * ladder never completed them — but the quarantine list itself is
+     * deterministic and part of the fingerprint: a deterministic
+     * failure (an injected wedge caught by the guest-cycle budget)
+     * quarantines the same chunks at every --jobs count.
+     */
+    std::vector<QuarantineRecord> quarantined;
+
+    /** Summed recovery-ladder counters across workers. NOT part of
+     *  the fingerprint: host-deadline firings are wall-clock events,
+     *  and a resumed run skips recovered chunks entirely. */
+    RecoveryStats recovery;
+
     unsigned jobs = 0;
     uint64_t chunksRun = 0;
     uint64_t chunksSkipped = 0;
     uint64_t chunksMerged = 0;
+
+    /** Chunks replayed from the journal instead of recomputed (0 in
+     *  a fresh run; not part of the fingerprint). */
+    uint64_t chunksResumed = 0;
 
     /** Host wall-clock seconds; NOT part of the deterministic output. */
     double wallSeconds = 0;
 
     /**
      * Canonical rendering of every deterministic field. Equal strings
-     * across thread counts is the campaign's determinism contract
-     * (asserted by tests/runner and bench/parallel_campaign).
+     * across thread counts — and across kill/resume boundaries — is
+     * the campaign's determinism contract (asserted by tests/runner,
+     * bench/parallel_campaign and bench/chaos_recovery).
      */
     std::string fingerprint() const;
 };
@@ -161,6 +142,9 @@ struct AccuracyCampaignConfig
     uint64_t seed = 1000;
 
     PoolConfig pool;
+
+    /** Watchdogs, recovery ladder, journal/resume (worker.hh). */
+    SupervisionConfig supervision;
 };
 
 struct AccuracyCampaignResult
@@ -181,7 +165,18 @@ struct AccuracyCampaignResult
     /** Summed injected-fault counters across trials. */
     FaultStats faultStats;
 
+    /** Quarantined trials (trial order); excluded from the verdict
+     *  counts and totals, included in the fingerprint. */
+    std::vector<QuarantineRecord> quarantined;
+
+    /** Summed recovery-ladder counters; not in the fingerprint. */
+    RecoveryStats recovery;
+
     unsigned jobs = 0;
+
+    /** Chunks replayed from the journal (not in the fingerprint). */
+    uint64_t chunksResumed = 0;
+
     double wallSeconds = 0; //!< not part of the deterministic output
 
     /** Canonical rendering of the deterministic fields. */
@@ -190,6 +185,20 @@ struct AccuracyCampaignResult
 
 AccuracyCampaignResult
 runAccuracyCampaign(const AccuracyCampaignConfig &cfg);
+
+/**
+ * Re-run one quarantined work item standalone, away from its
+ * campaign: rebuilds a worker from the campaign's replica and
+ * supervision configuration (journal fields ignored) and replays the
+ * item from the record's seeds. Every stream re-derives from the
+ * recorded values, so a deterministic failure reproduces identically
+ * — the returned outcome reports the same classification the
+ * campaign quarantined the item under.
+ */
+WorkOutcome replayQuarantine(const BruteForceCampaignConfig &cfg,
+                             const QuarantineRecord &record);
+WorkOutcome replayQuarantine(const AccuracyCampaignConfig &cfg,
+                             const QuarantineRecord &record);
 
 } // namespace pacman::runner
 

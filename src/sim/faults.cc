@@ -11,6 +11,7 @@ FaultInjector::FaultInjector(Machine &machine, const FaultPlan &plan,
                              uint64_t seed)
     : machine_(machine), plan_(plan), rng_(seed)
 {
+    plan_.validate();
 }
 
 FaultInjector::~FaultInjector()
@@ -56,6 +57,21 @@ FaultInjector::onOpportunity()
     }
     if (plan_.migrationRate > 0.0)
         maybeMigrate();
+    if (plan_.hangRate > 0.0 && rng_.chance(plan_.hangRate))
+        wedge();
+}
+
+void
+FaultInjector::wedge()
+{
+    // The scheduler never comes back: burn a budget so large that no
+    // measurement on this replica can complete before a supervising
+    // watchdog's guest-cycle budget expires. Deterministic — the
+    // burn is simulated time, identical on every host — so the Hang
+    // classification and any quarantine it escalates to are part of
+    // the campaign's bit-identical output.
+    ++stats_.hangs;
+    machine_.core().advanceCycles(plan_.hangCycles);
 }
 
 void

@@ -38,7 +38,9 @@ class FaultInjector
   public:
     /**
      * @param machine The machine to disturb.
-     * @param plan    Event rates and burst shapes.
+     * @param plan    Event rates and burst shapes. Validated at
+     *                construction (FaultPlan::validate); malformed
+     *                plans throw std::invalid_argument.
      * @param seed    Private stream seed (derive via
      *                Random::deriveSeed; never from thread identity).
      */
@@ -73,6 +75,7 @@ class FaultInjector
     void disturbTimer();
     void armBusy();
     void maybeMigrate();
+    void wedge();
     void pollute(unsigned pages, bool kernel_fetches);
 
     kernel::Machine &machine_;

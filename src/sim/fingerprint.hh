@@ -1,0 +1,79 @@
+/**
+ * @file
+ * State-fingerprint checksums for replica integrity (DESIGN.md §4g).
+ *
+ * FIPAC (arXiv 2104.14993) protects control flow with cheap running
+ * checksums verified at recovery points; the campaign supervisor
+ * applies the same idea to whole replicas. A fingerprint is a 64-bit
+ * FNV-1a digest over the state a work item's result is a pure
+ * function of:
+ *
+ *   - both machine RNG stream positions and the e-core flag,
+ *   - the core's architectural state (registers, flags, pc, EL, the
+ *     system registers — so the PAC keys — and the cycle counter),
+ *   - the thread-timer device state,
+ *   - every backed physical page's contents (frame-sorted, so the
+ *     digest is independent of hash-map iteration order),
+ *   - the oracle's host-side snapshot (threshold, calibration band,
+ *     derived address lists, counters, argument-array placement).
+ *
+ * Page write generations and the decoded-instruction cache are
+ * deliberately excluded: generations are never reused across a
+ * restore (PR 4) and the decode cache is a host-side warm-up detail,
+ * so including either would make the post-restore fingerprint differ
+ * from the post-provision one by construction. The contract the
+ * recovery ladder relies on — proven by
+ * tests/runner/test_supervision.cc — is the converse: a checkpoint
+ * restore reproduces the provisioning fingerprint bit-exactly, so a
+ * mismatch between rungs means the replica (or its checkpoint) is
+ * corrupt and the ladder must escalate to a full re-provision.
+ */
+
+#ifndef PACMAN_SIM_FINGERPRINT_HH
+#define PACMAN_SIM_FINGERPRINT_HH
+
+#include <cstdint>
+
+#include "attack/oracle.hh"
+#include "kernel/machine.hh"
+
+namespace pacman::sim
+{
+
+/** Incremental FNV-1a/64 digest over typed fields. */
+class StateDigest
+{
+  public:
+    void
+    bytes(const void *data, size_t len)
+    {
+        const auto *p = static_cast<const uint8_t *>(data);
+        for (size_t i = 0; i < len; ++i) {
+            hash_ ^= p[i];
+            hash_ *= 0x100000001B3ull;
+        }
+    }
+
+    void u64(uint64_t v) { bytes(&v, sizeof(v)); }
+    void f64(double v) { bytes(&v, sizeof(v)); }
+
+    uint64_t value() const { return hash_; }
+
+  private:
+    uint64_t hash_ = 0xCBF29CE484222325ull; // FNV offset basis
+};
+
+/** Digest of the complete simulated machine state (see file docs). */
+uint64_t machineFingerprint(const kernel::Machine &machine);
+
+/** Digest of the oracle's host-side snapshot (includes the attacker
+ *  process's argument-array placement). */
+uint64_t oracleFingerprint(const attack::PacOracle &oracle);
+
+/** The supervisor's replica integrity checksum: machine + oracle. */
+uint64_t replicaFingerprint(const kernel::Machine &machine,
+                            const attack::PacOracle &oracle);
+
+} // namespace pacman::sim
+
+#endif // PACMAN_SIM_FINGERPRINT_HH

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "base/journal.hh"
+
+namespace pacman
+{
+namespace
+{
+
+/** Unique journal path per test, removed on destruction. */
+class TempJournalPath
+{
+  public:
+    explicit TempJournalPath(const std::string &name)
+        : path_(::testing::TempDir() + "pacman_journal_" + name)
+    {
+        std::remove(path_.c_str());
+    }
+    ~TempJournalPath() { std::remove(path_.c_str()); }
+
+    const std::string &str() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+void
+appendRaw(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << bytes;
+}
+
+TEST(Journal, MissingFileReplaysEmptyNotCorrupt)
+{
+    const Journal::Replay r = Journal::replay("/nonexistent/journal");
+    EXPECT_TRUE(r.records.empty());
+    EXPECT_EQ(r.validBytes, 0u);
+    EXPECT_FALSE(r.corruptTail);
+}
+
+TEST(Journal, AppendReplayRoundTrip)
+{
+    TempJournalPath path("roundtrip");
+    {
+        Journal j;
+        j.open(path.str());
+        j.append("chunk/0", "payload zero");
+        j.append("chunk/1", "payload one\nwith a newline");
+        j.append("meta", "");
+        EXPECT_EQ(j.appends(), 3u);
+    }
+    const Journal::Replay r = Journal::replay(path.str());
+    ASSERT_EQ(r.records.size(), 3u);
+    EXPECT_EQ(r.records[0].key, "chunk/0");
+    EXPECT_EQ(r.records[0].payload, "payload zero");
+    EXPECT_EQ(r.records[1].key, "chunk/1");
+    EXPECT_EQ(r.records[1].payload, "payload one\nwith a newline");
+    EXPECT_EQ(r.records[2].key, "meta");
+    EXPECT_EQ(r.records[2].payload, "");
+    EXPECT_FALSE(r.corruptTail);
+}
+
+TEST(Journal, ReopenReturnsExistingRecordsAndAppends)
+{
+    TempJournalPath path("reopen");
+    {
+        Journal j;
+        j.open(path.str());
+        j.append("a", "1");
+    }
+    Journal j;
+    const Journal::Replay r = j.open(path.str());
+    ASSERT_EQ(r.records.size(), 1u);
+    EXPECT_EQ(r.records[0].key, "a");
+    // appends() counts this handle only, not replayed records.
+    EXPECT_EQ(j.appends(), 0u);
+    j.append("b", "2");
+    j.close();
+    EXPECT_EQ(Journal::replay(path.str()).records.size(), 2u);
+}
+
+TEST(Journal, TornTailIsDetectedAndTruncatedOnOpen)
+{
+    TempJournalPath path("torn");
+    {
+        Journal j;
+        j.open(path.str());
+        j.append("good/0", "kept");
+        j.append("good/1", "also kept");
+    }
+    const uint64_t valid = Journal::replay(path.str()).validBytes;
+
+    // A process killed mid-append leaves a partial frame: header
+    // promising more bytes than follow.
+    appendRaw(path.str(), "R deadbeef 6 100\ntorn/0partial");
+    {
+        const Journal::Replay r = Journal::replay(path.str());
+        EXPECT_EQ(r.records.size(), 2u);
+        EXPECT_TRUE(r.corruptTail);
+        EXPECT_EQ(r.validBytes, valid);
+    }
+
+    // open() truncates back to the last valid frame boundary so the
+    // journal is appendable again.
+    Journal j;
+    const Journal::Replay r = j.open(path.str());
+    EXPECT_EQ(r.records.size(), 2u);
+    j.append("good/2", "after repair");
+    j.close();
+
+    const Journal::Replay after = Journal::replay(path.str());
+    ASSERT_EQ(after.records.size(), 3u);
+    EXPECT_EQ(after.records[2].key, "good/2");
+    EXPECT_FALSE(after.corruptTail);
+}
+
+TEST(Journal, CrcMismatchStopsReplayAtLastValidRecord)
+{
+    TempJournalPath path("crc");
+    {
+        Journal j;
+        j.open(path.str());
+        j.append("ok", "fine");
+    }
+    // A structurally complete frame whose CRC does not match its
+    // bytes: replay must reject it, not trust the frame shape.
+    appendRaw(path.str(), "R 00000000 3 4\nbadData\n");
+    const Journal::Replay r = Journal::replay(path.str());
+    ASSERT_EQ(r.records.size(), 1u);
+    EXPECT_EQ(r.records[0].key, "ok");
+    EXPECT_TRUE(r.corruptTail);
+}
+
+TEST(Journal, GarbagePrefixMakesWholeFileCorrupt)
+{
+    TempJournalPath path("garbage");
+    appendRaw(path.str(), "this is not a journal\n");
+    const Journal::Replay r = Journal::replay(path.str());
+    EXPECT_TRUE(r.records.empty());
+    EXPECT_EQ(r.validBytes, 0u);
+    EXPECT_TRUE(r.corruptTail);
+}
+
+TEST(Journal, BinarySafeKeysAndPayloads)
+{
+    TempJournalPath path("binary");
+    const std::string key("k\0ey", 4);
+    const std::string payload("\x01\x02\0\xff\n\r", 6);
+    {
+        Journal j;
+        j.open(path.str());
+        j.append(key, payload);
+    }
+    const Journal::Replay r = Journal::replay(path.str());
+    ASSERT_EQ(r.records.size(), 1u);
+    EXPECT_EQ(r.records[0].key, key);
+    EXPECT_EQ(r.records[0].payload, payload);
+}
+
+TEST(Journal, Crc32KnownVectorAndChaining)
+{
+    // IEEE reflected CRC32 of "123456789" is the classic check value.
+    EXPECT_EQ(Journal::crc32("123456789"), 0xCBF43926u);
+    EXPECT_EQ(Journal::crc32(""), 0u);
+    // Chaining via the seed equals one pass over the concatenation.
+    const uint32_t half = Journal::crc32("12345");
+    EXPECT_EQ(Journal::crc32("6789", half),
+              Journal::crc32("123456789"));
+}
+
+} // namespace
+} // namespace pacman

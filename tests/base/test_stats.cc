@@ -156,6 +156,49 @@ TEST(SampleStat, MergeEmptySides)
     EXPECT_DOUBLE_EQ(b.median(), 4.0);
 }
 
+TEST(SampleStat, MergeBothEmptyStaysEmpty)
+{
+    SampleStat a, b;
+    a.merge(b);
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(a.stderrOfMean(), 0.0);
+}
+
+TEST(SampleStat, MergeOneSidedPreservesDonorMoments)
+{
+    // An empty receiver must answer exactly like the donor — the
+    // campaign merge path when early chunks were quarantined and
+    // contributed nothing.
+    SampleStat donor;
+    for (double v : {8.0, 2.0, 5.0})
+        donor.add(v);
+    SampleStat empty;
+    empty.merge(donor);
+    EXPECT_EQ(empty.count(), 3u);
+    EXPECT_DOUBLE_EQ(empty.mean(), donor.mean());
+    EXPECT_DOUBLE_EQ(empty.median(), donor.median());
+    EXPECT_DOUBLE_EQ(empty.stddev(), donor.stddev());
+    EXPECT_DOUBLE_EQ(empty.percentile(90), donor.percentile(90));
+}
+
+TEST(SampleStat, MergeAppendsSamplesInInsertionOrder)
+{
+    // The journal serializes samples in insertion order and mean()
+    // sums in that order, so resume-time decode must reproduce the
+    // exact sequence merge built — unsorted.
+    SampleStat a, b;
+    a.add(3.0);
+    a.add(1.0);
+    b.add(2.0);
+    a.merge(b);
+    const std::vector<double> expect = {3.0, 1.0, 2.0};
+    ASSERT_EQ(a.samples().size(), expect.size());
+    for (size_t i = 0; i < expect.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.samples()[i], expect[i]);
+}
+
 TEST(SampleStat, AddAfterQueryKeepsConsistency)
 {
     SampleStat s;

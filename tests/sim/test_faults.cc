@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <stdexcept>
+
 #include "kernel/layout.hh"
 #include "sim/faults.hh"
 
@@ -35,6 +38,67 @@ TEST(FaultPlan, ScaledZeroIsDisabled)
     EXPECT_TRUE(FaultPlan::scaled(0.1).enabled());
 }
 
+TEST(FaultPlan, ValidateRejectsMalformedRates)
+{
+    EXPECT_NO_THROW(FaultPlan{}.validate());
+    EXPECT_NO_THROW(FaultPlan::scaled(1.0).validate());
+
+    FaultPlan nan_rate;
+    nan_rate.preemptRate = std::nan("");
+    EXPECT_THROW(nan_rate.validate(), std::invalid_argument);
+
+    FaultPlan over_one;
+    over_one.hangRate = 1.5;
+    EXPECT_THROW(over_one.validate(), std::invalid_argument);
+
+    FaultPlan negative;
+    negative.timerRate = -0.1;
+    EXPECT_THROW(negative.validate(), std::invalid_argument);
+}
+
+TEST(FaultPlan, ValidateChecksBurstShapesOnlyWhenEventEnabled)
+{
+    // Nonsense shape parameters for a disabled event must not reject
+    // the plan; enabling the event makes them fatal.
+    FaultPlan plan;
+    plan.preemptMinCycles = 100;
+    plan.preemptMaxCycles = 1; // inverted
+    EXPECT_NO_THROW(plan.validate());
+    plan.preemptRate = 0.5;
+    EXPECT_THROW(plan.validate(), std::invalid_argument);
+
+    FaultPlan wedge;
+    wedge.hangCycles = 0; // a zero-length wedge is no wedge
+    EXPECT_NO_THROW(wedge.validate());
+    wedge.hangRate = 0.1;
+    EXPECT_THROW(wedge.validate(), std::invalid_argument);
+}
+
+TEST(FaultInjector, ConstructionRejectsMalformedPlan)
+{
+    Machine machine = makeMachine();
+    FaultPlan bad;
+    bad.migrationRate = 7.0;
+    EXPECT_THROW(FaultInjector(machine, bad, 1),
+                 std::invalid_argument);
+}
+
+TEST(FaultInjector, WedgeBurnsHangCyclesDeterministically)
+{
+    Machine machine = makeMachine();
+    const uint64_t before = machine.core().cycle();
+
+    FaultPlan plan = onlyEvent(&FaultPlan::hangRate);
+    plan.hangCycles = 1ull << 20;
+    FaultInjector injector(machine, plan, 1);
+    injector.onOpportunity();
+
+    // The wedge burns simulated time only — identical on every host,
+    // which is what makes Hang classifications deterministic.
+    EXPECT_EQ(injector.stats().hangs, 1u);
+    EXPECT_EQ(machine.core().cycle() - before, plan.hangCycles);
+}
+
 TEST(FaultStats, TotalAndMergeSumEventCounts)
 {
     FaultStats a;
@@ -44,10 +108,12 @@ TEST(FaultStats, TotalAndMergeSumEventCounts)
     FaultStats b;
     b.timerStalls = 4;
     b.migrations = 5;
+    b.hangs = 6;
     a.merge(b);
-    EXPECT_EQ(a.total(), 15u);
+    EXPECT_EQ(a.total(), 21u);
     EXPECT_EQ(a.contextSwitches, 2u);
     EXPECT_EQ(a.timerStalls, 4u);
+    EXPECT_EQ(a.hangs, 6u);
 }
 
 TEST(FaultInjector, DisabledPlanRealizesNothing)
