@@ -22,6 +22,13 @@
  *     reproduce the same classification.
  *  4. accuracy kill/resume — the same journal machinery under the
  *     Monte-Carlo accuracy campaign (per-trial rekey path).
+ *  5. server kill/resume — the campaign's chunks are dispatched to a
+ *     forked pacman-oracled (runner/server.hh) armed to _Exit(137)
+ *     after the N-th CHUNK reply. The client campaign aborts
+ *     (CampaignAborted), the server is restarted, and the resumed
+ *     remote campaign must reproduce the local uninterrupted
+ *     fingerprint — chunks journaled before the crash are replayed,
+ *     not re-requested.
  *
  * Emits one BENCH JSON line per measurement, e.g.:
  *
@@ -47,8 +54,13 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+#include <thread>
+
 #include "kernel/layout.hh"
 #include "runner/campaign.hh"
+#include "runner/client.hh"
+#include "runner/server.hh"
 
 using namespace pacman;
 using namespace pacman::attack;
@@ -412,6 +424,124 @@ accuracyResumeScenario(const Options &opt, ScenarioTally &tally)
     }
 }
 
+/** Fork a pacman-oracled hosting process. With @p crash_after != 0
+ *  the server _Exit(137)s after that many CHUNK replies; otherwise it
+ *  serves until a client DRAINs it, then exits 0. */
+pid_t
+forkServer(const std::string &socket, uint64_t crash_after)
+{
+    std::fflush(stdout);
+    const pid_t pid = fork();
+    if (pid == 0) {
+        ServerConfig scfg;
+        scfg.socketPath = socket;
+        scfg.threads = 2;
+        scfg.crashAfterChunks = crash_after;
+        OracleServer server(scfg);
+        server.start();
+        while (!server.draining()) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+        }
+        server.waitDrained();
+        std::_Exit(0);
+    }
+    return pid;
+}
+
+/** Spin until the forked server accepts connections. */
+bool
+waitForServer(const std::string &endpoint)
+{
+    for (int i = 0; i < 250; ++i) {
+        try {
+            OracleClient probe(endpoint);
+            probe.ping();
+            return true;
+        } catch (const WireError &) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+        }
+    }
+    return false;
+}
+
+/** Scenario 5: kill the oracle server between chunk replies; resume
+ *  against a restarted server reproduces the local fingerprint. */
+void
+serverKillScenario(const Options &opt, ScenarioTally &tally)
+{
+    BruteForceCampaignConfig cfg = makeBruteForceConfig(opt, 0.0);
+    const uint64_t chunks = chunkCount(
+        uint64_t(cfg.last) - cfg.first + 1, cfg.pool.chunkSize);
+
+    cfg.pool.jobs = 1;
+    const std::string ref_fp =
+        runBruteForceCampaign(cfg).fingerprint();
+
+    const std::string socket = opt.workdir + "/oracled.sock";
+    const std::string endpoint = "unix:" + socket;
+    const std::string journal =
+        opt.workdir + "/server_kill.journal";
+    std::remove(journal.c_str());
+    std::remove((journal + ".quarantine").c_str());
+
+    cfg.pool.jobs = opt.jobs.back();
+    cfg.supervision.journalPath = journal;
+
+    // First attempt: the server dies after replying half the chunks.
+    pid_t pid = forkServer(socket, chunks / 2 + 1);
+    tally.check(waitForServer(endpoint), "armed server never came up");
+    bool aborted = false;
+    try {
+        runBruteForceCampaignRemote(cfg, endpoint);
+    } catch (const CampaignAborted &) {
+        aborted = true;
+    }
+    int status = 0;
+    waitpid(pid, &status, 0);
+    tally.check(WIFEXITED(status) && WEXITSTATUS(status) == 137,
+                "server did not die at the armed chunk reply");
+    tally.check(aborted, "campaign survived its server dying");
+
+    // Restart the server unarmed and resume: journaled chunks replay
+    // locally, only the missing ones go back on the wire.
+    pid = forkServer(socket, 0);
+    tally.check(waitForServer(endpoint),
+                "restarted server never came up");
+    cfg.supervision.resume = true;
+    const auto t0 = std::chrono::steady_clock::now();
+    const BruteForceCampaignResult res =
+        runBruteForceCampaignRemote(cfg, endpoint);
+    const auto t1 = std::chrono::steady_clock::now();
+    const bool identical = res.fingerprint() == ref_fp;
+    tally.check(identical, "server kill/resume fingerprint diverged");
+    tally.check(res.chunksResumed > 0,
+                "server kill left nothing to resume");
+
+    {
+        OracleClient closer(endpoint);
+        closer.drain();
+    }
+    waitpid(pid, &status, 0);
+    tally.check(WIFEXITED(status) && WEXITSTATUS(status) == 0,
+                "drained server exited uncleanly");
+
+    std::printf("server kill/resume jobs=%-2u chunks=%llu "
+                "resumed=%llu  %s\n",
+                cfg.pool.jobs, (unsigned long long)chunks,
+                (unsigned long long)res.chunksResumed,
+                identical ? "identical" : "DIVERGED");
+    std::printf("BENCH {\"bench\":\"chaos_recovery\","
+                "\"scenario\":\"server_kill\",\"jobs\":%u,"
+                "\"chunks\":%llu,\"resumed\":%llu,"
+                "\"wall_resume_s\":%.4f,\"identical\":%s}\n",
+                cfg.pool.jobs, (unsigned long long)chunks,
+                (unsigned long long)res.chunksResumed,
+                std::chrono::duration<double>(t1 - t0).count(),
+                identical ? "true" : "false");
+}
+
 } // namespace
 
 int
@@ -453,6 +583,8 @@ main(int argc, char **argv)
     hangQuarantineScenario(opt, tally);
     std::printf("\n== chaos recovery: accuracy resume ==\n");
     accuracyResumeScenario(opt, tally);
+    std::printf("\n== chaos recovery: server kill ==\n");
+    serverKillScenario(opt, tally);
 
     std::printf("\n%u checks, %u failed; artifacts in %s\n",
                 tally.run, tally.failed, opt.workdir.c_str());

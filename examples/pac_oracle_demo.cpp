@@ -5,21 +5,27 @@
  * crash — the core PACMAN primitive.
  *
  *   $ ./example_pac_oracle_demo [--jobs N] [--no-snapshot]
+ *                               [--server ENDPOINT]
  *
  * --jobs N runs the closing brute-force demo on the deterministic
  * parallel campaign runner with N worker threads (default 1). The
  * found PAC and merged statistics are bit-identical for every N.
  * --no-snapshot makes each work item re-provision its replica from
  * scratch instead of restoring a checkpoint (see --help).
+ * --server ENDPOINT additionally dispatches the campaign's chunks to
+ * a running pacman-oracled (e.g. unix:/tmp/oracled.sock) and checks
+ * the remote fingerprint against the in-process one.
  */
 
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "attack/bruteforce.hh"
 #include "attack/oracle.hh"
 #include "kernel/layout.hh"
 #include "runner/campaign.hh"
+#include "runner/client.hh"
 
 using namespace pacman;
 using namespace pacman::attack;
@@ -74,7 +80,8 @@ void
 usage(const char *prog)
 {
     std::printf(
-        "usage: %s [--jobs N] [--no-snapshot] [--help]\n"
+        "usage: %s [--jobs N] [--no-snapshot] [--server ENDPOINT]\n"
+        "          [--help]\n"
         "\n"
         "  --jobs N       run the closing brute-force demo on the\n"
         "                 parallel campaign runner with N worker\n"
@@ -82,6 +89,10 @@ usage(const char *prog)
         "  --no-snapshot  re-provision each work item's replica from\n"
         "                 scratch instead of restoring a checkpoint\n"
         "                 (equivalent to PACMAN_DISABLE_SNAPSHOT=1).\n"
+        "  --server E     also dispatch the campaign to a running\n"
+        "                 pacman-oracled at E (unix:PATH or\n"
+        "                 tcp:HOST:PORT) and verify the remote\n"
+        "                 fingerprint matches the in-process one.\n"
         "  --help         show this message.\n"
         "\n"
         "The campaign splits the guess range into fixed-size chunks\n"
@@ -104,11 +115,14 @@ main(int argc, char **argv)
 {
     unsigned jobs = 1;
     bool snapshot = runner::snapshotReplicasDefault();
+    std::string server;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
             jobs = unsigned(std::strtoul(argv[++i], nullptr, 0));
         } else if (!std::strcmp(argv[i], "--no-snapshot")) {
             snapshot = false;
+        } else if (!std::strcmp(argv[i], "--server") && i + 1 < argc) {
+            server = argv[++i];
         } else if (!std::strcmp(argv[i], "--help")) {
             usage(argv[0]);
             return 0;
@@ -160,6 +174,37 @@ main(int argc, char **argv)
     } else {
         std::printf("no PAC found in the window (rerun; oracle "
                     "false negatives are retryable)\n");
+    }
+
+    // Client mode: the same campaign, chunk execution delegated to a
+    // pacman-oracled over the wire. The merged output must be
+    // byte-identical — the server runs the same chunk codec against
+    // a replica provisioned from the bit-exact decoded config.
+    if (!server.empty()) {
+        std::printf("\n--- remote campaign via %s ---\n",
+                    server.c_str());
+        try {
+            const auto remote =
+                runner::runBruteForceCampaignRemote(cfg, server);
+            const bool identical =
+                remote.fingerprint() == campaign.fingerprint();
+            if (remote.stats.found) {
+                std::printf("server found PAC 0x%04x — %s\n",
+                            *remote.stats.found,
+                            *remote.stats.found == truth ? "MATCH"
+                                                         : "MISMATCH");
+            }
+            std::printf("remote fingerprint %s the in-process one\n",
+                        identical ? "IDENTICAL to"
+                                  : "DIVERGED from");
+            if (!identical)
+                return 1;
+        } catch (const std::exception &e) {
+            std::printf("remote campaign failed: %s\n", e.what());
+            std::printf("(is pacman-oracled running? start it with\n"
+                        "   pacman-oracled --socket /tmp/oracled.sock)\n");
+            return 1;
+        }
     }
     return 0;
 }

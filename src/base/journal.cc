@@ -85,6 +85,38 @@ parseFrame(const std::string &data, size_t &pos, Journal::Record *rec)
     return true;
 }
 
+/**
+ * fsync the directory holding @p path. Creating a file (or shrinking
+ * it back to a frame boundary) only becomes crash-durable once the
+ * containing directory's entry is on disk too: POSIX lets a crash
+ * after open(O_CREAT) lose the file entirely even though the data
+ * blocks were fsync'd through the file descriptor.
+ */
+void
+fsyncDirOf(const std::string &path)
+{
+    const size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash + 1);
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd < 0) {
+        fatal("journal %s: cannot open directory %s for fsync: %s",
+              path.c_str(), dir.c_str(), std::strerror(errno));
+    }
+    while (::fsync(dfd) != 0) {
+        if (errno == EINTR)
+            continue;
+        // Some filesystems refuse fsync on directory fds (EINVAL);
+        // treat only real I/O failures as fatal.
+        if (errno == EINVAL)
+            break;
+        ::close(dfd);
+        fatal("journal %s: directory fsync failed: %s", path.c_str(),
+              std::strerror(errno));
+    }
+    ::close(dfd);
+}
+
 } // anonymous namespace
 
 uint32_t
@@ -123,21 +155,35 @@ Journal::open(const std::string &path)
 {
     PACMAN_ASSERT(fd_ < 0, "journal already open (%s)", path_.c_str());
     Replay result = replay(path);
-    if (result.corruptTail) {
-        warn("journal %s: torn tail after %llu valid bytes "
-             "(%zu records keep); truncating",
-             path.c_str(), (unsigned long long)result.validBytes,
-             result.records.size());
-        if (truncate(path.c_str(), off_t(result.validBytes)) != 0) {
-            fatal("journal %s: cannot truncate torn tail: %s",
-                  path.c_str(), std::strerror(errno));
-        }
-    }
     fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
     if (fd_ < 0) {
         fatal("journal %s: cannot open for append: %s", path.c_str(),
               std::strerror(errno));
     }
+    if (result.corruptTail) {
+        warn("journal %s: torn tail after %llu valid bytes "
+             "(%zu records keep); truncating",
+             path.c_str(), (unsigned long long)result.validBytes,
+             result.records.size());
+        if (::ftruncate(fd_, off_t(result.validBytes)) != 0) {
+            fatal("journal %s: cannot truncate torn tail: %s",
+                  path.c_str(), std::strerror(errno));
+        }
+        // Make the truncation itself durable: without this, a crash
+        // between open() and the next append can resurrect the torn
+        // tail the replay already reported as repaired.
+        while (::fsync(fd_) != 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("journal %s: fsync after truncate failed: %s",
+                  path.c_str(), std::strerror(errno));
+        }
+    }
+    // Make the file's existence durable. O_CREAT may have just
+    // created it; a crash before the directory entry reaches disk
+    // would lose the whole journal even though every append was
+    // fsync'd through fd_.
+    fsyncDirOf(path);
     path_ = path;
     return result;
 }
@@ -163,7 +209,11 @@ Journal::append(std::string_view key, std::string_view payload)
         }
         off += size_t(n);
     }
-    if (::fsync(fd_) != 0) {
+    // Like the write loop above, fsync may be interrupted by a
+    // signal before the data reached disk; retry instead of dying.
+    while (::fsync(fd_) != 0) {
+        if (errno == EINTR)
+            continue;
         fatal("journal %s: fsync failed: %s", path_.c_str(),
               std::strerror(errno));
     }

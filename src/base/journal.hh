@@ -74,6 +74,10 @@ class Journal
      * Open @p path for appending, creating it if needed. Existing
      * valid records are returned; a corrupt tail is truncated away
      * (with a warn) so subsequent appends start on a frame boundary.
+     * Both the creation and the truncation are made crash-durable
+     * before open() returns (file fsync after truncate, directory
+     * fsync for the new entry) — a crash immediately afterwards can
+     * neither lose the journal nor resurrect the torn tail.
      */
     Replay open(const std::string &path);
 

@@ -170,7 +170,21 @@ class Machine
      * key stream, machine RNG untouched. Pair with reseedRng() to give
      * a restored replica per-trial fresh-boot semantics.
      */
-    void rekey(uint64_t key_seed) { kernel_.rekey(key_seed); }
+    void
+    rekey(uint64_t key_seed)
+    {
+        kernel_.rekey(key_seed);
+        ++rekeys_;
+    }
+
+    /**
+     * Key rotations performed on this machine since construction.
+     * Host-side bookkeeping for service metrics (pacman-oracled's
+     * per-tenant isolation counters) — deliberately NOT part of the
+     * snapshot: a restore rewinds the simulated state, not the
+     * operational history.
+     */
+    uint64_t rekeys() const { return rekeys_; }
 
   private:
     /** Stream id for the dedicated ambient-noise RNG: noise draws
@@ -187,6 +201,7 @@ class Machine
     Kernel kernel_;
     std::function<void()> disturbHook_;
     bool onECore_ = false;
+    uint64_t rekeys_ = 0;
 
     /** injectNoise() draw-without-replacement scratch (no per-call
      *  allocation on the attack hot path). */

@@ -1,19 +1,18 @@
 #include "campaign.hh"
 
-#include <algorithm>
 #include <atomic>
-#include <bit>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <optional>
-#include <sstream>
 #include <unordered_map>
 #include <vector>
 
 #include "base/journal.hh"
 #include "base/logging.hh"
+#include "runner/chunk_codec.hh"
 
 namespace pacman::runner
 {
@@ -22,11 +21,6 @@ namespace
 {
 
 using Clock = std::chrono::steady_clock;
-
-/** Stream id for per-trial PAC-key rotation (accuracy campaigns):
- *  key draws must come from a stream distinct from the trial's main
- *  stream or the first jitter draws would correlate with the keys. */
-constexpr uint64_t KeySeedStream = 0x4B65'7973ull; // "Keys"
 
 /** The per-pool-worker supervised-worker slot. */
 Worker &
@@ -38,17 +32,6 @@ prepareWorker(std::vector<std::unique_ptr<Worker>> &slots,
     if (!slot)
         slot = std::make_unique<Worker>(cfg, sup);
     return *slot;
-}
-
-/** The replica's per-candidate sampling policy. */
-attack::ResamplePolicy
-resamplePolicy(const ReplicaConfig &cfg)
-{
-    attack::ResamplePolicy policy;
-    policy.samples = cfg.samples;
-    policy.maxSamples = cfg.maxSamples;
-    policy.candidateRetries = cfg.candidateRetries;
-    return policy;
 }
 
 std::string
@@ -93,262 +76,6 @@ quarantineFingerprint(const std::vector<QuarantineRecord> &records)
                          workerFaultName(r.kind));
     }
     return out;
-}
-
-// --- Journal record (de)serialization ------------------------------
-//
-// Chunk payloads are line-oriented, one tagged line per embedded
-// struct. Doubles travel as their 64-bit patterns in hex, so a
-// resumed campaign merges bit-identical values — the resume
-// determinism contract depends on this, not on printf round-tripping.
-
-std::string
-encodeBfStats(const attack::BruteForceStats &s)
-{
-    return strprintf(
-        "S %llu %llu %llu %llu %llu %llu %llu",
-        s.found ? (unsigned long long)*s.found + 1 : 0ull,
-        (unsigned long long)s.guessesTested,
-        (unsigned long long)s.oracleQueries,
-        (unsigned long long)s.cyclesSimulated,
-        (unsigned long long)s.samplesTaken,
-        (unsigned long long)s.escalations,
-        (unsigned long long)s.candidateRetries);
-}
-
-bool
-decodeBfStats(std::istringstream &in, attack::BruteForceStats &s)
-{
-    unsigned long long found1 = 0, g = 0, q = 0, c = 0, sm = 0, e = 0,
-                       r = 0;
-    if (!(in >> found1 >> g >> q >> c >> sm >> e >> r))
-        return false;
-    s = attack::BruteForceStats{};
-    if (found1)
-        s.found = uint16_t(found1 - 1);
-    s.guessesTested = g;
-    s.oracleQueries = q;
-    s.cyclesSimulated = c;
-    s.samplesTaken = sm;
-    s.escalations = e;
-    s.candidateRetries = r;
-    return true;
-}
-
-std::string
-encodeOracleStats(const attack::OracleStats &o)
-{
-    return strprintf("O %llu %llu %llu %llu %llu",
-                     (unsigned long long)o.busyRetries,
-                     (unsigned long long)o.disturbedQueries,
-                     (unsigned long long)o.retriedQueries,
-                     (unsigned long long)o.calibrations,
-                     (unsigned long long)o.repairs);
-}
-
-bool
-decodeOracleStats(std::istringstream &in, attack::OracleStats &o)
-{
-    o = attack::OracleStats{};
-    return bool(in >> o.busyRetries >> o.disturbedQueries >>
-                o.retriedQueries >> o.calibrations >> o.repairs);
-}
-
-std::string
-encodeFaultStats(const FaultStats &f)
-{
-    return strprintf(
-        "F %llu %llu %llu %llu %llu %llu %llu %llu %llu %llu %llu",
-        (unsigned long long)f.contextSwitches,
-        (unsigned long long)f.fullFlushes,
-        (unsigned long long)f.partialFlushes,
-        (unsigned long long)f.preemptions,
-        (unsigned long long)f.preemptedCycles,
-        (unsigned long long)f.timerStalls,
-        (unsigned long long)f.timerSkews,
-        (unsigned long long)f.jitterBursts,
-        (unsigned long long)f.busyArms,
-        (unsigned long long)f.migrations, (unsigned long long)f.hangs);
-}
-
-bool
-decodeFaultStats(std::istringstream &in, FaultStats &f)
-{
-    f = FaultStats{};
-    return bool(in >> f.contextSwitches >> f.fullFlushes >>
-                f.partialFlushes >> f.preemptions >> f.preemptedCycles >>
-                f.timerStalls >> f.timerSkews >> f.jitterBursts >>
-                f.busyArms >> f.migrations >> f.hangs);
-}
-
-/** Samples in insertion order: mean() sums in that order, so
- *  preserving it keeps floating-point rounding identical on resume. */
-std::string
-encodeSamples(const SampleStat &s)
-{
-    std::string out = strprintf("D %llu",
-                                (unsigned long long)s.count());
-    for (double v : s.samples())
-        out += strprintf(" %016llx",
-                         (unsigned long long)std::bit_cast<uint64_t>(v));
-    return out;
-}
-
-bool
-decodeSamples(std::istringstream &in, SampleStat &s)
-{
-    unsigned long long n = 0;
-    if (!(in >> n))
-        return false;
-    s.reset();
-    for (unsigned long long i = 0; i < n; ++i) {
-        std::string word;
-        if (!(in >> word))
-            return false;
-        unsigned long long bits = 0;
-        if (sscanf(word.c_str(), "%llx", &bits) != 1)
-            return false;
-        s.add(std::bit_cast<double>(uint64_t(bits)));
-    }
-    return true;
-}
-
-/** One brute-force chunk's completed result (journal unit). */
-struct BfChunkResult
-{
-    attack::BruteForceStats stats;
-    SampleStat decisions;
-    attack::OracleStats oracle;
-    FaultStats faults;
-    std::optional<QuarantineRecord> quarantine;
-};
-
-std::string
-encodeBfChunk(const BfChunkResult &r)
-{
-    std::string out = encodeBfStats(r.stats) + "\n" +
-                      encodeOracleStats(r.oracle) + "\n" +
-                      encodeFaultStats(r.faults) + "\n" +
-                      encodeSamples(r.decisions) + "\n";
-    if (r.quarantine)
-        out += "Q " + r.quarantine->serialize() + "\n";
-    return out;
-}
-
-bool
-decodeBfChunk(const std::string &payload, BfChunkResult &r)
-{
-    r = BfChunkResult{};
-    std::istringstream lines(payload);
-    std::string line;
-    bool s = false, o = false, f = false, d = false;
-    while (std::getline(lines, line)) {
-        std::istringstream in(line);
-        std::string tag;
-        if (!(in >> tag))
-            continue;
-        if (tag == "S")
-            s = decodeBfStats(in, r.stats);
-        else if (tag == "O")
-            o = decodeOracleStats(in, r.oracle);
-        else if (tag == "F")
-            f = decodeFaultStats(in, r.faults);
-        else if (tag == "D")
-            d = decodeSamples(in, r.decisions);
-        else if (tag == "Q") {
-            std::string rest;
-            std::getline(in, rest);
-            if (!rest.empty() && rest.front() == ' ')
-                rest.erase(0, 1);
-            r.quarantine = QuarantineRecord::parse(rest);
-            if (!r.quarantine)
-                return false;
-        }
-    }
-    return s && o && f && d;
-}
-
-/** One accuracy trial's result; a chunk journals all its trials. */
-enum class Verdict : unsigned
-{
-    TruePositive = 0,
-    FalsePositive = 1,
-    FalseNegative = 2,
-    Quarantined = 3,
-};
-
-struct TrialResult
-{
-    Verdict verdict = Verdict::FalseNegative;
-    attack::BruteForceStats stats;
-    attack::OracleStats oracle;
-    FaultStats faults;
-    std::optional<QuarantineRecord> quarantine;
-};
-
-std::string
-encodeTrialChunk(const std::vector<TrialResult> &results,
-                 const Chunk &chunk)
-{
-    std::string out;
-    for (uint64_t t = chunk.firstItem; t <= chunk.lastItem; ++t) {
-        const TrialResult &r = results[t];
-        out += strprintf("T %llu %u\n", (unsigned long long)t,
-                         unsigned(r.verdict));
-        out += encodeBfStats(r.stats) + "\n" +
-               encodeOracleStats(r.oracle) + "\n" +
-               encodeFaultStats(r.faults) + "\n";
-        if (r.quarantine)
-            out += "Q " + r.quarantine->serialize() + "\n";
-    }
-    return out;
-}
-
-bool
-decodeTrialChunk(const std::string &payload,
-                 std::vector<TrialResult> &results, const Chunk &chunk)
-{
-    std::istringstream lines(payload);
-    std::string line;
-    TrialResult *cur = nullptr;
-    uint64_t seen = 0;
-    while (std::getline(lines, line)) {
-        std::istringstream in(line);
-        std::string tag;
-        if (!(in >> tag))
-            continue;
-        if (tag == "T") {
-            unsigned long long t = 0;
-            unsigned v = 0;
-            if (!(in >> t >> v) || t < chunk.firstItem ||
-                t > chunk.lastItem || v > unsigned(Verdict::Quarantined))
-                return false;
-            cur = &results[t];
-            *cur = TrialResult{};
-            cur->verdict = Verdict(v);
-            ++seen;
-        } else if (!cur) {
-            return false;
-        } else if (tag == "S") {
-            if (!decodeBfStats(in, cur->stats))
-                return false;
-        } else if (tag == "O") {
-            if (!decodeOracleStats(in, cur->oracle))
-                return false;
-        } else if (tag == "F") {
-            if (!decodeFaultStats(in, cur->faults))
-                return false;
-        } else if (tag == "Q") {
-            std::string rest;
-            std::getline(in, rest);
-            if (!rest.empty() && rest.front() == ' ')
-                rest.erase(0, 1);
-            cur->quarantine = QuarantineRecord::parse(rest);
-            if (!cur->quarantine)
-                return false;
-        }
-    }
-    return seen == chunk.lastItem - chunk.firstItem + 1;
 }
 
 // --- Campaign journal wiring ---------------------------------------
@@ -435,82 +162,54 @@ writeQuarantineFile(const SupervisionConfig &sup,
         out << r.serialize() << "\n";
 }
 
-QuarantineRecord
-makeQuarantineRecord(const char *campaign, uint64_t campaign_seed,
-                     uint64_t chunk_index, uint64_t first_item,
-                     uint64_t last_item, const WorkRequest &req,
-                     const WorkOutcome &outcome)
-{
-    QuarantineRecord qr;
-    qr.campaign = campaign;
-    qr.campaignSeed = campaign_seed;
-    qr.chunkIndex = chunk_index;
-    qr.firstItem = first_item;
-    qr.lastItem = last_item;
-    qr.streamSeed = req.streamSeed;
-    if (req.rekeySeed) {
-        qr.rekeySeed = *req.rekeySeed;
-        qr.hasRekey = true;
-    }
-    qr.kind = outcome.quarantined.value_or(
-        WorkerFaultKind::PoisonedItem);
-    qr.detail = outcome.detail;
-    return qr;
-}
-
 /**
- * The accuracy campaign's per-trial work: rekey already happened in
- * beginItem; read ground truth, place the window, search, grade.
- * Shared with replayQuarantine so a quarantined trial reproduces the
- * exact campaign execution. Resets @p r first — the recovery ladder
- * may run the function several times for one trial.
+ * First-failure capture for dispatchers. Pool workers run on plain
+ * std::threads, so a dispatcher exception cannot propagate through
+ * runChunked — it is recorded here, remaining chunks are skipped, and
+ * the campaign runner throws CampaignAborted after the pool drains.
+ * Already-journaled chunks survive for resume.
  */
-void
-runAccuracyTrial(const AccuracyCampaignConfig &cfg,
-                 attack::PacOracle &oracle, kernel::Machine &machine,
-                 TrialResult &r)
+struct AbortFlag
 {
-    r = TrialResult{};
-    const auto sel =
-        cfg.replica.oracle.kind == attack::GadgetKind::Data
-            ? crypto::PacKeySelect::DA
-            : crypto::PacKeySelect::IA;
-    const uint16_t truth = machine.kernel().truePac(
-        cfg.replica.target, cfg.replica.modifier, sel);
+    std::atomic<bool> aborted{false};
+    std::mutex mu;
+    std::string why;
 
-    uint16_t first = 0x0000, last = 0xFFFF;
-    if (cfg.window != 0) {
-        // Window placed from ground truth for scaling only; each
-        // candidate is decided by the oracle.
-        const uint32_t start = truth >= cfg.window / 2
-                                   ? truth - cfg.window / 2
-                                   : 0;
-        first = uint16_t(start);
-        last = uint16_t(
-            std::min<uint32_t>(start + cfg.window - 1, 0xFFFF));
+    void
+    trip(const std::string &reason)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!aborted.exchange(true, std::memory_order_release))
+            why = reason;
     }
 
-    attack::PacBruteForcer forcer(oracle, resamplePolicy(cfg.replica));
-    r.stats = forcer.search(first, last);
-    r.oracle = oracle.stats();
-    if (!r.stats.found)
-        r.verdict = Verdict::FalseNegative;
-    else if (*r.stats.found == truth)
-        r.verdict = Verdict::TruePositive;
-    else
-        r.verdict = Verdict::FalsePositive;
-}
+    bool
+    tripped() const
+    {
+        return aborted.load(std::memory_order_acquire);
+    }
 
-/** Replay-mode supervision: same budgets/ladder, no journal. */
-SupervisionConfig
-replaySupervision(const SupervisionConfig &sup)
+    void
+    rethrow()
+    {
+        if (tripped())
+            throw CampaignAborted(why);
+    }
+};
+
+/** Run @p dispatch for one chunk, tripping @p abort on failure.
+ *  Returns the decoded-validated payload or nullopt on abort. */
+std::optional<std::string>
+dispatchChunk(const ChunkDispatcher &dispatch, unsigned worker,
+              const Chunk &chunk, AbortFlag &abort)
 {
-    SupervisionConfig replay = sup;
-    replay.journalPath.clear();
-    replay.quarantinePath.clear();
-    replay.resume = false;
-    replay.crashAfterAppends = 0;
-    return replay;
+    try {
+        return dispatch(worker, chunk);
+    } catch (const std::exception &e) {
+        abort.trip(strprintf("chunk %llu dispatch failed: %s",
+                             (unsigned long long)chunk.index, e.what()));
+        return std::nullopt;
+    }
 }
 
 } // anonymous namespace
@@ -533,7 +232,8 @@ BruteForceCampaignResult::fingerprint() const
 }
 
 BruteForceCampaignResult
-runBruteForceCampaign(const BruteForceCampaignConfig &cfg)
+runBruteForceCampaignWith(const BruteForceCampaignConfig &cfg,
+                          const ChunkDispatcher &dispatch)
 {
     PACMAN_ASSERT(cfg.first <= cfg.last,
                   "brute-force campaign range is empty");
@@ -541,22 +241,24 @@ runBruteForceCampaign(const BruteForceCampaignConfig &cfg)
     const uint64_t num_chunks = chunkCount(num_items, cfg.pool.chunkSize);
 
     std::vector<BfChunkResult> results(num_chunks);
-    std::vector<std::unique_ptr<Worker>> workers(
-        effectiveJobs(cfg.pool.jobs));
     std::atomic<uint64_t> resumed{0};
+    AbortFlag abort;
 
     CampaignJournal journal;
     journal.open(cfg.supervision, cfg.seed,
                  strprintf("campaign=bruteforce seed=%016llx first=%u "
-                           "last=%u chunk_size=%u",
+                           "last=%u chunk_size=%llu",
                            (unsigned long long)cfg.seed, cfg.first,
-                           cfg.last, cfg.pool.chunkSize));
+                           cfg.last,
+                           (unsigned long long)cfg.pool.chunkSize));
 
     const auto t0 = Clock::now();
     const PoolOutcome outcome = runChunked(
         cfg.pool, num_items,
         [&](unsigned worker, const Chunk &chunk)
             -> std::optional<uint64_t> {
+            if (abort.tripped())
+                return std::nullopt;
             BfChunkResult &r = results[chunk.index];
 
             // Resume: a journaled chunk short-circuits — the stored
@@ -570,44 +272,23 @@ runBruteForceCampaign(const BruteForceCampaignConfig &cfg)
                 return std::nullopt;
             }
 
-            // Same provision seed on every replica (same PAC keys —
-            // they are sweeping for the *same* PAC), per-chunk RNG
-            // stream from the item's index.
-            Worker &w = prepareWorker(workers, worker, cfg.replica,
-                                      cfg.supervision);
-            const WorkRequest req{
-                chunk.index, Random::deriveSeed(cfg.seed, chunk.index),
-                std::nullopt};
-            const WorkOutcome oc = w.run(
-                req,
-                [&](attack::PacOracle &oracle, kernel::Machine &) {
-                    // Reset first: the recovery ladder may run this
-                    // several times for one chunk.
-                    r = BfChunkResult{};
-                    attack::PacBruteForcer forcer(
-                        oracle, resamplePolicy(cfg.replica));
-                    r.stats = forcer.search(
-                        uint16_t(cfg.first + chunk.firstItem),
-                        uint16_t(cfg.first + chunk.lastItem),
-                        &r.decisions);
-                    r.oracle = oracle.stats();
-                });
-            r.faults = w.faultStats();
-            if (!oc.completed) {
-                // No rung completed the chunk: drop the partial
-                // attempt's statistics and quarantine it.
-                r = BfChunkResult{};
-                r.quarantine = makeQuarantineRecord(
-                    "bruteforce", cfg.seed, chunk.index,
-                    cfg.first + chunk.firstItem,
-                    cfg.first + chunk.lastItem, req, oc);
+            const std::optional<std::string> payload =
+                dispatchChunk(dispatch, worker, chunk, abort);
+            if (!payload)
+                return std::nullopt;
+            if (!decodeBfChunk(*payload, r)) {
+                abort.trip(strprintf(
+                    "chunk %llu: undecodable result payload",
+                    (unsigned long long)chunk.index));
+                return std::nullopt;
             }
-            journal.record(cfg.seed, chunk.index, encodeBfChunk(r));
+            journal.record(cfg.seed, chunk.index, *payload);
             if (r.stats.found)
                 return uint64_t(*r.stats.found) - cfg.first;
             return std::nullopt;
         });
     const auto t1 = Clock::now();
+    abort.rethrow();
 
     // Merge in chunk order, up to and including the chunk holding the
     // lowest hit — exactly the candidates a serial sweep would have
@@ -630,11 +311,25 @@ runBruteForceCampaign(const BruteForceCampaignConfig &cfg)
             result.quarantined.push_back(*results[c].quarantine);
         ++result.chunksMerged;
     }
+    writeQuarantineFile(cfg.supervision, result.quarantined);
+    return result;
+}
+
+BruteForceCampaignResult
+runBruteForceCampaign(const BruteForceCampaignConfig &cfg)
+{
+    std::vector<std::unique_ptr<Worker>> workers(
+        effectiveJobs(cfg.pool.jobs));
+    BruteForceCampaignResult result = runBruteForceCampaignWith(
+        cfg, [&](unsigned worker, const Chunk &chunk) {
+            Worker &w = prepareWorker(workers, worker, cfg.replica,
+                                      cfg.supervision);
+            return executeBfChunk(w, cfg, chunk);
+        });
     for (const std::unique_ptr<Worker> &w : workers) {
         if (w)
             result.recovery.merge(w->recovery());
     }
-    writeQuarantineFile(cfg.supervision, result.quarantined);
     return result;
 }
 
@@ -656,68 +351,54 @@ AccuracyCampaignResult::fingerprint() const
 }
 
 AccuracyCampaignResult
-runAccuracyCampaign(const AccuracyCampaignConfig &cfg)
+runAccuracyCampaignWith(const AccuracyCampaignConfig &cfg,
+                        const ChunkDispatcher &dispatch)
 {
-    const uint64_t num_chunks =
-        chunkCount(cfg.trials, cfg.pool.chunkSize);
     std::vector<TrialResult> results(cfg.trials);
-    std::vector<std::unique_ptr<Worker>> workers(
-        effectiveJobs(cfg.pool.jobs));
     std::atomic<uint64_t> resumed{0};
+    AbortFlag abort;
 
     CampaignJournal journal;
     journal.open(cfg.supervision, cfg.seed,
                  strprintf("campaign=accuracy seed=%016llx trials=%llu "
-                           "window=%u chunk_size=%u",
+                           "window=%u chunk_size=%llu",
                            (unsigned long long)cfg.seed,
                            (unsigned long long)cfg.trials, cfg.window,
-                           cfg.pool.chunkSize));
-    (void)num_chunks;
+                           (unsigned long long)cfg.pool.chunkSize));
 
     const auto t0 = Clock::now();
     runChunked(
         cfg.pool, cfg.trials,
         [&](unsigned worker, const Chunk &chunk)
             -> std::optional<uint64_t> {
+            if (abort.tripped())
+                return std::nullopt;
+            std::vector<TrialResult> local(chunk.lastItem -
+                                           chunk.firstItem + 1);
+
             auto it = journal.resumable.find(chunk.index);
             if (it != journal.resumable.end() &&
-                decodeTrialChunk(it->second, results, chunk)) {
+                decodeTrialChunk(it->second, local, chunk)) {
                 resumed.fetch_add(1, std::memory_order_relaxed);
-                return std::nullopt;
-            }
-
-            for (uint64_t trial = chunk.firstItem;
-                 trial <= chunk.lastItem; ++trial) {
-                // Fresh keys per trial — rekey from a dedicated key
-                // stream (the checkpointed equivalent of a per-trial
-                // reboot) — then the per-trial main stream.
-                const uint64_t stream =
-                    Random::deriveSeed(cfg.seed, trial);
-                Worker &w = prepareWorker(workers, worker, cfg.replica,
-                                          cfg.supervision);
-                const WorkRequest req{
-                    trial, stream,
-                    Random::deriveSeed(stream, KeySeedStream)};
-                TrialResult &r = results[trial];
-                const WorkOutcome oc = w.run(
-                    req, [&](attack::PacOracle &oracle,
-                             kernel::Machine &machine) {
-                        runAccuracyTrial(cfg, oracle, machine, r);
-                    });
-                r.faults = w.faultStats();
-                if (!oc.completed) {
-                    r = TrialResult{};
-                    r.verdict = Verdict::Quarantined;
-                    r.quarantine = makeQuarantineRecord(
-                        "accuracy", cfg.seed, chunk.index, trial,
-                        trial, req, oc);
+            } else {
+                const std::optional<std::string> payload =
+                    dispatchChunk(dispatch, worker, chunk, abort);
+                if (!payload)
+                    return std::nullopt;
+                if (!decodeTrialChunk(*payload, local, chunk)) {
+                    abort.trip(strprintf(
+                        "chunk %llu: undecodable result payload",
+                        (unsigned long long)chunk.index));
+                    return std::nullopt;
                 }
+                journal.record(cfg.seed, chunk.index, *payload);
             }
-            journal.record(cfg.seed, chunk.index,
-                           encodeTrialChunk(results, chunk));
+            for (uint64_t t = chunk.firstItem; t <= chunk.lastItem; ++t)
+                results[t] = local[t - chunk.firstItem];
             return std::nullopt;
         });
     const auto t1 = Clock::now();
+    abort.rethrow();
 
     AccuracyCampaignResult result;
     result.jobs = effectiveJobs(cfg.pool.jobs);
@@ -726,10 +407,16 @@ runAccuracyCampaign(const AccuracyCampaignConfig &cfg)
         std::chrono::duration<double>(t1 - t0).count();
     for (const TrialResult &r : results) {
         switch (r.verdict) {
-          case Verdict::TruePositive: ++result.truePositives; break;
-          case Verdict::FalsePositive: ++result.falsePositives; break;
-          case Verdict::FalseNegative: ++result.falseNegatives; break;
-          case Verdict::Quarantined:
+          case TrialVerdict::TruePositive:
+            ++result.truePositives;
+            break;
+          case TrialVerdict::FalsePositive:
+            ++result.falsePositives;
+            break;
+          case TrialVerdict::FalseNegative:
+            ++result.falseNegatives;
+            break;
+          case TrialVerdict::Quarantined:
             // Quarantined trials contribute their record, never
             // their partial statistics.
             if (r.quarantine)
@@ -748,11 +435,25 @@ runAccuracyCampaign(const AccuracyCampaignConfig &cfg)
         result.faultStats.merge(r.faults);
         result.guessesPerTrial.add(double(r.stats.guessesTested));
     }
+    writeQuarantineFile(cfg.supervision, result.quarantined);
+    return result;
+}
+
+AccuracyCampaignResult
+runAccuracyCampaign(const AccuracyCampaignConfig &cfg)
+{
+    std::vector<std::unique_ptr<Worker>> workers(
+        effectiveJobs(cfg.pool.jobs));
+    AccuracyCampaignResult result = runAccuracyCampaignWith(
+        cfg, [&](unsigned worker, const Chunk &chunk) {
+            Worker &w = prepareWorker(workers, worker, cfg.replica,
+                                      cfg.supervision);
+            return executeAccuracyChunk(w, cfg, chunk);
+        });
     for (const std::unique_ptr<Worker> &w : workers) {
         if (w)
             result.recovery.merge(w->recovery());
     }
-    writeQuarantineFile(cfg.supervision, result.quarantined);
     return result;
 }
 

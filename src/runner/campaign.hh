@@ -39,6 +39,8 @@
 #define PACMAN_RUNNER_CAMPAIGN_HH
 
 #include <cstdint>
+#include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -117,8 +119,37 @@ struct BruteForceCampaignResult
     std::string fingerprint() const;
 };
 
+/**
+ * Produce one chunk's encoded result payload (chunk_codec.hh format)
+ * on pool worker slot @p worker. The campaign runners are
+ * parameterized on this so in-process execution (executeBfChunk
+ * against a local runner::Worker) and remote execution (a CHUNK
+ * request to pacman-oracled, client.hh) merge byte-identical
+ * payloads — the dispatcher is the only thing that varies.
+ */
+using ChunkDispatcher =
+    std::function<std::string(unsigned worker, const Chunk &chunk)>;
+
+/**
+ * A campaign stopped before completion because a dispatcher failed
+ * (e.g. the oracle server connection dropped) or returned an
+ * undecodable payload. Chunks finished before the abort are already
+ * journaled, so a resume recomputes only what is missing.
+ */
+struct CampaignAborted : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
 BruteForceCampaignResult
 runBruteForceCampaign(const BruteForceCampaignConfig &cfg);
+
+/** Run the campaign with chunk execution delegated to @p dispatch
+ *  (journal resume/record and the merge stay here). Throws
+ *  CampaignAborted if any dispatch fails. */
+BruteForceCampaignResult
+runBruteForceCampaignWith(const BruteForceCampaignConfig &cfg,
+                          const ChunkDispatcher &dispatch);
 
 /**
  * Monte-Carlo oracle-accuracy campaign (Section 8.2's 50-run
@@ -185,6 +216,11 @@ struct AccuracyCampaignResult
 
 AccuracyCampaignResult
 runAccuracyCampaign(const AccuracyCampaignConfig &cfg);
+
+/** Dispatcher-parameterized variant (see runBruteForceCampaignWith). */
+AccuracyCampaignResult
+runAccuracyCampaignWith(const AccuracyCampaignConfig &cfg,
+                        const ChunkDispatcher &dispatch);
 
 /**
  * Re-run one quarantined work item standalone, away from its

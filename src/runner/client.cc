@@ -1,0 +1,299 @@
+#include "client.hh"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace pacman::runner
+{
+
+namespace
+{
+
+int
+connectUnix(const std::string &path)
+{
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path))
+        throw WireError("socket path too long: " + path);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        throw WireError(strprintf("socket: %s", std::strerror(errno)));
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        throw WireError(strprintf("connect %s: %s", path.c_str(),
+                                  std::strerror(err)));
+    }
+    return fd;
+}
+
+int
+connectTcp(const std::string &host, const std::string &port)
+{
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *res = nullptr;
+    const int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints,
+                                 &res);
+    if (rc != 0)
+        throw WireError(strprintf("resolve %s:%s: %s", host.c_str(),
+                                  port.c_str(), ::gai_strerror(rc)));
+    int fd = -1;
+    int err = 0;
+    for (addrinfo *ai = res; ai != nullptr; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0)
+            continue;
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+            break;
+        err = errno;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(res);
+    if (fd < 0)
+        throw WireError(strprintf("connect %s:%s: %s", host.c_str(),
+                                  port.c_str(), std::strerror(err)));
+    return fd;
+}
+
+} // anonymous namespace
+
+OracleClient::OracleClient(const std::string &endpoint)
+{
+    connect(endpoint);
+}
+
+OracleClient::~OracleClient()
+{
+    close();
+}
+
+void
+OracleClient::connect(const std::string &endpoint)
+{
+    PACMAN_ASSERT(fd_ < 0, "client already connected");
+    // A server that drops the connection must surface as WireError
+    // (EPIPE), not SIGPIPE.
+    ::signal(SIGPIPE, SIG_IGN);
+    if (endpoint.rfind("unix:", 0) == 0) {
+        fd_ = connectUnix(endpoint.substr(5));
+    } else if (endpoint.rfind("tcp:", 0) == 0) {
+        const std::string rest = endpoint.substr(4);
+        const size_t colon = rest.find_last_of(':');
+        if (colon == std::string::npos)
+            throw WireError("tcp endpoint needs host:port: " +
+                            endpoint);
+        fd_ = connectTcp(rest.substr(0, colon),
+                         rest.substr(colon + 1));
+    } else {
+        fd_ = connectUnix(endpoint);
+    }
+}
+
+void
+OracleClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    pending_.clear();
+}
+
+uint64_t
+OracleClient::sendRequest(const std::string &verb,
+                          const std::string &args,
+                          const std::string &body)
+{
+    PACMAN_ASSERT(fd_ >= 0, "client not connected");
+    WireMessage m;
+    m.id = nextId_++;
+    m.verb = verb;
+    m.args = args;
+    m.body = body;
+    writeFrame(fd_, packMessage(m));
+    return m.id;
+}
+
+WireMessage
+OracleClient::readResponse(uint64_t id)
+{
+    for (;;) {
+        auto it = pending_.find(id);
+        if (it != pending_.end()) {
+            WireMessage m = std::move(it->second);
+            pending_.erase(it);
+            return m;
+        }
+        std::optional<std::string> payload = readFrame(fd_);
+        if (!payload)
+            throw WireError("server closed the connection");
+        std::optional<WireMessage> m = unpackMessage(*payload);
+        if (!m)
+            throw WireError("malformed response frame");
+        if (m->id == id)
+            return *m;
+        pending_[m->id] = std::move(*m);
+    }
+}
+
+WireMessage
+OracleClient::call(const std::string &verb, const std::string &args,
+                   const std::string &body)
+{
+    return readResponse(sendRequest(verb, args, body));
+}
+
+WireMessage
+OracleClient::callChecked(const std::string &verb,
+                          const std::string &args,
+                          const std::string &body)
+{
+    // BUSY is backpressure, not failure: back off and retry until
+    // the queue has room again.
+    auto backoff = std::chrono::microseconds(500);
+    for (;;) {
+        WireMessage resp = call(verb, args, body);
+        if (resp.verb == "OK")
+            return resp;
+        if (resp.verb == "BUSY") {
+            std::this_thread::sleep_for(backoff);
+            backoff = std::min(backoff * 2,
+                               std::chrono::microseconds(100'000));
+            continue;
+        }
+        throw WireError(strprintf("server error on %s: %s",
+                                  verb.c_str(), resp.args.c_str()));
+    }
+}
+
+void
+OracleClient::hello(const std::string &tenant, uint64_t secret)
+{
+    callChecked("HELLO",
+                strprintf("%s %016llx", tenant.c_str(),
+                          (unsigned long long)secret),
+                {});
+}
+
+OracleClient::QueryResult
+OracleClient::query(uint16_t candidate, uint64_t stream_seed,
+                    const ReplicaConfig &replica,
+                    const SupervisionConfig &sup)
+{
+    const WireMessage resp = callChecked(
+        "QUERY",
+        strprintf("%04x %016llx", candidate,
+                  (unsigned long long)stream_seed),
+        encodeReplicaWire(replica, sup));
+    std::istringstream in(resp.args);
+    int hot = 0;
+    QueryResult r;
+    if (!(in >> hot >> r.misses))
+        throw WireError("malformed QUERY response: " + resp.args);
+    r.hot = hot != 0;
+    return r;
+}
+
+uint16_t
+OracleClient::truth(const ReplicaConfig &replica,
+                    const SupervisionConfig &sup)
+{
+    const WireMessage resp =
+        callChecked("TRUTH", {}, encodeReplicaWire(replica, sup));
+    unsigned long long pac = 0;
+    if (sscanf(resp.args.c_str(), "%llx", &pac) != 1 || pac > 0xFFFF)
+        throw WireError("malformed TRUTH response: " + resp.args);
+    return uint16_t(pac);
+}
+
+std::string
+OracleClient::chunkPayload(const std::string &request_body)
+{
+    return callChecked("CHUNK", {}, request_body).body;
+}
+
+std::string
+OracleClient::metricsJson()
+{
+    return callChecked("METRICS", {}, {}).body;
+}
+
+void
+OracleClient::ping()
+{
+    callChecked("PING", {}, {});
+}
+
+void
+OracleClient::drain()
+{
+    callChecked("DRAIN", {}, {});
+}
+
+// --- Remote campaign runners ---------------------------------------
+
+namespace
+{
+
+/** One lazily connected client per pool slot. */
+OracleClient &
+slotClient(std::vector<std::unique_ptr<OracleClient>> &slots,
+           unsigned worker, const std::string &endpoint)
+{
+    std::unique_ptr<OracleClient> &slot = slots[worker];
+    if (!slot)
+        slot = std::make_unique<OracleClient>(endpoint);
+    return *slot;
+}
+
+} // anonymous namespace
+
+BruteForceCampaignResult
+runBruteForceCampaignRemote(const BruteForceCampaignConfig &cfg,
+                            const std::string &endpoint)
+{
+    std::vector<std::unique_ptr<OracleClient>> clients(
+        effectiveJobs(cfg.pool.jobs));
+    return runBruteForceCampaignWith(
+        cfg, [&](unsigned worker, const Chunk &chunk) {
+            return slotClient(clients, worker, endpoint)
+                .chunkPayload(encodeBfChunkRequest(cfg, chunk));
+        });
+}
+
+AccuracyCampaignResult
+runAccuracyCampaignRemote(const AccuracyCampaignConfig &cfg,
+                          const std::string &endpoint)
+{
+    std::vector<std::unique_ptr<OracleClient>> clients(
+        effectiveJobs(cfg.pool.jobs));
+    return runAccuracyCampaignWith(
+        cfg, [&](unsigned worker, const Chunk &chunk) {
+            return slotClient(clients, worker, endpoint)
+                .chunkPayload(encodeAccuracyChunkRequest(cfg, chunk));
+        });
+}
+
+} // namespace pacman::runner

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Client for pacman-oracled (server.hh): connection management,
+ * pipelined request/response matching, the high-level single-query
+ * API, and the remote campaign runners.
+ *
+ * A remote campaign is the dispatcher-parameterized local campaign
+ * (campaign.hh) with chunk execution moved across the wire: each
+ * pool slot holds one connection, every chunk travels as a CHUNK
+ * request, and the returned chunk_codec payload is journaled and
+ * merged by exactly the code the in-process path uses. The merged
+ * fingerprint is therefore bit-identical to a local run at any
+ * --jobs count — proven by bench/server_campaign and the server-kill
+ * scenario of bench/chaos_recovery.
+ *
+ * Backpressure: a BUSY response (admission control) is retried with
+ * exponential backoff; ERR responses throw. A torn connection
+ * surfaces as WireError, which the campaign runner converts to
+ * CampaignAborted — completed chunks stay journaled, so rerunning
+ * with SupervisionConfig::resume picks up where the campaign died.
+ */
+
+#ifndef PACMAN_RUNNER_CLIENT_HH
+#define PACMAN_RUNNER_CLIENT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "runner/protocol.hh"
+
+namespace pacman::runner
+{
+
+/** One connection to a pacman-oracled instance. Not thread-safe:
+ *  campaigns use one client per pool slot. */
+class OracleClient
+{
+  public:
+    OracleClient() = default;
+
+    /** Connect immediately (see connect()). */
+    explicit OracleClient(const std::string &endpoint);
+
+    ~OracleClient();
+
+    OracleClient(const OracleClient &) = delete;
+    OracleClient &operator=(const OracleClient &) = delete;
+
+    /**
+     * Connect to @p endpoint: "unix:<path>", "tcp:<host>:<port>", or
+     * a bare Unix socket path. Throws WireError on failure.
+     */
+    void connect(const std::string &endpoint);
+
+    bool connected() const { return fd_ >= 0; }
+
+    void close();
+
+    /** Bind this connection to a tenant (HELLO). */
+    void hello(const std::string &tenant, uint64_t secret);
+
+    /** Fire one request without waiting; returns its id. */
+    uint64_t sendRequest(const std::string &verb,
+                         const std::string &args = {},
+                         const std::string &body = {});
+
+    /**
+     * Wait for the response to @p id. Responses arriving for other
+     * outstanding ids are buffered, so requests can be pipelined and
+     * completed out of order.
+     */
+    WireMessage readResponse(uint64_t id);
+
+    /** sendRequest + readResponse. */
+    WireMessage call(const std::string &verb,
+                     const std::string &args = {},
+                     const std::string &body = {});
+
+    /** One PAC-oracle query against the given replica config. */
+    struct QueryResult
+    {
+        bool hot = false;   //!< oracle classified the PAC correct
+        double misses = 0;  //!< sampled probe-miss count
+    };
+    QueryResult query(uint16_t candidate, uint64_t stream_seed,
+                      const ReplicaConfig &replica,
+                      const SupervisionConfig &sup = {});
+
+    /** Ground-truth PAC (server must run with allowTruth). */
+    uint16_t truth(const ReplicaConfig &replica,
+                   const SupervisionConfig &sup = {});
+
+    /**
+     * Execute one campaign chunk remotely and return the encoded
+     * chunk_codec payload. Retries BUSY with exponential backoff;
+     * throws WireError on ERR or a torn connection.
+     */
+    std::string chunkPayload(const std::string &request_body);
+
+    /** The server's pacman-bench-v1 metrics document. */
+    std::string metricsJson();
+
+    void ping();
+
+    /** Ask the server to drain (stop accepting, finish, exit). */
+    void drain();
+
+  private:
+    WireMessage callChecked(const std::string &verb,
+                            const std::string &args,
+                            const std::string &body);
+
+    int fd_ = -1;
+    uint64_t nextId_ = 1;
+    std::map<uint64_t, WireMessage> pending_;
+};
+
+/**
+ * Run a whole campaign against a pacman-oracled endpoint. Journal
+ * resume, quarantine files, and the merge all behave exactly as in
+ * the in-process runners; only chunk execution is remote. Throws
+ * CampaignAborted when the server becomes unreachable mid-campaign.
+ */
+BruteForceCampaignResult
+runBruteForceCampaignRemote(const BruteForceCampaignConfig &cfg,
+                            const std::string &endpoint);
+
+AccuracyCampaignResult
+runAccuracyCampaignRemote(const AccuracyCampaignConfig &cfg,
+                          const std::string &endpoint);
+
+} // namespace pacman::runner
+
+#endif // PACMAN_RUNNER_CLIENT_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * pacman-oracled entry point: parse deployment flags, run the
+ * PAC-oracle server (server.hh) until SIGTERM/SIGINT or a client
+ * DRAIN request, drain gracefully, and optionally dump the final
+ * pacman-bench-v1 metrics document.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "runner/server.hh"
+
+namespace
+{
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+onSignal(int)
+{
+    g_stop = 1;
+}
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --socket PATH [options]\n"
+        "\n"
+        "Serve PAC-oracle queries and campaign chunks from a pool of\n"
+        "checkpointed replicas (wire protocol: DESIGN.md Sec. 4h).\n"
+        "\n"
+        "  --socket PATH          Unix listening socket (required)\n"
+        "  --tcp-port N           also listen on 127.0.0.1:N\n"
+        "                         (1 = pick an ephemeral port)\n"
+        "  --threads N            service threads / live replicas [2]\n"
+        "  --max-queue N          admission-control queue depth [64]\n"
+        "  --allow-truth          enable the TRUTH verb (grading)\n"
+        "  --crash-after-chunks N chaos: _Exit(137) after the N-th\n"
+        "                         chunk response (tests only)\n"
+        "  --metrics-out PATH     write final metrics JSON on exit\n",
+        argv0);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    pacman::runner::ServerConfig cfg;
+    std::string metrics_out;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            cfg.socketPath = next();
+        } else if (arg == "--tcp-port") {
+            cfg.tcpPort = uint16_t(std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--threads") {
+            cfg.threads = unsigned(std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--max-queue") {
+            cfg.maxQueue = unsigned(std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--allow-truth") {
+            cfg.allowTruth = true;
+        } else if (arg == "--crash-after-chunks") {
+            cfg.crashAfterChunks =
+                std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--metrics-out") {
+            metrics_out = next();
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (cfg.socketPath.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+
+    pacman::runner::OracleServer server(cfg);
+    server.start();
+    if (cfg.tcpPort != 0) {
+        std::printf("pacman-oracled: listening on %s and "
+                    "127.0.0.1:%u\n",
+                    cfg.socketPath.c_str(), server.boundTcpPort());
+    } else {
+        std::printf("pacman-oracled: listening on %s\n",
+                    cfg.socketPath.c_str());
+    }
+    std::fflush(stdout);
+
+    while (g_stop == 0 && !server.draining())
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    std::printf("pacman-oracled: draining\n");
+    std::fflush(stdout);
+    server.requestDrain();
+    server.waitDrained();
+
+    if (!metrics_out.empty()) {
+        std::ofstream out(metrics_out, std::ios::trunc);
+        out << server.metricsJson() << "\n";
+    }
+    std::printf("pacman-oracled: drained, exiting\n");
+    return 0;
+}

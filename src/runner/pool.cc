@@ -23,7 +23,10 @@ uint64_t
 chunkCount(uint64_t num_items, uint64_t chunk_size)
 {
     PACMAN_ASSERT(chunk_size >= 1, "chunk size must be positive");
-    return (num_items + chunk_size - 1) / chunk_size;
+    // Not the usual (n + size - 1) / size: that wraps for num_items
+    // within chunk_size of UINT64_MAX and would report ~0 chunks for
+    // the largest item spaces.
+    return num_items / chunk_size + (num_items % chunk_size != 0);
 }
 
 PoolOutcome

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -117,6 +119,65 @@ TEST(Journal, TornTailIsDetectedAndTruncatedOnOpen)
     ASSERT_EQ(after.records.size(), 3u);
     EXPECT_EQ(after.records[2].key, "good/2");
     EXPECT_FALSE(after.corruptTail);
+}
+
+TEST(Journal, TruncationIsDurableAcrossReopen)
+{
+    TempJournalPath path("durable_truncate");
+    {
+        Journal j;
+        j.open(path.str());
+        j.append("keep/0", "one");
+        j.append("keep/1", "two");
+    }
+    appendRaw(path.str(), "R deadbeef 6 100\ntorn");
+
+    // open() repairs the tail and fsyncs the truncation before
+    // returning; just opening and closing must leave a clean file.
+    {
+        Journal j;
+        const Journal::Replay r = j.open(path.str());
+        EXPECT_EQ(r.records.size(), 2u);
+        EXPECT_TRUE(r.corruptTail);
+    }
+    const Journal::Replay raw = Journal::replay(path.str());
+    EXPECT_EQ(raw.records.size(), 2u);
+    EXPECT_FALSE(raw.corruptTail);
+
+    // And the repaired file appends on a clean frame boundary.
+    Journal j;
+    j.open(path.str());
+    j.append("keep/2", "three");
+    j.close();
+    const Journal::Replay after = Journal::replay(path.str());
+    ASSERT_EQ(after.records.size(), 3u);
+    EXPECT_EQ(after.records[2].key, "keep/2");
+    EXPECT_EQ(after.records[2].payload, "three");
+    EXPECT_FALSE(after.corruptTail);
+}
+
+TEST(Journal, RelativePathCreateIsUsable)
+{
+    // A bare filename has no directory component: create/repair must
+    // sync the working directory ("."), not a parsed parent path.
+    char old_cwd[4096];
+    ASSERT_NE(::getcwd(old_cwd, sizeof(old_cwd)), nullptr);
+    ASSERT_EQ(::chdir(::testing::TempDir().c_str()), 0);
+
+    const std::string name =
+        "pacman_relative_" + std::to_string(::getpid()) + ".journal";
+    std::remove(name.c_str());
+    {
+        Journal j;
+        j.open(name);
+        j.append("rel/0", "payload");
+        j.close();
+    }
+    const Journal::Replay r = Journal::replay(name);
+    ASSERT_EQ(r.records.size(), 1u);
+    EXPECT_EQ(r.records[0].key, "rel/0");
+    std::remove(name.c_str());
+    ASSERT_EQ(::chdir(old_cwd), 0);
 }
 
 TEST(Journal, CrcMismatchStopsReplayAtLastValidRecord)

@@ -31,6 +31,17 @@ TEST(Pool, ChunkCountEdges)
     EXPECT_EQ(chunkCount(256, 256), 1u);
     EXPECT_EQ(chunkCount(257, 256), 2u);
     EXPECT_EQ(chunkCount(100, 7), 15u);
+
+    // Near-UINT64_MAX totals: the naive (n + size - 1) / size form
+    // wraps to a tiny count here; the div/mod form must not.
+    constexpr uint64_t kMax = UINT64_MAX;
+    EXPECT_EQ(chunkCount(kMax, 1), kMax);
+    EXPECT_EQ(chunkCount(kMax, 256), kMax / 256 + 1);
+    EXPECT_EQ(chunkCount(kMax, kMax), 1u);
+    EXPECT_EQ(chunkCount(kMax - 1, kMax), 1u);
+    // 2^64 - 256 divides evenly: no partial chunk.
+    EXPECT_EQ(chunkCount(kMax - 255, 256), (kMax - 255) / 256);
+    EXPECT_EQ(chunkCount(kMax - 256, 256), (kMax - 256) / 256 + 1);
 }
 
 TEST(Pool, AllItemsProcessedExactlyOnce)

@@ -1,0 +1,503 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/faults.hh"
+#include "base/random.hh"
+#include "base/stats.hh"
+#include "crypto/pac.hh"
+#include "kernel/layout.hh"
+#include "kernel/machine.hh"
+#include "runner/client.hh"
+#include "runner/protocol.hh"
+#include "runner/server.hh"
+
+namespace pacman
+{
+namespace
+{
+
+using namespace pacman::attack;
+using namespace pacman::kernel;
+using namespace pacman::runner;
+
+// --- wire protocol -------------------------------------------------
+
+TEST(Protocol, FrameRoundTripOverPipe)
+{
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    writeFrame(fds[1], "hello frame");
+    writeFrame(fds[1], std::string("\0binary\npayload", 15));
+    const auto a = readFrame(fds[0]);
+    const auto b = readFrame(fds[0]);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(*a, "hello frame");
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(*b, std::string("\0binary\npayload", 15));
+    // Clean close at a frame boundary reads as end-of-stream.
+    ::close(fds[1]);
+    EXPECT_FALSE(readFrame(fds[0]).has_value());
+    ::close(fds[0]);
+}
+
+TEST(Protocol, CorruptFrameThrows)
+{
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    writeFrame(fds[1], "payload");
+    // Flip one payload byte behind the CRC's back.
+    char garbage = 'X';
+    // Read header+payload, corrupt, and feed through a second pipe.
+    char buf[12 + 7];
+    ASSERT_EQ(::read(fds[0], buf, sizeof(buf)), ssize_t(sizeof(buf)));
+    buf[12] = garbage;
+    int fds2[2];
+    ASSERT_EQ(::pipe(fds2), 0);
+    ASSERT_EQ(::write(fds2[1], buf, sizeof(buf)),
+              ssize_t(sizeof(buf)));
+    EXPECT_THROW(readFrame(fds2[0]), WireError);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    ::close(fds2[0]);
+    ::close(fds2[1]);
+}
+
+TEST(Protocol, MessageRoundTrip)
+{
+    WireMessage m;
+    m.id = 42;
+    m.verb = "QUERY";
+    m.args = "00ff 0000000000000007";
+    m.body = "V pacman-oracle-wire-v1\nrest of body\n";
+    const auto parsed = unpackMessage(packMessage(m));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->id, 42u);
+    EXPECT_EQ(parsed->verb, "QUERY");
+    EXPECT_EQ(parsed->args, "00ff 0000000000000007");
+    EXPECT_EQ(parsed->body, m.body);
+
+    WireMessage bare;
+    bare.id = 1;
+    bare.verb = "PING";
+    const auto p2 = unpackMessage(packMessage(bare));
+    ASSERT_TRUE(p2.has_value());
+    EXPECT_EQ(p2->verb, "PING");
+    EXPECT_TRUE(p2->args.empty());
+    EXPECT_TRUE(p2->body.empty());
+
+    EXPECT_FALSE(unpackMessage("").has_value());
+    EXPECT_FALSE(unpackMessage("notanumber PING\n").has_value());
+}
+
+TEST(Protocol, ReplicaWireRoundTripIsCanonical)
+{
+    ReplicaConfig cfg;
+    cfg.machine = defaultMachineConfig();
+    cfg.machine.seed = 0xABCDEF;
+    cfg.machine.noiseProbability = 0.37;
+    cfg.machine.core.autFence = true;
+    cfg.oracle.trainIters = 16;
+    cfg.oracle.autoCalibrate = true;
+    cfg.target = BenignDataBase + 5 * isa::PageSize;
+    cfg.modifier = 0x1234;
+    cfg.samples = 3;
+    cfg.maxSamples = 9;
+    cfg.faults = FaultPlan::scaled(0.2);
+    SupervisionConfig sup;
+    sup.budget.maxGuestCycles = 1'000'000;
+    sup.budget.hostDeadlineSeconds = 2.5;
+    sup.verifyFingerprint = false;
+
+    const std::string wire = encodeReplicaWire(cfg, sup);
+    ReplicaConfig back;
+    SupervisionConfig back_sup;
+    ASSERT_TRUE(decodeReplicaWire(wire, back, back_sup));
+
+    // Canonical: re-encoding the decoded config reproduces the text
+    // byte-for-byte (this is what makes it a valid cache key).
+    EXPECT_EQ(encodeReplicaWire(back, back_sup), wire);
+
+    EXPECT_EQ(back.machine.seed, cfg.machine.seed);
+    EXPECT_EQ(back.machine.noiseProbability,
+              cfg.machine.noiseProbability);
+    EXPECT_TRUE(back.machine.core.autFence);
+    EXPECT_EQ(back.oracle.trainIters, 16u);
+    EXPECT_TRUE(back.oracle.autoCalibrate);
+    EXPECT_EQ(back.target, cfg.target);
+    EXPECT_EQ(back.modifier, cfg.modifier);
+    EXPECT_EQ(back.samples, 3u);
+    EXPECT_EQ(back.faults.contextSwitchRate,
+              cfg.faults.contextSwitchRate);
+    EXPECT_EQ(back.faults.preemptMaxCycles,
+              cfg.faults.preemptMaxCycles);
+    EXPECT_EQ(back_sup.budget.maxGuestCycles, 1'000'000u);
+    EXPECT_EQ(back_sup.budget.hostDeadlineSeconds, 2.5);
+    EXPECT_FALSE(back_sup.verifyFingerprint);
+
+    // Journal wiring never travels the wire.
+    EXPECT_TRUE(back_sup.journalPath.empty());
+    EXPECT_FALSE(back_sup.resume);
+
+    EXPECT_FALSE(decodeReplicaWire("V wrong-version\n", back,
+                                   back_sup));
+    EXPECT_FALSE(decodeReplicaWire("", back, back_sup));
+}
+
+TEST(Protocol, ChunkRequestRoundTrip)
+{
+    BruteForceCampaignConfig bf;
+    bf.replica.machine = defaultMachineConfig();
+    bf.replica.target = BenignDataBase + 3 * isa::PageSize;
+    bf.seed = 0x5EED;
+    bf.first = 0x0100;
+    bf.last = 0x01FF;
+    Chunk chunk{2, 32, 47};
+
+    const auto req =
+        decodeChunkRequest(encodeBfChunkRequest(bf, chunk));
+    ASSERT_TRUE(req.has_value());
+    EXPECT_EQ(req->kind, ChunkRequest::Kind::BruteForce);
+    EXPECT_EQ(req->bf.seed, 0x5EEDu);
+    EXPECT_EQ(req->bf.first, 0x0100);
+    EXPECT_EQ(req->bf.last, 0x01FF);
+    EXPECT_EQ(req->chunk.index, 2u);
+    EXPECT_EQ(req->chunk.firstItem, 32u);
+    EXPECT_EQ(req->chunk.lastItem, 47u);
+    EXPECT_EQ(req->configKey,
+              encodeReplicaWire(bf.replica, bf.supervision));
+
+    AccuracyCampaignConfig acc;
+    acc.replica = bf.replica;
+    acc.seed = 0xACC;
+    acc.trials = 12;
+    acc.window = 64;
+    const auto areq =
+        decodeChunkRequest(encodeAccuracyChunkRequest(acc, chunk));
+    ASSERT_TRUE(areq.has_value());
+    EXPECT_EQ(areq->kind, ChunkRequest::Kind::Accuracy);
+    EXPECT_EQ(areq->acc.seed, 0xACCu);
+    EXPECT_EQ(areq->acc.trials, 12u);
+    EXPECT_EQ(areq->acc.window, 64u);
+
+    EXPECT_FALSE(decodeChunkRequest("").has_value());
+    EXPECT_FALSE(decodeChunkRequest("G bf zz 0 0\nK 0 0 0\n")
+                     .has_value());
+}
+
+// --- Machine rekey accounting --------------------------------------
+
+TEST(Machine, RekeyCounterCountsRotations)
+{
+    Machine m;
+    EXPECT_EQ(m.rekeys(), 0u);
+    m.rekey(1);
+    m.rekey(2);
+    EXPECT_EQ(m.rekeys(), 2u);
+}
+
+// --- the server ----------------------------------------------------
+
+int g_socket_counter = 0;
+
+/** An in-process pacman-oracled on a temp Unix socket. */
+struct TestServer
+{
+    ServerConfig cfg;
+    std::unique_ptr<OracleServer> server;
+
+    explicit TestServer(unsigned threads = 2, unsigned max_queue = 32,
+                        bool allow_truth = true)
+    {
+        cfg.socketPath = ::testing::TempDir() +
+                         strprintf("pacman_oracled_%d_%d.sock",
+                                   int(::getpid()),
+                                   g_socket_counter++);
+        cfg.threads = threads;
+        cfg.maxQueue = max_queue;
+        cfg.allowTruth = allow_truth;
+        server = std::make_unique<OracleServer>(cfg);
+        server->start();
+    }
+
+    std::string endpoint() const { return "unix:" + cfg.socketPath; }
+};
+
+ReplicaConfig
+testReplica(uint64_t modifier = 0x100)
+{
+    ReplicaConfig r;
+    r.machine = defaultMachineConfig();
+    r.machine.seed = 42;
+    r.target = BenignDataBase + 37 * isa::PageSize;
+    r.modifier = modifier;
+    r.samples = 1;
+    return r;
+}
+
+/** A small brute-force campaign with a known nearby truth. */
+BruteForceCampaignConfig
+smallCampaign(uint16_t *truth_out)
+{
+    ReplicaConfig replica = testReplica();
+    Machine probe(replica.machine);
+    uint64_t modifier = 0x100;
+    uint16_t truth = 0;
+    for (;; ++modifier) {
+        truth = probe.kernel().truePac(replica.target, modifier,
+                                       crypto::PacKeySelect::DA);
+        if (truth >= 48 && truth <= 0xFFF0)
+            break;
+    }
+    if (truth_out)
+        *truth_out = truth;
+    replica.modifier = modifier;
+
+    BruteForceCampaignConfig cfg;
+    cfg.replica = replica;
+    cfg.first = uint16_t(truth - 39);
+    cfg.last = uint16_t(truth + 8);
+    cfg.seed = 7;
+    cfg.pool.chunkSize = 16;
+    return cfg;
+}
+
+TEST(Server, PingAndMetrics)
+{
+    TestServer ts;
+    OracleClient c(ts.endpoint());
+    c.ping();
+    const std::string metrics = c.metricsJson();
+    EXPECT_NE(metrics.find("\"schema\":\"pacman-bench-v1\""),
+              std::string::npos);
+    EXPECT_NE(metrics.find("\"queue_depth\""), std::string::npos);
+    EXPECT_NE(metrics.find("\"busy_rejections\""), std::string::npos);
+}
+
+TEST(Server, QueryClassifiesTruthAgainstGroundTruth)
+{
+    TestServer ts;
+    OracleClient c(ts.endpoint());
+    const ReplicaConfig replica = testReplica();
+
+    Machine probe(replica.machine);
+    const uint16_t truth = probe.kernel().truePac(
+        replica.target, replica.modifier, crypto::PacKeySelect::DA);
+
+    const uint64_t stream = Random::deriveSeed(7, 0);
+    const auto hit = c.query(truth, stream, replica);
+    EXPECT_TRUE(hit.hot);
+    const auto miss =
+        c.query(uint16_t(truth ^ 0x0101), stream, replica);
+    EXPECT_FALSE(miss.hot);
+
+    // Server-side TRUTH for an anonymous connection matches the
+    // local machine: no tenant, so provision keys apply.
+    EXPECT_EQ(c.truth(replica), truth);
+}
+
+TEST(Server, TenantKeysIsolateAndPersist)
+{
+    TestServer ts;
+    OracleClient alice(ts.endpoint());
+    OracleClient bob(ts.endpoint());
+    alice.hello("alice", 0xA11CE);
+    bob.hello("bob", 0xB0B);
+
+    const ReplicaConfig replica = testReplica();
+    Machine probe(replica.machine);
+    const uint16_t provision_truth = probe.kernel().truePac(
+        replica.target, replica.modifier, crypto::PacKeySelect::DA);
+
+    // Each tenant's PAC keys derive from (name, secret): across a
+    // handful of modifiers the tenants must disagree with each other
+    // somewhere (and with the provision keys) — identical PACs for
+    // every modifier would mean the rekey never happened.
+    bool tenants_differ = false, differs_from_provision = false;
+    uint16_t alice_at_first = 0;
+    for (uint64_t m = 0x100; m < 0x110; ++m) {
+        ReplicaConfig r = testReplica(m);
+        const uint16_t ta = alice.truth(r);
+        const uint16_t tb = bob.truth(r);
+        if (m == 0x100)
+            alice_at_first = ta;
+        tenants_differ |= (ta != tb);
+        differs_from_provision |=
+            (ta != probe.kernel().truePac(r.target, m,
+                                          crypto::PacKeySelect::DA));
+    }
+    EXPECT_TRUE(tenants_differ);
+    EXPECT_TRUE(differs_from_provision);
+    (void)provision_truth;
+
+    // Same tenant, new connection: same keys (isolation is by
+    // identity, not by connection).
+    OracleClient alice2(ts.endpoint());
+    alice2.hello("alice", 0xA11CE);
+    EXPECT_EQ(alice2.truth(testReplica(0x100)), alice_at_first);
+
+    // A tenant's query verdict is graded under its OWN keys.
+    const ReplicaConfig r = testReplica(0x100);
+    const auto res =
+        alice.query(alice_at_first, Random::deriveSeed(9, 1), r);
+    EXPECT_TRUE(res.hot);
+}
+
+TEST(Server, BackpressureAnswersBusyWhenQueueFull)
+{
+    TestServer ts(/*threads=*/1, /*max_queue=*/1);
+    OracleClient c(ts.endpoint());
+
+    // Occupy the single service thread...
+    const uint64_t id1 = c.sendRequest("SLEEP", "500");
+    // ...wait until the job left the queue (METRICS bypasses it)...
+    for (int i = 0; i < 200; ++i) {
+        const std::string m = c.metricsJson();
+        if (m.find("\"queue_depth\":{\"value\":0") !=
+            std::string::npos)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    // ...fill the one queue slot, then overflow it.
+    const uint64_t id2 = c.sendRequest("SLEEP", "0");
+    const uint64_t id3 = c.sendRequest("SLEEP", "0");
+
+    EXPECT_EQ(c.readResponse(id3).verb, "BUSY");
+    EXPECT_EQ(c.readResponse(id1).verb, "OK");
+    EXPECT_EQ(c.readResponse(id2).verb, "OK");
+
+    const std::string metrics = c.metricsJson();
+    EXPECT_NE(metrics.find("\"busy_rejections\":{\"value\":1"),
+              std::string::npos);
+}
+
+TEST(Server, DrainFinishesQueuedWorkAndRejectsNew)
+{
+    TestServer ts(/*threads=*/1);
+    OracleClient c(ts.endpoint());
+
+    const uint64_t sleeping = c.sendRequest("SLEEP", "100");
+    c.drain();
+    EXPECT_TRUE(ts.server->draining());
+
+    // New compute work is rejected during drain...
+    const uint64_t late = c.sendRequest("SLEEP", "0");
+    EXPECT_EQ(c.readResponse(late).verb, "ERR");
+    // ...but already-accepted work completes.
+    EXPECT_EQ(c.readResponse(sleeping).verb, "OK");
+
+    ts.server->waitDrained();
+}
+
+TEST(Server, RemoteBruteForceFingerprintMatchesLocal)
+{
+    uint16_t truth = 0;
+    BruteForceCampaignConfig cfg = smallCampaign(&truth);
+
+    cfg.pool.jobs = 1;
+    const std::string local =
+        runBruteForceCampaign(cfg).fingerprint();
+
+    TestServer ts(/*threads=*/2);
+    for (unsigned jobs : {1u, 4u}) {
+        cfg.pool.jobs = jobs;
+        const BruteForceCampaignResult remote =
+            runBruteForceCampaignRemote(cfg, ts.endpoint());
+        EXPECT_EQ(remote.fingerprint(), local) << "jobs=" << jobs;
+        ASSERT_TRUE(remote.stats.found.has_value());
+        EXPECT_EQ(*remote.stats.found, truth);
+    }
+}
+
+TEST(Server, RemoteBruteForceFingerprintMatchesLocalUnderFaults)
+{
+    uint16_t truth = 0;
+    BruteForceCampaignConfig cfg = smallCampaign(&truth);
+    cfg.replica.faults = FaultPlan::scaled(0.2);
+    cfg.replica.oracle.busyRetries = 4;
+
+    cfg.pool.jobs = 1;
+    const std::string local =
+        runBruteForceCampaign(cfg).fingerprint();
+
+    TestServer ts(/*threads=*/2);
+    cfg.pool.jobs = 4;
+    EXPECT_EQ(runBruteForceCampaignRemote(cfg, ts.endpoint())
+                  .fingerprint(),
+              local);
+}
+
+TEST(Server, RemoteAccuracyFingerprintMatchesLocal)
+{
+    AccuracyCampaignConfig cfg;
+    cfg.replica = testReplica();
+    cfg.trials = 4;
+    cfg.window = 48;
+    cfg.seed = 1000;
+    cfg.pool.chunkSize = 2;
+
+    cfg.pool.jobs = 1;
+    const std::string local = runAccuracyCampaign(cfg).fingerprint();
+
+    TestServer ts(/*threads=*/2);
+    cfg.pool.jobs = 2;
+    const AccuracyCampaignResult remote =
+        runAccuracyCampaignRemote(cfg, ts.endpoint());
+    EXPECT_EQ(remote.fingerprint(), local);
+    EXPECT_EQ(remote.truePositives + remote.falsePositives +
+                  remote.falseNegatives,
+              cfg.trials);
+}
+
+TEST(Server, RemoteCampaignJournalsAndResumes)
+{
+    uint16_t truth = 0;
+    BruteForceCampaignConfig cfg = smallCampaign(&truth);
+    const std::string journal =
+        ::testing::TempDir() +
+        strprintf("pacman_remote_resume_%d.journal",
+                  int(::getpid()));
+    std::remove(journal.c_str());
+    cfg.supervision.journalPath = journal;
+    cfg.pool.jobs = 2;
+
+    TestServer ts;
+    const std::string first =
+        runBruteForceCampaignRemote(cfg, ts.endpoint()).fingerprint();
+
+    // Resume replays every chunk from the journal: same fingerprint,
+    // and the server sees no new CHUNK requests.
+    cfg.supervision.resume = true;
+    const BruteForceCampaignResult resumed =
+        runBruteForceCampaignRemote(cfg, ts.endpoint());
+    EXPECT_EQ(resumed.fingerprint(), first);
+    EXPECT_GT(resumed.chunksResumed, 0u);
+
+    std::remove(journal.c_str());
+    std::remove((journal + ".quarantine").c_str());
+}
+
+TEST(Server, AbortedRemoteCampaignThrowsCampaignAborted)
+{
+    uint16_t truth = 0;
+    BruteForceCampaignConfig cfg = smallCampaign(&truth);
+    cfg.pool.jobs = 1;
+
+    // No server listening: the dispatcher's connect fails and the
+    // campaign aborts instead of returning partial results.
+    const std::string endpoint =
+        "unix:" + ::testing::TempDir() + "pacman_no_such_server.sock";
+    EXPECT_THROW(runBruteForceCampaignRemote(cfg, endpoint),
+                 CampaignAborted);
+}
+
+} // namespace
+} // namespace pacman

@@ -11,9 +11,15 @@ restore cost, and the snapshot-vs-fresh accuracy-campaign speedup) —
 in a direction-annotated schema that tools/perf_compare.py can diff
 across commits.
 
+With --server-bench pointing at build/bench/server_campaign, the
+baseline additionally records the oracle server's single-connection
+QUERY throughput and the remote-vs-local campaign wall-clock overhead
+(parsed from the bench's BENCH JSON lines).
+
 Usage:
     python3 tools/perf_smoke.py --bench build/bench/micro_sim_perf \
-        --output BENCH_PR5.json [--min-time 0.5]
+        --output BENCH_PR5.json [--min-time 0.5] \
+        [--server-bench build/bench/server_campaign]
 """
 
 import argparse
@@ -135,6 +141,48 @@ def distil(raw):
     return metrics
 
 
+def bench_json_lines(output):
+    """Parse `BENCH {...}` JSON lines from a bench binary's stdout."""
+    records = []
+    for line in output.splitlines():
+        if line.startswith("BENCH "):
+            records.append(json.loads(line[len("BENCH "):]))
+    return records
+
+
+def server_metrics(server_bench, workdir):
+    """Run bench/server_campaign --quick and distil its BENCH lines."""
+    proc = subprocess.run(
+        [server_bench, "--quick", "--workdir", workdir],
+        stdout=subprocess.PIPE, check=True, text=True)
+    records = bench_json_lines(proc.stdout)
+
+    metrics = {}
+    throughput = [r for r in records
+                  if r.get("scenario") == "query_throughput"]
+    if throughput:
+        metrics["server_queries_per_sec"] = {
+            "value": throughput[-1]["queries_per_sec"],
+            "better": "higher",
+        }
+    # Dispatch overhead at the highest measured concurrency: remote
+    # wall over local wall for the fault-free brute-force sweep.
+    brute = [r for r in records
+             if r.get("scenario") == "bruteforce"
+             and r.get("fault_rate") == 0.0]
+    if brute:
+        best = max(brute, key=lambda r: r["jobs"])
+        if best["wall_local_s"] > 0:
+            metrics["server_dispatch_overhead"] = {
+                "value": best["wall_remote_s"] / best["wall_local_s"],
+                "better": "lower",
+            }
+    if any(not r.get("identical", True) for r in records):
+        raise RuntimeError("server_campaign reported a fingerprint "
+                           "divergence")
+    return metrics
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--bench", default="build/bench/micro_sim_perf",
@@ -143,10 +191,18 @@ def main(argv=None):
                         help="where to write the distilled baseline")
     parser.add_argument("--min-time", default="0.5",
                         help="per-benchmark --benchmark_min_time")
+    parser.add_argument("--server-bench", default=None,
+                        help="path to bench/server_campaign; adds the "
+                             "oracle-server throughput metrics")
+    parser.add_argument("--server-workdir", default="server_artifacts",
+                        help="artifact dir for --server-bench")
     args = parser.parse_args(argv)
 
     raw = run_benchmark(args.bench, args.min_time)
     metrics = distil(raw)
+    if args.server_bench:
+        metrics.update(server_metrics(args.server_bench,
+                                      args.server_workdir))
 
     result = {
         "schema": SCHEMA,
