@@ -29,6 +29,23 @@
  *     remote campaign must reproduce the local uninterrupted
  *     fingerprint — chunks journaled before the crash are replayed,
  *     not re-requested.
+ *  6. endpoint failover — two forked servers behind an EndpointPool
+ *     (runner/dispatch.hh), one armed to die mid-campaign: the
+ *     campaign must COMPLETE on the survivor with the local
+ *     fingerprint at every --jobs count. Then both endpoints are
+ *     armed to die: the campaign must abort (DispatchExhausted), and
+ *     resuming against a restarted survivor — with the dead endpoint
+ *     still listed — must reproduce the fingerprint.
+ *  7. chaos proxy — one endpoint is routed through a
+ *     seed-deterministic fault-injecting relay (runner/chaos_proxy.hh:
+ *     frame corruption under the original CRC, truncation, mid-chunk
+ *     disconnects, deadline-busting delays, duplicate frames) with a
+ *     healthy direct endpoint beside it; the pool must absorb every
+ *     fault and the merged fingerprint must stay bit-identical.
+ *  8. wedged endpoint — a blackhole relay accepts connections and
+ *     forwards requests but never relays a response; the per-chunk
+ *     host deadline must detect the wedge (dispatch timeouts > 0) and
+ *     the campaign must complete on the healthy endpoint.
  *
  * Emits one BENCH JSON line per measurement, e.g.:
  *
@@ -39,9 +56,12 @@
  *
  * Flags: --items N (default 256), --chunk N (default 16), --jobs
  * LIST (default "1,4,16"), --train N (default 4), --workdir DIR
- * (default "chaos_artifacts"; journals and quarantine files are left
- * there for CI artifact upload), --quick (CI-sized matrix). Exits
- * non-zero if any scenario diverges.
+ * (default "chaos_artifacts"; journals, quarantine files and chaos
+ * proxy fault logs are left there for CI artifact upload),
+ * --scenarios LIST (comma-separated subset of kill_resume,
+ * hang_quarantine, accuracy_resume, server_kill, endpoint_failover,
+ * chaos_proxy, wedged_endpoint; default all), --quick (CI-sized
+ * matrix). Exits non-zero if any scenario diverges.
  */
 
 #include <sys/wait.h>
@@ -59,7 +79,9 @@
 
 #include "kernel/layout.hh"
 #include "runner/campaign.hh"
+#include "runner/chaos_proxy.hh"
 #include "runner/client.hh"
+#include "runner/dispatch.hh"
 #include "runner/server.hh"
 
 using namespace pacman;
@@ -77,7 +99,19 @@ struct Options
     std::vector<unsigned> jobs = {1, 4, 16};
     unsigned train = 4;
     std::string workdir = "chaos_artifacts";
+    std::vector<std::string> scenarios; //!< empty = run all
     bool quick = false;
+
+    bool
+    enabled(const char *name) const
+    {
+        if (scenarios.empty())
+            return true;
+        for (const std::string &s : scenarios)
+            if (s == name)
+                return true;
+        return false;
+    }
 };
 
 std::vector<unsigned>
@@ -113,6 +147,10 @@ usage(const char *argv0)
         "  --train N      oracle training iterations (default 4)\n"
         "  --workdir DIR  journal/quarantine artifact directory\n"
         "                 (default chaos_artifacts)\n"
+        "  --scenarios L  comma-separated subset to run (default all):\n"
+        "                 kill_resume,hang_quarantine,accuracy_resume,\n"
+        "                 server_kill,endpoint_failover,chaos_proxy,\n"
+        "                 wedged_endpoint\n"
         "  --quick        CI-sized matrix (fewer kill points/jobs)\n"
         "  --help         this text\n",
         argv0);
@@ -542,6 +580,289 @@ serverKillScenario(const Options &opt, ScenarioTally &tally)
                 identical ? "true" : "false");
 }
 
+/** Reap a forked server and report whether it exited with @p code. */
+bool
+serverExited(pid_t pid, int code)
+{
+    int status = 0;
+    waitpid(pid, &status, 0);
+    return WIFEXITED(status) && WEXITSTATUS(status) == code;
+}
+
+/** Drain the server at @p endpoint and reap it (clean exit). */
+bool
+drainServer(const std::string &endpoint, pid_t pid)
+{
+    try {
+        OracleClient closer(endpoint);
+        closer.drain();
+    } catch (const WireError &) {
+        // fall through to the reap: a dead server fails the check
+    }
+    return serverExited(pid, 0);
+}
+
+/** Scenario 6: one endpoint dies mid-campaign -> the pool completes
+ *  on the survivor; both die -> abort, then resume with the dead
+ *  endpoint still listed reproduces the fingerprint. */
+void
+endpointFailoverScenario(const Options &opt, ScenarioTally &tally)
+{
+    BruteForceCampaignConfig cfg = makeBruteForceConfig(opt, 0.0);
+    const uint64_t chunks = chunkCount(
+        uint64_t(cfg.last) - cfg.first + 1, cfg.pool.chunkSize);
+
+    cfg.pool.jobs = 1;
+    const std::string ref_fp =
+        runBruteForceCampaign(cfg).fingerprint();
+
+    const std::string sockA = opt.workdir + "/failover_a.sock";
+    const std::string sockB = opt.workdir + "/failover_b.sock";
+    DispatchConfig dcfg;
+    dcfg.endpoints = {"unix:" + sockA, "unix:" + sockB};
+    dcfg.chunkDeadlineSeconds = 10.0;
+    dcfg.busyDeadlineSeconds = 10.0;
+    dcfg.breakerThreshold = 2;
+    dcfg.probeAfterSeconds = 5.0; // the dead endpoint never returns
+
+    for (unsigned jobs : opt.jobs) {
+        // Endpoint A dies after its second chunk reply — early
+        // enough that work definitely remains for its affine workers
+        // at any --jobs count — and the campaign must complete
+        // anyway, entirely without a journal.
+        const pid_t pidA = forkServer(sockA, 2);
+        const pid_t pidB = forkServer(sockB, 0);
+        tally.check(waitForServer(dcfg.endpoints[0]) &&
+                        waitForServer(dcfg.endpoints[1]),
+                    "failover servers never came up");
+
+        cfg.pool.jobs = jobs;
+        cfg.supervision = SupervisionConfig{};
+        const auto t0 = std::chrono::steady_clock::now();
+        const BruteForceCampaignResult res =
+            runBruteForceCampaignRemote(cfg, dcfg);
+        const auto t1 = std::chrono::steady_clock::now();
+
+        const bool identical = res.fingerprint() == ref_fp;
+        tally.check(identical, "failover fingerprint diverged");
+        tally.check(res.dispatch.faults() > 0,
+                    "endpoint died but no dispatch fault recorded");
+        tally.check(res.dispatch.retries > 0,
+                    "endpoint died but nothing was redispatched");
+        tally.check(serverExited(pidA, 137),
+                    "armed endpoint did not die at its chunk reply");
+        tally.check(drainServer(dcfg.endpoints[1], pidB),
+                    "surviving endpoint exited uncleanly");
+        std::printf(
+            "endpoint failover jobs=%-2u faults=%llu retries=%llu "
+            "failovers=%llu breaker_opens=%llu  %s\n",
+            jobs, (unsigned long long)res.dispatch.faults(),
+            (unsigned long long)res.dispatch.retries,
+            (unsigned long long)res.dispatch.failovers,
+            (unsigned long long)res.dispatch.breakerOpens,
+            identical ? "identical" : "DIVERGED");
+        std::printf(
+            "BENCH {\"bench\":\"chaos_recovery\","
+            "\"scenario\":\"endpoint_failover\",\"jobs\":%u,"
+            "\"faults\":%llu,\"retries\":%llu,\"failovers\":%llu,"
+            "\"wall_s\":%.4f,\"identical\":%s}\n",
+            jobs, (unsigned long long)res.dispatch.faults(),
+            (unsigned long long)res.dispatch.retries,
+            (unsigned long long)res.dispatch.failovers,
+            std::chrono::duration<double>(t1 - t0).count(),
+            identical ? "true" : "false");
+    }
+
+    // Every endpoint dies: the campaign must abort with the retry
+    // budget spent, and a resume against a restarted B — with dead A
+    // still listed — must replay the journaled chunks and finish.
+    const std::string journal =
+        opt.workdir + "/failover_resume.journal";
+    std::remove(journal.c_str());
+    std::remove((journal + ".quarantine").c_str());
+
+    pid_t pidA = forkServer(sockA, chunks / 4 + 1);
+    pid_t pidB = forkServer(sockB, chunks / 4 + 1);
+    tally.check(waitForServer(dcfg.endpoints[0]) &&
+                    waitForServer(dcfg.endpoints[1]),
+                "armed failover servers never came up");
+    cfg.pool.jobs = opt.jobs.back();
+    cfg.supervision = SupervisionConfig{};
+    cfg.supervision.journalPath = journal;
+    dcfg.probeAfterSeconds = 0.05; // abort fast once both are gone
+    bool aborted = false;
+    std::string abort_why;
+    try {
+        runBruteForceCampaignRemote(cfg, dcfg);
+    } catch (const CampaignAborted &e) {
+        aborted = true;
+        abort_why = e.what();
+    }
+    tally.check(aborted, "campaign survived every endpoint dying");
+    tally.check(abort_why.find("dispatch-exhausted") !=
+                    std::string::npos,
+                "abort reason not classified dispatch-exhausted");
+    tally.check(serverExited(pidA, 137) && serverExited(pidB, 137),
+                "armed endpoints did not die at their chunk replies");
+
+    pidB = forkServer(sockB, 0);
+    tally.check(waitForServer(dcfg.endpoints[1]),
+                "restarted survivor never came up");
+    cfg.supervision.resume = true;
+    const BruteForceCampaignResult res =
+        runBruteForceCampaignRemote(cfg, dcfg);
+    const bool identical = res.fingerprint() == ref_fp;
+    tally.check(identical, "failover resume fingerprint diverged");
+    tally.check(res.chunksResumed > 0,
+                "all-endpoints-die left nothing to resume");
+    tally.check(drainServer(dcfg.endpoints[1], pidB),
+                "restarted survivor exited uncleanly");
+    std::printf("endpoint failover abort/resume resumed=%llu  %s\n",
+                (unsigned long long)res.chunksResumed,
+                identical ? "identical" : "DIVERGED");
+    std::printf("BENCH {\"bench\":\"chaos_recovery\","
+                "\"scenario\":\"endpoint_failover_resume\","
+                "\"jobs\":%u,\"resumed\":%llu,\"identical\":%s}\n",
+                cfg.pool.jobs,
+                (unsigned long long)res.chunksResumed,
+                identical ? "true" : "false");
+}
+
+/** Scenario 7: a fault-injecting relay in front of one endpoint with
+ *  a healthy endpoint beside it; every injected fault must be
+ *  absorbed without touching the merged fingerprint. */
+void
+chaosProxyScenario(const Options &opt, ScenarioTally &tally)
+{
+    BruteForceCampaignConfig cfg = makeBruteForceConfig(opt, 0.0);
+    cfg.pool.jobs = 1;
+    const std::string ref_fp =
+        runBruteForceCampaign(cfg).fingerprint();
+
+    const std::string sock = opt.workdir + "/proxy_upstream.sock";
+    const pid_t pid = forkServer(sock, 0);
+    tally.check(waitForServer("unix:" + sock),
+                "proxy upstream server never came up");
+
+    ChaosProxyConfig pcfg;
+    pcfg.upstream = "unix:" + sock;
+    pcfg.seed = 42;
+    pcfg.dropRate = 0.10;
+    pcfg.corruptRate = 0.15;
+    pcfg.truncateRate = 0.10;
+    pcfg.delayRate = 0.05;
+    pcfg.delaySeconds = 5.0; // must bust the 2s chunk deadline
+    pcfg.duplicateRate = 0.10;
+    pcfg.logPath = opt.workdir + "/chaos_proxy.log";
+    ChaosProxy proxy(pcfg);
+
+    DispatchConfig dcfg;
+    dcfg.endpoints = {proxy.endpoint(), "unix:" + sock};
+    dcfg.chunkDeadlineSeconds = 2.0;
+    dcfg.busyDeadlineSeconds = 10.0;
+    dcfg.probeAfterSeconds = 5.0;
+
+    for (unsigned jobs : opt.jobs) {
+        cfg.pool.jobs = jobs;
+        cfg.supervision = SupervisionConfig{};
+        const auto t0 = std::chrono::steady_clock::now();
+        const BruteForceCampaignResult res =
+            runBruteForceCampaignRemote(cfg, dcfg);
+        const auto t1 = std::chrono::steady_clock::now();
+        const bool identical = res.fingerprint() == ref_fp;
+        tally.check(identical, "chaos-proxy fingerprint diverged");
+        const ChaosProxy::Counters c = proxy.counters();
+        std::printf(
+            "chaos proxy jobs=%-2u injected=%llu (drop=%llu "
+            "corrupt=%llu truncate=%llu delay=%llu dup=%llu) "
+            "absorbed=%llu  %s\n",
+            jobs, (unsigned long long)c.faults(),
+            (unsigned long long)c.drops,
+            (unsigned long long)c.corruptions,
+            (unsigned long long)c.truncations,
+            (unsigned long long)c.delays,
+            (unsigned long long)c.duplicates,
+            (unsigned long long)res.dispatch.faults(),
+            identical ? "identical" : "DIVERGED");
+        std::printf(
+            "BENCH {\"bench\":\"chaos_recovery\","
+            "\"scenario\":\"chaos_proxy\",\"jobs\":%u,"
+            "\"injected\":%llu,\"absorbed\":%llu,\"wall_s\":%.4f,"
+            "\"identical\":%s}\n",
+            jobs, (unsigned long long)c.faults(),
+            (unsigned long long)res.dispatch.faults(),
+            std::chrono::duration<double>(t1 - t0).count(),
+            identical ? "true" : "false");
+    }
+    tally.check(proxy.counters().faults() > 0,
+                "chaos proxy injected no faults at these rates");
+
+    tally.check(drainServer("unix:" + sock, pid),
+                "proxy upstream exited uncleanly");
+}
+
+/** Scenario 8: a blackhole relay accepts and forwards requests but
+ *  never relays a response — the chunk deadline must detect the
+ *  wedge and the campaign must complete on the healthy endpoint. */
+void
+wedgedEndpointScenario(const Options &opt, ScenarioTally &tally)
+{
+    BruteForceCampaignConfig cfg = makeBruteForceConfig(opt, 0.0);
+    cfg.pool.jobs = 1;
+    const std::string ref_fp =
+        runBruteForceCampaign(cfg).fingerprint();
+
+    const std::string sock = opt.workdir + "/wedged_upstream.sock";
+    const pid_t pid = forkServer(sock, 0);
+    tally.check(waitForServer("unix:" + sock),
+                "wedged upstream server never came up");
+
+    ChaosProxyConfig pcfg;
+    pcfg.upstream = "unix:" + sock;
+    pcfg.seed = 42;
+    pcfg.blackhole = true;
+    pcfg.logPath = opt.workdir + "/wedged_proxy.log";
+    ChaosProxy black(pcfg);
+
+    DispatchConfig dcfg;
+    dcfg.endpoints = {black.endpoint(), "unix:" + sock};
+    dcfg.chunkDeadlineSeconds = 1.5;
+    dcfg.busyDeadlineSeconds = 10.0;
+    dcfg.breakerThreshold = 1;  // one wedge strike opens the breaker
+    dcfg.probeAfterSeconds = 30; // and nothing reopens it in-run
+
+    for (unsigned jobs : opt.jobs) {
+        cfg.pool.jobs = jobs;
+        cfg.supervision = SupervisionConfig{};
+        const auto t0 = std::chrono::steady_clock::now();
+        const BruteForceCampaignResult res =
+            runBruteForceCampaignRemote(cfg, dcfg);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double wall =
+            std::chrono::duration<double>(t1 - t0).count();
+        const bool identical = res.fingerprint() == ref_fp;
+        tally.check(identical, "wedged-endpoint fingerprint diverged");
+        tally.check(res.dispatch.timeouts > 0,
+                    "wedged endpoint never tripped the deadline");
+        tally.check(res.dispatch.breakerOpens > 0,
+                    "wedged endpoint never opened its breaker");
+        std::printf("wedged endpoint jobs=%-2u timeouts=%llu "
+                    "breaker_opens=%llu wall=%.2fs  %s\n",
+                    jobs, (unsigned long long)res.dispatch.timeouts,
+                    (unsigned long long)res.dispatch.breakerOpens,
+                    wall, identical ? "identical" : "DIVERGED");
+        std::printf("BENCH {\"bench\":\"chaos_recovery\","
+                    "\"scenario\":\"wedged_endpoint\",\"jobs\":%u,"
+                    "\"timeouts\":%llu,\"wall_s\":%.4f,"
+                    "\"identical\":%s}\n",
+                    jobs, (unsigned long long)res.dispatch.timeouts,
+                    wall, identical ? "true" : "false");
+    }
+
+    tally.check(drainServer("unix:" + sock, pid),
+                "wedged upstream exited uncleanly");
+}
+
 } // namespace
 
 int
@@ -559,7 +880,17 @@ main(int argc, char **argv)
             opt.train = unsigned(std::strtoul(argv[++i], nullptr, 0));
         else if (!std::strcmp(argv[i], "--workdir") && i + 1 < argc)
             opt.workdir = argv[++i];
-        else if (!std::strcmp(argv[i], "--quick"))
+        else if (!std::strcmp(argv[i], "--scenarios") && i + 1 < argc) {
+            const std::string s(argv[++i]);
+            size_t pos = 0;
+            while (pos < s.size()) {
+                size_t next = s.find(',', pos);
+                if (next == std::string::npos)
+                    next = s.size();
+                opt.scenarios.push_back(s.substr(pos, next - pos));
+                pos = next + 1;
+            }
+        } else if (!std::strcmp(argv[i], "--quick"))
             opt.quick = true;
         else if (!std::strcmp(argv[i], "--help")) {
             usage(argv[0]);
@@ -577,14 +908,38 @@ main(int argc, char **argv)
     std::filesystem::create_directories(opt.workdir, ec);
 
     ScenarioTally tally;
-    std::printf("== chaos recovery: kill/resume ==\n");
-    killResumeScenario(opt, tally);
-    std::printf("\n== chaos recovery: hang quarantine ==\n");
-    hangQuarantineScenario(opt, tally);
-    std::printf("\n== chaos recovery: accuracy resume ==\n");
-    accuracyResumeScenario(opt, tally);
-    std::printf("\n== chaos recovery: server kill ==\n");
-    serverKillScenario(opt, tally);
+    if (opt.enabled("kill_resume")) {
+        std::printf("== chaos recovery: kill/resume ==\n");
+        killResumeScenario(opt, tally);
+    }
+    if (opt.enabled("hang_quarantine")) {
+        std::printf("\n== chaos recovery: hang quarantine ==\n");
+        hangQuarantineScenario(opt, tally);
+    }
+    if (opt.enabled("accuracy_resume")) {
+        std::printf("\n== chaos recovery: accuracy resume ==\n");
+        accuracyResumeScenario(opt, tally);
+    }
+    if (opt.enabled("server_kill")) {
+        std::printf("\n== chaos recovery: server kill ==\n");
+        serverKillScenario(opt, tally);
+    }
+    if (opt.enabled("endpoint_failover")) {
+        std::printf("\n== chaos recovery: endpoint failover ==\n");
+        endpointFailoverScenario(opt, tally);
+    }
+    if (opt.enabled("chaos_proxy")) {
+        std::printf("\n== chaos recovery: chaos proxy ==\n");
+        chaosProxyScenario(opt, tally);
+    }
+    if (opt.enabled("wedged_endpoint")) {
+        std::printf("\n== chaos recovery: wedged endpoint ==\n");
+        wedgedEndpointScenario(opt, tally);
+    }
+    if (tally.run == 0) {
+        std::fprintf(stderr, "no scenario matched --scenarios\n");
+        return 2;
+    }
 
     std::printf("\n%u checks, %u failed; artifacts in %s\n",
                 tally.run, tally.failed, opt.workdir.c_str());

@@ -6,6 +6,7 @@
  *
  *   $ ./example_pac_oracle_demo [--jobs N] [--no-snapshot]
  *                               [--server ENDPOINT]
+ *                               [--endpoints A,B,...]
  *
  * --jobs N runs the closing brute-force demo on the deterministic
  * parallel campaign runner with N worker threads (default 1). The
@@ -15,17 +16,22 @@
  * --server ENDPOINT additionally dispatches the campaign's chunks to
  * a running pacman-oracled (e.g. unix:/tmp/oracled.sock) and checks
  * the remote fingerprint against the in-process one.
+ * --endpoints A,B,... does the same over several daemons with
+ * health-tracked failover (runner/dispatch.hh): endpoints may die or
+ * wedge mid-campaign and the fingerprint still matches.
  */
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "attack/bruteforce.hh"
 #include "attack/oracle.hh"
 #include "kernel/layout.hh"
 #include "runner/campaign.hh"
 #include "runner/client.hh"
+#include "runner/dispatch.hh"
 
 using namespace pacman;
 using namespace pacman::attack;
@@ -81,7 +87,7 @@ usage(const char *prog)
 {
     std::printf(
         "usage: %s [--jobs N] [--no-snapshot] [--server ENDPOINT]\n"
-        "          [--help]\n"
+        "          [--endpoints A,B,...] [--help]\n"
         "\n"
         "  --jobs N       run the closing brute-force demo on the\n"
         "                 parallel campaign runner with N worker\n"
@@ -90,9 +96,16 @@ usage(const char *prog)
         "                 scratch instead of restoring a checkpoint\n"
         "                 (equivalent to PACMAN_DISABLE_SNAPSHOT=1).\n"
         "  --server E     also dispatch the campaign to a running\n"
-        "                 pacman-oracled at E (unix:PATH or\n"
-        "                 tcp:HOST:PORT) and verify the remote\n"
-        "                 fingerprint matches the in-process one.\n"
+        "                 pacman-oracled at E (unix:PATH,\n"
+        "                 tcp:HOST:PORT or tcp:[V6]:PORT) and verify\n"
+        "                 the remote fingerprint matches the\n"
+        "                 in-process one.\n"
+        "  --endpoints L  like --server, but spread the chunks over a\n"
+        "                 comma-separated list of endpoints with\n"
+        "                 health-tracked failover (runner/dispatch.hh):\n"
+        "                 chunks on a dead or wedged endpoint are\n"
+        "                 redispatched to the survivors, and the\n"
+        "                 merged fingerprint still matches.\n"
         "  --help         show this message.\n"
         "\n"
         "The campaign splits the guess range into fixed-size chunks\n"
@@ -116,6 +129,7 @@ main(int argc, char **argv)
     unsigned jobs = 1;
     bool snapshot = runner::snapshotReplicasDefault();
     std::string server;
+    std::vector<std::string> endpoints;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
             jobs = unsigned(std::strtoul(argv[++i], nullptr, 0));
@@ -123,6 +137,18 @@ main(int argc, char **argv)
             snapshot = false;
         } else if (!std::strcmp(argv[i], "--server") && i + 1 < argc) {
             server = argv[++i];
+        } else if (!std::strcmp(argv[i], "--endpoints") &&
+                   i + 1 < argc) {
+            const std::string list = argv[++i];
+            size_t pos = 0;
+            while (pos < list.size()) {
+                size_t next = list.find(',', pos);
+                if (next == std::string::npos)
+                    next = list.size();
+                if (next > pos)
+                    endpoints.push_back(list.substr(pos, next - pos));
+                pos = next + 1;
+            }
         } else if (!std::strcmp(argv[i], "--help")) {
             usage(argv[0]);
             return 0;
@@ -176,16 +202,24 @@ main(int argc, char **argv)
                     "false negatives are retryable)\n");
     }
 
-    // Client mode: the same campaign, chunk execution delegated to a
-    // pacman-oracled over the wire. The merged output must be
+    // Client mode: the same campaign, chunk execution delegated to
+    // pacman-oracled over the wire — one endpoint (--server) or a
+    // failover pool (--endpoints). The merged output must be
     // byte-identical — the server runs the same chunk codec against
-    // a replica provisioned from the bit-exact decoded config.
-    if (!server.empty()) {
-        std::printf("\n--- remote campaign via %s ---\n",
-                    server.c_str());
+    // a replica provisioned from the bit-exact decoded config, and
+    // which endpoint served a chunk never changes its payload.
+    if (!server.empty() || !endpoints.empty()) {
+        if (!server.empty())
+            endpoints.insert(endpoints.begin(), server);
+        std::printf("\n--- remote campaign via %zu endpoint%s ---\n",
+                    endpoints.size(),
+                    endpoints.size() == 1 ? "" : "s");
         try {
+            runner::DispatchConfig dcfg;
+            dcfg.endpoints = endpoints;
+            dcfg.chunkDeadlineSeconds = 30;
             const auto remote =
-                runner::runBruteForceCampaignRemote(cfg, server);
+                runner::runBruteForceCampaignRemote(cfg, dcfg);
             const bool identical =
                 remote.fingerprint() == campaign.fingerprint();
             if (remote.stats.found) {
@@ -193,6 +227,15 @@ main(int argc, char **argv)
                             *remote.stats.found,
                             *remote.stats.found == truth ? "MATCH"
                                                          : "MISMATCH");
+            }
+            if (remote.dispatch.faults() > 0) {
+                std::printf(
+                    "survived %llu endpoint fault%s (%llu chunk%s "
+                    "redispatched)\n",
+                    (unsigned long long)remote.dispatch.faults(),
+                    remote.dispatch.faults() == 1 ? "" : "s",
+                    (unsigned long long)remote.dispatch.retries,
+                    remote.dispatch.retries == 1 ? "" : "s");
             }
             std::printf("remote fingerprint %s the in-process one\n",
                         identical ? "IDENTICAL to"

@@ -16,6 +16,9 @@ workerFaultName(WorkerFaultKind kind)
       case WorkerFaultKind::ReplicaCorrupt: return "replica-corrupt";
       case WorkerFaultKind::TransientFault: return "transient-fault";
       case WorkerFaultKind::PoisonedItem: return "poisoned-item";
+      case WorkerFaultKind::EndpointDown: return "endpoint-down";
+      case WorkerFaultKind::DispatchExhausted:
+        return "dispatch-exhausted";
     }
     return "unknown";
 }
@@ -26,7 +29,8 @@ parseWorkerFault(const std::string &name)
     for (WorkerFaultKind kind :
          {WorkerFaultKind::Hang, WorkerFaultKind::ReplicaCorrupt,
           WorkerFaultKind::TransientFault,
-          WorkerFaultKind::PoisonedItem}) {
+          WorkerFaultKind::PoisonedItem, WorkerFaultKind::EndpointDown,
+          WorkerFaultKind::DispatchExhausted}) {
         if (name == workerFaultName(kind))
             return kind;
     }

@@ -38,6 +38,8 @@ enum class WorkerFaultKind : uint8_t
     ReplicaCorrupt, //!< state fingerprint diverged from provisioning
     TransientFault, //!< cleared by a restore-and-retry
     PoisonedItem,   //!< fails even on a fresh replica; quarantined
+    EndpointDown,   //!< one dispatch endpoint unreachable/timed out
+    DispatchExhausted, //!< every endpoint and retry budget spent
 };
 
 /** Stable lower-case name (used in journals/quarantine files). */
@@ -107,6 +109,46 @@ struct RecoveryStats
         reprovisions += other.reprovisions;
         fingerprintChecks += other.fingerprintChecks;
         quarantines += other.quarantines;
+    }
+};
+
+/**
+ * Remote-dispatch counters: how many chunks travelled, how often the
+ * dispatcher had to fail over to another endpoint, and why. Purely
+ * operational — which endpoint served a chunk is a wall-clock
+ * accident, so none of these are ever part of a campaign fingerprint
+ * (the chunk payloads themselves are endpoint-independent).
+ */
+struct DispatchStats
+{
+    uint64_t dispatched = 0;    //!< chunks served successfully
+    uint64_t retries = 0;       //!< redispatch attempts after failure
+    uint64_t failovers = 0;     //!< chunks completed on a non-first endpoint
+    uint64_t timeouts = 0;      //!< attempts abandoned by the host deadline
+    uint64_t wireErrors = 0;    //!< torn/corrupt connections
+    uint64_t busyExhaustions = 0; //!< BUSY backoff budgets spent
+    uint64_t breakerOpens = 0;  //!< circuit breakers tripped open
+    uint64_t probes = 0;        //!< half-open PING probes sent
+    uint64_t probeFailures = 0; //!< probes that kept a breaker open
+
+    uint64_t
+    faults() const
+    {
+        return timeouts + wireErrors + busyExhaustions;
+    }
+
+    void
+    merge(const DispatchStats &other)
+    {
+        dispatched += other.dispatched;
+        retries += other.retries;
+        failovers += other.failovers;
+        timeouts += other.timeouts;
+        wireErrors += other.wireErrors;
+        busyExhaustions += other.busyExhaustions;
+        breakerOpens += other.breakerOpens;
+        probes += other.probes;
+        probeFailures += other.probeFailures;
     }
 };
 

@@ -98,6 +98,12 @@ struct BruteForceCampaignResult
      *  and a resumed run skips recovered chunks entirely. */
     RecoveryStats recovery;
 
+    /** Endpoint failover counters for remote campaigns (dispatch.hh);
+     *  all-zero for local runs. NOT part of the fingerprint: which
+     *  endpoint served a chunk is a wall-clock accident that never
+     *  changes the payload. */
+    DispatchStats dispatch;
+
     unsigned jobs = 0;
     uint64_t chunksRun = 0;
     uint64_t chunksSkipped = 0;
@@ -202,6 +208,10 @@ struct AccuracyCampaignResult
 
     /** Summed recovery-ladder counters; not in the fingerprint. */
     RecoveryStats recovery;
+
+    /** Endpoint failover counters for remote campaigns (dispatch.hh);
+     *  all-zero for local runs, never in the fingerprint. */
+    DispatchStats dispatch;
 
     unsigned jobs = 0;
 

@@ -1,9 +1,14 @@
 #include "protocol.hh"
 
+#include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <bit>
 #include <cerrno>
+#include <chrono>
+#include <cstdint>
 #include <cstring>
 #include <sstream>
 
@@ -17,7 +22,7 @@ namespace
 {
 
 constexpr char FrameMagic[4] = {'P', 'A', 'C', '1'};
-constexpr size_t HeaderBytes = 12;
+constexpr size_t HeaderBytes = FrameHeaderBytes;
 
 void
 putU32(char *p, uint32_t v)
@@ -33,46 +38,6 @@ getU32(const char *p)
 {
     return uint32_t(uint8_t(p[0])) | uint32_t(uint8_t(p[1])) << 8 |
            uint32_t(uint8_t(p[2])) << 16 | uint32_t(uint8_t(p[3])) << 24;
-}
-
-void
-writeAll(int fd, const char *data, size_t len)
-{
-    size_t off = 0;
-    while (off < len) {
-        const ssize_t n = ::write(fd, data + off, len - off);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            throw WireError(strprintf("wire write failed: %s",
-                                      std::strerror(errno)));
-        }
-        off += size_t(n);
-    }
-}
-
-/** Read exactly @p len bytes. Returns false on EOF before the first
- *  byte; throws on EOF mid-read or I/O error. */
-bool
-readAll(int fd, char *data, size_t len)
-{
-    size_t off = 0;
-    while (off < len) {
-        const ssize_t n = ::read(fd, data + off, len - off);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            throw WireError(strprintf("wire read failed: %s",
-                                      std::strerror(errno)));
-        }
-        if (n == 0) {
-            if (off == 0)
-                return false;
-            throw WireError("wire read: EOF mid-frame");
-        }
-        off += size_t(n);
-    }
-    return true;
 }
 
 std::string
@@ -111,6 +76,99 @@ parseHex64(std::istringstream &in, uint64_t &v)
 } // anonymous namespace
 
 void
+writeBytes(int fd, const char *data, size_t len)
+{
+    // Sockets get MSG_NOSIGNAL so a torn peer raises EPIPE instead of
+    // SIGPIPE — a library call must not depend on (or mutate) the
+    // process's global signal disposition. Pipes reject the flag with
+    // ENOTSOCK, so fall back to plain write(2) for them.
+    bool is_socket = true;
+    size_t off = 0;
+    while (off < len) {
+        const ssize_t n =
+            is_socket ? ::send(fd, data + off, len - off, MSG_NOSIGNAL)
+                      : ::write(fd, data + off, len - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (is_socket && errno == ENOTSOCK) {
+                is_socket = false;
+                continue;
+            }
+            throw WireError(strprintf("wire write failed: %s",
+                                      std::strerror(errno)));
+        }
+        off += size_t(n);
+    }
+}
+
+bool
+readBytes(int fd, char *data, size_t len, double deadline_seconds)
+{
+    using Clock = std::chrono::steady_clock;
+    const bool timed = deadline_seconds > 0;
+    const Clock::time_point deadline =
+        timed ? Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(
+                                       deadline_seconds))
+              : Clock::time_point{};
+    size_t off = 0;
+    while (off < len) {
+        if (timed) {
+            const auto remaining = deadline - Clock::now();
+            const auto remaining_ms =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    remaining)
+                    .count();
+            pollfd pfd{fd, POLLIN, 0};
+            const int rc =
+                ::poll(&pfd, 1,
+                       int(remaining_ms < 0
+                               ? 0
+                               : std::min<long long>(remaining_ms,
+                                                     INT32_MAX)));
+            if (rc < 0) {
+                if (errno == EINTR)
+                    continue;
+                throw WireError(strprintf("wire poll failed: %s",
+                                          std::strerror(errno)));
+            }
+            if (rc == 0) {
+                throw WireTimeout(strprintf(
+                    "wire read timed out after %.3fs (%zu/%zu bytes)",
+                    deadline_seconds, off, len));
+            }
+        }
+        const ssize_t n = ::read(fd, data + off, len - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw WireError(strprintf("wire read failed: %s",
+                                      std::strerror(errno)));
+        }
+        if (n == 0) {
+            if (off == 0)
+                return false;
+            throw WireError("wire read: EOF mid-frame");
+        }
+        off += size_t(n);
+    }
+    return true;
+}
+
+uint32_t
+parseFrameHeader(const char header[FrameHeaderBytes])
+{
+    if (std::memcmp(header, FrameMagic, 4) != 0)
+        throw WireError("wire frame: bad magic");
+    const uint32_t len = getU32(header + 4);
+    if (len > MaxFrameBytes)
+        throw WireError(
+            strprintf("wire frame: oversize payload (%u bytes)", len));
+    return len;
+}
+
+void
 writeFrame(int fd, std::string_view payload)
 {
     if (payload.size() > MaxFrameBytes)
@@ -127,24 +185,31 @@ writeFrame(int fd, std::string_view payload)
     frame.reserve(HeaderBytes + payload.size());
     frame.append(header, HeaderBytes);
     frame.append(payload);
-    writeAll(fd, frame.data(), frame.size());
+    writeBytes(fd, frame.data(), frame.size());
 }
 
 std::optional<std::string>
-readFrame(int fd)
+readFrame(int fd, double deadline_seconds)
 {
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point start = Clock::now();
     char header[HeaderBytes];
-    if (!readAll(fd, header, HeaderBytes))
+    if (!readBytes(fd, header, HeaderBytes, deadline_seconds))
         return std::nullopt;
-    if (std::memcmp(header, FrameMagic, 4) != 0)
-        throw WireError("wire frame: bad magic");
-    const uint32_t len = getU32(header + 4);
+    const uint32_t len = parseFrameHeader(header);
     const uint32_t crc = getU32(header + 8);
-    if (len > MaxFrameBytes)
-        throw WireError(
-            strprintf("wire frame: oversize payload (%u bytes)", len));
+    // The payload shares the frame's deadline: whatever of it the
+    // header read left over (never negative — a tiny positive floor
+    // keeps an exactly-expired deadline from reading forever).
+    double remaining = 0;
+    if (deadline_seconds > 0) {
+        remaining = deadline_seconds -
+                    std::chrono::duration<double>(Clock::now() - start)
+                        .count();
+        remaining = std::max(remaining, 1e-3);
+    }
     std::string payload(len, '\0');
-    if (len != 0 && !readAll(fd, payload.data(), len))
+    if (len != 0 && !readBytes(fd, payload.data(), len, remaining))
         throw WireError("wire frame: EOF mid-payload");
     if (Journal::crc32(payload) != crc)
         throw WireError("wire frame: CRC mismatch");

@@ -50,11 +50,48 @@ struct WireError : std::runtime_error
     using std::runtime_error::runtime_error;
 };
 
+/**
+ * A read deadline expired before a whole frame arrived. The stream
+ * may now be mid-frame (desynchronised), so the only safe recovery
+ * is to close the connection and reconnect — OracleClient does this
+ * automatically before letting the error propagate.
+ */
+struct WireTimeout : WireError
+{
+    using WireError::WireError;
+};
+
 /** Frame payloads above this are rejected as desynchronisation. */
 constexpr uint32_t MaxFrameBytes = 64u << 20;
 
+/** Transport frame header size: magic + length + CRC32. */
+constexpr size_t FrameHeaderBytes = 12;
+
 /** Version line every config payload must lead with. */
 constexpr const char *WireVersion = "pacman-oracle-wire-v1";
+
+/**
+ * Write @p len raw bytes (EINTR-retried, whole buffer). Sockets are
+ * written with send(MSG_NOSIGNAL) so a torn peer surfaces as a
+ * WireError (EPIPE) without the caller having to ignore SIGPIPE
+ * process-wide; non-socket fds (pipes in tests) fall back to
+ * write(2), where the caller owns the SIGPIPE disposition.
+ */
+void writeBytes(int fd, const char *data, size_t len);
+
+/** Read exactly @p len raw bytes. Returns false on EOF before the
+ *  first byte; throws WireError on EOF mid-read or I/O failure.
+ *  @p deadline_seconds > 0 bounds the whole read (poll-based) and
+ *  throws WireTimeout on expiry; <= 0 blocks indefinitely. */
+bool readBytes(int fd, char *data, size_t len,
+               double deadline_seconds = 0);
+
+/**
+ * Validate a raw frame header (magic, length bound) and return the
+ * payload length it announces. Throws WireError on bad magic or an
+ * oversize length. Used by relays that forward frames verbatim.
+ */
+uint32_t parseFrameHeader(const char header[FrameHeaderBytes]);
 
 /**
  * Write one frame to @p fd (blocking, EINTR-retried, whole frame).
@@ -65,9 +102,12 @@ void writeFrame(int fd, std::string_view payload);
 /**
  * Read one frame from @p fd. Returns nullopt on a clean EOF at a
  * frame boundary (peer closed); throws WireError on mid-frame EOF,
- * bad magic, oversize length, or CRC mismatch.
+ * bad magic, oversize length, or CRC mismatch. With
+ * @p deadline_seconds > 0 the whole frame must arrive within the
+ * deadline or WireTimeout is thrown (see WireTimeout on recovery).
  */
-std::optional<std::string> readFrame(int fd);
+std::optional<std::string> readFrame(int fd,
+                                     double deadline_seconds = 0);
 
 /** One request or response (the text inside a frame). */
 struct WireMessage

@@ -191,7 +191,10 @@ OracleServer::Impl::readerLoop(std::shared_ptr<Connection> conn)
             }
             const std::string &verb = msg->verb;
             if (verb == "PING") {
-                reply(conn, msg->id, "OK");
+                // Health probes read the args: a draining server is
+                // alive but not dispatchable (dispatch.hh breakers).
+                reply(conn, msg->id, "OK",
+                      draining.load() ? "draining" : "ready");
             } else if (verb == "HELLO") {
                 std::istringstream in(msg->args);
                 std::string name, secret_word;

@@ -27,7 +27,9 @@ TEST(Supervision, WorkerFaultNamesRoundTrip)
     for (WorkerFaultKind kind :
          {WorkerFaultKind::Hang, WorkerFaultKind::ReplicaCorrupt,
           WorkerFaultKind::TransientFault,
-          WorkerFaultKind::PoisonedItem}) {
+          WorkerFaultKind::PoisonedItem,
+          WorkerFaultKind::EndpointDown,
+          WorkerFaultKind::DispatchExhausted}) {
         const std::string name = workerFaultName(kind);
         EXPECT_FALSE(name.empty());
         const auto parsed = parseWorkerFault(name);
