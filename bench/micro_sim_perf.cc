@@ -7,15 +7,21 @@
  *
  * The end-to-end benchmarks double as the perf-regression harness's
  * data source: tools/perf_smoke.py runs this binary with
- * --benchmark_format=json and distils the result into BENCH_PR5.json
+ * --benchmark_format=json and distils the result into BENCH_PR9.json
  * (guest MIPS, oracle queries/sec, Figure-8-subset wall clock), which
  * tools/perf_compare.py diffs across commits.
  *
- * The Figure-8 training-loop benchmark is registered twice: arg 1 is
- * the default fast configuration (decode cache + PhysMem frame
- * table), arg 0 is the slow reference path (both disabled at runtime,
- * as in a PACMAN_DISABLE_FASTPATH build) — so the fast-vs-slow
- * speedup claim is measurable from one binary.
+ * The Figure-8 training-loop benchmark is registered three times:
+ * arg 2 is the default fast configuration (superblocks + decode cache
+ * + PhysMem frame table), arg 1 drops the superblock engine (the
+ * decode-cache-only configuration of earlier baselines), and arg 0 is
+ * the slow reference path (everything disabled at runtime, as in a
+ * PACMAN_DISABLE_FASTPATH build) — so both the end-to-end fast-vs-slow
+ * speedup and the superblock engine's own contribution are measurable
+ * from one binary. All three run a pinned iteration count so the
+ * speedup ratios compare identical workloads (time-budgeted runs gave
+ * the slow path far fewer iterations, letting per-run fixed costs
+ * skew the ratio).
  */
 
 #include <benchmark/benchmark.h>
@@ -34,13 +40,19 @@ using namespace pacman::kernel;
 namespace
 {
 
-/** Machine configuration with the fast paths toggled at runtime. */
+/**
+ * Machine configuration at one of three fast-path levels:
+ * 0 = slow reference (no decode cache, no superblocks, no frame
+ *     table), 1 = decode cache + frame table, 2 = level 1 plus the
+ *     superblock threaded-dispatch engine (the shipped default).
+ */
 MachineConfig
-machineConfig(bool fast)
+machineConfig(int level)
 {
     MachineConfig cfg = defaultMachineConfig();
-    cfg.core.decodeCache = fast;
-    cfg.hier.fastMem = fast;
+    cfg.core.decodeCache = level >= 1;
+    cfg.hier.fastMem = level >= 1;
+    cfg.core.superblocks = level >= 2;
     return cfg;
 }
 
@@ -116,30 +128,38 @@ BENCHMARK(BM_OracleQuery);
  * The Figure-8 training-loop workload with the paper's 64 training
  * iterations per query — the loop shape every paper-scale campaign
  * spends its time in. One iteration = one full oracle query.
- * Arg: 1 = fast paths (default build), 0 = slow reference paths.
+ * Arg: fast-path level (see machineConfig); 2 is the shipped default.
+ *
+ * The iteration count is pinned (not time-budgeted) so every level
+ * measures the exact same query sequence and the speedup ratios
+ * divide like for like.
  */
 void
 BM_Fig8TrainingLoop(benchmark::State &state)
 {
-    const bool fast = state.range(0) != 0;
+    const int level = int(state.range(0));
     const bool prev_memo = crypto::pacMemoEnabled();
-    crypto::setPacMemoEnabled(fast);
-    Machine machine(machineConfig(fast));
+    crypto::setPacMemoEnabled(level >= 1);
+    Machine machine(machineConfig(level));
     attack::AttackerProcess proc(machine);
     attack::PacOracle oracle(proc, fig8OracleConfig());
     oracle.setTarget(BenignDataBase + 37 * isa::PageSize, 0x6D0D);
 
     // Warm up (first query pays all compulsory misses), then exclude
     // it from the instruction-rate accounting via the resettable
-    // stats the benches exist to exercise.
+    // stats the benches exist to exercise. The superblock counters
+    // are monotonic (never reset, never restored), so the measured
+    // region is taken as a delta instead.
     benchmark::DoNotOptimize(oracle.probeMisses(0));
     machine.core().resetStats();
+    const cpu::SuperblockStats sb0 = machine.core().superblockStats();
 
     uint16_t guess = 0;
     for (auto _ : state)
         benchmark::DoNotOptimize(oracle.probeMisses(guess++));
 
     const cpu::CoreStats &cs = machine.core().stats();
+    const cpu::SuperblockStats &sb1 = machine.core().superblockStats();
     state.counters["guest_insts"] = benchmark::Counter(
         double(cs.instsRetired), benchmark::Counter::kIsRate);
     state.counters["queries_per_sec"] = benchmark::Counter(
@@ -149,9 +169,27 @@ BM_Fig8TrainingLoop(benchmark::State &state)
     state.counters["decode_hit_rate"] =
         decode_total > 0.0 ? double(cs.icacheDecodeHits) / decode_total
                            : 0.0;
+    // Superblock engine telemetry (all zero below level 2): the rate
+    // of instructions retired via threaded dispatch, the dispatch hit
+    // rate (cached-block entries over all block entries), and the
+    // stale-generation/epoch invalidation count in the measured
+    // region.
+    state.counters["sb_insts"] = benchmark::Counter(
+        double(sb1.blockInsts - sb0.blockInsts),
+        benchmark::Counter::kIsRate);
+    const double sb_entries =
+        double((sb1.blockHits - sb0.blockHits) +
+               (sb1.blocksBuilt - sb0.blocksBuilt));
+    state.counters["sb_hit_rate"] =
+        sb_entries > 0.0
+            ? double(sb1.blockHits - sb0.blockHits) / sb_entries
+            : 0.0;
+    state.counters["sb_invalidations"] =
+        double(sb1.invalidations - sb0.invalidations);
     crypto::setPacMemoEnabled(prev_memo);
 }
-BENCHMARK(BM_Fig8TrainingLoop)->Arg(1)->Arg(0);
+BENCHMARK(BM_Fig8TrainingLoop)
+    ->Arg(2)->Arg(1)->Arg(0)->Iterations(1024);
 
 /**
  * End-to-end wall clock of a Figure-8 subset: per benchmark

@@ -99,6 +99,25 @@ struct CoreConfig
     bool decodeCache = true;
 #endif
 
+    /**
+     * Execute straight-line runs of committed instructions as cached
+     * superblocks via a threaded dispatch loop that skips the
+     * per-instruction fetch/decode machinery while replaying its
+     * exact microarchitectural side effects (see cpu/superblock.hh).
+     * Architectural state, cycle counts and cache/TLB counters are
+     * bit-identical either way; independent of decodeCache (either
+     * toggles alone). Defaults off in PACMAN_DISABLE_FASTPATH builds
+     * so the sanitizer/reference CI legs run the plain interpreter.
+     */
+#ifdef PACMAN_DISABLE_FASTPATH
+    bool superblocks = false;
+#else
+    bool superblocks = true;
+#endif
+
+    /** Longest superblock, in instructions. */
+    unsigned superblockMaxOps = 64;
+
     // --- Timers ---
     uint64_t cpuFreqHz = 3'200'000'000; //!< nominal core clock
     uint64_t cntFreqHz = 24'000'000;    //!< CNTPCT (Table 1: 24 MHz)

@@ -320,13 +320,18 @@ Core::restore(const Snapshot &snap)
     predictor_.restore(snap.predictor);
     btb_.restore(snap.btb);
     stats_ = snap.stats;
-    // The decode cache deliberately survives the rewind (it is pure
-    // host-side memoization with no architectural or timing effect,
-    // and re-decoding all guest code per restore would dominate the
-    // restore-per-item fast path). This is safe because entries are
-    // PA-keyed and validated against page write generations, and
-    // PhysMem::restore relabels rewound pages with never-reused
-    // generation values — a stale entry can never re-validate.
+    // The decode cache and superblock cache deliberately survive the
+    // rewind (pure host-side memoization with no architectural or
+    // timing effect; re-decoding/re-discovering all guest code per
+    // restore would dominate the restore-per-item fast path). This is
+    // safe because entries are PA-keyed and validated against page
+    // write generations, and every generation label is permanently
+    // bound to exactly one byte image — PhysMem::restore rewinds a
+    // dirtied page to the captured label along with the captured
+    // bytes, so a generation match always implies identical bytes and
+    // a stale entry can never re-validate. sbStats_ is likewise
+    // untouched: it is monotonic telemetry, not run state (see
+    // SuperblockStats).
 }
 
 void
@@ -348,19 +353,30 @@ Core::fetch(Addr pc, bool speculative)
     }
     out.fetchLatency = res.latency;
 
+    // PA + page write generation for the fast-path caches (decoded-
+    // instruction cache here, superblock dispatch in run()). Device
+    // pages are never executable, so res.isDevice cannot be set here;
+    // the check keeps the value path honest regardless.
+    const bool cacheable =
+        (cfg_.decodeCache || cfg_.superblocks) && !res.isDevice;
+    uint64_t page_gen = 0;
+    if (cacheable) {
+        page_gen = mem_->phys().pageGen(res.pa);
+        out.hasPa = true;
+        out.pa = res.pa;
+        out.pageGen = page_gen;
+    }
+
     // Decoded-instruction cache: consulted strictly after the
     // architectural access() above, so hierarchy state and latency
     // are identical whether it hits, misses, or is disabled. A hit
     // skips only the (state-free) value load and isa::decode.
-    // Device pages are never executable, so res.isDevice cannot be
-    // set here; the check keeps the value path honest regardless.
-    const bool cacheable = cfg_.decodeCache && !res.isDevice;
-    uint64_t page_gen = 0;
-    if (cacheable) {
+    const bool memoize = cfg_.decodeCache && cacheable;
+    if (memoize) {
         decodeCache_.syncEpoch(mem_->fetchEpoch());
-        page_gen = mem_->phys().pageGen(res.pa);
         if (const auto *hit = decodeCache_.lookup(res.pa, page_gen)) {
             ++stats_.icacheDecodeHits;
+            ++sbStats_.decodeHits;
             if (hit->undefined) {
                 out.undefined = true;
                 out.word = hit->word;
@@ -371,18 +387,19 @@ Core::fetch(Addr pc, bool speculative)
             return out;
         }
         ++stats_.icacheDecodeMisses;
+        ++sbStats_.decodeMisses;
     }
 
     const uint32_t word = uint32_t(mem_->loadValue(res, pc, 4));
     const auto inst = isa::decode(word);
     if (!inst) {
-        if (cacheable)
+        if (memoize)
             decodeCache_.insertUndefined(res.pa, page_gen, word);
         out.undefined = true;
         out.word = word;
         return out;
     }
-    if (cacheable)
+    if (memoize)
         decodeCache_.insert(res.pa, page_gen, *inst);
     out.ok = true;
     out.inst = *inst;
@@ -402,6 +419,151 @@ Core::archFault(mem::Fault fault, Addr addr, const char *what)
         fault == mem::Fault::Permission ? "permission" : "translation",
         el_);
     return status;
+}
+
+void
+Core::execAlu(const Inst &inst)
+{
+    uint64_t src_ready = cycle_ + 1;
+    if (isa::readsRn(inst))
+        src_ready = std::max(src_ready, ready_[inst.rn]);
+    if (isa::readsRm(inst))
+        src_ready = std::max(src_ready, ready_[inst.rm]);
+    if (isa::readsRdAsSource(inst))
+        src_ready = std::max(src_ready, ready_[inst.rd]);
+    const AluOut out = aluExec(inst, regs_[inst.rd],
+                               regs_[inst.rn], regs_[inst.rm]);
+    const uint64_t lat =
+        inst.op == Opcode::MUL ? cfg_.mulLat : cfg_.aluLat;
+    const uint64_t done = src_ready + lat;
+    if (out.writes) {
+        regs_[inst.rd] = out.value;
+        ready_[inst.rd] = done;
+    }
+    if (out.setsFlags) {
+        flags_ = out.flags;
+        flagsReady_ = done;
+    }
+    lastCompletion_ = std::max(lastCompletion_, done);
+}
+
+bool
+Core::execMem(const Inst &inst, ExitStatus *status)
+{
+    const bool is_load = isa::instClass(inst.op) == InstClass::Load;
+    uint64_t issue = cycle_ + 1;
+    issue = std::max(issue, ready_[inst.rn]);
+    if (regOffset(inst.op))
+        issue = std::max(issue, ready_[inst.rm]);
+    if (!is_load)
+        issue = std::max(issue, ready_[inst.rd]);
+    const Addr va = regs_[inst.rn] +
+                    (regOffset(inst.op) ? regs_[inst.rm]
+                                        : uint64_t(inst.imm));
+    const auto res = mem_->access(
+        is_load ? mem::AccessKind::Load : mem::AccessKind::Store,
+        va, el_, false);
+    if (res.fault != mem::Fault::None) {
+        *status = archFault(res.fault, va,
+                            is_load ? "data abort on load"
+                                    : "data abort on store");
+        return false;
+    }
+    const unsigned size = memSize(inst.op);
+    const uint64_t done = issue + res.latency;
+    if (is_load) {
+        regs_[inst.rd] = mem_->loadValue(res, va, size);
+        ready_[inst.rd] = done;
+    } else {
+        mem_->storeValue(res, va, regs_[inst.rd], size);
+    }
+    lastCompletion_ = std::max(lastCompletion_, done);
+    return true;
+}
+
+bool
+Core::execPac(const Inst &inst, ExitStatus *status)
+{
+    const uint64_t ptr = regs_[inst.rd];
+    uint64_t issue = std::max(cycle_ + 1, ready_[inst.rd]);
+    uint64_t value;
+    if (inst.op == Opcode::XPAC) {
+        value = isa::stripPac(ptr);
+    } else {
+        issue = std::max(issue, ready_[inst.rn]);
+        const auto key = pacKey(isa::pacKeyOf(inst.op));
+        const uint64_t mod = regs_[inst.rn];
+        value = isa::isPacSign(inst.op)
+                    ? isa::signPointer(ptr, mod, key)
+                    : isa::authPointer(ptr, mod, key);
+    }
+    // ARMv8.6 FPAC: authentication failure faults at the aut
+    // itself rather than poisoning the pointer.
+    if (cfg_.fpac && isa::isPacAuth(inst.op) &&
+        !isa::isCanonical(value)) {
+        *status = archFault(mem::Fault::Permission, ptr,
+                            "FPAC authentication failure");
+        return false;
+    }
+    const uint64_t done = issue + cfg_.pacLat;
+    regs_[inst.rd] = value;
+    ready_[inst.rd] = done;
+    lastCompletion_ = std::max(lastCompletion_, done);
+    if (cfg_.autFence && isa::isPacAuth(inst.op)) {
+        // PAC-agnostic execution: implicit ISB after aut.
+        serialize(cfg_.isbDrain);
+    }
+    return true;
+}
+
+Addr
+Core::execBranchDirect(const Inst &inst)
+{
+    ++stats_.branches;
+    if (inst.op == Opcode::BL) {
+        regs_[isa::LR] = pc_ + isa::InstBytes;
+        ready_[isa::LR] = cycle_ + 1;
+    }
+    return pc_ + uint64_t(inst.imm);
+}
+
+bool
+Core::execMrs(const Inst &inst, ExitStatus *status)
+{
+    const uint64_t issue = cycle_ + 1;
+    bool undef = false;
+    const uint64_t value = sysregRead(inst.sysreg, issue, &undef);
+    if (undef) {
+        status->kind =
+            el_ == 0 ? ExitKind::CrashEl0 : ExitKind::KernelPanic;
+        status->pc = pc_;
+        status->reason = strprintf(
+            "undefined MRS of %s at EL%u (pc=0x%llx)",
+            isa::sysRegName(inst.sysreg).c_str(), el_,
+            (unsigned long long)pc_);
+        return false;
+    }
+    regs_[inst.rd] = value;
+    ready_[inst.rd] = issue + cfg_.mrsLat;
+    lastCompletion_ = std::max(lastCompletion_, ready_[inst.rd]);
+    return true;
+}
+
+bool
+Core::execMsr(const Inst &inst, ExitStatus *status)
+{
+    if (!sysregWrite(inst.sysreg, regs_[inst.rd])) {
+        status->kind =
+            el_ == 0 ? ExitKind::CrashEl0 : ExitKind::KernelPanic;
+        status->pc = pc_;
+        status->reason = strprintf(
+            "illegal MSR of %s at EL%u (pc=0x%llx)",
+            isa::sysRegName(inst.sysreg).c_str(), el_,
+            (unsigned long long)pc_);
+        return false;
+    }
+    serialize(cfg_.mrsLat); // MSR is self-synchronizing here
+    return true;
 }
 
 ExitStatus
@@ -436,66 +598,59 @@ Core::run(uint64_t max_insts)
             cycle_ += f.fetchLatency - mem_->config().lat.l1Hit;
 
         const Inst &inst = f.inst;
+
+        // Committed-fast-path superblock dispatch: a straight-line
+        // run starting here executes through the threaded loop in
+        // runSuperblock(), which replays the interpreter's exact
+        // per-instruction side effects. Only attempted with no trace
+        // hook armed and a cacheable PA in hand; ineligible opcodes
+        // and every block exit fall through to the interpreter below.
+        if (cfg_.superblocks && !traceHook_ && f.hasPa) {
+            SbOpKind kind0;
+            if (sbKindFor(inst.op, &kind0)) {
+                superblocks_.syncEpoch(mem_->fetchEpoch(), &sbStats_);
+                Superblock *sb =
+                    superblocks_.lookup(f.pa, f.pageGen, &sbStats_);
+                if (sb) {
+                    ++sbStats_.blockHits;
+                } else {
+                    sb = &superblocks_.insertSlot(f.pa, f.pageGen);
+                    buildSuperblock(*sb, mem_->phys(),
+                                    cfg_.superblockMaxOps);
+                    ++sbStats_.blocksBuilt;
+                }
+                ExitStatus status;
+                bool exited = false;
+                const uint64_t executed = runSuperblock(
+                    *sb, max_insts - n, &status, &exited);
+                sbStats_.blockInsts += executed;
+                if (exited)
+                    return status;
+                if (executed) {
+                    n += executed - 1; // the loop header adds the last
+                    continue;
+                }
+                // The entry op is a conditional branch the predictor
+                // gets wrong: fall through — the interpreter below
+                // runs it, speculation machinery and all.
+            }
+        }
+
         ++stats_.instsRetired;
         if (traceHook_)
             traceHook_(TraceRecord{pc_, inst, el_, false, cycle_});
         Addr next_pc = pc_ + isa::InstBytes;
 
         switch (isa::instClass(inst.op)) {
-          case InstClass::Alu: {
-            uint64_t src_ready = cycle_ + 1;
-            if (isa::readsRn(inst))
-                src_ready = std::max(src_ready, ready_[inst.rn]);
-            if (isa::readsRm(inst))
-                src_ready = std::max(src_ready, ready_[inst.rm]);
-            if (isa::readsRdAsSource(inst))
-                src_ready = std::max(src_ready, ready_[inst.rd]);
-            const AluOut out = aluExec(inst, regs_[inst.rd],
-                                       regs_[inst.rn], regs_[inst.rm]);
-            const uint64_t lat =
-                inst.op == Opcode::MUL ? cfg_.mulLat : cfg_.aluLat;
-            const uint64_t done = src_ready + lat;
-            if (out.writes) {
-                regs_[inst.rd] = out.value;
-                ready_[inst.rd] = done;
-            }
-            if (out.setsFlags) {
-                flags_ = out.flags;
-                flagsReady_ = done;
-            }
-            lastCompletion_ = std::max(lastCompletion_, done);
+          case InstClass::Alu:
+            execAlu(inst);
             break;
-          }
 
           case InstClass::Load:
           case InstClass::Store: {
-            const bool is_load = isa::instClass(inst.op) == InstClass::Load;
-            uint64_t issue = cycle_ + 1;
-            issue = std::max(issue, ready_[inst.rn]);
-            if (regOffset(inst.op))
-                issue = std::max(issue, ready_[inst.rm]);
-            if (!is_load)
-                issue = std::max(issue, ready_[inst.rd]);
-            const Addr va = regs_[inst.rn] +
-                            (regOffset(inst.op) ? regs_[inst.rm]
-                                                : uint64_t(inst.imm));
-            const auto res = mem_->access(
-                is_load ? mem::AccessKind::Load : mem::AccessKind::Store,
-                va, el_, false);
-            if (res.fault != mem::Fault::None) {
-                return archFault(res.fault, va,
-                                 is_load ? "data abort on load"
-                                         : "data abort on store");
-            }
-            const unsigned size = memSize(inst.op);
-            const uint64_t done = issue + res.latency;
-            if (is_load) {
-                regs_[inst.rd] = mem_->loadValue(res, va, size);
-                ready_[inst.rd] = done;
-            } else {
-                mem_->storeValue(res, va, regs_[inst.rd], size);
-            }
-            lastCompletion_ = std::max(lastCompletion_, done);
+            ExitStatus status;
+            if (!execMem(inst, &status))
+                return status;
             break;
           }
 
@@ -537,15 +692,9 @@ Core::run(uint64_t max_insts)
             break;
           }
 
-          case InstClass::BranchDirect: {
-            ++stats_.branches;
-            if (inst.op == Opcode::BL) {
-                regs_[isa::LR] = pc_ + isa::InstBytes;
-                ready_[isa::LR] = cycle_ + 1;
-            }
-            next_pc = pc_ + uint64_t(inst.imm);
+          case InstClass::BranchDirect:
+            next_pc = execBranchDirect(inst);
             break;
-          }
 
           case InstClass::BranchIndirect: {
             ++stats_.branches;
@@ -602,74 +751,24 @@ Core::run(uint64_t max_insts)
 
           case InstClass::PacSign:
           case InstClass::PacAuth: {
-            const uint64_t ptr = regs_[inst.rd];
-            uint64_t issue = std::max(cycle_ + 1, ready_[inst.rd]);
-            uint64_t value;
-            if (inst.op == Opcode::XPAC) {
-                value = isa::stripPac(ptr);
-            } else {
-                issue = std::max(issue, ready_[inst.rn]);
-                const auto key = pacKey(isa::pacKeyOf(inst.op));
-                const uint64_t mod = regs_[inst.rn];
-                value = isa::isPacSign(inst.op)
-                            ? isa::signPointer(ptr, mod, key)
-                            : isa::authPointer(ptr, mod, key);
-            }
-            // ARMv8.6 FPAC: authentication failure faults at the aut
-            // itself rather than poisoning the pointer.
-            if (cfg_.fpac && isa::isPacAuth(inst.op) &&
-                !isa::isCanonical(value)) {
-                return archFault(mem::Fault::Permission, ptr,
-                                 "FPAC authentication failure");
-            }
-            const uint64_t done = issue + cfg_.pacLat;
-            regs_[inst.rd] = value;
-            ready_[inst.rd] = done;
-            lastCompletion_ = std::max(lastCompletion_, done);
-            if (cfg_.autFence && isa::isPacAuth(inst.op)) {
-                // PAC-agnostic execution: implicit ISB after aut.
-                serialize(cfg_.isbDrain);
-            }
+            ExitStatus status;
+            if (!execPac(inst, &status))
+                return status;
             break;
           }
 
           case InstClass::System: {
             switch (inst.op) {
               case Opcode::MRS: {
-                const uint64_t issue = cycle_ + 1;
-                bool undef = false;
-                const uint64_t value =
-                    sysregRead(inst.sysreg, issue, &undef);
-                if (undef) {
-                    ExitStatus status;
-                    status.kind = el_ == 0 ? ExitKind::CrashEl0
-                                           : ExitKind::KernelPanic;
-                    status.pc = pc_;
-                    status.reason = strprintf(
-                        "undefined MRS of %s at EL%u (pc=0x%llx)",
-                        isa::sysRegName(inst.sysreg).c_str(), el_,
-                        (unsigned long long)pc_);
+                ExitStatus status;
+                if (!execMrs(inst, &status))
                     return status;
-                }
-                regs_[inst.rd] = value;
-                ready_[inst.rd] = issue + cfg_.mrsLat;
-                lastCompletion_ =
-                    std::max(lastCompletion_, ready_[inst.rd]);
                 break;
               }
               case Opcode::MSR: {
-                if (!sysregWrite(inst.sysreg, regs_[inst.rd])) {
-                    ExitStatus status;
-                    status.kind = el_ == 0 ? ExitKind::CrashEl0
-                                           : ExitKind::KernelPanic;
-                    status.pc = pc_;
-                    status.reason = strprintf(
-                        "illegal MSR of %s at EL%u (pc=0x%llx)",
-                        isa::sysRegName(inst.sysreg).c_str(), el_,
-                        (unsigned long long)pc_);
+                ExitStatus status;
+                if (!execMsr(inst, &status))
                     return status;
-                }
-                serialize(cfg_.mrsLat); // MSR is self-synchronizing here
                 break;
               }
               case Opcode::SVC: {
@@ -738,6 +837,318 @@ Core::run(uint64_t max_insts)
     status.pc = pc_;
     status.reason = "instruction budget exhausted";
     return status;
+}
+
+// Threaded dispatch: on GNU-compatible compilers each op jumps
+// through a label table (computed goto); elsewhere a dense switch
+// provides the same control flow.
+#if defined(__GNUC__) || defined(__clang__)
+#define PACMAN_SB_COMPUTED_GOTO 1
+#else
+#define PACMAN_SB_COMPUTED_GOTO 0
+#endif
+
+uint64_t
+Core::runSuperblock(const Superblock &sb, uint64_t budget,
+                    ExitStatus *status, bool *exited)
+{
+    // Entry-time fast-path state. The run() loop just completed the
+    // architectural fetch of op 0, so the iTLB holds this page's
+    // translation and the L1I holds the entry line; data ops never
+    // touch either structure and nothing invalidates mid-block, so
+    // the pointers stay valid for the whole run.
+    mem::Tlb &itlb = mem_->itlb(el_);
+    mem::Tlb::Way *way = itlb.wayFor(
+        isa::pageNumber(isa::vaPart(pc_)),
+        isa::isKernelVa(pc_) ? mem::Asid::Kernel : mem::Asid::User);
+    mem::Cache::Line *line = mem_->l1i().lineFor(sb.pa);
+    PACMAN_ASSERT(way != nullptr && line != nullptr,
+                  "superblock entry state missing after fetch");
+
+    const uint64_t l1_lat = mem_->config().lat.l1Hit;
+    const unsigned line_shift =
+        floorLog2(mem_->config().l1i.lineBytes);
+    const Addr pa_base = sb.pa & ~isa::Addr(isa::PageMask);
+    const Addr va_base = pc_ & ~isa::Addr(isa::PageMask);
+    Addr pa = sb.pa;
+    uint64_t cur_line = pa >> line_shift;
+    const SuperblockOp *op = sb.ops.data();
+    const SuperblockOp *const end = op + sb.ops.size();
+    uint64_t executed = 0;
+
+    // Resolved direction of a conditional branch op — side-effect
+    // free: flags and registers are architectural (final) once the
+    // preceding op has completed.
+    const auto condActual = [this](const isa::Inst &bi) {
+        if (bi.op == Opcode::BCOND)
+            return isa::condHolds(bi.cond, flags_);
+        const bool zero = regs_[bi.rd] == 0;
+        return bi.op == Opcode::CBZ ? zero : !zero;
+    };
+
+    // Per-op sequence, identical to one interpreter iteration: the
+    // caller (or the `next` replay below) has already paced the fetch
+    // group and touched the hierarchy; here we retire, execute, and
+    // step pc_. Stores re-check the page's write generation so
+    // self-modifying code into the running block falls back before a
+    // stale decoded op can execute. Conditional branches peek their
+    // outcome against the predictor first — with no side effect at
+    // all — and bail to the interpreter on a mispredict, which owns
+    // the speculation machinery.
+#if PACMAN_SB_COMPUTED_GOTO
+    static const void *const kDispatch[] = {
+        &&sb_alu, &&sb_load, &&sb_store, &&sb_pac, &&sb_branch,
+        &&sb_branch_cond, &&sb_mrs, &&sb_msr, &&sb_barrier};
+
+  sb_dispatch:
+    goto *kDispatch[size_t(op->kind)];
+
+  sb_alu:
+    ++stats_.instsRetired;
+    ++executed;
+    execAlu(op->inst);
+    pc_ += isa::InstBytes;
+    goto sb_next;
+
+  sb_load:
+    ++stats_.instsRetired;
+    ++executed;
+    if (!execMem(op->inst, status))
+        goto sb_fault;
+    pc_ += isa::InstBytes;
+    goto sb_next;
+
+  sb_store:
+    ++stats_.instsRetired;
+    ++executed;
+    if (!execMem(op->inst, status))
+        goto sb_fault;
+    if (mem_->phys().pageGen(sb.pa) != sb.gen)
+        goto sb_smc;
+    pc_ += isa::InstBytes;
+    goto sb_next;
+
+  sb_pac:
+    ++stats_.instsRetired;
+    ++executed;
+    if (!execPac(op->inst, status))
+        goto sb_fault;
+    pc_ += isa::InstBytes;
+    goto sb_next;
+
+  sb_branch:
+    ++stats_.instsRetired;
+    ++executed;
+    pc_ = execBranchDirect(op->inst);
+    goto sb_next;
+
+  sb_mrs:
+    ++stats_.instsRetired;
+    ++executed;
+    if (!execMrs(op->inst, status))
+        goto sb_fault;
+    pc_ += isa::InstBytes;
+    goto sb_next;
+
+  sb_msr:
+    ++stats_.instsRetired;
+    ++executed;
+    if (!execMsr(op->inst, status))
+        goto sb_fault;
+    pc_ += isa::InstBytes;
+    goto sb_next;
+
+  sb_barrier:
+    ++stats_.instsRetired;
+    ++executed;
+    serialize(cfg_.isbDrain);
+    pc_ += isa::InstBytes;
+    goto sb_next;
+
+  sb_branch_cond: {
+    const isa::Inst &bi = op->inst;
+    const bool actual = condActual(bi);
+    // Only the entry op can still mispredict here: later branches are
+    // peeked in sb_next before their fetch is replayed. The entry
+    // op's fetch came from the interpreter loop, which re-uses it on
+    // the fall-through, so bailing costs no duplicate fetch effect.
+    if (predictor_.predict(pc_) != actual)
+        goto sb_bail;
+    // Correctly predicted: the interpreter's exact effect is the
+    // retire bookkeeping, the branch count, and the predictor
+    // update — no cycle penalty in either direction.
+    ++stats_.instsRetired;
+    ++executed;
+    ++stats_.branches;
+    predictor_.update(pc_, actual);
+    pc_ = actual ? pc_ + uint64_t(bi.imm) : pc_ + isa::InstBytes;
+    goto sb_next;
+  }
+
+  sb_next:
+    // The trace continues only where the architectural next pc (set
+    // by the op above) is exactly the next op's address: a branch
+    // resolving against the trace direction leaves the block here.
+    if (++op == end || executed >= budget ||
+        pc_ != (va_base | Addr(op->pageOff)))
+        return executed;
+    // A conditional branch the predictor will get wrong must not have
+    // its fetch replayed: the block ends and the interpreter fetches
+    // and executes it exactly once, speculation machinery and all.
+    // Peeking before the replay keeps the fetch side effects —
+    // l1i/iTLB touches and fetch-group pacing — bit-identical to the
+    // slow path, which fetches a mispredicted branch only once.
+    if (op->kind == SbOpKind::BranchCond &&
+        predictor_.predict(pc_) != condActual(op->inst)) {
+        ++sbStats_.fallbackExits;
+        return executed;
+    }
+    pa = pa_base | Addr(op->pageOff);
+    // Replay the architectural fetch of the next op: fetch-group
+    // pacing, the iTLB hit, the L1I touch (or a real fill + front-end
+    // stall on a line crossing) — the exact side-effect sequence the
+    // interpreter's fetch() performs.
+    if (++fetchGroup_ >= cfg_.fetchWidth) {
+        fetchGroup_ = 0;
+        ++cycle_;
+    }
+    itlb.rehit(way);
+    if ((pa >> line_shift) == cur_line) {
+        mem_->l1i().rehit(line);
+    } else {
+        cur_line = pa >> line_shift;
+        const uint64_t lat = mem_->fetchLineAccess(pa, &line);
+        if (lat > l1_lat)
+            cycle_ += lat - l1_lat;
+    }
+    goto sb_dispatch;
+
+  sb_smc:
+    pc_ += isa::InstBytes;
+    ++sbStats_.fallbackExits;
+    return executed;
+
+  sb_bail:
+    // pc_ still points at the mispredicted branch; the interpreter
+    // re-executes it from scratch (no effect has happened yet).
+    ++sbStats_.fallbackExits;
+    return executed;
+
+  sb_fault:
+    *exited = true;
+    return executed;
+#else
+    for (;;) {
+        switch (op->kind) {
+          case SbOpKind::Alu:
+            ++stats_.instsRetired;
+            ++executed;
+            execAlu(op->inst);
+            pc_ += isa::InstBytes;
+            break;
+          case SbOpKind::Load:
+            ++stats_.instsRetired;
+            ++executed;
+            if (!execMem(op->inst, status)) {
+                *exited = true;
+                return executed;
+            }
+            pc_ += isa::InstBytes;
+            break;
+          case SbOpKind::Store:
+            ++stats_.instsRetired;
+            ++executed;
+            if (!execMem(op->inst, status)) {
+                *exited = true;
+                return executed;
+            }
+            if (mem_->phys().pageGen(sb.pa) != sb.gen) {
+                pc_ += isa::InstBytes;
+                ++sbStats_.fallbackExits;
+                return executed;
+            }
+            pc_ += isa::InstBytes;
+            break;
+          case SbOpKind::Pac:
+            ++stats_.instsRetired;
+            ++executed;
+            if (!execPac(op->inst, status)) {
+                *exited = true;
+                return executed;
+            }
+            pc_ += isa::InstBytes;
+            break;
+          case SbOpKind::Branch:
+            ++stats_.instsRetired;
+            ++executed;
+            pc_ = execBranchDirect(op->inst);
+            break;
+          case SbOpKind::Mrs:
+            ++stats_.instsRetired;
+            ++executed;
+            if (!execMrs(op->inst, status)) {
+                *exited = true;
+                return executed;
+            }
+            pc_ += isa::InstBytes;
+            break;
+          case SbOpKind::Msr:
+            ++stats_.instsRetired;
+            ++executed;
+            if (!execMsr(op->inst, status)) {
+                *exited = true;
+                return executed;
+            }
+            pc_ += isa::InstBytes;
+            break;
+          case SbOpKind::Barrier:
+            ++stats_.instsRetired;
+            ++executed;
+            serialize(cfg_.isbDrain);
+            pc_ += isa::InstBytes;
+            break;
+          case SbOpKind::BranchCond: {
+            const isa::Inst &bi = op->inst;
+            const bool actual = condActual(bi);
+            // Entry op only — later branches are peeked below before
+            // their fetch is replayed.
+            if (predictor_.predict(pc_) != actual) {
+                ++sbStats_.fallbackExits;
+                return executed;
+            }
+            ++stats_.instsRetired;
+            ++executed;
+            ++stats_.branches;
+            predictor_.update(pc_, actual);
+            pc_ = actual ? pc_ + uint64_t(bi.imm)
+                         : pc_ + isa::InstBytes;
+            break;
+          }
+        }
+        if (++op == end || executed >= budget ||
+            pc_ != (va_base | Addr(op->pageOff)))
+            return executed;
+        if (op->kind == SbOpKind::BranchCond &&
+            predictor_.predict(pc_) != condActual(op->inst)) {
+            ++sbStats_.fallbackExits;
+            return executed;
+        }
+        pa = pa_base | Addr(op->pageOff);
+        if (++fetchGroup_ >= cfg_.fetchWidth) {
+            fetchGroup_ = 0;
+            ++cycle_;
+        }
+        itlb.rehit(way);
+        if ((pa >> line_shift) == cur_line) {
+            mem_->l1i().rehit(line);
+        } else {
+            cur_line = pa >> line_shift;
+            const uint64_t lat = mem_->fetchLineAccess(pa, &line);
+            if (lat > l1_lat)
+                cycle_ += lat - l1_lat;
+        }
+    }
+#endif
 }
 
 void

@@ -40,6 +40,7 @@
 #include "cpu/config.hh"
 #include "cpu/decode_cache.hh"
 #include "cpu/predictor.hh"
+#include "cpu/superblock.hh"
 #include "crypto/pac.hh"
 #include "isa/encoding.hh"
 #include "isa/inst.hh"
@@ -161,6 +162,13 @@ class Core
     Btb &btb() { return btb_; }
     const CoreStats &stats() const { return stats_; }
     void resetStats() { stats_ = CoreStats{}; }
+
+    /**
+     * Monotonic fast-path telemetry (superblock + decode-cache
+     * counters). Unlike stats(), never rewound by restore() or
+     * cleared by resetStats() — see SuperblockStats.
+     */
+    const SuperblockStats &superblockStats() const { return sbStats_; }
     const CoreConfig &config() const { return cfg_; }
     mem::MemoryHierarchy &mem() { return *mem_; }
 
@@ -168,13 +176,15 @@ class Core
      * Complete per-core state: architectural registers/flags/pc/EL and
      * system registers (so PAC keys rewind), the dataflow timing
      * scoreboard, branch predictor and BTB tables, and the stats
-     * counters. The decoded-instruction cache is deliberately NOT
-     * captured: a restore rewinds page write generations and the fetch
-     * epoch, which could make stale (pa, gen) entries re-validate, so
-     * restore() flushes it instead — a pure host-side warm-up cost
-     * with no architectural or timing effect. The speculation-context
-     * pool is scratch (fully re-seeded before every use) and the trace
-     * hook is host wiring; neither is captured.
+     * counters. The decoded-instruction cache and the superblock cache
+     * are deliberately NOT captured: both are pure host-side
+     * memoization with no architectural or timing effect, and their
+     * entries are (pa, write-generation)-validated against labels
+     * PhysMem never reuses (restores relabel rewound pages with fresh
+     * values), so a stale entry can never re-validate after a restore
+     * — they survive the rewind warm. The speculation-context pool is
+     * scratch (fully re-seeded before every use) and the trace hook is
+     * host wiring; neither is captured.
      */
     struct Snapshot
     {
@@ -218,6 +228,9 @@ class Core
         uint32_t word = 0;      //!< raw word (valid when undefined)
         isa::Inst inst;
         uint64_t fetchLatency = 0;
+        bool hasPa = false;     //!< pa/pageGen below are populated
+        isa::Addr pa = 0;       //!< physical address of the word
+        uint64_t pageGen = 0;   //!< write generation of pa's page
     };
 
     // Architectural-path helpers.
@@ -228,6 +241,36 @@ class Core
     bool sysregWrite(isa::SysReg reg, uint64_t value);
     uint64_t ccsidrValue() const;
     void serialize(uint64_t extra);
+
+    // Committed-path executors, shared verbatim between the
+    // interpreter switch in run() and the superblock dispatch loop.
+    // pc_ must hold the instruction's own pc on entry (fault
+    // reporting and link-register writes read it); the caller
+    // advances it afterwards.
+    void execAlu(const isa::Inst &inst);
+    /** @return false when the access faulted; *status is filled. */
+    bool execMem(const isa::Inst &inst, ExitStatus *status);
+    /** @return false on an FPAC fault; *status is filled. */
+    bool execPac(const isa::Inst &inst, ExitStatus *status);
+    /** @return the branch target (next pc). */
+    isa::Addr execBranchDirect(const isa::Inst &inst);
+    /** @return false on an undefined read; *status is filled. */
+    bool execMrs(const isa::Inst &inst, ExitStatus *status);
+    /** @return false on an illegal write; *status is filled. */
+    bool execMsr(const isa::Inst &inst, ExitStatus *status);
+
+    /**
+     * Execute @p sb through the threaded dispatch loop, starting at
+     * its first op — whose architectural fetch (pacing, hierarchy
+     * touches, stall) the run() loop has already performed — and
+     * executing at most @p budget instructions. Advances pc_ past
+     * every executed op. @return the number executed (0 only when
+     * the entry op is a mispredicted conditional branch, which the
+     * interpreter must run); sets *exited (and *status) when run()
+     * must return (fault, FPAC, undefined system access).
+     */
+    uint64_t runSuperblock(const Superblock &sb, uint64_t budget,
+                           ExitStatus *status, bool *exited);
 
     /**
      * Execute the wrong path from @p pc until @p deadline (the
@@ -273,6 +316,14 @@ class Core
     std::function<void(const TraceRecord &)> traceHook_;
 
     DecodeCache decodeCache_;
+
+    // Superblock cache + monotonic telemetry. Like the decode cache,
+    // neither is captured by Snapshot: blocks are (pa, generation)-
+    // validated against never-reused write generations and the fetch
+    // epoch, so they survive restore() safely, and the telemetry must
+    // keep growing across restores (see SuperblockStats).
+    SuperblockCache superblocks_;
+    SuperblockStats sbStats_;
 
     /** Pre-reserved speculation contexts, one per recursion depth. */
     std::array<SpecContext, MaxSpecDepth + 2> specCtx_;

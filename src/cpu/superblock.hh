@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Superblock cache for the committed fast path.
+ *
+ * The decode cache (cpu/decode_cache.hh) made decode free; BENCH_PR5
+ * shows per-instruction fetch/dispatch bookkeeping is now the wall
+ * (~20 guest MIPS, decode hit rate 0.9999996). A *superblock* is the
+ * next rung: a straight-line run of already-decoded instructions,
+ * discovered at a committed fetch, cached keyed by physical address,
+ * and executed by a threaded dispatch loop (Core::runSuperblock) that
+ * skips the per-instruction fetch/decode machinery while replaying its
+ * exact microarchitectural side effects (iTLB hit bookkeeping, L1I
+ * line touches and real line fills on crossings, fetch-group pacing,
+ * front-end stalls). The cycle-accurate interpreter remains the
+ * reference: speculation windows, trace hooks, ineligible opcodes,
+ * and every block exit fall back to it, and the fast/slow equivalence
+ * suite (tests/runner/test_fastpath_equiv.cc) proves bit-identical
+ * architectural state, cycle counts and cache/TLB counters.
+ *
+ * A superblock is a *trace*, not just a fall-through run: discovery
+ * follows unconditional direct branches (B/BL) to their targets and
+ * conditional branches along their likely direction (backward taken —
+ * a loop back-edge — forward not-taken), so a hot loop unrolls into
+ * one block covering many iterations. Execution of a conditional
+ * branch first peeks the predictor and the actual outcome with no
+ * side effect at all: a mispredict would run the full speculation
+ * machinery, so the block bails out and the interpreter re-executes
+ * the branch from scratch. A correctly predicted branch retires
+ * inside the block with the interpreter's exact effect (branch count,
+ * predictor update, no cycle penalty), and execution continues while
+ * the resolved direction matches the trace. MRS/MSR and barriers are
+ * also in-block ops (their serialization is a pure function of the
+ * core's completion clock), so the attack's timer-read measurement
+ * sequences (mrs/isb/ldr/isb/mrs) do not fragment blocks. Discovery
+ * still stops at indirect branches (BTB, pointer authentication),
+ * EL-changing and run-exiting ops (SVC/ERET/HLT/BRK), undecodable
+ * words, any branch leaving the page (one block = one page = one
+ * write generation), and the length cap.
+ *
+ * Coherence is validation-based, exactly like the decode cache:
+ *
+ *  - Entries carry the PhysMem write generation of their page; every
+ *    label is permanently bound to one byte image (writes draw fresh
+ *    labels, restores rewind a dirtied page to the captured label
+ *    along with the captured bytes), so a match always implies
+ *    identical bytes — which lets the superblock cache survive
+ *    Machine::restore() unflushed, with pre-capture entries
+ *    re-validating after the rewind.
+ *  - Guest stores *inside* a running block check the generation after
+ *    executing; a change (self-modifying code into the block's own
+ *    page) exits the block and resumes interpretation, and the stale
+ *    cached block gen-fails on its next lookup.
+ *  - The hierarchy's fetch epoch is compared once per dispatch;
+ *    flushAll (boot/reset/key rotation) bumps it and drops the whole
+ *    cache. Remap/unmap deliberately do not: entries are PA-keyed and
+ *    every dispatch translates the fetch VA afresh, so a remapped VA
+ *    resolves to a different PA and an unmapped one faults before any
+ *    lookup (see MemoryHierarchy::fetchEpoch()).
+ */
+
+#ifndef PACMAN_CPU_SUPERBLOCK_HH
+#define PACMAN_CPU_SUPERBLOCK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/inst.hh"
+#include "isa/pointer.hh"
+
+namespace pacman::mem
+{
+class PhysMem;
+}
+
+namespace pacman::cpu
+{
+
+/** Dispatch kind of one superblock op (indexes the threaded-dispatch
+ *  label table in Core::runSuperblock). */
+enum class SbOpKind : uint8_t
+{
+    Alu = 0,
+    Load = 1,
+    Store = 2,
+    Pac = 3,        //!< PacSign or PacAuth (opcode disambiguates)
+    Branch = 4,     //!< unconditional direct branch (B/BL)
+    BranchCond = 5, //!< conditional branch (B.cond/CBZ/CBNZ)
+    Mrs = 6,        //!< system-register read
+    Msr = 7,        //!< system-register write (self-synchronizing)
+    Barrier = 8,    //!< ISB/DSB pipeline drain
+};
+
+/**
+ * Superblock eligibility: map @p op to its dispatch kind.
+ * @return false when the opcode must be interpreted (and therefore
+ *         terminates block discovery).
+ */
+bool sbKindFor(isa::Opcode op, SbOpKind *kind);
+
+/** One pre-decoded instruction inside a superblock. */
+struct SuperblockOp
+{
+    isa::Inst inst;
+    SbOpKind kind = SbOpKind::Alu;
+
+    /**
+     * Byte offset of this instruction within its page (the trace may
+     * jump backward across loop back-edges, so offsets are not
+     * sequential). The op's VA/PA are the entry's page bases plus
+     * this offset — the whole trace stays on one page.
+     */
+    uint16_t pageOff = 0;
+};
+
+/** A cached single-page trace entered at physical address pa. */
+struct Superblock
+{
+    static constexpr isa::Addr NoPa = ~isa::Addr(0);
+
+    isa::Addr pa = NoPa; //!< entry PA (all ops on the same page)
+    uint64_t gen = 0;    //!< page write generation at build time
+    std::vector<SuperblockOp> ops;
+};
+
+/**
+ * Monotonic fast-path telemetry. Deliberately outside CoreStats and
+ * Core::Snapshot: CoreStats rewinds with every per-item replica
+ * restore (it is architectural-run bookkeeping), while fleet-facing
+ * telemetry (Machine::statsReport, the pacman-oracled METRICS
+ * endpoint) needs counters that only ever grow so per-interval deltas
+ * stay non-negative. Nothing here feeds timing, fingerprints, or the
+ * equivalence dumps.
+ */
+struct SuperblockStats
+{
+    uint64_t blocksBuilt = 0;   //!< discovery passes (cache fills)
+    uint64_t blockHits = 0;     //!< dispatches served by a cached block
+    uint64_t blockInsts = 0;    //!< instructions retired inside blocks
+    uint64_t invalidations = 0; //!< stale-generation drops + epoch flushes
+    uint64_t fallbackExits = 0; //!< early exits: SMC into the running
+                                //!< block, or a conditional branch the
+                                //!< predictor gets wrong (speculation
+                                //!< belongs to the interpreter)
+
+    // Monotonic mirrors of CoreStats::icacheDecode{Hits,Misses},
+    // bumped at the same sites; see the struct comment for why the
+    // CoreStats copies cannot serve telemetry across restores.
+    uint64_t decodeHits = 0;
+    uint64_t decodeMisses = 0;
+};
+
+/**
+ * Two-way set-associative cache of superblocks keyed by entry PA,
+ * with the same page-folding index hash and 1-bit-LRU scheme as the
+ * decode cache (hot entry PCs repeat at identical page offsets across
+ * user trampolines and kernel gadgets).
+ */
+class SuperblockCache
+{
+  public:
+    SuperblockCache();
+
+    /**
+     * Cached block entered at @p pa, or nullptr when absent or stale
+     * (the page's write generation moved; the entry is dropped on the
+     * spot and counted in @p stats->invalidations).
+     */
+    Superblock *
+    lookup(isa::Addr pa, uint64_t page_gen, SuperblockStats *stats)
+    {
+        const size_t set = setOf(pa);
+        for (unsigned w = 0; w < Ways; ++w) {
+            Superblock &b = blocks_[set * Ways + w];
+            if (b.pa != pa)
+                continue;
+            if (b.gen != page_gen) {
+                b.pa = Superblock::NoPa;
+                ++stats->invalidations;
+                return nullptr;
+            }
+            victim_[set] = uint8_t(w ^ 1);
+            return &b;
+        }
+        return nullptr;
+    }
+
+    /**
+     * Claim the fill slot for a block entered at @p pa: sets the key,
+     * clears the op list (capacity retained — rebuilds are
+     * allocation-free once warm) and returns the slot for
+     * buildSuperblock() to fill.
+     */
+    Superblock &
+    insertSlot(isa::Addr pa, uint64_t page_gen)
+    {
+        const size_t set = setOf(pa);
+        unsigned pick = victim_[set];
+        for (unsigned w = 0; w < Ways; ++w) {
+            Superblock &b = blocks_[set * Ways + w];
+            if (b.pa == pa || b.pa == Superblock::NoPa) {
+                pick = w;
+                break;
+            }
+        }
+        victim_[set] = uint8_t(pick ^ 1);
+        Superblock &b = blocks_[set * Ways + pick];
+        b.pa = pa;
+        b.gen = page_gen;
+        b.ops.clear();
+        return b;
+    }
+
+    /**
+     * Compare against the hierarchy's fetch epoch; drop everything
+     * when it moved (remap/unmap/flushAll — also counted once in
+     * @p stats->invalidations).
+     */
+    void
+    syncEpoch(uint64_t epoch, SuperblockStats *stats)
+    {
+        if (epoch != epoch_) {
+            epoch_ = epoch;
+            flush();
+            ++stats->invalidations;
+        }
+    }
+
+    /** Drop every block. */
+    void flush();
+
+    static constexpr size_t NumBlocks = 2048; //!< total, power of two
+    static constexpr unsigned Ways = 2;
+    static constexpr size_t NumSets = NumBlocks / Ways;
+
+  private:
+    static size_t
+    setOf(isa::Addr pa)
+    {
+        return (size_t(pa >> 2) ^ size_t(pa >> isa::PageShift) ^
+                size_t(pa >> (2 * isa::PageShift))) &
+               (NumSets - 1);
+    }
+
+    std::vector<Superblock> blocks_;
+    std::vector<uint8_t> victim_;
+    uint64_t epoch_ = 0;
+};
+
+/**
+ * Discover the superblock trace starting at @p sb.pa: decode from the
+ * entry word, following unconditional direct branches to their
+ * targets and conditional branches along their likely direction
+ * (backward taken, forward not-taken), until an ineligible opcode, an
+ * undecodable word, any step leaving the page, or @p max_ops. Reads
+ * physical memory functionally (PhysMem::read is const — discovery
+ * has no architectural or timing side effect). The caller guarantees
+ * the entry instruction itself is eligible, so the result always has
+ * at least one op.
+ */
+void buildSuperblock(Superblock &sb, const mem::PhysMem &phys,
+                     unsigned max_ops);
+
+} // namespace pacman::cpu
+
+#endif // PACMAN_CPU_SUPERBLOCK_HH

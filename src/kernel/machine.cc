@@ -81,6 +81,14 @@ Machine::statsReport()
     // decoded-instruction cache is absorbing front-end decode work.
     row("decode-cache hits", cs.icacheDecodeHits);
     row("decode-cache misses", cs.icacheDecodeMisses);
+    // Superblock engine telemetry (monotonic — unlike CoreStats these
+    // never rewind on snapshot restore; see cpu/superblock.hh).
+    const cpu::SuperblockStats &sbs = core_.superblockStats();
+    row("superblocks built", sbs.blocksBuilt);
+    row("superblock hits", sbs.blockHits);
+    row("superblock instructions", sbs.blockInsts);
+    row("superblock invalidations", sbs.invalidations);
+    row("superblock fallback exits", sbs.fallbackExits);
 
     auto structure = [&](const char *name, uint64_t hits,
                          uint64_t misses) {

@@ -19,12 +19,15 @@ Cache::Cache(const SetAssocConfig &cfg, ReplPolicy policy, Random *rng)
     if (policy_ == ReplPolicy::Random && rng_ == nullptr)
         fatal("cache %s: random replacement requires an RNG",
               cfg.name.c_str());
+    lineShift_ = floorLog2(cfg_.lineBytes);
+    setShift_ = floorLog2(cfg_.sets);
+    setMask_ = cfg_.sets - 1;
 }
 
 uint64_t
 Cache::lineNumber(Addr pa) const
 {
-    return pa / cfg_.lineBytes;
+    return pa >> lineShift_;
 }
 
 uint64_t
@@ -32,16 +35,15 @@ Cache::setIndex(Addr pa) const
 {
     const uint64_t line = lineNumber(pa);
     if (!cfg_.hashedIndex)
-        return line & (cfg_.sets - 1);
-    const unsigned shift = floorLog2(cfg_.sets);
-    return (line ^ (line >> shift) ^ (line >> (2 * shift))) &
-           (cfg_.sets - 1);
+        return line & setMask_;
+    return (line ^ (line >> setShift_) ^ (line >> (2 * setShift_))) &
+           setMask_;
 }
 
 uint64_t
 Cache::tagOf(uint64_t line_num) const
 {
-    return line_num / cfg_.sets;
+    return line_num >> setShift_;
 }
 
 Cache::Line *
@@ -82,15 +84,16 @@ Cache::victimIn(uint64_t set)
     return *victim;
 }
 
-bool
-Cache::access(Addr pa)
+Cache::Line *
+Cache::accessRef(Addr pa, bool *hit)
 {
     ++tick_;
     if (Line *line = findLine(pa)) {
         journalTouch(line);
         line->lruStamp = tick_;
         ++hits_;
-        return true;
+        *hit = true;
+        return line;
     }
     ++misses_;
     Line &victim = victimIn(setIndex(pa));
@@ -98,7 +101,16 @@ Cache::access(Addr pa)
     victim.valid = true;
     victim.tag = tagOf(lineNumber(pa));
     victim.lruStamp = tick_;
-    return false;
+    *hit = false;
+    return &victim;
+}
+
+bool
+Cache::access(Addr pa)
+{
+    bool hit;
+    accessRef(pa, &hit);
+    return hit;
 }
 
 bool

@@ -33,6 +33,36 @@ class Cache
      */
     bool access(Addr pa);
 
+    struct Line;
+
+    /**
+     * access() with the touched line returned: the hit line, or the
+     * freshly (re)allocated victim on a miss. State effects are
+     * identical to access() — this exists so the superblock executor
+     * can hold the line and replay later same-line fetches through
+     * rehit() without repeating the tag scan.
+     */
+    Line *accessRef(Addr pa, bool *hit);
+
+    /**
+     * Replay a hit on @p line with exactly the bookkeeping sequence of
+     * access()'s hit path: tick, journal touch, LRU stamp, hit count.
+     * @p line must be the live line a fresh lookup of the same address
+     * would return (the superblock executor guarantees this by holding
+     * the pointer only across a straight-line run with no intervening
+     * invalidation).
+     */
+    void rehit(Line *line)
+    {
+        ++tick_;
+        journalTouch(line);
+        line->lruStamp = tick_;
+        ++hits_;
+    }
+
+    /** Live line containing @p pa, or nullptr. No state change. */
+    Line *lineFor(Addr pa) { return findLine(pa); }
+
     /** Probe without changing any state. */
     bool contains(Addr pa) const;
 
@@ -128,6 +158,13 @@ class Cache
     SetAssocConfig cfg_;
     ReplPolicy policy_;
     Random *rng_;
+    // lineBytes and sets are enforced powers of two, so the address
+    // decomposition in lineNumber()/setIndex()/tagOf() reduces to
+    // shifts and masks (hot enough that the divisions showed up at
+    // the top of profiles).
+    unsigned lineShift_ = 0;
+    unsigned setShift_ = 0;
+    uint64_t setMask_ = 0;
     std::vector<Line> lines_;  //!< sets * ways, set-major
     uint64_t tick_ = 0;
     uint64_t hits_ = 0;

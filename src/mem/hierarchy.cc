@@ -215,6 +215,20 @@ MemoryHierarchy::cacheAccess(AccessKind kind, Addr pa, bool speculative,
     return cfg_.lat.dram;
 }
 
+uint64_t
+MemoryHierarchy::fetchLineAccess(Addr pa, Cache::Line **line)
+{
+    bool hit = false;
+    *line = l1i_.accessRef(pa, &hit);
+    if (hit)
+        return cfg_.lat.l1Hit;
+    if (l2_.access(pa))
+        return cfg_.lat.l2Hit;
+    if (slc_.access(pa))
+        return cfg_.lat.slcHit;
+    return cfg_.lat.dram;
+}
+
 AccessResult
 MemoryHierarchy::access(AccessKind kind, Addr va, unsigned el,
                         bool speculative, AccessTrace *trace)

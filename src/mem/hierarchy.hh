@@ -127,6 +127,16 @@ class MemoryHierarchy
 
     // --- Value movement (after a successful access) ---
 
+    /**
+     * Fetch-path cache access by physical address, returning the L1I
+     * line touched (the hit line, or the freshly allocated one on a
+     * miss) so the superblock executor can replay later same-line
+     * fetches via Cache::rehit(). State effects and the returned
+     * latency are identical to the cache-lookup step of a committed
+     * instruction fetch through access().
+     */
+    uint64_t fetchLineAccess(Addr pa, Cache::Line **line);
+
     /** Read @p size bytes at the physical address @p res resolved to. */
     uint64_t loadValue(const AccessResult &res, Addr va, unsigned size);
 
@@ -173,13 +183,23 @@ class MemoryHierarchy
     void flushAll();
 
     /**
-     * Front-end invalidation epoch: changes whenever any mapping is
-     * created/updated/removed or the hierarchy is flushed. The decode
-     * cache compares this once per fetch and drops all entries on a
-     * change — cheap enough for the hot path, and conservative enough
-     * to cover remap/unmap and reset without per-page bookkeeping.
+     * Front-end invalidation epoch: changes when the hierarchy is
+     * flushed wholesale (boot / reset / key rotation). The decode and
+     * superblock caches compare this once per fetch and drop all
+     * entries on a change.
+     *
+     * Mapping changes (remap/unmap, pt_.epoch()) deliberately do NOT
+     * move this epoch: both caches key entries by PHYSICAL address
+     * and validate content against page write generations, and every
+     * dispatch translates the fetch VA afresh — so a remapped VA
+     * simply resolves to a different PA and finds (or builds) the
+     * right entry, and an unmapped VA faults before any lookup.
+     * Flushing on pt mutations was not needed for correctness and
+     * made restore-per-item campaigns (which rewind lazily-created
+     * mappings, then redo them every item) rebuild every cached
+     * block per work item.
      */
-    uint64_t fetchEpoch() const { return pt_.epoch() + flushEpoch_; }
+    uint64_t fetchEpoch() const { return flushEpoch_; }
 
     /**
      * Complete simulated-memory state: physical pages (COW against

@@ -19,39 +19,6 @@ PhysMem::PhysMem(bool fastFrames) : fast_(fastFrames)
     }
 }
 
-PhysMem::Window *
-PhysMem::windowFor(uint64_t ppn)
-{
-    return const_cast<Window *>(
-        const_cast<const PhysMem *>(this)->windowFor(ppn));
-}
-
-const PhysMem::Window *
-PhysMem::windowFor(uint64_t ppn) const
-{
-    if (!fast_)
-        return nullptr;
-    if (ppn - user_.base < user_.frames)
-        return &user_;
-    if (ppn - kernel_.base < kernel_.frames)
-        return &kernel_;
-    return nullptr;
-}
-
-const PhysMem::Frame *
-PhysMem::frameIfPresent(uint64_t ppn) const
-{
-    if (const Window *w = windowFor(ppn)) {
-        const auto &chunk = w->chunks[(ppn - w->base) / FramesPerChunk];
-        if (!chunk)
-            return nullptr;
-        const Frame &f = chunk->frames[(ppn - w->base) % FramesPerChunk];
-        return f.data ? &f : nullptr;
-    }
-    auto it = sparse_.find(ppn);
-    return it == sparse_.end() || !it->second.data ? nullptr : &it->second;
-}
-
 PhysMem::Frame &
 PhysMem::frameFor(uint64_t ppn)
 {
@@ -70,56 +37,6 @@ PhysMem::frameFor(uint64_t ppn)
         ++backedPages_;
     }
     return *f;
-}
-
-uint64_t
-PhysMem::readWithin(Addr pa, unsigned size) const
-{
-    const Frame *f = frameIfPresent(isa::pageNumber(pa));
-    if (!f)
-        return 0;
-    const uint8_t *src = f->data.get() + isa::pageOffset(pa);
-    uint64_t value = 0;
-    for (unsigned i = 0; i < size; ++i)
-        value |= uint64_t(src[i]) << (8 * i);
-    return value;
-}
-
-void
-PhysMem::writeWithin(Addr pa, uint64_t value, unsigned size)
-{
-    Frame &f = frameFor(isa::pageNumber(pa));
-    f.gen = ++genCounter_;
-    uint8_t *dst = f.data.get() + isa::pageOffset(pa);
-    for (unsigned i = 0; i < size; ++i)
-        dst[i] = uint8_t(value >> (8 * i));
-}
-
-uint64_t
-PhysMem::read(Addr pa, unsigned size) const
-{
-    PACMAN_ASSERT(size >= 1 && size <= 8, "bad access size %u", size);
-    const unsigned room = unsigned(isa::PageSize - isa::pageOffset(pa));
-    if (size <= room)
-        return readWithin(pa, size);
-    // Page-straddling access: split at the boundary (at most once,
-    // since size <= 8 << PageSize).
-    const uint64_t lo = readWithin(pa, room);
-    const uint64_t hi = readWithin(pa + room, size - room);
-    return lo | (hi << (8 * room));
-}
-
-void
-PhysMem::write(Addr pa, uint64_t value, unsigned size)
-{
-    PACMAN_ASSERT(size >= 1 && size <= 8, "bad access size %u", size);
-    const unsigned room = unsigned(isa::PageSize - isa::pageOffset(pa));
-    if (size <= room) {
-        writeWithin(pa, value, size);
-        return;
-    }
-    writeWithin(pa, value, room);
-    writeWithin(pa + room, value >> (8 * room), size - room);
 }
 
 PhysMem::Snapshot
@@ -168,14 +85,14 @@ PhysMem::restore(const Snapshot &snap)
         const Snapshot::Page &page = it->second;
         if (f.gen != page.gen) {
             std::memcpy(f.data.get(), page.data.get(), isa::PageSize);
-            // Relabel with a FRESH generation (mirrored into the
-            // snapshot's mutable label, so the page reads as clean on
-            // the next restore) instead of rewinding to the captured
-            // one: generation values are never reused, which is what
-            // lets stale decoded-instruction entries be detected by
-            // generation mismatch alone — and the decode cache
-            // therefore survive Machine::restore() without a flush.
-            f.gen = page.gen = ++genCounter_;
+            // Rewind the label to the captured one: the copy just made
+            // the bytes exactly what that label always described, so
+            // reapplying it keeps the label<->bytes binding intact —
+            // and decoded-instruction/superblock entries built under
+            // it before the capture validate again instead of being
+            // re-translated after every restore (the churn made the
+            // snapshot path slower than fresh provisioning).
+            f.gen = page.gen;
             ++stats.pagesCopied;
         }
         return true;
@@ -215,17 +132,10 @@ PhysMem::restore(const Snapshot &snap)
             continue;
         Frame &f = frameFor(ppn);
         std::memcpy(f.data.get(), page.data.get(), isa::PageSize);
-        f.gen = page.gen = ++genCounter_;
+        f.gen = page.gen;
         ++stats.pagesCopied;
     }
     return stats;
-}
-
-uint64_t
-PhysMem::pageGen(Addr pa) const
-{
-    const Frame *f = frameIfPresent(isa::pageNumber(pa));
-    return f ? f->gen : 0;
 }
 
 } // namespace pacman::mem

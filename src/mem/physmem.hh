@@ -25,23 +25,29 @@
  *
  * Every backed page also carries a *write generation*: a label drawn
  * from a single monotonic counter on every write touching the page.
- * The CPU's decoded-instruction cache validates entries against it,
- * which is what makes self-modifying code safe without any
- * invalidation callbacks on the store hot path. Labels are never
- * reused — snapshot restores relabel rewound pages with fresh values
- * rather than rewinding the counter — so a generation match always
- * implies identical page bytes, across restores included; that is
- * what lets the decode cache survive Machine::restore() unflushed.
+ * The CPU's decoded-instruction and superblock caches validate
+ * entries against it, which is what makes self-modifying code safe
+ * without any invalidation callbacks on the store hot path. Each
+ * label is permanently bound to one byte image of its page: writes
+ * draw fresh labels (the counter is never rewound), and a snapshot
+ * restore reapplies the captured label together with the captured
+ * bytes it has always described. A generation match therefore always
+ * implies identical page bytes, across restores included — which is
+ * what lets the decode and superblock caches survive
+ * Machine::restore() unflushed, with entries from before the capture
+ * validating again afterwards.
  */
 
 #ifndef PACMAN_MEM_PHYSMEM_HH
 #define PACMAN_MEM_PHYSMEM_HH
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "base/logging.hh"
 #include "isa/pointer.hh"
 
 namespace pacman::mem
@@ -60,6 +66,10 @@ class PhysMem
      *                   path the equivalence tests compare against.
      */
     explicit PhysMem(bool fastFrames = true);
+
+    // read()/write() and the helpers under them are defined inline
+    // below the class: they sit on the per-instruction load/store path
+    // and the call overhead was measurable in profiles.
 
     /** Read @p size bytes (1..8) as a little-endian integer. */
     uint64_t read(Addr pa, unsigned size) const;
@@ -80,7 +90,11 @@ class PhysMem
      * (or restore relabel) that touched it. Consumers (the decode
      * cache) snapshot it and treat any change as an invalidation.
      */
-    uint64_t pageGen(Addr pa) const;
+    uint64_t pageGen(Addr pa) const
+    {
+        const Frame *f = frameIfPresent(isa::pageNumber(pa));
+        return f ? f->gen : 0;
+    }
 
     /** Number of pages currently backed. */
     size_t pageCount() const { return backedPages_; }
@@ -93,17 +107,17 @@ class PhysMem
      * a write-generation label. The label is the copy-on-write dirty
      * check on restore: a page whose live generation still equals the
      * stored one has not been written since the snapshot (labels come
-     * from a never-rewound counter), so its bytes need no copy. The
-     * label is mutable because restore refreshes it after a copy-back
-     * — the page then equals the snapshot bytes again under a brand-
-     * new label, keeping both the clean-check AND the never-reused
-     * guarantee the decode cache relies on.
+     * from a never-rewound counter), so its bytes need no copy. A
+     * dirty page gets the captured bytes AND the captured label back
+     * — the label has only ever described exactly these bytes, so
+     * decode/superblock cache entries recorded under it revalidate
+     * instead of churning through a rebuild after every restore.
      */
     struct Snapshot
     {
         struct Page
         {
-            mutable uint64_t gen = 0;
+            uint64_t gen = 0;
             std::unique_ptr<uint8_t[]> data; //!< PageSize bytes
         };
         std::unordered_map<uint64_t, Page> pages;
@@ -187,6 +201,104 @@ class PhysMem
      *  any snapshot (labels must stay unique across restores). */
     uint64_t genCounter_ = 0;
 };
+
+inline const PhysMem::Window *
+PhysMem::windowFor(uint64_t ppn) const
+{
+    if (!fast_)
+        return nullptr;
+    if (ppn - user_.base < user_.frames)
+        return &user_;
+    if (ppn - kernel_.base < kernel_.frames)
+        return &kernel_;
+    return nullptr;
+}
+
+inline PhysMem::Window *
+PhysMem::windowFor(uint64_t ppn)
+{
+    return const_cast<Window *>(
+        const_cast<const PhysMem *>(this)->windowFor(ppn));
+}
+
+inline const PhysMem::Frame *
+PhysMem::frameIfPresent(uint64_t ppn) const
+{
+    if (const Window *w = windowFor(ppn)) {
+        const auto &chunk = w->chunks[(ppn - w->base) / FramesPerChunk];
+        if (!chunk)
+            return nullptr;
+        const Frame &f = chunk->frames[(ppn - w->base) % FramesPerChunk];
+        return f.data ? &f : nullptr;
+    }
+    auto it = sparse_.find(ppn);
+    return it == sparse_.end() || !it->second.data ? nullptr : &it->second;
+}
+
+inline uint64_t
+PhysMem::readWithin(Addr pa, unsigned size) const
+{
+    const Frame *f = frameIfPresent(isa::pageNumber(pa));
+    if (!f)
+        return 0;
+    const uint8_t *src = f->data.get() + isa::pageOffset(pa);
+    uint64_t value = 0;
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+    // The guest value is the little-endian assembly of src[0..size);
+    // on a little-endian host that is a plain byte copy.
+    std::memcpy(&value, src, size);
+#else
+    for (unsigned i = 0; i < size; ++i)
+        value |= uint64_t(src[i]) << (8 * i);
+#endif
+    return value;
+}
+
+inline void
+PhysMem::writeWithin(Addr pa, uint64_t value, unsigned size)
+{
+    const uint64_t ppn = isa::pageNumber(pa);
+    // Stores overwhelmingly touch already-backed pages; only the
+    // first touch takes the allocating frameFor() call.
+    Frame *f = const_cast<Frame *>(frameIfPresent(ppn));
+    if (!f)
+        f = &frameFor(ppn);
+    f->gen = ++genCounter_;
+    uint8_t *dst = f->data.get() + isa::pageOffset(pa);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+    std::memcpy(dst, &value, size);
+#else
+    for (unsigned i = 0; i < size; ++i)
+        dst[i] = uint8_t(value >> (8 * i));
+#endif
+}
+
+inline uint64_t
+PhysMem::read(Addr pa, unsigned size) const
+{
+    PACMAN_ASSERT(size >= 1 && size <= 8, "bad access size %u", size);
+    const unsigned room = unsigned(isa::PageSize - isa::pageOffset(pa));
+    if (size <= room) [[likely]]
+        return readWithin(pa, size);
+    // Page-straddling access: split at the boundary (at most once,
+    // since size <= 8 << PageSize).
+    const uint64_t lo = readWithin(pa, room);
+    const uint64_t hi = readWithin(pa + room, size - room);
+    return lo | (hi << (8 * room));
+}
+
+inline void
+PhysMem::write(Addr pa, uint64_t value, unsigned size)
+{
+    PACMAN_ASSERT(size >= 1 && size <= 8, "bad access size %u", size);
+    const unsigned room = unsigned(isa::PageSize - isa::pageOffset(pa));
+    if (size <= room) [[likely]] {
+        writeWithin(pa, value, size);
+        return;
+    }
+    writeWithin(pa, value, room);
+    writeWithin(pa + room, value >> (8 * room), size - room);
+}
 
 } // namespace pacman::mem
 

@@ -54,6 +54,29 @@ class Tlb
     /** Probe without touching LRU state (test/verification use). */
     bool contains(uint64_t vpn, Asid asid) const;
 
+    struct Way;
+
+    /**
+     * Live way holding (@p vpn, @p asid), or nullptr. No state change
+     * (unlike lookup()). The superblock executor resolves the way once
+     * per block entry and replays per-instruction hits via rehit().
+     */
+    Way *wayFor(uint64_t vpn, Asid asid) { return find(vpn, asid); }
+
+    /**
+     * Replay a hit on @p way with exactly the bookkeeping sequence of
+     * lookup()'s hit path: tick, journal touch, LRU stamp, hit count.
+     * @p way must be the live way a fresh find of the same key would
+     * return.
+     */
+    void rehit(Way *way)
+    {
+        ++tick_;
+        journalTouch(way);
+        way->lruStamp = tick_;
+        ++hits_;
+    }
+
     /**
      * Insert a translation; evicts the set's victim if full.
      * @return the evicted valid entry, if any (used to model the

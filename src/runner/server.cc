@@ -92,6 +92,11 @@ struct CachedWorker
     bool snapshot = true;
     uint64_t lastProvisions = 0;
     uint64_t lastRekeys = 0;
+    // Last-seen superblock/decode-cache counters, for delta
+    // accounting into the server-wide metrics: the core's counters
+    // are monotonic per machine, the server sums deltas across all
+    // cached workers of all service threads.
+    cpu::SuperblockStats lastSb;
 };
 
 std::string
@@ -140,6 +145,16 @@ struct OracleServer::Impl
     std::atomic<uint64_t> replicaProvisions{0};
     std::atomic<uint64_t> pacRekeys{0};
     std::atomic<uint64_t> queuePeak{0};
+    // Committed-fast-path telemetry, summed across every worker
+    // replica this server has driven (satellite of the superblock
+    // engine; same counters the per-machine stats report prints).
+    std::atomic<uint64_t> sbBlocksBuilt{0};
+    std::atomic<uint64_t> sbBlockHits{0};
+    std::atomic<uint64_t> sbBlockInsts{0};
+    std::atomic<uint64_t> sbInvalidations{0};
+    std::atomic<uint64_t> sbFallbackExits{0};
+    std::atomic<uint64_t> decodeHits{0};
+    std::atomic<uint64_t> decodeMisses{0};
     mutable std::mutex tenantMu;
     std::map<std::string, SampleStat> tenantLatencyUs;
 
@@ -295,6 +310,18 @@ OracleServer::Impl::accountWorker(CachedWorker &cw, uint64_t items)
     const uint64_t rk = cw.worker->machine().rekeys();
     pacRekeys.fetch_add(rk - cw.lastRekeys);
     cw.lastRekeys = rk;
+    const cpu::SuperblockStats &sb =
+        cw.worker->machine().core().superblockStats();
+    sbBlocksBuilt.fetch_add(sb.blocksBuilt - cw.lastSb.blocksBuilt);
+    sbBlockHits.fetch_add(sb.blockHits - cw.lastSb.blockHits);
+    sbBlockInsts.fetch_add(sb.blockInsts - cw.lastSb.blockInsts);
+    sbInvalidations.fetch_add(sb.invalidations -
+                              cw.lastSb.invalidations);
+    sbFallbackExits.fetch_add(sb.fallbackExits -
+                              cw.lastSb.fallbackExits);
+    decodeHits.fetch_add(sb.decodeHits - cw.lastSb.decodeHits);
+    decodeMisses.fetch_add(sb.decodeMisses - cw.lastSb.decodeMisses);
+    cw.lastSb = sb;
 }
 
 void
@@ -503,6 +530,26 @@ OracleServer::Impl::metricsJson() const
     add("replica_provisions", double(replicaProvisions.load()),
         "lower");
     add("pac_rekeys", double(pacRekeys.load()), "higher");
+    // Committed-fast-path telemetry: how much guest work the cached
+    // superblock engine absorbed across all worker replicas, and how
+    // often content/epoch validation had to drop cached state.
+    const double sbBuilt = double(sbBlocksBuilt.load());
+    const double sbHits = double(sbBlockHits.load());
+    add("superblock_blocks_built", sbBuilt, "lower");
+    add("superblock_block_hits", sbHits, "higher");
+    add("superblock_block_insts", double(sbBlockInsts.load()),
+        "higher");
+    add("superblock_invalidations", double(sbInvalidations.load()),
+        "lower");
+    add("superblock_fallback_exits", double(sbFallbackExits.load()),
+        "lower");
+    if (sbBuilt + sbHits > 0)
+        add("superblock_hit_rate", sbHits / (sbBuilt + sbHits),
+            "higher");
+    const double dh = double(decodeHits.load());
+    const double dm = double(decodeMisses.load());
+    if (dh + dm > 0)
+        add("decode_hit_rate", dh / (dh + dm), "higher");
     {
         std::lock_guard<std::mutex> lock(tenantMu);
         for (const auto &[tenant, lat] : tenantLatencyUs) {

@@ -30,12 +30,19 @@ using namespace pacman::attack;
 using namespace pacman::kernel;
 using namespace pacman::runner;
 
+/**
+ * The three equivalence rungs: 0 = slow reference (plain interpreter,
+ * sparse PhysMem), 1 = decode cache + frame table, 2 = those plus the
+ * superblock engine (the default build). Every rung must be
+ * bit-identical to every other.
+ */
 MachineConfig
-fastSlowConfig(bool fast)
+fastSlowConfig(int level)
 {
     MachineConfig cfg = defaultMachineConfig();
-    cfg.core.decodeCache = fast;
-    cfg.hier.fastMem = fast;
+    cfg.core.decodeCache = level >= 1;
+    cfg.hier.fastMem = level >= 1;
+    cfg.core.superblocks = level >= 2;
     return cfg;
 }
 
@@ -91,10 +98,10 @@ archDump(Machine &m)
 /** A Figure-8 subset: 24 oracle queries, returning per-query miss
  *  counts and the final architectural stats dump. */
 std::string
-runFig8Subset(bool fast, std::vector<unsigned> *counts)
+runFig8Subset(int level, std::vector<unsigned> *counts)
 {
-    const PacMemoScope memo(fast);
-    Machine machine(fastSlowConfig(fast));
+    const PacMemoScope memo(level >= 1);
+    Machine machine(fastSlowConfig(level));
     AttackerProcess proc(machine);
     OracleConfig ocfg;
     ocfg.trainIters = 8;
@@ -107,18 +114,22 @@ runFig8Subset(bool fast, std::vector<unsigned> *counts)
 
 TEST(FastpathEquiv, Fig8SubsetBitIdentical)
 {
-    std::vector<unsigned> fast_counts, slow_counts;
-    const std::string fast_dump = runFig8Subset(true, &fast_counts);
-    const std::string slow_dump = runFig8Subset(false, &slow_counts);
-    EXPECT_EQ(fast_counts, slow_counts);
-    EXPECT_EQ(fast_dump, slow_dump);
+    std::vector<unsigned> slow_counts;
+    const std::string slow_dump = runFig8Subset(0, &slow_counts);
+    for (const int level : {1, 2}) {
+        std::vector<unsigned> fast_counts;
+        const std::string fast_dump =
+            runFig8Subset(level, &fast_counts);
+        EXPECT_EQ(fast_counts, slow_counts) << "level " << level;
+        EXPECT_EQ(fast_dump, slow_dump) << "level " << level;
+    }
 }
 
 /** Brute-force campaign over a small window with the truth inside. */
 BruteForceCampaignConfig
-equivCampaign(bool fast, unsigned jobs, bool faults)
+equivCampaign(int level, unsigned jobs, bool faults)
 {
-    MachineConfig mcfg = fastSlowConfig(fast);
+    MachineConfig mcfg = fastSlowConfig(level);
     mcfg.seed = 42;
 
     const isa::Addr target = BenignDataBase + 37 * isa::PageSize;
@@ -156,13 +167,16 @@ equivCampaign(bool fast, unsigned jobs, bool faults)
 TEST(FastpathEquiv, BruteForceFingerprintAcrossJobs)
 {
     for (const unsigned jobs : {1u, 4u, 16u}) {
-        const std::string fast_fp =
-            runBruteForceCampaign(equivCampaign(true, jobs, false))
-                .fingerprint();
         const std::string slow_fp =
-            runBruteForceCampaign(equivCampaign(false, jobs, false))
+            runBruteForceCampaign(equivCampaign(0, jobs, false))
                 .fingerprint();
-        EXPECT_EQ(fast_fp, slow_fp) << "jobs " << jobs;
+        for (const int level : {1, 2}) {
+            const std::string fast_fp =
+                runBruteForceCampaign(equivCampaign(level, jobs, false))
+                    .fingerprint();
+            EXPECT_EQ(fast_fp, slow_fp)
+                << "jobs " << jobs << " level " << level;
+        }
     }
 }
 
@@ -172,14 +186,16 @@ TEST(FastpathEquiv, FaultedBruteForceFingerprintAcrossJobs)
     // faults and the self-healing machinery is retrying/recalibrating
     // — the paths where divergence would hide best.
     for (const unsigned jobs : {1u, 4u, 16u}) {
-        const BruteForceCampaignResult fast_res =
-            runBruteForceCampaign(equivCampaign(true, jobs, true));
         const BruteForceCampaignResult slow_res =
-            runBruteForceCampaign(equivCampaign(false, jobs, true));
-        EXPECT_EQ(fast_res.fingerprint(), slow_res.fingerprint())
-            << "jobs " << jobs;
-        // Vacuity guard: the plan must have realized faults.
-        EXPECT_GT(fast_res.faultStats.total(), 0u);
+            runBruteForceCampaign(equivCampaign(0, jobs, true));
+        for (const int level : {1, 2}) {
+            const BruteForceCampaignResult fast_res =
+                runBruteForceCampaign(equivCampaign(level, jobs, true));
+            EXPECT_EQ(fast_res.fingerprint(), slow_res.fingerprint())
+                << "jobs " << jobs << " level " << level;
+            // Vacuity guard: the plan must have realized faults.
+            EXPECT_GT(fast_res.faultStats.total(), 0u);
+        }
     }
 }
 

@@ -17,6 +17,7 @@
 
 #include "attack/oracle.hh"
 #include "base/stats.hh"
+#include "cpu/config.hh"
 #include "crypto/pac.hh"
 #include "isa/pointer.hh"
 #include "kernel/layout.hh"
@@ -106,6 +107,42 @@ TEST(Snapshot, MachineRestoreReplaysBitIdentically)
     // Vacuity guard: the run must actually have dirtied pages, so the
     // restore had real rewinding to do.
     EXPECT_GT(ckpt.stats().pagesCopied, 0u);
+}
+
+TEST(Snapshot, SuperblockCacheSurvivesRestore)
+{
+    // The decode and superblock caches deliberately outlive
+    // Machine::restore(): blocks built before the capture must
+    // re-validate afterwards (restore rewinds a dirtied page to the
+    // captured generation label together with the captured bytes, so
+    // a label match still implies identical bytes), and the replay
+    // must be bit-identical. A full rebuild per restore is the
+    // regression this test exists to catch — it would put the
+    // restore-per-item campaign path back to rebuilding every cached
+    // block per work item.
+    if (!cpu::CoreConfig{}.superblocks)
+        GTEST_SKIP() << "superblocks off in this build "
+                        "(PACMAN_DISABLE_FASTPATH)";
+    Stack stack;
+    std::vector<unsigned> warm_counts;
+    stack.runQueries(&warm_counts); // build the hot blocks pre-capture
+    sim::ReplicaCheckpoint ckpt(stack.machine, stack.oracle);
+
+    const cpu::SuperblockStats &sb =
+        stack.machine.core().superblockStats();
+    ASSERT_GT(sb.blocksBuilt, 0u);
+    const uint64_t warm_built = sb.blocksBuilt;
+
+    std::vector<unsigned> first_counts, replay_counts;
+    stack.runQueries(&first_counts);
+    ckpt.restore();
+    const uint64_t built_at_restore = sb.blocksBuilt;
+    stack.runQueries(&replay_counts);
+
+    EXPECT_EQ(first_counts, replay_counts);
+    // The replay may discover a stray block or two, but must be
+    // served overwhelmingly from the pre-capture cache.
+    EXPECT_LE(sb.blocksBuilt - built_at_restore, warm_built / 10);
 }
 
 TEST(Snapshot, RestoreIsCopyOnWrite)
