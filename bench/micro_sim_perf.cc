@@ -186,6 +186,22 @@ BM_Fig8TrainingLoop(benchmark::State &state)
             : 0.0;
     state.counters["sb_invalidations"] =
         double(sb1.invalidations - sb0.invalidations);
+    // Timing-trace telemetry (DESIGN.md §4k) over the same measured
+    // region: how many block dispatches replayed a memoized hierarchy
+    // walk, how many memory ops that skipped, and how often the guard
+    // dropped a recorded trace. Counts, not rates — the pinned
+    // iteration count makes them comparable across runs.
+    state.counters["trace_replays"] =
+        double(sb1.traceReplays - sb0.traceReplays);
+    state.counters["trace_ops_replayed"] =
+        double(sb1.traceOpsReplayed - sb0.traceOpsReplayed);
+    state.counters["trace_guard_breaks"] =
+        double(sb1.traceGuardBreaks - sb0.traceGuardBreaks);
+    const double trace_hits = double(sb1.blockHits - sb0.blockHits);
+    state.counters["trace_replay_rate"] =
+        trace_hits > 0.0
+            ? double(sb1.traceReplays - sb0.traceReplays) / trace_hits
+            : 0.0;
     crypto::setPacMemoEnabled(prev_memo);
 }
 BENCHMARK(BM_Fig8TrainingLoop)

@@ -118,6 +118,28 @@ struct CoreConfig
     /** Longest superblock, in instructions. */
     unsigned superblockMaxOps = 64;
 
+    /**
+     * Memoize each superblock's data-side hierarchy walk as a
+     * *timing trace*: on first execution, record per memory op the
+     * dTLB way and L1D line it hit plus the address it resolved; on
+     * re-dispatch, while the per-set generation labels of every
+     * touched set still hold (and the entry EL and address registers
+     * match), skip the translation + cache walk entirely and replay
+     * the recorded hits via Tlb/Cache::rehit — bit-identical LRU
+     * stamps, hit counters, latencies and values (see cpu/
+     * superblock.hh). Only consulted when superblocks is on. Defaults
+     * off in PACMAN_DISABLE_FASTPATH builds with the rest of the
+     * fast path, and under PACMAN_DISABLE_TIMING_TRACES alone (the
+     * no-traces CI leg: superblocks run every walk live so a replay
+     * bug cannot hide behind its own default).
+     */
+#if defined(PACMAN_DISABLE_FASTPATH) || \
+    defined(PACMAN_DISABLE_TIMING_TRACES)
+    bool timingTraces = false;
+#else
+    bool timingTraces = true;
+#endif
+
     // --- Timers ---
     uint64_t cpuFreqHz = 3'200'000'000; //!< nominal core clock
     uint64_t cntFreqHz = 24'000'000;    //!< CNTPCT (Table 1: 24 MHz)

@@ -63,6 +63,15 @@ class Machine
     cpu::ThreadTimerDevice &timer() { return timer_; }
     const MachineConfig &config() const { return cfg_; }
 
+    // Const views for read-only consumers (e.g. the integrity
+    // fingerprint, which digests live state instead of paying a full
+    // deep snapshot).
+    const cpu::Core &core() const { return core_; }
+    const mem::MemoryHierarchy &mem() const { return mem_; }
+    const cpu::ThreadTimerDevice &timer() const { return timer_; }
+    const Random &rng() const { return rng_; }
+    const Random &noiseRng() const { return noiseRng_; }
+
     /**
      * Switch the machine's RNG to a fresh stream mid-run. Everything
      * drawn at boot (notably the per-boot PAC keys) is unaffected;

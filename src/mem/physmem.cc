@@ -44,28 +44,13 @@ PhysMem::takeSnapshot() const
 {
     Snapshot snap;
     snap.pages.reserve(backedPages_);
-    auto capture = [&](uint64_t ppn, const Frame &f) {
+    forEachPage([&](uint64_t ppn, const uint8_t *data, uint64_t gen) {
         Snapshot::Page page;
-        page.gen = f.gen;
+        page.gen = gen;
         page.data = std::make_unique<uint8_t[]>(isa::PageSize);
-        std::memcpy(page.data.get(), f.data.get(), isa::PageSize);
+        std::memcpy(page.data.get(), data, isa::PageSize);
         snap.pages.emplace(ppn, std::move(page));
-    };
-    for (const Window *w : {&user_, &kernel_}) {
-        for (size_t c = 0; c < w->chunks.size(); ++c) {
-            const auto &chunk = w->chunks[c];
-            if (!chunk)
-                continue;
-            for (uint64_t i = 0; i < FramesPerChunk; ++i) {
-                const Frame &f = chunk->frames[i];
-                if (f.data)
-                    capture(w->base + c * FramesPerChunk + i, f);
-            }
-        }
-    }
-    for (const auto &[ppn, f] : sparse_)
-        if (f.data)
-            capture(ppn, f);
+    });
     return snap;
 }
 

@@ -134,6 +134,35 @@ class PhysMem
     Snapshot takeSnapshot() const;
 
     /**
+     * Visit every backed page in place as fn(ppn, bytes, gen) — no
+     * copy, unspecified order. The integrity fingerprint digests
+     * pages through this instead of paying takeSnapshot()'s full
+     * image. The pointers are valid only until the next write or
+     * restore.
+     */
+    template <typename Fn>
+    void
+    forEachPage(Fn &&fn) const
+    {
+        for (const Window *w : {&user_, &kernel_}) {
+            for (size_t c = 0; c < w->chunks.size(); ++c) {
+                const auto &chunk = w->chunks[c];
+                if (!chunk)
+                    continue;
+                for (uint64_t i = 0; i < FramesPerChunk; ++i) {
+                    const Frame &f = chunk->frames[i];
+                    if (f.data)
+                        fn(w->base + c * FramesPerChunk + i,
+                           f.data.get(), f.gen);
+                }
+            }
+        }
+        for (const auto &[ppn, f] : sparse_)
+            if (f.data)
+                fn(ppn, f.data.get(), f.gen);
+    }
+
+    /**
      * Rewind to @p snap bit-identically: copy back only pages dirtied
      * since the capture, free pages that did not exist then, and
      * re-back captured pages that have since been freed.

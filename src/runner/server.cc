@@ -155,6 +155,13 @@ struct OracleServer::Impl
     std::atomic<uint64_t> sbFallbackExits{0};
     std::atomic<uint64_t> decodeHits{0};
     std::atomic<uint64_t> decodeMisses{0};
+    // Timing-trace telemetry (DESIGN.md §4k), same delta scheme.
+    std::atomic<uint64_t> traceRecorded{0};
+    std::atomic<uint64_t> traceRecordFailures{0};
+    std::atomic<uint64_t> traceReplays{0};
+    std::atomic<uint64_t> traceOpsReplayed{0};
+    std::atomic<uint64_t> traceGuardBreaks{0};
+    std::atomic<uint64_t> traceSoftMisses{0};
     mutable std::mutex tenantMu;
     std::map<std::string, SampleStat> tenantLatencyUs;
 
@@ -321,6 +328,17 @@ OracleServer::Impl::accountWorker(CachedWorker &cw, uint64_t items)
                               cw.lastSb.fallbackExits);
     decodeHits.fetch_add(sb.decodeHits - cw.lastSb.decodeHits);
     decodeMisses.fetch_add(sb.decodeMisses - cw.lastSb.decodeMisses);
+    traceRecorded.fetch_add(sb.tracesRecorded -
+                            cw.lastSb.tracesRecorded);
+    traceRecordFailures.fetch_add(sb.traceRecordFailures -
+                                  cw.lastSb.traceRecordFailures);
+    traceReplays.fetch_add(sb.traceReplays - cw.lastSb.traceReplays);
+    traceOpsReplayed.fetch_add(sb.traceOpsReplayed -
+                               cw.lastSb.traceOpsReplayed);
+    traceGuardBreaks.fetch_add(sb.traceGuardBreaks -
+                               cw.lastSb.traceGuardBreaks);
+    traceSoftMisses.fetch_add(sb.traceSoftMisses -
+                              cw.lastSb.traceSoftMisses);
     cw.lastSb = sb;
 }
 
@@ -546,6 +564,24 @@ OracleServer::Impl::metricsJson() const
     if (sbBuilt + sbHits > 0)
         add("superblock_hit_rate", sbHits / (sbBuilt + sbHits),
             "higher");
+    // Timing-trace memoization (DESIGN.md §4k): traces built, block
+    // dispatches that replayed one, memory ops replayed without a
+    // hierarchy walk, and the guard-break / divergence counts that
+    // bound how often the model fell back to the live walk.
+    add("timing_traces_recorded", double(traceRecorded.load()),
+        "lower");
+    add("timing_trace_record_failures",
+        double(traceRecordFailures.load()), "lower");
+    const double replays = double(traceReplays.load());
+    add("timing_trace_replays", replays, "higher");
+    add("timing_trace_ops_replayed", double(traceOpsReplayed.load()),
+        "higher");
+    add("timing_trace_guard_breaks", double(traceGuardBreaks.load()),
+        "lower");
+    add("timing_trace_soft_misses", double(traceSoftMisses.load()),
+        "lower");
+    if (sbHits > 0)
+        add("timing_trace_replay_rate", replays / sbHits, "higher");
     const double dh = double(decodeHits.load());
     const double dm = double(decodeMisses.load());
     if (dh + dm > 0)

@@ -32,12 +32,11 @@ digestAddrList(StateDigest &d, const std::vector<isa::Addr> &addrs)
 uint64_t
 machineFingerprint(const kernel::Machine &machine)
 {
-    const kernel::Machine::Snapshot snap = machine.takeSnapshot();
     StateDigest d;
 
-    digestRngState(d, snap.rng);
-    digestRngState(d, snap.noiseRng);
-    d.u64(snap.onECore ? 1 : 0);
+    digestRngState(d, machine.rng().state());
+    digestRngState(d, machine.noiseRng().state());
+    d.u64(machine.onECore() ? 1 : 0);
 
     // Core architectural state. Dataflow readiness and predictor
     // tables are timing microstate that restores bit-exactly too, but
@@ -45,7 +44,11 @@ machineFingerprint(const kernel::Machine &machine)
     // provisioned replica's results", and registers + sysregs (the
     // PAC keys) + pc + cycle + memory answer it; keeping the digest
     // to stable, documented fields also keeps it layout-agnostic.
-    const cpu::Core::Snapshot &core = snap.core;
+    // The core/timer snapshots are small fixed-size structs — the
+    // machine-level deep snapshot (every page, cache and TLB copied
+    // only to be hashed and thrown away) is what this function
+    // deliberately avoids.
+    const cpu::Core::Snapshot core = machine.core().takeSnapshot();
     for (uint64_t reg : core.regs)
         d.u64(reg);
     d.u64((core.flags.n ? 1 : 0) | (core.flags.z ? 2 : 0) |
@@ -56,7 +59,8 @@ machineFingerprint(const kernel::Machine &machine)
         d.u64(sr);
     d.u64(core.cycle);
 
-    const cpu::ThreadTimerDevice::Snapshot &timer = snap.timer;
+    const cpu::ThreadTimerDevice::Snapshot timer =
+        machine.timer().takeSnapshot();
     d.u64(timer.basePer1k);
     d.u64(timer.scalePermille);
     d.u64(timer.baseCycle);
@@ -67,23 +71,25 @@ machineFingerprint(const kernel::Machine &machine)
     d.u64(timer.burstExtra);
     d.u64(timer.lastValue);
 
-    // Physical memory: every backed page's contents, frame-sorted so
-    // the digest is independent of unordered_map iteration order.
-    // Write generations are excluded — they are never reused across a
-    // restore, so they differ between the post-provision and
-    // post-restore states by design.
-    std::vector<const decltype(snap.mem.phys.pages)::value_type *> pages;
-    pages.reserve(snap.mem.phys.pages.size());
-    for (const auto &entry : snap.mem.phys.pages)
-        pages.push_back(&entry);
+    // Physical memory: every backed page's contents digested in
+    // place, frame-sorted so the digest is independent of map
+    // iteration order. Write generations are excluded — they are
+    // never reused across a restore, so they differ between the
+    // post-provision and post-restore states by design.
+    const mem::PhysMem &phys = machine.mem().phys();
+    std::vector<std::pair<uint64_t, const uint8_t *>> pages;
+    pages.reserve(phys.pageCount());
+    phys.forEachPage([&](uint64_t ppn, const uint8_t *data, uint64_t) {
+        pages.emplace_back(ppn, data);
+    });
     std::sort(pages.begin(), pages.end(),
-              [](const auto *a, const auto *b) {
-                  return a->first < b->first;
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
               });
     d.u64(pages.size());
-    for (const auto *entry : pages) {
-        d.u64(entry->first);
-        d.bytes(entry->second.data.get(), isa::PageSize);
+    for (const auto &[ppn, data] : pages) {
+        d.u64(ppn);
+        d.bytes(data, isa::PageSize);
     }
 
     return d.value();

@@ -1,8 +1,9 @@
 /**
  * @file
  * The fast-path equivalence contract: with the decode cache, the
- * PhysMem frame table, and the PAC memo enabled (the default build),
- * every observable architectural outcome is bit-identical to the slow
+ * PhysMem frame table, the PAC memo, the superblock engine, and the
+ * timing-trace memoization enabled (the default build), every
+ * observable architectural outcome is bit-identical to the slow
  * reference paths — oracle miss counts, cycle counts, every cache/TLB
  * hit/miss counter, and whole-campaign fingerprints at any job count,
  * with and without injected faults. The fast paths are host-side
@@ -31,10 +32,11 @@ using namespace pacman::kernel;
 using namespace pacman::runner;
 
 /**
- * The three equivalence rungs: 0 = slow reference (plain interpreter,
+ * The four equivalence rungs: 0 = slow reference (plain interpreter,
  * sparse PhysMem), 1 = decode cache + frame table, 2 = those plus the
- * superblock engine (the default build). Every rung must be
- * bit-identical to every other.
+ * superblock engine with timing traces off, 3 = the full default
+ * build (superblocks + timing-trace memoization, DESIGN.md §4k).
+ * Every rung must be bit-identical to every other.
  */
 MachineConfig
 fastSlowConfig(int level)
@@ -43,6 +45,7 @@ fastSlowConfig(int level)
     cfg.core.decodeCache = level >= 1;
     cfg.hier.fastMem = level >= 1;
     cfg.core.superblocks = level >= 2;
+    cfg.core.timingTraces = level >= 3;
     return cfg;
 }
 
@@ -116,7 +119,7 @@ TEST(FastpathEquiv, Fig8SubsetBitIdentical)
 {
     std::vector<unsigned> slow_counts;
     const std::string slow_dump = runFig8Subset(0, &slow_counts);
-    for (const int level : {1, 2}) {
+    for (const int level : {1, 2, 3}) {
         std::vector<unsigned> fast_counts;
         const std::string fast_dump =
             runFig8Subset(level, &fast_counts);
@@ -170,7 +173,7 @@ TEST(FastpathEquiv, BruteForceFingerprintAcrossJobs)
         const std::string slow_fp =
             runBruteForceCampaign(equivCampaign(0, jobs, false))
                 .fingerprint();
-        for (const int level : {1, 2}) {
+        for (const int level : {1, 2, 3}) {
             const std::string fast_fp =
                 runBruteForceCampaign(equivCampaign(level, jobs, false))
                     .fingerprint();
@@ -188,7 +191,7 @@ TEST(FastpathEquiv, FaultedBruteForceFingerprintAcrossJobs)
     for (const unsigned jobs : {1u, 4u, 16u}) {
         const BruteForceCampaignResult slow_res =
             runBruteForceCampaign(equivCampaign(0, jobs, true));
-        for (const int level : {1, 2}) {
+        for (const int level : {1, 2, 3}) {
             const BruteForceCampaignResult fast_res =
                 runBruteForceCampaign(equivCampaign(level, jobs, true));
             EXPECT_EQ(fast_res.fingerprint(), slow_res.fingerprint())

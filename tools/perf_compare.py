@@ -14,6 +14,13 @@ measurement is reported as "added", one present only in the baseline
 as "removed" — both informational, neither a regression. The gate
 only fires on a shared metric moving the wrong way.
 
+A baseline may carry a "provenance" block (written by perf_smoke.py's
+--supersedes/--provenance flags) recording which older baseline it
+replaced and why it was re-measured. When either side carries one it
+is printed in the report header — a deliberately re-based comparison
+should say so rather than look like an organic drift — and echoed
+into the --json output.
+
 With --json PATH the full structured comparison (per-metric status,
 values, delta) is also written as JSON for machine consumption, e.g.
 CI annotation steps.
@@ -33,12 +40,27 @@ COMPARE_SCHEMA = "pacman-bench-compare-v1"
 
 
 def load(path):
+    """Returns (metrics, provenance-or-None) from a baseline file."""
     with open(path) as f:
         data = json.load(f)
     if data.get("schema") != SCHEMA:
         raise ValueError(f"{path}: unexpected schema "
                          f"{data.get('schema')!r} (want {SCHEMA!r})")
-    return data["metrics"]
+    return data["metrics"], data.get("provenance")
+
+
+def provenance_lines(side, prov):
+    """Render one side's provenance block for the report header."""
+    if not prov:
+        return []
+    parts = []
+    if prov.get("supersedes"):
+        parts.append(f"supersedes {prov['supersedes']}")
+    if prov.get("note"):
+        parts.append(prov["note"])
+    if not parts:
+        return []
+    return [f"  note: {side} baseline {'; '.join(parts)}"]
 
 
 def compare(baseline, current, threshold):
@@ -124,13 +146,15 @@ def render(entries):
     return lines
 
 
-def write_json(path, entries, threshold):
+def write_json(path, entries, threshold, provenance=None):
     result = {
         "schema": COMPARE_SCHEMA,
         "threshold": threshold,
         "metrics": entries,
         "regressions": regressions(entries),
     }
+    if provenance:
+        result["provenance"] = provenance
     with open(path, "w") as f:
         json.dump(result, f, indent=2, sort_keys=True)
         f.write("\n")
@@ -231,6 +255,33 @@ def self_test():
     assert statuses == {"rate": "regress", "extra": "added",
                         "wall": "removed"}
 
+    # Provenance: load() surfaces the block, the header renderer
+    # mentions both the superseded file and the note, and --json
+    # carries it through.
+    fd, path = tempfile.mkstemp(suffix=".json")
+    os.close(fd)
+    try:
+        with open(path, "w") as f:
+            json.dump({"schema": SCHEMA,
+                       "metrics": base,
+                       "provenance": {"supersedes": "BENCH_OLD.json",
+                                      "note": "rebaselined"}}, f)
+        metrics, prov = load(path)
+        assert metrics == base
+        assert prov["supersedes"] == "BENCH_OLD.json"
+        lines = provenance_lines("baseline", prov)
+        assert len(lines) == 1
+        assert "BENCH_OLD.json" in lines[0]
+        assert "rebaselined" in lines[0]
+        assert provenance_lines("current", None) == []
+        write_json(path, compare(base, base, 0.10), 0.10,
+                   {"baseline": prov})
+        with open(path) as f:
+            out = json.load(f)
+        assert out["provenance"]["baseline"]["note"] == "rebaselined"
+    finally:
+        os.unlink(path)
+
     print("perf_compare self-test: all assertions passed")
     return 0
 
@@ -257,15 +308,25 @@ def main(argv=None):
         parser.error("baseline and current files are required "
                      "(or use --self-test)")
 
-    entries = compare(load(args.baseline), load(args.current),
-                      args.threshold)
+    base_metrics, base_prov = load(args.baseline)
+    cur_metrics, cur_prov = load(args.current)
+    entries = compare(base_metrics, cur_metrics, args.threshold)
     regressed = regressions(entries)
     print(f"perf compare: {args.baseline} -> {args.current} "
           f"(threshold {args.threshold:.0%})")
+    for line in (provenance_lines("baseline", base_prov) +
+                 provenance_lines("current", cur_prov)):
+        print(line)
     for line in render(entries):
         print(line)
     if args.json_out:
-        write_json(args.json_out, entries, args.threshold)
+        prov = {}
+        if base_prov:
+            prov["baseline"] = base_prov
+        if cur_prov:
+            prov["current"] = cur_prov
+        write_json(args.json_out, entries, args.threshold,
+                   prov or None)
         print(f"wrote {args.json_out}")
     if regressed:
         print(f"FAIL: {len(regressed)} metric(s) regressed: "
